@@ -1,0 +1,64 @@
+// Example 4 claim (§5.2.4): pushing a selective equi-join below ÷* means
+// "much fewer dividend groups ... have to be tested against r2". Expected
+// shape: join-below wins when the join keeps few groups; with an
+// unselective join the two orders converge.
+
+#include "bench_common.hpp"
+#include "core/laws.hpp"
+#include "opt/planner.hpp"
+
+namespace quotient {
+namespace {
+
+void BM_Example4(benchmark::State& state, bool join_below) {
+  size_t keep = static_cast<size_t>(state.range(0));  // |r1*|: join selectivity knob
+  auto workload = bench::MakeGreatDivideWorkload(/*groups=*/2048, /*domain=*/48,
+                                                 /*divisor_groups=*/32);
+  Relation star_star = Rename(workload.dividend, {{"a", "a2"}});
+  std::vector<Tuple> star_rows;
+  for (size_t i = 0; i < keep; ++i) {
+    star_rows.push_back({V(static_cast<int64_t>(i * (2048 / keep)))});
+  }
+  Relation star(Schema::Parse("a1"), star_rows);
+
+  Catalog catalog;
+  catalog.Put("star", star);
+  catalog.Put("ss", star_star);
+  catalog.Put("r2", workload.divisor);
+
+  ExprPtr theta = Expr::ColEqCol("a1", "a2");
+  PlanPtr plan;
+  if (join_below) {
+    plan = LogicalOp::GreatDivide(
+        LogicalOp::ThetaJoin(LogicalOp::Scan(catalog, "star"), LogicalOp::Scan(catalog, "ss"),
+                             theta),
+        LogicalOp::Scan(catalog, "r2"));
+  } else {
+    plan = LogicalOp::ThetaJoin(
+        LogicalOp::Scan(catalog, "star"),
+        LogicalOp::GreatDivide(LogicalOp::Scan(catalog, "ss"), LogicalOp::Scan(catalog, "r2")),
+        theta);
+  }
+  for (auto _ : state) {
+    Relation q = ExecutePlan(plan, catalog);
+    benchmark::DoNotOptimize(q);
+  }
+}
+
+}  // namespace
+}  // namespace quotient
+
+int main(int argc, char** argv) {
+  using namespace quotient;
+  for (bool below : {false, true}) {
+    benchmark::RegisterBenchmark(below ? "Example4/join_below" : "Example4/join_above",
+                                 [below](benchmark::State& s) { BM_Example4(s, below); })
+        ->Arg(16)
+        ->Arg(128)
+        ->Arg(1024)
+        ->Unit(benchmark::kMicrosecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

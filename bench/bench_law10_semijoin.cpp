@@ -1,0 +1,57 @@
+// Law 10 claim (§5.1.6): (r1 ÷ r2) ⋉ r3 = (r1 ⋉ r3) ÷ r2 — "it may be
+// cheaper to keep r3 in memory and compute the semi-join in one scan over
+// r1, especially if the join is highly selective". Expected shape: the
+// semi-join-first plan wins when |r3| keeps few candidates, and the gap
+// narrows as r3 grows toward all of πA(r1).
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "opt/planner.hpp"
+
+namespace quotient {
+namespace {
+
+void BM_Law10(benchmark::State& state, bool semijoin_first) {
+  size_t groups = 4096;
+  size_t r3_size = static_cast<size_t>(state.range(0));
+  auto workload = bench::MakeDivisionWorkload(groups, /*domain=*/64, /*divisor_size=*/16,
+                                              /*density=*/0.4);
+  std::vector<Tuple> r3_rows;
+  for (size_t i = 0; i < r3_size; ++i) {
+    r3_rows.push_back({V(static_cast<int64_t>(i * (groups / r3_size)))});
+  }
+  Catalog catalog;
+  catalog.Put("r1", workload.dividend);
+  catalog.Put("r2", workload.divisor);
+  catalog.Put("r3", Relation(Schema::Parse("a"), r3_rows));
+
+  PlanPtr original = LogicalOp::SemiJoin(
+      LogicalOp::Divide(LogicalOp::Scan(catalog, "r1"), LogicalOp::Scan(catalog, "r2")),
+      LogicalOp::Scan(catalog, "r3"));
+  RewriteEngine engine = RewriteEngine::Default();
+  RewriteContext context{&catalog, false};
+  PlanPtr plan = semijoin_first ? engine.Rewrite(original, context) : original;
+
+  for (auto _ : state) {
+    Relation q = ExecutePlan(plan, catalog);
+    benchmark::DoNotOptimize(q);
+  }
+}
+
+}  // namespace
+}  // namespace quotient
+
+int main(int argc, char** argv) {
+  using namespace quotient;
+  for (bool first : {false, true}) {
+    benchmark::RegisterBenchmark(first ? "Law10/semijoin_first" : "Law10/divide_first",
+                                 [first](benchmark::State& s) { BM_Law10(s, first); })
+        ->Arg(16)
+        ->Arg(256)
+        ->Arg(4096)
+        ->Unit(benchmark::kMicrosecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Law 13 claim (§5.2.1): a C-disjoint divisor partition parallelizes the
+// great divide — "possible to reduce the execution time to 1/n of the
+// original time provided that the great divide execution is considerably
+// more expensive than the final union/merge". Expected shape: near-linear
+// speed-up in the number of workers while groups per worker stay large.
+
+#include "bench_common.hpp"
+#include "exec/exec_great_divide.hpp"
+
+namespace quotient {
+namespace {
+
+void BM_Law13(benchmark::State& state) {
+  size_t threads = static_cast<size_t>(state.range(0));
+  // Counting-dominated workload (many dense divisor groups): the paper's
+  // 1/n claim assumes "the great divide execution is considerably more
+  // expensive than the final union/merge plus data shipping" — with few
+  // groups the duplicated dividend scan wins instead.
+  auto workload = bench::MakeGreatDivideWorkload(/*groups=*/512, /*domain=*/48,
+                                                 /*divisor_groups=*/512,
+                                                 /*dividend_density=*/0.5,
+                                                 /*divisor_density=*/0.4);
+  for (auto _ : state) {
+    Relation q = GreatDividePartitioned(workload.dividend, workload.divisor, threads);
+    benchmark::DoNotOptimize(q);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
+}  // namespace
+}  // namespace quotient
+
+int main(int argc, char** argv) {
+  using namespace quotient;
+  benchmark::RegisterBenchmark("Law13/partitioned_great_divide", BM_Law13)
+      ->Arg(1)
+      ->Arg(2)
+      ->Arg(4)
+      ->Unit(benchmark::kMillisecond)
+      ->UseRealTime();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

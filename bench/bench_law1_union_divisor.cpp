@@ -1,0 +1,65 @@
+// Law 1 claim (§5.1.1): r1 ÷ (r2' ∪ r2'') = (r1 ⋉ (r1 ÷ r2')) ÷ r2''.
+// The rewrite lets a group-preserving pipeline divide by one divisor
+// partition, semi-join to drop disqualified groups, then divide the (much
+// smaller) remainder by the other partition. Expected shape: the pipelined
+// form wins when r2' is selective (few groups survive the first divide);
+// with an unselective r2' the two forms are comparable.
+
+#include "bench_common.hpp"
+#include "core/rules.hpp"
+#include "core/engine.hpp"
+#include "opt/planner.hpp"
+
+namespace quotient {
+namespace {
+
+void BM_Law1(benchmark::State& state, bool pipelined) {
+  size_t groups = 2048;
+  size_t prime_size = static_cast<size_t>(state.range(0));  // |r2'|: selectivity knob
+  DataGen gen(5);
+  Relation r2 = gen.Divisor(32, 64);
+  // Split r2 into r2' (first prime_size values) and r2'' (the rest).
+  std::vector<Tuple> prime(r2.tuples().begin(),
+                           r2.tuples().begin() + static_cast<long>(prime_size));
+  std::vector<Tuple> rest(r2.tuples().begin() + static_cast<long>(prime_size),
+                          r2.tuples().end());
+  Relation r2p(r2.schema(), prime);
+  Relation r2pp(r2.schema(), rest);
+  Relation r1 = gen.DividendWithHits(groups, groups / 20 + 1, r2, /*domain=*/64, 0.25);
+
+  Catalog catalog;
+  catalog.Put("r1", r1);
+  catalog.Put("r2p", r2p);
+  catalog.Put("r2pp", r2pp);
+
+  PlanPtr original = LogicalOp::Divide(
+      LogicalOp::Scan(catalog, "r1"),
+      LogicalOp::Union(LogicalOp::Scan(catalog, "r2p"), LogicalOp::Scan(catalog, "r2pp")));
+  RewriteEngine engine;
+  engine.Add(MakeLaw1DivisorUnionRule());
+  RewriteContext context{&catalog, false};
+  PlanPtr plan = pipelined ? engine.Rewrite(original, context) : original;
+
+  for (auto _ : state) {
+    Relation q = ExecutePlan(plan, catalog);
+    benchmark::DoNotOptimize(q);
+  }
+}
+
+}  // namespace
+}  // namespace quotient
+
+int main(int argc, char** argv) {
+  using namespace quotient;
+  for (bool pipelined : {false, true}) {
+    benchmark::RegisterBenchmark(pipelined ? "Law1/pipelined" : "Law1/original",
+                                 [pipelined](benchmark::State& s) { BM_Law1(s, pipelined); })
+        ->Arg(4)
+        ->Arg(16)
+        ->Arg(28)
+        ->Unit(benchmark::kMicrosecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Law 3 claim: pushing σp(A) below ÷ shrinks the dividend before the
+// expensive division. Expected shape: the pushed-down plan wins, with the
+// gap growing as the selection gets more selective (smaller keep-fraction).
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "opt/planner.hpp"
+
+namespace quotient {
+namespace {
+
+void BM_Law3(benchmark::State& state, bool pushed) {
+  size_t groups = 2048;
+  int64_t keep_upto = state.range(0);  // candidates kept: a < keep_upto
+  auto workload = bench::MakeDivisionWorkload(groups, /*domain=*/64, /*divisor_size=*/16);
+  Catalog catalog;
+  catalog.Put("r1", workload.dividend);
+  catalog.Put("r2", workload.divisor);
+  ExprPtr p = Expr::ColCmp("a", CmpOp::kLt, V(keep_upto));
+
+  PlanPtr original = LogicalOp::Select(
+      LogicalOp::Divide(LogicalOp::Scan(catalog, "r1"), LogicalOp::Scan(catalog, "r2")), p);
+  RewriteEngine engine = RewriteEngine::Default();
+  RewriteContext context{&catalog, false};
+  PlanPtr plan = pushed ? engine.Rewrite(original, context) : original;
+
+  for (auto _ : state) {
+    Relation q = ExecutePlan(plan, catalog);
+    benchmark::DoNotOptimize(q);
+  }
+  state.counters["keep_fraction"] =
+      static_cast<double>(keep_upto) / static_cast<double>(groups);
+}
+
+}  // namespace
+}  // namespace quotient
+
+int main(int argc, char** argv) {
+  using namespace quotient;
+  for (bool pushed : {false, true}) {
+    benchmark::RegisterBenchmark(pushed ? "Law3/pushed" : "Law3/original",
+                                 [pushed](benchmark::State& s) { BM_Law3(s, pushed); })
+        ->Arg(32)
+        ->Arg(256)
+        ->Arg(2048)
+        ->Unit(benchmark::kMicrosecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

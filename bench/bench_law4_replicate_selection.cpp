@@ -1,0 +1,52 @@
+// Law 4 claim: replicating a divisor selection σp(B) onto the dividend
+// removes dividend tuples that can never match any divisor tuple. Expected
+// shape: the replicated plan wins when p is selective on B, because the
+// division sees a much smaller dividend.
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "opt/planner.hpp"
+
+namespace quotient {
+namespace {
+
+void BM_Law4(benchmark::State& state, bool replicated) {
+  int64_t b_cut = state.range(0);  // divisor restricted to b < b_cut
+  auto workload = bench::MakeDivisionWorkload(/*groups=*/1024, /*domain=*/128,
+                                              /*divisor_size=*/64, /*density=*/0.5);
+  Catalog catalog;
+  catalog.Put("r1", workload.dividend);
+  catalog.Put("r2", workload.divisor);
+  ExprPtr p = Expr::ColCmp("b", CmpOp::kLt, V(b_cut));
+
+  PlanPtr original = LogicalOp::Divide(
+      LogicalOp::Scan(catalog, "r1"),
+      LogicalOp::Select(LogicalOp::Scan(catalog, "r2"), p));
+  // Law 4's rewrite needs the runtime nonemptiness guard (erratum).
+  RewriteEngine engine = RewriteEngine::Default();
+  RewriteContext context{&catalog, /*allow_runtime_checks=*/true};
+  PlanPtr plan = replicated ? engine.Rewrite(original, context) : original;
+
+  for (auto _ : state) {
+    Relation q = ExecutePlan(plan, catalog);
+    benchmark::DoNotOptimize(q);
+  }
+}
+
+}  // namespace
+}  // namespace quotient
+
+int main(int argc, char** argv) {
+  using namespace quotient;
+  for (bool replicated : {false, true}) {
+    benchmark::RegisterBenchmark(replicated ? "Law4/replicated" : "Law4/original",
+                                 [replicated](benchmark::State& s) { BM_Law4(s, replicated); })
+        ->Arg(8)
+        ->Arg(32)
+        ->Arg(128)
+        ->Unit(benchmark::kMicrosecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Law 7 claim (§5.1.4): when πA(r1') ∩ πA(r1'') = ∅, the whole subtrahend
+// division (r1'' ÷ r2) can be skipped — "computing only the first part of
+// the difference is inexpensive". Expected shape: the pruned plan's cost is
+// independent of |r1''| while the original grows linearly with it.
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "opt/planner.hpp"
+
+namespace quotient {
+namespace {
+
+void BM_Law7(benchmark::State& state, bool pruned) {
+  size_t small_groups = 16;                                   // σa<=16 side
+  size_t big_groups = static_cast<size_t>(state.range(0));    // σa>16 side
+  DataGen gen(11);
+  Relation divisor = gen.Divisor(16, 64);
+  Relation small_part =
+      gen.DividendWithHits(small_groups, 4, divisor, /*domain=*/64, /*density=*/0.3);
+  DataGen gen2(12);
+  Relation big_part =
+      gen2.DividendWithHits(big_groups, big_groups / 8 + 1, divisor, 64, 0.3);
+  // Shift the big part's candidates so the two πA sets are disjoint.
+  std::vector<Tuple> shifted;
+  for (const Tuple& t : big_part.tuples()) {
+    shifted.push_back({V(t[0].as_int() + static_cast<int64_t>(small_groups) + 1), t[1]});
+  }
+  Catalog catalog;
+  catalog.Put("r1p", small_part);
+  catalog.Put("r1pp", Relation(big_part.schema(), shifted));
+  catalog.Put("r2", divisor);
+  catalog.DeclareDisjoint("r1p", "r1pp", {"a"});
+
+  PlanPtr original = LogicalOp::Difference(
+      LogicalOp::Divide(LogicalOp::Scan(catalog, "r1p"), LogicalOp::Scan(catalog, "r2")),
+      LogicalOp::Divide(LogicalOp::Scan(catalog, "r1pp"), LogicalOp::Scan(catalog, "r2")));
+  RewriteEngine engine = RewriteEngine::Default();
+  RewriteContext context{&catalog, false};  // disjointness comes from the catalog
+  PlanPtr plan = pruned ? engine.Rewrite(original, context) : original;
+
+  for (auto _ : state) {
+    Relation q = ExecutePlan(plan, catalog);
+    benchmark::DoNotOptimize(q);
+  }
+  state.counters["plan_nodes"] = static_cast<double>(plan->TreeSize());
+}
+
+}  // namespace
+}  // namespace quotient
+
+int main(int argc, char** argv) {
+  using namespace quotient;
+  for (bool pruned : {false, true}) {
+    benchmark::RegisterBenchmark(pruned ? "Law7/pruned" : "Law7/original",
+                                 [pruned](benchmark::State& s) { BM_Law7(s, pruned); })
+        ->Arg(256)
+        ->Arg(2048)
+        ->Arg(8192)
+        ->Unit(benchmark::kMicrosecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Laws 8/9 claim (§5.1.5): a division whose dividend is a Cartesian product
+// need not materialize the product. Law 8 pushes ÷ to the B-carrying factor
+// (r1* × r1**) ÷ r2 = r1* × (r1** ÷ r2); Law 9 eliminates the covered
+// factor entirely, (r1* × r1**) ÷ r2 = r1* ÷ πB1(r2). Expected shape: the
+// rewritten plans avoid the |r1*| × |r1**| blow-up, so the gap grows with
+// the size of the eliminated factor.
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "opt/planner.hpp"
+
+namespace quotient {
+namespace {
+
+void BM_Law8(benchmark::State& state, bool pushed) {
+  size_t star_size = static_cast<size_t>(state.range(0));
+  DataGen gen(21);
+  std::vector<Tuple> star_rows;
+  for (size_t i = 0; i < star_size; ++i) star_rows.push_back({V(static_cast<int64_t>(i))});
+  Relation star(Schema::Parse("z"), star_rows);
+  auto workload = bench::MakeDivisionWorkload(/*groups=*/128, /*domain=*/32,
+                                              /*divisor_size=*/8);
+  Catalog catalog;
+  catalog.Put("star", star);
+  catalog.Put("ss", workload.dividend);
+  catalog.Put("r2", workload.divisor);
+
+  PlanPtr original = LogicalOp::Divide(
+      LogicalOp::Product(LogicalOp::Scan(catalog, "star"), LogicalOp::Scan(catalog, "ss")),
+      LogicalOp::Scan(catalog, "r2"));
+  RewriteEngine engine = RewriteEngine::Default();
+  RewriteContext context{&catalog, false};
+  PlanPtr plan = pushed ? engine.Rewrite(original, context) : original;
+
+  for (auto _ : state) {
+    Relation q = ExecutePlan(plan, catalog);
+    benchmark::DoNotOptimize(q);
+  }
+}
+
+void BM_Law9(benchmark::State& state, bool eliminated) {
+  size_t covered_size = static_cast<size_t>(state.range(0));
+  DataGen gen(22);
+  // r1**(b2) = the covered factor; r2(b1, b2) references it completely.
+  std::vector<Tuple> ss_rows;
+  for (size_t i = 0; i < covered_size; ++i) ss_rows.push_back({V(static_cast<int64_t>(i))});
+  Relation star_star(Schema::Parse("b2"), ss_rows);
+  Relation star = Rename(
+      gen.DividendWithHits(512, 64, gen.Divisor(12, 32), /*domain=*/32, 0.3), {{"b", "b1"}});
+  std::vector<Tuple> divisor_rows;
+  for (int64_t b1 = 0; b1 < 12; ++b1) {
+    divisor_rows.push_back({V(b1), V(static_cast<int64_t>(gen.UniformInt(
+                                       0, static_cast<int64_t>(covered_size) - 1)))});
+  }
+  Relation r2(Schema::Parse("b1, b2"), divisor_rows);
+
+  Catalog catalog;
+  catalog.Put("star", star);
+  catalog.Put("ss", star_star);
+  catalog.Put("r2", r2);
+  catalog.DeclareForeignKey("r2", {"b2"}, "ss");
+
+  PlanPtr original = LogicalOp::Divide(
+      LogicalOp::Product(LogicalOp::Scan(catalog, "star"), LogicalOp::Scan(catalog, "ss")),
+      LogicalOp::Scan(catalog, "r2"));
+  RewriteEngine engine = RewriteEngine::Default();
+  RewriteContext context{&catalog, /*allow_runtime_checks=*/true};
+  PlanPtr plan = eliminated ? engine.Rewrite(original, context) : original;
+
+  for (auto _ : state) {
+    Relation q = ExecutePlan(plan, catalog);
+    benchmark::DoNotOptimize(q);
+  }
+  state.counters["plan_nodes"] = static_cast<double>(plan->TreeSize());
+}
+
+}  // namespace
+}  // namespace quotient
+
+int main(int argc, char** argv) {
+  using namespace quotient;
+  for (bool pushed : {false, true}) {
+    benchmark::RegisterBenchmark(pushed ? "Law8/pushed" : "Law8/original",
+                                 [pushed](benchmark::State& s) { BM_Law8(s, pushed); })
+        ->Arg(4)
+        ->Arg(32)
+        ->Arg(128)
+        ->Unit(benchmark::kMicrosecond);
+  }
+  for (bool eliminated : {false, true}) {
+    benchmark::RegisterBenchmark(eliminated ? "Law9/eliminated" : "Law9/original",
+                                 [eliminated](benchmark::State& s) { BM_Law9(s, eliminated); })
+        ->Arg(4)
+        ->Arg(32)
+        ->Arg(128)
+        ->Unit(benchmark::kMicrosecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Laws 11/12 claim (§5.1.7): when the dividend is freshly grouped (A or B
+// is a key), the division collapses to a single semi-join plus projection —
+// "can improve the query execution time considerably because the small
+// divide operation is replaced by a single join operation and a projection
+// on the join result". The grouping itself is common to both plans, so this
+// bench isolates the stage the law rewrites: division vs. semi-join over the
+// already-grouped dividend r1. Expected shape: the semi-join form wins and
+// the gap grows with the divisor size (Law 11) / FK-divisor size (Law 12).
+
+#include "bench_common.hpp"
+#include "core/laws.hpp"
+
+namespace quotient {
+namespace {
+
+/// Law 11 workload: r1(a, b) with a unique (it came out of aγsum(x)→b).
+Relation GroupedOnA(size_t groups) {
+  DataGen gen(31);
+  std::vector<Tuple> rows;
+  for (size_t g = 0; g < groups; ++g) {
+    rows.push_back({V(static_cast<int64_t>(g)), V(gen.UniformInt(0, 63))});
+  }
+  return Relation(Schema::Parse("a, b"), rows);
+}
+
+void BM_Law11(benchmark::State& state, bool rewritten) {
+  size_t groups = static_cast<size_t>(state.range(0));
+  size_t divisor_size = static_cast<size_t>(state.range(1));
+  Relation r1 = GroupedOnA(groups);
+  std::vector<Tuple> r2_rows;
+  for (size_t v = 0; v < divisor_size; ++v) r2_rows.push_back({V(static_cast<int64_t>(v))});
+  Relation r2(Schema::Parse("b"), r2_rows);
+  for (auto _ : state) {
+    Relation q = rewritten ? laws::Law11Rhs(r1, r2) : laws::Law11Lhs(r1, r2);
+    benchmark::DoNotOptimize(q);
+  }
+}
+
+/// Law 12 workload: r1(a, b) with b unique (from bγsum(x)→a) and an FK
+/// divisor covering a fraction of the groups.
+void BM_Law12(benchmark::State& state, bool rewritten) {
+  size_t groups = static_cast<size_t>(state.range(0));
+  size_t divisor_size = static_cast<size_t>(state.range(1));
+  DataGen gen(32);
+  std::vector<Tuple> r1_rows;
+  for (size_t g = 0; g < groups; ++g) {
+    r1_rows.push_back({V(gen.UniformInt(0, 9)), V(static_cast<int64_t>(g))});
+  }
+  Relation r1(Schema::Parse("a, b"), r1_rows);
+  std::vector<Tuple> r2_rows;
+  for (size_t i = 0; i < divisor_size; ++i) {
+    r2_rows.push_back({V(static_cast<int64_t>(i * (groups / divisor_size)))});
+  }
+  Relation r2(Schema::Parse("b"), r2_rows);
+  for (auto _ : state) {
+    Relation q = rewritten ? laws::Law12Rhs(r1, r2) : laws::Law12Lhs(r1, r2);
+    benchmark::DoNotOptimize(q);
+  }
+}
+
+}  // namespace
+}  // namespace quotient
+
+int main(int argc, char** argv) {
+  using namespace quotient;
+  for (bool rewritten : {false, true}) {
+    benchmark::RegisterBenchmark(rewritten ? "Law11/semijoin" : "Law11/divide",
+                                 [rewritten](benchmark::State& s) { BM_Law11(s, rewritten); })
+        ->ArgsProduct({{4096, 32768}, {1, 64}})
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(rewritten ? "Law12/semijoin" : "Law12/divide",
+                                 [rewritten](benchmark::State& s) { BM_Law12(s, rewritten); })
+        ->ArgsProduct({{4096, 32768}, {64, 2048}})
+        ->Unit(benchmark::kMicrosecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

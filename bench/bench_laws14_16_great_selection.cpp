@@ -1,0 +1,77 @@
+// Laws 14/15/16 claim (§5.2.2): selections commute with ÷* — σp(A) into the
+// dividend, σp(C) into the divisor's groups, σp(B) replicated. Expected
+// shape: each pushdown wins by roughly the selectivity factor, because the
+// great divide then processes a fraction of its input.
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "opt/planner.hpp"
+
+namespace quotient {
+namespace {
+
+PlanPtr BuildGreatDividePlan(const Catalog& catalog) {
+  return LogicalOp::GreatDivide(LogicalOp::Scan(catalog, "r1"),
+                                LogicalOp::Scan(catalog, "r2"));
+}
+
+void Run(benchmark::State& state, const Catalog& catalog, const PlanPtr& plan) {
+  for (auto _ : state) {
+    Relation q = ExecutePlan(plan, catalog);
+    benchmark::DoNotOptimize(q);
+  }
+}
+
+void BM_Law(benchmark::State& state, int law, bool pushed) {
+  auto workload = bench::MakeGreatDivideWorkload(/*groups=*/2048, /*domain=*/48,
+                                                 /*divisor_groups=*/48);
+  Catalog catalog;
+  catalog.Put("r1", workload.dividend);
+  catalog.Put("r2", workload.divisor);
+
+  int64_t cut = state.range(0);
+  PlanPtr original;
+  if (law == 14) {  // σ over A on top of ÷*
+    original = LogicalOp::Select(BuildGreatDividePlan(catalog),
+                                 Expr::ColCmp("a", CmpOp::kLt, V(cut)));
+  } else if (law == 15) {  // σ over C on top of ÷*
+    original = LogicalOp::Select(BuildGreatDividePlan(catalog),
+                                 Expr::ColCmp("c", CmpOp::kLt, V(cut)));
+  } else {  // Law 16: ÷* with a σ(B)-filtered divisor
+    original = LogicalOp::GreatDivide(
+        LogicalOp::Scan(catalog, "r1"),
+        LogicalOp::Select(LogicalOp::Scan(catalog, "r2"),
+                          Expr::ColCmp("b", CmpOp::kLt, V(cut))));
+  }
+  RewriteEngine engine = RewriteEngine::Default();
+  RewriteContext context{&catalog, false};
+  PlanPtr plan = pushed ? engine.Rewrite(original, context) : original;
+  Run(state, catalog, plan);
+}
+
+}  // namespace
+}  // namespace quotient
+
+int main(int argc, char** argv) {
+  using namespace quotient;
+  struct Config {
+    int law;
+    int64_t cuts[2];
+  };
+  for (const Config& config : {Config{14, {64, 1024}}, Config{15, {4, 24}},
+                               Config{16, {8, 32}}}) {
+    for (bool pushed : {false, true}) {
+      std::string name = "Law" + std::to_string(config.law) +
+                         (pushed ? "/pushed" : "/original");
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [config, pushed](benchmark::State& s) { BM_Law(s, config.law, pushed); })
+          ->Arg(config.cuts[0])
+          ->Arg(config.cuts[1])
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

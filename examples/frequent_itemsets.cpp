@@ -1,0 +1,48 @@
+// Section 3 end to end: frequent itemset discovery where the support
+// counting phase is a single great divide over the vertical layout
+// transactions(tid, item) ÷* candidates(item, itemset).
+
+#include <cstdio>
+
+#include "algebra/generator.hpp"
+#include "mining/apriori.hpp"
+
+using namespace quotient;
+
+int main() {
+  DataGen gen(7);
+  Relation transactions = gen.Transactions(/*transactions=*/60, /*items=*/15,
+                                           /*min_size=*/2, /*max_size=*/6);
+  std::printf("synthetic baskets: %zu (tid, item) rows\n\n", transactions.size());
+
+  const int64_t min_support = 10;
+  for (auto method : {mining::SupportCounting::kGreatDivide,
+                      mining::SupportCounting::kHashProbe,
+                      mining::SupportCounting::kSqlDivide}) {
+    mining::Apriori miner(transactions, min_support, method);
+    std::vector<mining::FrequentItemset> result = miner.Run();
+    std::printf("support counting via %-12s -> %zu frequent itemsets\n",
+                mining::SupportCountingName(method), result.size());
+  }
+
+  // Show the actual itemsets once (all methods agree; the tests prove it).
+  mining::Apriori miner(transactions, min_support, mining::SupportCounting::kGreatDivide);
+  std::printf("\nfrequent itemsets (min_support = %lld):\n",
+              static_cast<long long>(min_support));
+  for (const mining::FrequentItemset& itemset : miner.Run()) {
+    std::printf("  {");
+    for (size_t i = 0; i < itemset.items.size(); ++i) {
+      std::printf("%s%lld", i > 0 ? ", " : "", static_cast<long long>(itemset.items[i]));
+    }
+    std::printf("}  support=%lld\n", static_cast<long long>(itemset.support));
+  }
+
+  // The paper's point (§3): one great divide can test candidates of MIXED
+  // sizes against all transactions at once.
+  std::vector<std::vector<int64_t>> mixed = {{0}, {0, 1}, {0, 1, 2}};
+  std::vector<int64_t> support = miner.CountSupport(mixed);
+  std::printf("\nmixed-size candidates in ONE divide: {0}:%lld {0,1}:%lld {0,1,2}:%lld\n",
+              static_cast<long long>(support[0]), static_cast<long long>(support[1]),
+              static_cast<long long>(support[2]));
+  return 0;
+}

@@ -1,0 +1,253 @@
+#include "algebra/divide.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/status.hpp"
+
+namespace quotient {
+
+namespace {
+
+std::vector<size_t> IndicesOf(const Schema& schema, const std::vector<std::string>& names) {
+  std::vector<size_t> indices;
+  indices.reserve(names.size());
+  for (const std::string& name : names) indices.push_back(schema.IndexOfOrThrow(name));
+  return indices;
+}
+
+}  // namespace
+
+DivisionAttributes DivisionAttributeSets(const Schema& dividend, const Schema& divisor,
+                                         bool allow_c) {
+  DivisionAttributes out;
+  out.b = dividend.CommonNames(divisor);
+  out.a = dividend.NamesMinus(divisor);
+  out.c = divisor.NamesMinus(dividend);
+  if (out.b.empty()) {
+    throw SchemaError("division requires a nonempty set B of shared attributes; dividend " +
+                      dividend.ToString() + ", divisor " + divisor.ToString());
+  }
+  if (out.a.empty()) {
+    throw SchemaError("division requires nonempty quotient attributes A; dividend " +
+                      dividend.ToString() + ", divisor " + divisor.ToString());
+  }
+  if (!allow_c && !out.c.empty()) {
+    throw SchemaError("small divide requires divisor attributes ⊆ dividend attributes; " +
+                      divisor.ToString() + " has extra attributes");
+  }
+  for (const std::string& name : out.b) {
+    ValueType t1 = dividend.attribute(dividend.IndexOfOrThrow(name)).type;
+    ValueType t2 = divisor.attribute(divisor.IndexOfOrThrow(name)).type;
+    if (t1 != t2) {
+      throw SchemaError("division attribute '" + name + "' has mismatched types " +
+                        ValueTypeName(t1) + " vs " + ValueTypeName(t2));
+    }
+  }
+  return out;
+}
+
+Relation DivideCodd(const Relation& r1, const Relation& r2) {
+  DivisionAttributes attrs = DivisionAttributeSets(r1.schema(), r2.schema(), /*allow_c=*/false);
+  std::vector<size_t> a_idx = IndicesOf(r1.schema(), attrs.a);
+  std::vector<size_t> b_idx = IndicesOf(r1.schema(), attrs.b);
+  std::vector<size_t> divisor_idx = IndicesOf(r2.schema(), attrs.b);
+
+  // Group the dividend by A, collecting each group's image set over B.
+  std::unordered_map<Tuple, std::unordered_set<Tuple, TupleHash, TupleEq>, TupleHash, TupleEq>
+      images;
+  for (const Tuple& t : r1.tuples()) {
+    images[ProjectTuple(t, a_idx)].insert(ProjectTuple(t, b_idx));
+  }
+
+  std::vector<Tuple> divisor;
+  divisor.reserve(r2.size());
+  for (const Tuple& t : r2.tuples()) divisor.push_back(ProjectTuple(t, divisor_idx));
+
+  std::vector<Tuple> quotient;
+  for (const auto& [a, image] : images) {
+    bool contains_all = true;
+    for (const Tuple& d : divisor) {
+      if (!image.count(d)) {
+        contains_all = false;
+        break;
+      }
+    }
+    if (contains_all) quotient.push_back(a);
+  }
+  return Relation(r1.schema().Project(attrs.a), std::move(quotient));
+}
+
+Relation DivideHealy(const Relation& r1, const Relation& r2) {
+  DivisionAttributes attrs = DivisionAttributeSets(r1.schema(), r2.schema(), /*allow_c=*/false);
+  Relation pa = Project(r1, attrs.a);
+  // πA(r1) − πA((πA(r1) × r2) − r1)
+  return Difference(pa, Project(Difference(Product(pa, r2), r1), attrs.a));
+}
+
+Relation DivideMaier(const Relation& r1, const Relation& r2) {
+  DivisionAttributes attrs = DivisionAttributeSets(r1.schema(), r2.schema(), /*allow_c=*/false);
+  Relation result = Project(r1, attrs.a);  // empty intersection = πA(r1)
+  std::vector<size_t> divisor_idx = IndicesOf(r2.schema(), attrs.b);
+  for (const Tuple& t : r2.tuples()) {
+    // σB=t(r1) then πA.
+    std::vector<ExprPtr> conjuncts;
+    for (size_t i = 0; i < attrs.b.size(); ++i) {
+      conjuncts.push_back(Expr::ColCmp(attrs.b[i], CmpOp::kEq, t[divisor_idx[i]]));
+    }
+    result = Intersect(result, Project(Select(r1, Expr::AndAll(conjuncts)), attrs.a));
+  }
+  return result;
+}
+
+Relation DivideCounting(const Relation& r1, const Relation& r2) {
+  DivisionAttributes attrs = DivisionAttributeSets(r1.schema(), r2.schema(), /*allow_c=*/false);
+  // The literal counting formula of footnote 1 yields ∅ for an empty divisor;
+  // we guard that case so all divide implementations agree with Codd's
+  // semantics (r1 ÷ ∅ = πA(r1)).
+  if (r2.empty()) return Project(r1, attrs.a);
+  // Count distinct B per quotient candidate among tuples that match some
+  // divisor tuple, and compare against |r2| (distinct over B). Relations are
+  // sets, so plain counts are distinct counts.
+  Relation matched = SemiJoin(r1, r2);
+  Relation per_group = GroupBy(matched, attrs.a, {{AggFunc::kCount, attrs.b[0], "c$"}});
+  Relation selected = Select(
+      per_group, Expr::ColCmp("c$", CmpOp::kEq, Value::Int(static_cast<int64_t>(r2.size()))));
+  return Project(selected, attrs.a);
+}
+
+Relation GreatDivideSCD(const Relation& r1, const Relation& r2) {
+  DivisionAttributes attrs = DivisionAttributeSets(r1.schema(), r2.schema(), /*allow_c=*/true);
+  if (attrs.c.empty()) return DivideCodd(r1, r2);  // degenerates (Darwen/Date)
+
+  std::vector<size_t> c_idx = IndicesOf(r2.schema(), attrs.c);
+  Schema b_schema = r2.schema().Project(attrs.b);
+  std::vector<size_t> b_idx = IndicesOf(r2.schema(), attrs.b);
+
+  // Partition the divisor into groups by C.
+  std::map<Tuple, std::vector<Tuple>, TupleLess> groups;
+  for (const Tuple& t : r2.tuples()) {
+    groups[ProjectTuple(t, c_idx)].push_back(ProjectTuple(t, b_idx));
+  }
+
+  Schema out_schema = r1.schema().Project(attrs.a).Concat(r2.schema().Project(attrs.c));
+  std::vector<Tuple> tuples;
+  for (const auto& [c_value, b_tuples] : groups) {
+    Relation divisor_group(b_schema, b_tuples);
+    Relation quotient = DivideCodd(r1, divisor_group);
+    for (const Tuple& q : quotient.tuples()) tuples.push_back(ConcatTuples(q, c_value));
+  }
+  return Relation(std::move(out_schema), std::move(tuples));
+}
+
+Relation GreatDivideDemolombe(const Relation& r1, const Relation& r2) {
+  DivisionAttributes attrs = DivisionAttributeSets(r1.schema(), r2.schema(), /*allow_c=*/true);
+  if (attrs.c.empty()) return DivideHealy(r1, r2);
+  Relation pa = Project(r1, attrs.a);
+  Relation pc = Project(r2, attrs.c);
+  Relation candidates = Product(pa, pc);
+  std::vector<std::string> ac = attrs.a;
+  ac.insert(ac.end(), attrs.c.begin(), attrs.c.end());
+  // (πA(r1) × r2) − (r1 × πC(r2)), both with attribute set A ∪ B ∪ C.
+  Relation violations = Difference(Product(pa, r2), Product(r1, pc));
+  return Difference(candidates, Project(violations, ac));
+}
+
+Relation GreatDivideTodd(const Relation& r1, const Relation& r2) {
+  DivisionAttributes attrs = DivisionAttributeSets(r1.schema(), r2.schema(), /*allow_c=*/true);
+  if (attrs.c.empty()) return DivideHealy(r1, r2);
+  Relation pa = Project(r1, attrs.a);
+  Relation pc = Project(r2, attrs.c);
+  Relation candidates = Product(pa, pc);
+  std::vector<std::string> ac = attrs.a;
+  ac.insert(ac.end(), attrs.c.begin(), attrs.c.end());
+  // (πA(r1) × r2) − (r1 ⋈ r2), the join being the natural join on B.
+  Relation violations = Difference(Product(pa, r2), NaturalJoin(r1, r2));
+  return Difference(candidates, Project(violations, ac));
+}
+
+Relation SetContainmentJoin(const Relation& r1, const std::string& b1, const Relation& r2,
+                            const std::string& b2) {
+  size_t i1 = r1.schema().IndexOfOrThrow(b1);
+  size_t i2 = r2.schema().IndexOfOrThrow(b2);
+  if (r1.schema().attribute(i1).type != ValueType::kSet ||
+      r2.schema().attribute(i2).type != ValueType::kSet) {
+    throw SchemaError("set containment join requires set-valued attributes");
+  }
+  Schema schema = r1.schema().Concat(r2.schema());
+  std::vector<Tuple> tuples;
+  for (const Tuple& t1 : r1.tuples()) {
+    const std::vector<Value>& s1 = t1[i1].as_set();
+    for (const Tuple& t2 : r2.tuples()) {
+      const std::vector<Value>& s2 = t2[i2].as_set();
+      // s1 ⊇ s2; both are sorted and deduplicated by construction.
+      if (std::includes(s1.begin(), s1.end(), s2.begin(), s2.end())) {
+        tuples.push_back(ConcatTuples(t1, t2));
+      }
+    }
+  }
+  return Relation(std::move(schema), std::move(tuples));
+}
+
+Relation Nest(const Relation& r, const std::string& attr, const std::string& out_name) {
+  size_t nest_idx = r.schema().IndexOfOrThrow(attr);
+  std::vector<std::string> rest;
+  std::vector<size_t> rest_idx;
+  for (size_t i = 0; i < r.schema().size(); ++i) {
+    if (i != nest_idx) {
+      rest.push_back(r.schema().attribute(i).name);
+      rest_idx.push_back(i);
+    }
+  }
+  std::map<Tuple, std::vector<Value>, TupleLess> groups;
+  for (const Tuple& t : r.tuples()) {
+    groups[ProjectTuple(t, rest_idx)].push_back(t[nest_idx]);
+  }
+  std::vector<Attribute> attributes;
+  for (size_t i : rest_idx) attributes.push_back(r.schema().attribute(i));
+  attributes.push_back({out_name, ValueType::kSet});
+  std::vector<Tuple> tuples;
+  for (auto& [key, values] : groups) {
+    Tuple t = key;
+    t.push_back(Value::SetOf(std::move(values)));
+    tuples.push_back(std::move(t));
+  }
+  return Relation(Schema(std::move(attributes)), std::move(tuples));
+}
+
+Relation Unnest(const Relation& r, const std::string& attr, const std::string& out_name) {
+  size_t set_idx = r.schema().IndexOfOrThrow(attr);
+  if (r.schema().attribute(set_idx).type != ValueType::kSet) {
+    throw SchemaError("Unnest requires a set-valued attribute");
+  }
+  std::vector<Attribute> attributes;
+  std::vector<size_t> rest_idx;
+  for (size_t i = 0; i < r.schema().size(); ++i) {
+    if (i != set_idx) {
+      attributes.push_back(r.schema().attribute(i));
+      rest_idx.push_back(i);
+    }
+  }
+  // The element type is inferred from the data; default int for all-empty.
+  ValueType element_type = ValueType::kInt;
+  for (const Tuple& t : r.tuples()) {
+    if (!t[set_idx].as_set().empty()) {
+      element_type = t[set_idx].as_set().front().type();
+      break;
+    }
+  }
+  attributes.push_back({out_name, element_type});
+  std::vector<Tuple> tuples;
+  for (const Tuple& t : r.tuples()) {
+    for (const Value& element : t[set_idx].as_set()) {
+      Tuple row = ProjectTuple(t, rest_idx);
+      row.push_back(element);
+      tuples.push_back(std::move(row));
+    }
+  }
+  return Relation(Schema(std::move(attributes)), std::move(tuples));
+}
+
+}  // namespace quotient

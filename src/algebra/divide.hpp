@@ -1,0 +1,81 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "algebra/ops.hpp"
+#include "algebra/relation.hpp"
+
+namespace quotient {
+
+/// The attribute partition induced by a division (Section 2):
+///   A — quotient attributes (dividend only)
+///   B — "join" attributes (in both dividend and divisor)
+///   C — divisor group attributes (divisor only; empty for small divide)
+struct DivisionAttributes {
+  std::vector<std::string> a;
+  std::vector<std::string> b;
+  std::vector<std::string> c;
+};
+
+/// Derives (A, B, C) from the dividend/divisor schemas and validates the
+/// paper's schema requirements: B nonempty, A nonempty, matching types.
+/// For the small divide, additionally requires C = ∅.
+DivisionAttributes DivisionAttributeSets(const Schema& dividend, const Schema& divisor,
+                                         bool allow_c);
+
+/// Small divide r1 ÷ r2 per Definition 1 (Codd): quotient candidates whose
+/// image set under r1 contains r2. This is the canonical implementation.
+///
+/// Edge case (all definitions agree): r1 ÷ ∅ = πA(r1), because universal
+/// quantification over the empty divisor is vacuously true.
+Relation DivideCodd(const Relation& r1, const Relation& r2);
+
+/// Small divide per Definition 2 (Healy):
+///   πA(r1) − πA((πA(r1) × r2) − r1)
+Relation DivideHealy(const Relation& r1, const Relation& r2);
+
+/// Small divide per Definition 3 (Maier): ∩_{t∈r2} πA(σB=t(r1)); the empty
+/// intersection (r2 = ∅) is πA(r1).
+Relation DivideMaier(const Relation& r1, const Relation& r2);
+
+/// Small divide via the counting approach of Graefe/Cole [16] (footnote 1):
+///   πA( γ[A]count(B)→c(r1 ⋉ r2) ⋈ γcount(B)→c(r2) )
+Relation DivideCounting(const Relation& r1, const Relation& r2);
+
+/// The canonical small divide (Codd's definition).
+inline Relation Divide(const Relation& r1, const Relation& r2) { return DivideCodd(r1, r2); }
+
+/// Great divide per Definition 4 (set containment division, ÷*1):
+///   ∪_{t∈πC(r2)} (r1 ÷ πB(σC=t(r2))) × (t)
+/// Degenerates to the small divide when C = ∅ (Darwen/Date, §2.2).
+Relation GreatDivideSCD(const Relation& r1, const Relation& r2);
+
+/// Great divide per Definition 5 (Demolombe's generalized division, ÷*2):
+///   (πA(r1) × πC(r2)) − πA∪C((πA(r1) × r2) − (r1 × πC(r2)))
+Relation GreatDivideDemolombe(const Relation& r1, const Relation& r2);
+
+/// Great divide per Definition 6 (Todd's great divide, ÷*3):
+///   (πA(r1) × πC(r2)) − πA∪C((πA(r1) × r2) − (r1 ⋈ r2))
+Relation GreatDivideTodd(const Relation& r1, const Relation& r2);
+
+/// The canonical great divide (set containment division).
+inline Relation GreatDivide(const Relation& r1, const Relation& r2) {
+  return GreatDivideSCD(r1, r2);
+}
+
+/// Set containment join r1 ⋈_{b1⊇b2} r2 (Section 2.2, Figure 3): r1 and r2
+/// have set-valued attributes `b1` / `b2`; emits t1 ◦ t2 whenever t1.b1 is a
+/// superset of t2.b2. Attribute names of r1 and r2 must be disjoint.
+Relation SetContainmentJoin(const Relation& r1, const std::string& b1, const Relation& r2,
+                            const std::string& b2);
+
+/// Nests attribute `attr` into a set-valued attribute `out_name`, grouping
+/// by all other attributes: the 1NF → NF² conversion between Figures 2/3.
+Relation Nest(const Relation& r, const std::string& attr, const std::string& out_name);
+
+/// Unnests the set-valued attribute `attr` into one row per element, named
+/// `out_name`; the NF² → 1NF conversion. Tuples with empty sets vanish.
+Relation Unnest(const Relation& r, const std::string& attr, const std::string& out_name);
+
+}  // namespace quotient

@@ -1,0 +1,158 @@
+#include "algebra/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/status.hpp"
+
+namespace quotient {
+
+int64_t DataGen::UniformInt(int64_t lo, int64_t hi) {
+  return std::uniform_int_distribution<int64_t>(lo, hi)(rng_);
+}
+
+bool DataGen::Chance(double p) { return std::uniform_real_distribution<double>(0, 1)(rng_) < p; }
+
+Relation DataGen::RandomRelation(const Schema& schema, size_t max_tuples, int64_t domain) {
+  std::vector<Tuple> tuples;
+  size_t n = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(max_tuples)));
+  tuples.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Tuple t;
+    t.reserve(schema.size());
+    for (size_t j = 0; j < schema.size(); ++j) t.push_back(Value::Int(UniformInt(0, domain - 1)));
+    tuples.push_back(std::move(t));
+  }
+  return Relation(schema, std::move(tuples));
+}
+
+Relation DataGen::Dividend(size_t groups, int64_t domain, double density) {
+  return DividendWide(groups, 1, 1, domain, density);
+}
+
+Relation DataGen::DividendWide(size_t groups, size_t num_a, size_t num_b, int64_t domain,
+                               double density) {
+  std::vector<Attribute> attributes;
+  for (size_t i = 0; i < num_a; ++i) attributes.push_back({"a" + std::to_string(i + 1)});
+  for (size_t i = 0; i < num_b; ++i) attributes.push_back({"b" + std::to_string(i + 1)});
+  if (num_a == 1) attributes[0].name = "a";
+  if (num_b == 1) attributes[num_a].name = "b";
+
+  std::vector<Tuple> tuples;
+  for (size_t g = 0; g < groups; ++g) {
+    Tuple a_part;
+    a_part.push_back(Value::Int(static_cast<int64_t>(g)));
+    for (size_t i = 1; i < num_a; ++i) a_part.push_back(Value::Int(UniformInt(0, domain - 1)));
+    for (int64_t v = 0; v < domain; ++v) {
+      if (!Chance(density)) continue;
+      Tuple t = a_part;
+      t.push_back(Value::Int(v));
+      for (size_t i = 1; i < num_b; ++i) t.push_back(Value::Int(UniformInt(0, domain - 1)));
+      tuples.push_back(std::move(t));
+    }
+  }
+  return Relation(Schema(std::move(attributes)), std::move(tuples));
+}
+
+Relation DataGen::Divisor(size_t size, int64_t domain) {
+  std::unordered_set<int64_t> chosen;
+  while (chosen.size() < size && chosen.size() < static_cast<size_t>(domain)) {
+    chosen.insert(UniformInt(0, domain - 1));
+  }
+  std::vector<Tuple> tuples;
+  for (int64_t v : chosen) tuples.push_back({Value::Int(v)});
+  return Relation(Schema::Parse("b"), std::move(tuples));
+}
+
+Relation DataGen::GreatDivisor(size_t groups, int64_t domain, double density) {
+  std::vector<Tuple> tuples;
+  for (size_t g = 0; g < groups; ++g) {
+    bool any = false;
+    for (int64_t v = 0; v < domain; ++v) {
+      if (Chance(density)) {
+        tuples.push_back({Value::Int(v), Value::Int(static_cast<int64_t>(g))});
+        any = true;
+      }
+    }
+    if (!any) {
+      // Keep every C-group nonempty so group counts are exact in benches.
+      tuples.push_back({Value::Int(UniformInt(0, domain - 1)), Value::Int(static_cast<int64_t>(g))});
+    }
+  }
+  return Relation(Schema::Parse("b, c"), std::move(tuples));
+}
+
+Relation DataGen::DividendWithHits(size_t groups, size_t hit_groups, const Relation& divisor,
+                                   int64_t domain, double density) {
+  if (divisor.schema().size() != 1) {
+    throw SchemaError("DividendWithHits expects a single-attribute divisor");
+  }
+  std::vector<Tuple> tuples;
+  for (size_t g = 0; g < groups; ++g) {
+    Value a = Value::Int(static_cast<int64_t>(g));
+    if (g < hit_groups) {
+      for (const Tuple& d : divisor.tuples()) tuples.push_back({a, d[0]});
+    }
+    for (int64_t v = 0; v < domain; ++v) {
+      if (Chance(density)) tuples.push_back({a, Value::Int(v)});
+    }
+  }
+  return Relation(Schema::Parse("a, b"), std::move(tuples));
+}
+
+Relation DataGen::Transactions(size_t transactions, int64_t items, size_t min_size,
+                               size_t max_size) {
+  std::vector<Tuple> tuples;
+  // Zipf-ish skew: item popularity weight ~ 1/(rank+1).
+  std::vector<double> weights(static_cast<size_t>(items));
+  for (size_t i = 0; i < weights.size(); ++i) weights[i] = 1.0 / static_cast<double>(i + 1);
+  std::discrete_distribution<int64_t> pick(weights.begin(), weights.end());
+  for (size_t tid = 0; tid < transactions; ++tid) {
+    size_t size = static_cast<size_t>(UniformInt(static_cast<int64_t>(min_size),
+                                                 static_cast<int64_t>(max_size)));
+    std::unordered_set<int64_t> basket;
+    while (basket.size() < size) basket.insert(pick(rng_));
+    for (int64_t item : basket) {
+      tuples.push_back({Value::Int(static_cast<int64_t>(tid)), Value::Int(item)});
+    }
+  }
+  return Relation(Schema::Parse("tid, item"), std::move(tuples));
+}
+
+std::vector<Relation> SplitHorizontal(const Relation& r, size_t parts) {
+  std::vector<std::vector<Tuple>> buckets(parts);
+  size_t i = 0;
+  for (const Tuple& t : r.tuples()) buckets[i++ % parts].push_back(t);
+  std::vector<Relation> out;
+  out.reserve(parts);
+  for (auto& bucket : buckets) out.emplace_back(r.schema(), std::move(bucket));
+  return out;
+}
+
+std::vector<Relation> SplitByAttributeRange(const Relation& r, const std::string& attr,
+                                            size_t parts) {
+  size_t idx = r.schema().IndexOfOrThrow(attr);
+  std::vector<Value> keys;
+  keys.reserve(r.size());
+  for (const Tuple& t : r.tuples()) keys.push_back(t[idx]);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  std::vector<std::vector<Tuple>> buckets(parts);
+  if (!keys.empty()) {
+    for (const Tuple& t : r.tuples()) {
+      size_t rank = static_cast<size_t>(
+          std::lower_bound(keys.begin(), keys.end(), t[idx]) - keys.begin());
+      size_t bucket = rank * parts / keys.size();
+      if (bucket >= parts) bucket = parts - 1;
+      buckets[bucket].push_back(t);
+    }
+  }
+  std::vector<Relation> out;
+  out.reserve(parts);
+  for (auto& bucket : buckets) out.emplace_back(r.schema(), std::move(bucket));
+  return out;
+}
+
+}  // namespace quotient

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "algebra/relation.hpp"
+
+namespace quotient {
+
+/// Deterministic synthetic-data generators shared by the property tests and
+/// the benchmark workloads. All generators take an explicit RNG so sweeps
+/// are reproducible.
+class DataGen {
+ public:
+  explicit DataGen(uint64_t seed) : rng_(seed) {}
+
+  std::mt19937_64& rng() { return rng_; }
+
+  /// Uniform integer in [lo, hi].
+  int64_t UniformInt(int64_t lo, int64_t hi);
+  /// Bernoulli with probability p.
+  bool Chance(double p);
+
+  /// A random relation over `schema` (int attributes only) with up to
+  /// `max_tuples` tuples whose values are drawn from [0, domain).
+  Relation RandomRelation(const Schema& schema, size_t max_tuples, int64_t domain);
+
+  /// A dividend r1(a, b): `groups` quotient candidates; group i contains a
+  /// random subset of [0, domain) of expected size `density * domain`.
+  Relation Dividend(size_t groups, int64_t domain, double density);
+
+  /// A dividend with several quotient attributes / several divisor
+  /// attributes: schema (a1..a_na, b1..b_nb), `groups` A-combinations.
+  Relation DividendWide(size_t groups, size_t num_a, size_t num_b, int64_t domain,
+                        double density);
+
+  /// A divisor r2(b): a random subset of [0, domain) of size `size`.
+  Relation Divisor(size_t size, int64_t domain);
+
+  /// A great-divide divisor r2(b, c): `groups` C-groups, each a random
+  /// B-subset of [0, domain) of expected size `density * domain`.
+  Relation GreatDivisor(size_t groups, int64_t domain, double density);
+
+  /// A dividend guaranteed to contain some quotients for `divisor`: for
+  /// `hit_groups` of the `groups` candidates the full divisor image is
+  /// inserted, the rest get random subsets.
+  Relation DividendWithHits(size_t groups, size_t hit_groups, const Relation& divisor,
+                            int64_t domain, double density);
+
+  /// Market-basket style transactions table (tid, item): `transactions`
+  /// baskets over `items` distinct items; basket sizes are uniform in
+  /// [min_size, max_size]; item popularity is skewed (Zipf-ish) so some
+  /// itemsets are frequent — the §3 workload.
+  Relation Transactions(size_t transactions, int64_t items, size_t min_size, size_t max_size);
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+/// Splits `r` into `parts` horizontal partitions round-robin (overlap-free;
+/// projections of a key attribute may still overlap).
+std::vector<Relation> SplitHorizontal(const Relation& r, size_t parts);
+
+/// Splits a dividend r(a,...) into `parts` partitions by ranges of the
+/// attribute `attr`, so that the πA projections are disjoint — this is
+/// exactly condition c2 of Law 2.
+std::vector<Relation> SplitByAttributeRange(const Relation& r, const std::string& attr,
+                                            size_t parts);
+
+}  // namespace quotient

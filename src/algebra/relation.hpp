@@ -1,0 +1,71 @@
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algebra/schema.hpp"
+#include "algebra/tuple.hpp"
+
+namespace quotient {
+
+/// A relation with set semantics (Appendix A): a schema plus a canonically
+/// sorted, duplicate-free vector of tuples. Canonical storage makes relation
+/// equality structural equality, which the law checkers rely on.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+  /// Canonicalizes (sorts, deduplicates) and type-checks `tuples`.
+  Relation(Schema schema, std::vector<Tuple> tuples);
+
+  /// Builds a relation from a schema spec (see Schema::Parse) and rows, e.g.
+  ///   Relation::FromRows("a, b", {{V(1), V(1)}, {V(1), V(4)}});
+  static Relation FromRows(std::string_view schema_spec,
+                           std::initializer_list<std::initializer_list<Value>> rows);
+  static Relation FromRows(Schema schema, std::vector<Tuple> rows);
+
+  /// Parses a compact textual form used heavily in tests: rows separated by
+  /// ';', values by ','. Integer literals become Int, literals with '.' or
+  /// 'e' become Real, everything else String (must match the schema types).
+  ///   Relation::Parse("a, b", "1,1; 1,4; 2,1")
+  static Relation Parse(std::string_view schema_spec, std::string_view rows);
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Membership test by binary search.
+  bool Contains(const Tuple& tuple) const;
+
+  /// Sorted insert; no-op if the tuple is already present.
+  void Insert(Tuple tuple);
+
+  /// True iff this relation is a subset of `other` (schemas must have the
+  /// same attribute set; `other` is reordered if needed).
+  bool SubsetOf(const Relation& other) const;
+
+  /// The same relation with attributes reordered to `names` order.
+  Relation Reorder(const std::vector<std::string>& names) const;
+
+  /// Structural equality modulo attribute order: schemas must have the same
+  /// attribute set and the tuple sets must match after reordering.
+  bool operator==(const Relation& other) const;
+  bool operator!=(const Relation& other) const { return !(*this == other); }
+
+  /// Paper-style rendering:
+  ///   a b
+  ///   1 1
+  ///   1 4
+  std::string ToString() const;
+
+ private:
+  void CheckTuple(const Tuple& tuple) const;
+
+  Schema schema_;
+  std::vector<Tuple> tuples_;  // sorted by TupleLess, unique
+};
+
+}  // namespace quotient

@@ -1,0 +1,40 @@
+#include "algebra/tuple.hpp"
+
+#include <algorithm>
+
+namespace quotient {
+
+int CompareTuples(const Tuple& a, const Tuple& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  return 0;
+}
+
+size_t TupleHash::operator()(const Tuple& t) const {
+  size_t h = 0x51ab2e;
+  for (const Value& v : t) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+Tuple ProjectTuple(const Tuple& tuple, const std::vector<size_t>& indices) {
+  Tuple out;
+  out.reserve(indices.size());
+  for (size_t i : indices) out.push_back(tuple[i]);
+  return out;
+}
+
+Tuple ConcatTuples(const Tuple& a, const Tuple& b) {
+  Tuple out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+}  // namespace quotient

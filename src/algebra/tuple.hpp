@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "algebra/value.hpp"
+
+namespace quotient {
+
+/// A tuple is simply a vector of values; its meaning comes from the Schema of
+/// the relation holding it.
+using Tuple = std::vector<Value>;
+
+/// Lexicographic three-way comparison.
+int CompareTuples(const Tuple& a, const Tuple& b);
+
+/// Lexicographic less-than, for sorted storage.
+struct TupleLess {
+  bool operator()(const Tuple& a, const Tuple& b) const { return CompareTuples(a, b) < 0; }
+};
+
+/// Hash/equality functors for unordered containers keyed by tuples.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const;
+};
+struct TupleEq {
+  bool operator()(const Tuple& a, const Tuple& b) const { return CompareTuples(a, b) == 0; }
+};
+
+/// The tuple restricted to positions `indices`, in that order.
+Tuple ProjectTuple(const Tuple& tuple, const std::vector<size_t>& indices);
+
+/// Concatenation a ◦ b (Appendix A, Cartesian product).
+Tuple ConcatTuples(const Tuple& a, const Tuple& b);
+
+}  // namespace quotient

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace quotient {
+
+class Value;
+
+/// The type of a value / attribute.
+///
+/// kSet exists for the set containment join of Section 2.2 (Figure 3), whose
+/// inputs are not in first normal form: an attribute value may itself be a
+/// set of values.
+enum class ValueType { kNull, kInt, kReal, kString, kSet };
+
+/// Human-readable type name ("int", "real", "string", "set", "null").
+const char* ValueTypeName(ValueType type);
+
+/// A single attribute value with set semantics: Values are totally ordered
+/// and hashable so relations can be stored canonically sorted.
+///
+/// Ordering across numeric types compares by numeric value first (so that
+/// Int(2) < Real(2.5)), breaking exact numeric ties by type tag; all other
+/// cross-type comparisons order by type tag. Equality is strict: Int(2) and
+/// Real(2.0) are distinct values (they never collide in a relation), but
+/// predicate comparisons (Expr) compare numerically.
+class Value {
+ public:
+  /// Null value (used only by the outer join's padding, Appendix A).
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Real(double v) { return Value(Rep(v)); }
+  static Value Str(std::string v) { return Value(Rep(std::move(v))); }
+  /// Builds a set value; elements are sorted and deduplicated.
+  static Value SetOf(std::vector<Value> elements);
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  int64_t as_int() const { return std::get<int64_t>(rep_); }
+  double as_real() const { return std::get<double>(rep_); }
+  const std::string& as_str() const { return std::get<std::string>(rep_); }
+  const std::vector<Value>& as_set() const { return *std::get<SetRep>(rep_); }
+
+  /// Numeric view: as_int or as_real widened to double. Throws SchemaError
+  /// for non-numeric values.
+  double Numeric() const;
+
+  /// Three-way comparison implementing the total order described above.
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Hash consistent with operator==.
+  size_t Hash() const;
+
+  /// Rendering used by the paper-style table printer: ints/reals plainly,
+  /// strings verbatim, sets as "{e1, e2, ...}", null as "NULL".
+  std::string ToString() const;
+
+ private:
+  using SetRep = std::shared_ptr<const std::vector<Value>>;
+  using Rep = std::variant<std::monostate, int64_t, double, std::string, SetRep>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+  Rep rep_;
+};
+
+/// Hash functor for unordered containers of Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// Shorthand literal constructors used pervasively by tests and examples.
+inline Value V(int v) { return Value::Int(v); }
+inline Value V(int64_t v) { return Value::Int(v); }
+inline Value V(double v) { return Value::Real(v); }
+inline Value V(const char* v) { return Value::Str(v); }
+inline Value V(std::string v) { return Value::Str(std::move(v)); }
+
+}  // namespace quotient

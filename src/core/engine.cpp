@@ -1,0 +1,51 @@
+#include "core/engine.hpp"
+
+namespace quotient {
+
+RewriteEngine RewriteEngine::Default() { return RewriteEngine(DefaultRuleSet()); }
+
+PlanPtr RewriteEngine::TryNode(const PlanPtr& node, const RewriteContext& context,
+                               RewriteStep* step) const {
+  for (const RulePtr& rule : rules_) {
+    PlanPtr replacement = rule->Apply(node, context);
+    if (replacement != nullptr) {
+      if (step != nullptr) {
+        step->rule = rule->name();
+        step->before = node->ToString();
+        step->after = replacement->ToString();
+      }
+      return replacement;
+    }
+  }
+  // No rule fired here; recurse into children (pre-order).
+  const std::vector<PlanPtr>& children = node->children();
+  for (size_t i = 0; i < children.size(); ++i) {
+    PlanPtr rewritten = TryNode(children[i], context, step);
+    if (rewritten != nullptr) {
+      std::vector<PlanPtr> new_children = children;
+      new_children[i] = std::move(rewritten);
+      return node->WithChildren(std::move(new_children));
+    }
+  }
+  return nullptr;
+}
+
+PlanPtr RewriteEngine::RewriteOnce(const PlanPtr& plan, const RewriteContext& context,
+                                   RewriteStep* step) const {
+  return TryNode(plan, context, step);
+}
+
+PlanPtr RewriteEngine::Rewrite(const PlanPtr& plan, const RewriteContext& context,
+                               std::vector<RewriteStep>* trace, size_t max_steps) const {
+  PlanPtr current = plan;
+  for (size_t i = 0; i < max_steps; ++i) {
+    RewriteStep step;
+    PlanPtr next = RewriteOnce(current, context, trace != nullptr ? &step : nullptr);
+    if (next == nullptr) break;
+    if (trace != nullptr) trace->push_back(std::move(step));
+    current = std::move(next);
+  }
+  return current;
+}
+
+}  // namespace quotient

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rules.hpp"
+
+namespace quotient {
+
+/// One applied rewrite, for EXPLAIN-style traces.
+struct RewriteStep {
+  std::string rule;
+  std::string before;  // rendering of the rewritten subtree
+  std::string after;
+};
+
+/// A rule-based rewriting driver in the spirit of Starburst/Cascades rule
+/// engines (§1.1): applies its rules to a plan top-down until no rule fires
+/// or the step budget is exhausted.
+class RewriteEngine {
+ public:
+  RewriteEngine() = default;
+  explicit RewriteEngine(std::vector<RulePtr> rules) : rules_(std::move(rules)) {}
+
+  /// Engine loaded with DefaultRuleSet().
+  static RewriteEngine Default();
+
+  void Add(RulePtr rule) { rules_.push_back(std::move(rule)); }
+  size_t rule_count() const { return rules_.size(); }
+
+  /// Applies the first matching rule at the topmost matching node (pre-order
+  /// walk). Returns nullptr when nothing fires.
+  PlanPtr RewriteOnce(const PlanPtr& plan, const RewriteContext& context,
+                      RewriteStep* step = nullptr) const;
+
+  /// Applies rules to a fixpoint (bounded by `max_steps`); records each
+  /// applied rewrite in `trace` when provided.
+  PlanPtr Rewrite(const PlanPtr& plan, const RewriteContext& context,
+                  std::vector<RewriteStep>* trace = nullptr, size_t max_steps = 64) const;
+
+ private:
+  PlanPtr TryNode(const PlanPtr& node, const RewriteContext& context,
+                  RewriteStep* step) const;
+
+  std::vector<RulePtr> rules_;
+};
+
+}  // namespace quotient

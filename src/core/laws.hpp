@@ -1,0 +1,188 @@
+#pragma once
+
+#include "algebra/divide.hpp"
+#include "algebra/ops.hpp"
+#include "algebra/relation.hpp"
+
+namespace quotient {
+namespace laws {
+
+/// Relation-level forms of the paper's algebraic laws (Section 5). Each law
+/// is exposed as an Lhs/Rhs pair computed with the reference algebra, so a
+/// law holds on concrete inputs iff LawNLhs(...) == LawNRhs(...). The
+/// property-test suite sweeps these over randomized relations; the plan
+/// rewrite rules in core/rules.hpp implement the same equivalences on plan
+/// trees.
+///
+/// Schema conventions follow Section 2: r1(A ∪ B) is the dividend, r2(B)
+/// (small divide) or r2(B ∪ C) (great divide) the divisor; primed relations
+/// are horizontal partitions (same schema), starred relations vertical
+/// partitions (Section 5's notation).
+
+// ---------------------------------------------------------------- Law 1 ----
+/// Law 1: r1 ÷ (r2' ∪ r2'') = (r1 ⋉ (r1 ÷ r2')) ÷ r2''.
+/// Holds for arbitrary (even overlapping) divisor partitions.
+Relation Law1Lhs(const Relation& r1, const Relation& r2p, const Relation& r2pp);
+Relation Law1Rhs(const Relation& r1, const Relation& r2p, const Relation& r2pp);
+
+// ---------------------------------------------------------------- Law 2 ----
+/// Condition c1 (Section 5.1.1): for every quotient candidate a appearing in
+/// both dividend partitions, either one partition alone covers r2 or their
+/// union fails to cover r2. Figure 5 is a counterexample where c1 is false.
+bool ConditionC1(const Relation& r1p, const Relation& r1pp, const Relation& r2);
+/// Condition c2: πA(r1') ∩ πA(r1'') = ∅ (stronger than c1, cheap to test).
+/// The divisor is needed to identify A = attrs(r1) − attrs(r2).
+bool ConditionC2(const Relation& r1p, const Relation& r1pp, const Relation& r2);
+
+/// Law 2 (requires c1): (r1' ∪ r1'') ÷ r2 = (r1' ÷ r2) ∪ (r1'' ÷ r2).
+Relation Law2Lhs(const Relation& r1p, const Relation& r1pp, const Relation& r2);
+Relation Law2Rhs(const Relation& r1p, const Relation& r1pp, const Relation& r2);
+
+// ---------------------------------------------------------------- Law 3 ----
+/// Law 3 ("selection push-down", p over A): σp(r1 ÷ r2) = σp(r1) ÷ r2.
+Relation Law3Lhs(const Relation& r1, const Relation& r2, const ExprPtr& p);
+Relation Law3Rhs(const Relation& r1, const Relation& r2, const ExprPtr& p);
+
+// ---------------------------------------------------------------- Law 4 ----
+/// Law 4 ("replicate-selection", p over B): r1 ÷ σp(r2) = σp(r1) ÷ σp(r2).
+///
+/// ERRATUM (found by this reproduction): the law additionally requires
+/// σp(r2) ≠ ∅. The paper's proof asserts σ¬p(B)(r1) ÷ σp(B)(r2) = ∅, which
+/// is false for the empty divisor (÷ ∅ = πA by vacuous universal
+/// quantification). With σp(r2) = ∅ the two sides genuinely differ:
+/// LHS = πA(r1) but RHS = πA(σp(r1)). Law4Precondition checks the guard.
+Relation Law4Lhs(const Relation& r1, const Relation& r2, const ExprPtr& p);
+Relation Law4Rhs(const Relation& r1, const Relation& r2, const ExprPtr& p);
+bool Law4Precondition(const Relation& r2, const ExprPtr& p);
+
+// ------------------------------------------------------------ Example 1 ----
+/// Example 1 (selection on dividend B attributes only):
+///   σp(B)(r1) ÷ r2 = (σp(B)(r1) ÷ σp(B)(r2)) − πA(πA(r1) × σ¬p(B)(r2)).
+Relation Example1Lhs(const Relation& r1, const Relation& r2, const ExprPtr& p);
+Relation Example1Rhs(const Relation& r1, const Relation& r2, const ExprPtr& p);
+
+// ---------------------------------------------------------------- Law 5 ----
+/// Law 5: (r1' ∩ r1'') ÷ r2 = (r1' ÷ r2) ∩ (r1'' ÷ r2).
+///
+/// ERRATUM (found by this reproduction): the law additionally requires
+/// r2 ≠ ∅. With r2 = ∅, LHS = πA(r1' ∩ r1'') while RHS =
+/// πA(r1') ∩ πA(r1''), which differ whenever the partitions share a
+/// quotient candidate without sharing any of its tuples (e.g. r1' = {(1,1)},
+/// r1'' = {(1,2)}). The proof's step that merges "t1 ∈ r1'" and "t1 ∈ r1''"
+/// into a single witness tuple needs a common (a, b) tuple, which a
+/// nonempty divisor provides.
+Relation Law5Lhs(const Relation& r1p, const Relation& r1pp, const Relation& r2);
+Relation Law5Rhs(const Relation& r1p, const Relation& r1pp, const Relation& r2);
+
+// ---------------------------------------------------------------- Law 6 ----
+/// Law 6 (requires r1' = σp'(A)(r1) ⊇ σp''(A)(r1) = r1''):
+///   (r1' − r1'') ÷ r2 = (r1' ÷ r2) − (r1'' ÷ r2).
+/// The helper takes the base relation and both A-predicates.
+Relation Law6Lhs(const Relation& r1, const ExprPtr& p_prime, const ExprPtr& p_double_prime,
+                 const Relation& r2);
+Relation Law6Rhs(const Relation& r1, const ExprPtr& p_prime, const ExprPtr& p_double_prime,
+                 const Relation& r2);
+/// Law 6's precondition σp''(A)(r1) ⊆ σp'(A)(r1), verified on the data.
+bool Law6Precondition(const Relation& r1, const ExprPtr& p_prime,
+                      const ExprPtr& p_double_prime);
+
+// ---------------------------------------------------------------- Law 7 ----
+/// Law 7 (requires πA(r1') ∩ πA(r1'') = ∅):
+///   (r1' ÷ r2) − (r1'' ÷ r2) = r1' ÷ r2.
+Relation Law7Lhs(const Relation& r1p, const Relation& r1pp, const Relation& r2);
+Relation Law7Rhs(const Relation& r1p, const Relation& r1pp, const Relation& r2);
+
+// ---------------------------------------------------------------- Law 8 ----
+/// Law 8: (r1* × r1**) ÷ r2 = r1* × (r1** ÷ r2), with r1*(A1), r1**(A2 ∪ B).
+Relation Law8Lhs(const Relation& r1_star, const Relation& r1_star_star, const Relation& r2);
+Relation Law8Rhs(const Relation& r1_star, const Relation& r1_star_star, const Relation& r2);
+
+// ---------------------------------------------------------------- Law 9 ----
+/// Law 9 (requires πB2(r2) ⊆ r1**, r1** ≠ ∅): with r1*(A ∪ B1), r1**(B2),
+/// r2(B1 ∪ B2):  (r1* × r1**) ÷ r2 = r1* ÷ πB1(r2).
+/// (The nonemptiness of r1** is implicit in the paper, which assumes
+/// nonempty relations; see DESIGN.md.)
+Relation Law9Lhs(const Relation& r1_star, const Relation& r1_star_star, const Relation& r2);
+Relation Law9Rhs(const Relation& r1_star, const Relation& r1_star_star, const Relation& r2);
+/// Law 9's precondition πB2(r2) ⊆ r1**.
+bool Law9Precondition(const Relation& r1_star_star, const Relation& r2);
+
+// ------------------------------------------------------------ Example 2 ----
+/// Example 2 (corollary of Law 9): (r1 × s) ÷ (r2 × s) = r1 ÷ r2, for
+/// r1(A ∪ B1), r2(B1), s(B2) with s ≠ ∅.
+Relation Example2Lhs(const Relation& r1, const Relation& r2, const Relation& s);
+Relation Example2Rhs(const Relation& r1, const Relation& r2, const Relation& s);
+
+// --------------------------------------------------------------- Law 10 ----
+/// Law 10: (r1 ÷ r2) ⋉ r3 = (r1 ⋉ r3) ÷ r2, with r3(A).
+Relation Law10Lhs(const Relation& r1, const Relation& r2, const Relation& r3);
+Relation Law10Rhs(const Relation& r1, const Relation& r2, const Relation& r3);
+
+// --------------------------------------------------------------- Law 11 ----
+/// Law 11 (dividend grouped on A, i.e. A is a key of r1 = Aγf(X)→B(r0)):
+///   r1 ÷ r2 = πA(r1)            if r2 = ∅
+///           = πA(r1 ⋉ r2)       if |r2| = 1
+///           = ∅                 otherwise.
+/// Note: for the r2 = ∅ case the paper writes "r1"; since the quotient
+/// schema is A and A is a key, the intended reading is πA(r1) (same tuples,
+/// quotient attributes only). See DESIGN.md.
+Relation Law11Lhs(const Relation& r1, const Relation& r2);
+Relation Law11Rhs(const Relation& r1, const Relation& r2);
+/// Law 11's precondition: A = attrs(r1) − attrs(r2) is a key of r1.
+bool Law11Precondition(const Relation& r1, const Relation& r2);
+
+// --------------------------------------------------------------- Law 12 ----
+/// Law 12 (dividend grouped on B, i.e. B is a key of r1 = Bγf(X)→A(r0), and
+/// r2.B a foreign key into r1, r2 ≠ ∅):
+///   r1 ÷ r2 = πA(r1 ⋉ r2)  if that relation has exactly one tuple,
+///           = ∅            otherwise.
+/// (r2 ≠ ∅ is implicit in the paper's case analysis; see DESIGN.md.)
+Relation Law12Lhs(const Relation& r1, const Relation& r2);
+Relation Law12Rhs(const Relation& r1, const Relation& r2);
+/// Law 12's preconditions: B is a key of r1 and πB(r2) ⊆ πB(r1), r2 ≠ ∅.
+bool Law12Precondition(const Relation& r1, const Relation& r2);
+
+// --------------------------------------------------------------- Law 13 ----
+/// Law 13 (requires πC(r2') ∩ πC(r2'') = ∅):
+///   r1 ÷* (r2' ∪ r2'') = (r1 ÷* r2') ∪ (r1 ÷* r2'').
+Relation Law13Lhs(const Relation& r1, const Relation& r2p, const Relation& r2pp);
+Relation Law13Rhs(const Relation& r1, const Relation& r2p, const Relation& r2pp);
+/// Law 13's precondition πC(r2') ∩ πC(r2'') = ∅.
+bool Law13Precondition(const Relation& r1, const Relation& r2p, const Relation& r2pp);
+
+// --------------------------------------------------------------- Law 14 ----
+/// Law 14 (p over A): σp(r1 ÷* r2) = σp(r1) ÷* r2.
+Relation Law14Lhs(const Relation& r1, const Relation& r2, const ExprPtr& p);
+Relation Law14Rhs(const Relation& r1, const Relation& r2, const ExprPtr& p);
+
+// --------------------------------------------------------------- Law 15 ----
+/// Law 15 (p over C): σp(r1 ÷* r2) = r1 ÷* σp(r2).
+Relation Law15Lhs(const Relation& r1, const Relation& r2, const ExprPtr& p);
+Relation Law15Rhs(const Relation& r1, const Relation& r2, const ExprPtr& p);
+
+// --------------------------------------------------------------- Law 16 ----
+/// Law 16 (p over B): r1 ÷* σp(r2) = σp(r1) ÷* σp(r2).
+Relation Law16Lhs(const Relation& r1, const Relation& r2, const ExprPtr& p);
+Relation Law16Rhs(const Relation& r1, const Relation& r2, const ExprPtr& p);
+
+// --------------------------------------------------------------- Law 17 ----
+/// Law 17: (r1* × r1**) ÷* r2 = r1* × (r1** ÷* r2).
+Relation Law17Lhs(const Relation& r1_star, const Relation& r1_star_star, const Relation& r2);
+Relation Law17Rhs(const Relation& r1_star, const Relation& r1_star_star, const Relation& r2);
+
+// ------------------------------------------------------------ Example 3 ----
+/// Example 3: with r1*(a, b1), r1**(b2), r2(b1, b2), b2 unique in r1** and
+/// πb2(r2) ⊆ r1**:
+///   (r1* ⋈_{b1<b2} r1**) ÷ r2
+///     = (r1* ÷ πb1(σb1<b2(r2))) − πa(πa(r1*) × σb1≥b2(r2)).
+Relation Example3Lhs(const Relation& r1_star, const Relation& r1_star_star, const Relation& r2);
+Relation Example3Rhs(const Relation& r1_star, const Relation& r1_star_star, const Relation& r2);
+
+// ------------------------------------------------------------ Example 4 ----
+/// Example 4: with r1*(a1), r1**(a2, b1), r2(b1, b2):
+///   r1* ⋈_{a1=a2} (r1** ÷* r2) = (r1* ⋈_{a1=a2} r1**) ÷* r2.
+Relation Example4Lhs(const Relation& r1_star, const Relation& r1_star_star, const Relation& r2);
+Relation Example4Rhs(const Relation& r1_star, const Relation& r1_star_star, const Relation& r2);
+
+}  // namespace laws
+}  // namespace quotient

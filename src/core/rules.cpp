@@ -1,0 +1,467 @@
+#include "core/rules.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "algebra/divide.hpp"
+#include "plan/evaluate.hpp"
+#include "util/status.hpp"
+
+namespace quotient {
+
+namespace {
+
+using Kind = LogicalOp::Kind;
+
+bool SameNameSet(std::vector<std::string> a, std::vector<std::string> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+bool PredicateOver(const ExprPtr& p, const std::vector<std::string>& names) {
+  return p->RefersOnlyTo(names);
+}
+
+/// Evaluates a subplan when that is affordable: inline Values literals are
+/// free; everything else — including base-table scans, whose contents an
+/// optimizer would not scan at rewrite time — requires
+/// allow_runtime_checks (the paper's point that "testing condition c1 can
+/// be expensive", §5.1.1). Declared catalog constraints are the cheap path.
+std::optional<Relation> EvaluateIfAllowed(const PlanPtr& plan, const RewriteContext& context) {
+  if (plan->kind() == Kind::kValues) return plan->values();
+  if (context.allow_runtime_checks && context.catalog != nullptr) {
+    return Evaluate(plan, *context.catalog);
+  }
+  return std::nullopt;
+}
+
+/// Tries to establish π_attrs(x) ∩ π_attrs(y) = ∅, first from catalog
+/// declarations (scan inputs), then from data if allowed.
+bool ProvablyDisjoint(const PlanPtr& x, const PlanPtr& y,
+                      const std::vector<std::string>& attrs, const RewriteContext& context) {
+  if (context.catalog != nullptr && x->kind() == Kind::kScan && y->kind() == Kind::kScan &&
+      context.catalog->AreDisjoint(x->table(), y->table(), attrs)) {
+    return true;
+  }
+  std::optional<Relation> rx = EvaluateIfAllowed(x, context);
+  std::optional<Relation> ry = EvaluateIfAllowed(y, context);
+  if (rx && ry) return Catalog::CheckDisjoint(*rx, *ry, attrs);
+  return false;
+}
+
+/// Tries to establish π_attrs(from) ⊆ π_attrs(to).
+bool ProvablySubset(const PlanPtr& from, const PlanPtr& to,
+                    const std::vector<std::string>& attrs, const RewriteContext& context) {
+  if (context.catalog != nullptr && from->kind() == Kind::kScan && to->kind() == Kind::kScan &&
+      context.catalog->HasForeignKey(from->table(), attrs, to->table())) {
+    return true;
+  }
+  std::optional<Relation> rfrom = EvaluateIfAllowed(from, context);
+  std::optional<Relation> rto = EvaluateIfAllowed(to, context);
+  if (rfrom && rto) return Catalog::CheckForeignKey(*rfrom, *rto, attrs);
+  return false;
+}
+
+bool ProvablyNonEmpty(const PlanPtr& plan, const RewriteContext& context) {
+  std::optional<Relation> r = EvaluateIfAllowed(plan, context);
+  return r && !r->empty();
+}
+
+/// A rule defined by a name and a match/build function.
+class LambdaRule : public RewriteRule {
+ public:
+  using Fn = PlanPtr (*)(const PlanPtr&, const RewriteContext&);
+  LambdaRule(const char* name, Fn fn) : name_(name), fn_(fn) {}
+  const char* name() const override { return name_; }
+  PlanPtr Apply(const PlanPtr& node, const RewriteContext& context) const override {
+    return fn_(node, context);
+  }
+
+ private:
+  const char* name_;
+  Fn fn_;
+};
+
+RulePtr Rule(const char* name, LambdaRule::Fn fn) {
+  return std::make_unique<LambdaRule>(name, fn);
+}
+
+// ---------------------------------------------------------------- Law 1 ----
+PlanPtr ApplyLaw1(const PlanPtr& node, const RewriteContext&) {
+  if (node->kind() != Kind::kDivide) return nullptr;
+  const PlanPtr& divisor = node->right();
+  if (divisor->kind() != Kind::kUnion) return nullptr;
+  const PlanPtr& dividend = node->left();
+  // r1 ÷ (r2' ∪ r2'') = (r1 ⋉ (r1 ÷ r2')) ÷ r2''
+  PlanPtr inner = LogicalOp::Divide(dividend, divisor->left());
+  return LogicalOp::Divide(LogicalOp::SemiJoin(dividend, inner), divisor->right());
+}
+
+// ---------------------------------------------------------------- Law 2 ----
+PlanPtr ApplyLaw2(const PlanPtr& node, const RewriteContext& context) {
+  if (node->kind() != Kind::kDivide) return nullptr;
+  const PlanPtr& dividend = node->left();
+  if (dividend->kind() != Kind::kUnion) return nullptr;
+  DivisionAttributes attrs = node->division_attributes();
+  // The cheap sufficient condition c2: disjoint quotient-candidate sets.
+  if (!ProvablyDisjoint(dividend->left(), dividend->right(), attrs.a, context)) return nullptr;
+  return LogicalOp::Union(LogicalOp::Divide(dividend->left(), node->right()),
+                          LogicalOp::Divide(dividend->right(), node->right()));
+}
+
+// ---------------------------------------------------------------- Law 3 ----
+PlanPtr ApplyLaw3(const PlanPtr& node, const RewriteContext&) {
+  if (node->kind() != Kind::kSelect) return nullptr;
+  const PlanPtr& divide = node->child(0);
+  if (divide->kind() != Kind::kDivide) return nullptr;
+  // The quotient schema is exactly A, so any valid predicate is p(A).
+  return LogicalOp::Divide(LogicalOp::Select(divide->left(), node->predicate()),
+                           divide->right());
+}
+
+// ---------------------------------------------------------------- Law 4 ----
+PlanPtr ApplyLaw4(const PlanPtr& node, const RewriteContext& context) {
+  if (node->kind() != Kind::kDivide) return nullptr;
+  const PlanPtr& divisor = node->right();
+  if (divisor->kind() != Kind::kSelect) return nullptr;
+  const ExprPtr& p = divisor->predicate();
+  // Terminate: skip if the dividend is already filtered by this predicate.
+  const PlanPtr& dividend = node->left();
+  if (dividend->kind() == Kind::kSelect && dividend->predicate()->Equals(*p)) return nullptr;
+  // Erratum guard (see laws.hpp): Law 4 needs σp(r2) ≠ ∅, otherwise the
+  // rewrite changes πA(r1) into πA(σp(r1)).
+  if (!ProvablyNonEmpty(divisor, context)) return nullptr;
+  return LogicalOp::Divide(LogicalOp::Select(dividend, p), divisor);
+}
+
+// ------------------------------------------------------------ Example 1 ----
+PlanPtr ApplyExample1(const PlanPtr& node, const RewriteContext&) {
+  if (node->kind() != Kind::kDivide) return nullptr;
+  const PlanPtr& dividend = node->left();
+  if (dividend->kind() != Kind::kSelect) return nullptr;
+  DivisionAttributes attrs = node->division_attributes();
+  const ExprPtr& p = dividend->predicate();
+  if (!PredicateOver(p, attrs.b)) return nullptr;
+  const PlanPtr& divisor = node->right();
+  // Terminate: if the divisor is already σp(...) this is Law 4's output.
+  if (divisor->kind() == Kind::kSelect && divisor->predicate()->Equals(*p)) return nullptr;
+  const PlanPtr& base = dividend->child(0);
+  PlanPtr matching =
+      LogicalOp::Divide(dividend, LogicalOp::Select(divisor, p));
+  PlanPtr blocker = LogicalOp::Project(
+      LogicalOp::Product(LogicalOp::Project(base, attrs.a),
+                         LogicalOp::Select(divisor, Expr::Not(p))),
+      attrs.a);
+  return LogicalOp::Difference(matching, blocker);
+}
+
+// ---------------------------------------------------------------- Law 5 ----
+PlanPtr ApplyLaw5(const PlanPtr& node, const RewriteContext& context) {
+  if (node->kind() != Kind::kDivide) return nullptr;
+  const PlanPtr& dividend = node->left();
+  if (dividend->kind() != Kind::kIntersect) return nullptr;
+  // Erratum guard (see laws.hpp): Law 5 needs r2 ≠ ∅.
+  if (!ProvablyNonEmpty(node->right(), context)) return nullptr;
+  return LogicalOp::Intersect(LogicalOp::Divide(dividend->left(), node->right()),
+                              LogicalOp::Divide(dividend->right(), node->right()));
+}
+
+// ---------------------------------------------------------------- Law 6 ----
+PlanPtr ApplyLaw6(const PlanPtr& node, const RewriteContext& context) {
+  if (node->kind() != Kind::kDivide) return nullptr;
+  const PlanPtr& dividend = node->left();
+  if (dividend->kind() != Kind::kDifference) return nullptr;
+  const PlanPtr& minuend = dividend->left();
+  const PlanPtr& subtrahend = dividend->right();
+  DivisionAttributes attrs = node->division_attributes();
+  // The paper's shape: both sides are A-restrictions of the same base
+  // relation with σp'' ⊆ σp'.
+  if (minuend->kind() != Kind::kSelect || subtrahend->kind() != Kind::kSelect) return nullptr;
+  if (!minuend->child(0)->Equals(*subtrahend->child(0))) return nullptr;
+  if (!PredicateOver(minuend->predicate(), attrs.a) ||
+      !PredicateOver(subtrahend->predicate(), attrs.a)) {
+    return nullptr;
+  }
+  std::optional<Relation> base = EvaluateIfAllowed(minuend->child(0), context);
+  if (!base) return nullptr;
+  if (!Select(*base, subtrahend->predicate()).SubsetOf(Select(*base, minuend->predicate()))) {
+    return nullptr;
+  }
+  return LogicalOp::Difference(LogicalOp::Divide(minuend, node->right()),
+                               LogicalOp::Divide(subtrahend, node->right()));
+}
+
+// ---------------------------------------------------------------- Law 7 ----
+PlanPtr ApplyLaw7(const PlanPtr& node, const RewriteContext& context) {
+  if (node->kind() != Kind::kDifference) return nullptr;
+  const PlanPtr& left = node->left();
+  const PlanPtr& right = node->right();
+  if (left->kind() != Kind::kDivide || right->kind() != Kind::kDivide) return nullptr;
+  if (!left->right()->Equals(*right->right())) return nullptr;  // same divisor
+  DivisionAttributes attrs = left->division_attributes();
+  if (!ProvablyDisjoint(left->left(), right->left(), attrs.a, context)) return nullptr;
+  return left;  // (r1' ÷ r2) − (r1'' ÷ r2) = r1' ÷ r2
+}
+
+// ---------------------------------------------------------------- Law 8 ----
+PlanPtr ApplyLaw8(const PlanPtr& node, const RewriteContext&) {
+  if (node->kind() != Kind::kDivide) return nullptr;
+  const PlanPtr& dividend = node->left();
+  if (dividend->kind() != Kind::kProduct) return nullptr;
+  const PlanPtr& star = dividend->left();
+  const PlanPtr& star_star = dividend->right();
+  // All divisor attributes must come from the right factor.
+  if (!star_star->schema().ContainsAll(node->right()->schema())) return nullptr;
+  // The right factor must keep at least one quotient attribute (A2 may be
+  // empty in the paper's statement only if A1 covers A; our Divide requires
+  // nonempty A on the inner divide, so guard it).
+  if (star_star->schema().NamesMinus(node->right()->schema()).empty()) return nullptr;
+  return LogicalOp::Product(star, LogicalOp::Divide(star_star, node->right()));
+}
+
+// ---------------------------------------------------------------- Law 9 ----
+PlanPtr ApplyLaw9(const PlanPtr& node, const RewriteContext& context) {
+  if (node->kind() != Kind::kDivide) return nullptr;
+  const PlanPtr& dividend = node->left();
+  if (dividend->kind() != Kind::kProduct) return nullptr;
+  const PlanPtr& star = dividend->left();
+  const PlanPtr& star_star = dividend->right();
+  const PlanPtr& divisor = node->right();
+  // r1** must consist solely of divisor attributes (the B2 block) ...
+  std::vector<std::string> b2 = star_star->schema().Names();
+  if (!divisor->schema().ContainsAll(star_star->schema())) return nullptr;
+  std::vector<std::string> b1 = divisor->schema().NamesMinus(star_star->schema());
+  if (b1.empty()) return nullptr;   // B1 must be nonempty
+  // ... and r1* must hold those B1 attributes (it is the A ∪ B1 block).
+  for (const std::string& name : b1) {
+    if (!star->schema().Contains(name)) return nullptr;
+  }
+  // Preconditions: πB2(r2) ⊆ r1** and r1** ≠ ∅.
+  if (!ProvablySubset(divisor, star_star, b2, context)) return nullptr;
+  if (!ProvablyNonEmpty(star_star, context)) return nullptr;
+  return LogicalOp::Divide(star, LogicalOp::Project(divisor, b1));
+}
+
+// --------------------------------------------------------------- Law 10 ----
+PlanPtr ApplyLaw10(const PlanPtr& node, const RewriteContext&) {
+  if (node->kind() != Kind::kSemiJoin) return nullptr;
+  const PlanPtr& divide = node->left();
+  if (divide->kind() != Kind::kDivide) return nullptr;
+  const PlanPtr& r3 = node->right();
+  DivisionAttributes attrs = divide->division_attributes();
+  // r3's schema must be within A for the semi-join to commute with ÷.
+  if (!divide->left()->schema().Project(attrs.a).ContainsAll(r3->schema())) return nullptr;
+  return LogicalOp::Divide(LogicalOp::SemiJoin(divide->left(), r3), divide->right());
+}
+
+// --------------------------------------------------------------- Law 11 ----
+PlanPtr ApplyLaw11(const PlanPtr& node, const RewriteContext&) {
+  if (node->kind() != Kind::kDivide) return nullptr;
+  const PlanPtr& grouped = node->left();
+  if (grouped->kind() != Kind::kGroupBy) return nullptr;
+  DivisionAttributes attrs = node->division_attributes();
+  // r1 = Aγ...(r0): the grouping attributes are exactly the quotient
+  // attributes, so A is a key of the dividend.
+  if (!SameNameSet(grouped->group_names(), attrs.a)) return nullptr;
+  const PlanPtr& divisor = node->right();
+
+  // Compile the three-way case analysis into pure algebra using degenerate
+  // semi-joins as guards (⋉ with no common attribute keeps the left side
+  // iff the right side is nonempty):
+  //   result =   (πA(r1) ⋉ σc=0(γcount(r2)))       -- r2 empty
+  //            ∪ (πA(r1 ⋉ r2) ⋉ σc=1(γcount(r2)))  -- |r2| = 1
+  //   (both guards empty when |r2| > 1 ⇒ result = ∅).
+  const std::string count_attr = divisor->schema().attribute(0).name;
+  PlanPtr counted =
+      LogicalOp::GroupBy(divisor, {}, {{AggFunc::kCount, count_attr, "c$law11"}});
+  PlanPtr guard_empty =
+      LogicalOp::Select(counted, Expr::ColCmp("c$law11", CmpOp::kEq, Value::Int(0)));
+  PlanPtr guard_one =
+      LogicalOp::Select(counted, Expr::ColCmp("c$law11", CmpOp::kEq, Value::Int(1)));
+  PlanPtr case_empty = LogicalOp::SemiJoin(LogicalOp::Project(grouped, attrs.a), guard_empty);
+  PlanPtr case_one = LogicalOp::SemiJoin(
+      LogicalOp::Project(LogicalOp::SemiJoin(grouped, divisor), attrs.a), guard_one);
+  return LogicalOp::Union(case_empty, case_one);
+}
+
+// --------------------------------------------------------------- Law 12 ----
+PlanPtr ApplyLaw12(const PlanPtr& node, const RewriteContext& context) {
+  if (node->kind() != Kind::kDivide) return nullptr;
+  const PlanPtr& grouped = node->left();
+  if (grouped->kind() != Kind::kGroupBy) return nullptr;
+  DivisionAttributes attrs = node->division_attributes();
+  // r1 = Bγ...(r0): grouping attributes are exactly the divisor attributes,
+  // so B is a key of the dividend.
+  if (!SameNameSet(grouped->group_names(), attrs.b)) return nullptr;
+  const PlanPtr& divisor = node->right();
+  // Preconditions: r2 ≠ ∅ and r2.B ⊆ πB(r1) = πB(r0).
+  if (!ProvablyNonEmpty(divisor, context)) return nullptr;
+  if (!ProvablySubset(divisor, grouped->child(0), attrs.b, context)) return nullptr;
+
+  //   e = πA(r1 ⋉ r2);   result = e ⋉ σc=1(γcount(e))
+  PlanPtr e = LogicalOp::Project(LogicalOp::SemiJoin(grouped, divisor), attrs.a);
+  PlanPtr counted = LogicalOp::GroupBy(e, {}, {{AggFunc::kCount, attrs.a[0], "c$law12"}});
+  PlanPtr guard =
+      LogicalOp::Select(counted, Expr::ColCmp("c$law12", CmpOp::kEq, Value::Int(1)));
+  return LogicalOp::SemiJoin(e, guard);
+}
+
+// --------------------------------------------------------------- Law 13 ----
+PlanPtr ApplyLaw13(const PlanPtr& node, const RewriteContext& context) {
+  if (node->kind() != Kind::kGreatDivide) return nullptr;
+  const PlanPtr& divisor = node->right();
+  if (divisor->kind() != Kind::kUnion) return nullptr;
+  DivisionAttributes attrs = node->division_attributes();
+  if (attrs.c.empty()) return nullptr;
+  if (!ProvablyDisjoint(divisor->left(), divisor->right(), attrs.c, context)) return nullptr;
+  return LogicalOp::Union(LogicalOp::GreatDivide(node->left(), divisor->left()),
+                          LogicalOp::GreatDivide(node->left(), divisor->right()));
+}
+
+// --------------------------------------------------------------- Law 14 ----
+PlanPtr ApplyLaw14(const PlanPtr& node, const RewriteContext&) {
+  if (node->kind() != Kind::kSelect) return nullptr;
+  const PlanPtr& gd = node->child(0);
+  if (gd->kind() != Kind::kGreatDivide) return nullptr;
+  DivisionAttributes attrs = gd->division_attributes();
+  if (!PredicateOver(node->predicate(), attrs.a)) return nullptr;
+  return LogicalOp::GreatDivide(LogicalOp::Select(gd->left(), node->predicate()),
+                                gd->right());
+}
+
+// --------------------------------------------------------------- Law 15 ----
+PlanPtr ApplyLaw15(const PlanPtr& node, const RewriteContext&) {
+  if (node->kind() != Kind::kSelect) return nullptr;
+  const PlanPtr& gd = node->child(0);
+  if (gd->kind() != Kind::kGreatDivide) return nullptr;
+  DivisionAttributes attrs = gd->division_attributes();
+  if (attrs.c.empty()) return nullptr;
+  if (!PredicateOver(node->predicate(), attrs.c)) return nullptr;
+  return LogicalOp::GreatDivide(gd->left(),
+                                LogicalOp::Select(gd->right(), node->predicate()));
+}
+
+// --------------------------------------------------------------- Law 16 ----
+PlanPtr ApplyLaw16(const PlanPtr& node, const RewriteContext&) {
+  if (node->kind() != Kind::kGreatDivide) return nullptr;
+  const PlanPtr& divisor = node->right();
+  if (divisor->kind() != Kind::kSelect) return nullptr;
+  DivisionAttributes attrs = node->division_attributes();
+  const ExprPtr& p = divisor->predicate();
+  if (!PredicateOver(p, attrs.b)) return nullptr;
+  const PlanPtr& dividend = node->left();
+  if (dividend->kind() == Kind::kSelect && dividend->predicate()->Equals(*p)) return nullptr;
+  return LogicalOp::GreatDivide(LogicalOp::Select(dividend, p), divisor);
+}
+
+// --------------------------------------------------------------- Law 17 ----
+PlanPtr ApplyLaw17(const PlanPtr& node, const RewriteContext&) {
+  if (node->kind() != Kind::kGreatDivide) return nullptr;
+  const PlanPtr& dividend = node->left();
+  if (dividend->kind() != Kind::kProduct) return nullptr;
+  const PlanPtr& star = dividend->left();
+  const PlanPtr& star_star = dividend->right();
+  DivisionAttributes attrs = node->division_attributes();
+  // The divisor's B attributes must all come from the right factor.
+  for (const std::string& name : attrs.b) {
+    if (!star_star->schema().Contains(name)) return nullptr;
+  }
+  // The right factor must keep a quotient attribute for the inner ÷*.
+  bool star_star_has_a = false;
+  for (const std::string& name : attrs.a) {
+    if (star_star->schema().Contains(name)) star_star_has_a = true;
+  }
+  if (!star_star_has_a) return nullptr;
+  (void)star;
+  return LogicalOp::Product(star, LogicalOp::GreatDivide(star_star, node->right()));
+}
+
+// ------------------------------------------------------------ Example 4 ----
+PlanPtr ApplyExample4(const PlanPtr& node, const RewriteContext&) {
+  if (node->kind() != Kind::kThetaJoin) return nullptr;
+  const PlanPtr& left = node->left();
+  const PlanPtr& gd = node->right();
+  if (gd->kind() != Kind::kGreatDivide) return nullptr;
+  DivisionAttributes attrs = gd->division_attributes();
+  // The join condition may touch only the outer relation and the quotient's
+  // A attributes (which come from the dividend) — then the join commutes
+  // with ÷* (Laws 17 + 14 composed, Example 4).
+  std::vector<std::string> allowed = left->schema().Names();
+  allowed.insert(allowed.end(), attrs.a.begin(), attrs.a.end());
+  if (!PredicateOver(node->predicate(), allowed)) return nullptr;
+  return LogicalOp::GreatDivide(
+      LogicalOp::ThetaJoin(left, gd->left(), node->predicate()), gd->right());
+}
+
+// ------------------------------------------------- Healy expansion rule ----
+PlanPtr ApplyHealyExpansion(const PlanPtr& node, const RewriteContext&) {
+  if (node->kind() != Kind::kDivide) return nullptr;
+  DivisionAttributes attrs = node->division_attributes();
+  PlanPtr pa = LogicalOp::Project(node->left(), attrs.a);
+  return LogicalOp::Difference(
+      pa, LogicalOp::Project(
+              LogicalOp::Difference(LogicalOp::Product(pa, node->right()), node->left()),
+              attrs.a));
+}
+
+}  // namespace
+
+RulePtr MakeLaw1DivisorUnionRule() { return Rule("law1-divisor-union", ApplyLaw1); }
+RulePtr MakeLaw2DividendUnionRule() { return Rule("law2-dividend-union", ApplyLaw2); }
+RulePtr MakeLaw3SelectionPushdownRule() { return Rule("law3-selection-pushdown", ApplyLaw3); }
+RulePtr MakeLaw4ReplicateSelectionRule() { return Rule("law4-replicate-selection", ApplyLaw4); }
+RulePtr MakeExample1DividendSelectionRule() {
+  return Rule("example1-dividend-selection", ApplyExample1);
+}
+RulePtr MakeLaw5IntersectRule() { return Rule("law5-intersect", ApplyLaw5); }
+RulePtr MakeLaw6DifferenceRule() { return Rule("law6-difference", ApplyLaw6); }
+RulePtr MakeLaw7DifferencePruneRule() { return Rule("law7-difference-prune", ApplyLaw7); }
+RulePtr MakeLaw8ProductRule() { return Rule("law8-product", ApplyLaw8); }
+RulePtr MakeLaw9ProductRule() { return Rule("law9-product", ApplyLaw9); }
+RulePtr MakeLaw10SemiJoinRule() { return Rule("law10-semijoin", ApplyLaw10); }
+RulePtr MakeLaw11GroupedDividendRule() { return Rule("law11-grouped-dividend", ApplyLaw11); }
+RulePtr MakeLaw12GroupedDividendRule() { return Rule("law12-grouped-dividend", ApplyLaw12); }
+RulePtr MakeLaw13GreatDivisorUnionRule() {
+  return Rule("law13-great-divisor-union", ApplyLaw13);
+}
+RulePtr MakeLaw14SelectionPushdownRule() {
+  return Rule("law14-selection-pushdown", ApplyLaw14);
+}
+RulePtr MakeLaw15DivisorSelectionRule() { return Rule("law15-divisor-selection", ApplyLaw15); }
+RulePtr MakeLaw16ReplicateSelectionRule() {
+  return Rule("law16-replicate-selection", ApplyLaw16);
+}
+RulePtr MakeLaw17ProductRule() { return Rule("law17-product", ApplyLaw17); }
+RulePtr MakeExample4JoinPushRule() { return Rule("example4-join-push", ApplyExample4); }
+RulePtr MakeDivideToHealyExpansionRule() {
+  return Rule("divide-to-healy-expansion", ApplyHealyExpansion);
+}
+
+std::vector<RulePtr> DefaultRuleSet() {
+  std::vector<RulePtr> rules;
+  // Selection pushdowns first: they shrink inputs for everything else.
+  rules.push_back(MakeLaw3SelectionPushdownRule());
+  rules.push_back(MakeLaw14SelectionPushdownRule());
+  rules.push_back(MakeLaw15DivisorSelectionRule());
+  rules.push_back(MakeLaw4ReplicateSelectionRule());
+  rules.push_back(MakeLaw16ReplicateSelectionRule());
+  // Structural rules over products, joins and set operations.
+  rules.push_back(MakeLaw9ProductRule());  // before Law 8: strictly stronger when it fires
+  rules.push_back(MakeLaw8ProductRule());
+  rules.push_back(MakeLaw17ProductRule());
+  rules.push_back(MakeLaw10SemiJoinRule());
+  rules.push_back(MakeExample4JoinPushRule());
+  rules.push_back(MakeLaw7DifferencePruneRule());
+  rules.push_back(MakeLaw6DifferenceRule());
+  rules.push_back(MakeLaw5IntersectRule());
+  rules.push_back(MakeLaw2DividendUnionRule());
+  rules.push_back(MakeLaw13GreatDivisorUnionRule());
+  // Grouped-dividend special cases (Laws 11/12) replace ÷ by semi-joins.
+  rules.push_back(MakeLaw11GroupedDividendRule());
+  rules.push_back(MakeLaw12GroupedDividendRule());
+  return rules;
+}
+
+}  // namespace quotient

@@ -1,0 +1,68 @@
+#include "core/theorems.hpp"
+
+#include <algorithm>
+
+#include "algebra/divide.hpp"
+#include "util/status.hpp"
+
+namespace quotient {
+namespace theorems {
+
+namespace {
+
+std::vector<std::string> SetMinus(const std::vector<std::string>& x,
+                                  const std::vector<std::string>& y) {
+  std::vector<std::string> out;
+  for (const std::string& name : x) {
+    if (std::find(y.begin(), y.end(), name) == y.end()) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool Theorem1Holds(const Relation& dividend, const Relation& divisor) {
+  Relation scd = GreatDivideSCD(dividend, divisor);
+  Relation demolombe = GreatDivideDemolombe(dividend, divisor);
+  Relation todd = GreatDivideTodd(dividend, divisor);
+  return scd == demolombe && demolombe == todd;
+}
+
+bool Theorem2CommutedIsInvalid(const Relation& r1, const Relation& r2) {
+  try {
+    DivisionAttributeSets(r1.schema(), r2.schema(), /*allow_c=*/false);
+  } catch (const SchemaError&) {
+    return false;  // the original division is itself invalid; theorem moot
+  }
+  try {
+    DivisionAttributeSets(r2.schema(), r1.schema(), /*allow_c=*/false);
+  } catch (const SchemaError&) {
+    return true;  // r2 ÷ r1 rejected, exactly as Theorem 2 argues
+  }
+  return false;
+}
+
+std::vector<std::string> Theorem3LeftSchema(const std::vector<std::string>& a1,
+                                            const std::vector<std::string>& a2,
+                                            const std::vector<std::string>& a3) {
+  return SetMinus(a1, SetMinus(a2, a3));  // A1 − (A2 − A3)
+}
+
+std::vector<std::string> Theorem3RightSchema(const std::vector<std::string>& a1,
+                                             const std::vector<std::string>& a2,
+                                             const std::vector<std::string>& a3) {
+  return SetMinus(SetMinus(a1, a2), a3);  // (A1 − A2) − A3
+}
+
+bool Theorem3SchemasAgree(const std::vector<std::string>& a1,
+                          const std::vector<std::string>& a2,
+                          const std::vector<std::string>& a3) {
+  std::vector<std::string> left = Theorem3LeftSchema(a1, a2, a3);
+  std::vector<std::string> right = Theorem3RightSchema(a1, a2, a3);
+  std::sort(left.begin(), left.end());
+  std::sort(right.begin(), right.end());
+  return left == right;
+}
+
+}  // namespace theorems
+}  // namespace quotient

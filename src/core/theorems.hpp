@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "algebra/relation.hpp"
+
+namespace quotient {
+namespace theorems {
+
+/// Theorem 1: set containment division (÷*1), generalized division (÷*2),
+/// and great divide (÷*3) are equivalent. Returns true iff all three
+/// definitions produce the same result on the given inputs. The property
+/// tests sweep this over thousands of random relations.
+bool Theorem1Holds(const Relation& dividend, const Relation& divisor);
+
+/// Theorem 2: small divide is non-commutative. For any valid division
+/// r1 ÷ r2 (A nonempty), the flipped expression r2 ÷ r1 is schema-invalid:
+/// the would-be divisor r1 has attributes outside the would-be dividend r2.
+/// Returns true iff r1 ÷ r2 is valid and r2 ÷ r1 is rejected.
+bool Theorem2CommutedIsInvalid(const Relation& r1, const Relation& r2);
+
+/// Theorem 3 works at the schema level: the attribute set of r1 ÷ (r2 ÷ r3)
+/// is A1 − (A2 − A3) while that of (r1 ÷ r2) ÷ r3 is (A1 − A2) − A3, and
+/// the proof shows these coincide for all tuples iff A1 ∩ A2 ∩ A3 = ∅.
+/// These helpers compute both attribute sets so tests can exhibit both the
+/// mismatch (Theorem 3) and the boundary case where the schemas agree.
+std::vector<std::string> Theorem3LeftSchema(const std::vector<std::string>& a1,
+                                            const std::vector<std::string>& a2,
+                                            const std::vector<std::string>& a3);
+std::vector<std::string> Theorem3RightSchema(const std::vector<std::string>& a1,
+                                             const std::vector<std::string>& a2,
+                                             const std::vector<std::string>& a3);
+/// True iff the two association orders produce the same attribute set.
+///
+/// ERRATUM (found by this reproduction): the paper's Appendix-B derivation
+/// simplifies the condition to "t ∉ A1 ∩ A2 ∩ A3", but the boolean algebra
+/// has a slip; the exact condition is A1 ∩ A3 = ∅ (witness: A1 = A3 = {x},
+/// A2 = ∅ gives A1−(A2−A3) = {x} but (A1−A2)−A3 = ∅ although the triple
+/// intersection is empty). Theorem 3's conclusion — non-associativity — is
+/// unaffected: a valid nesting needs A3 ⊆ A2 on one side and
+/// A3 ⊆ A1 − A2 on the other, which is impossible for nonempty A3.
+/// The exhaustive test in test_laws_property.cpp verifies A1 ∩ A3 = ∅ is
+/// exactly right.
+bool Theorem3SchemasAgree(const std::vector<std::string>& a1,
+                          const std::vector<std::string>& a2,
+                          const std::vector<std::string>& a3);
+
+}  // namespace theorems
+}  // namespace quotient

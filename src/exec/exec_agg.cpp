@@ -1,0 +1,39 @@
+#include "exec/exec_agg.hpp"
+
+namespace quotient {
+
+HashAggregateIterator::HashAggregateIterator(IterPtr child, std::vector<std::string> group_names,
+                                             std::vector<AggSpec> aggs)
+    : child_(std::move(child)),
+      group_names_(std::move(group_names)),
+      aggs_(std::move(aggs)),
+      schema_(GroupByOutputSchema(child_->schema(), group_names_, aggs_)) {}
+
+void HashAggregateIterator::Open() {
+  ResetCount();
+  child_->Open();
+  // Delegate the aggregation to the reference implementation over the
+  // drained child; correctness first, and the materialization cost is the
+  // same order as any hash aggregate.
+  std::vector<Tuple> rows;
+  Tuple t;
+  while (child_->Next(&t)) rows.push_back(std::move(t));
+  Relation input(child_->schema(), std::move(rows));
+  Relation result = GroupBy(input, group_names_, aggs_);
+  results_ = result.tuples();
+  position_ = 0;
+}
+
+bool HashAggregateIterator::Next(Tuple* out) {
+  if (position_ >= results_.size()) return false;
+  *out = results_[position_++];
+  CountRow();
+  return true;
+}
+
+void HashAggregateIterator::Close() {
+  child_->Close();
+  results_.clear();
+}
+
+}  // namespace quotient

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <map>
+
+#include "algebra/ops.hpp"
+#include "exec/iterator.hpp"
+
+namespace quotient {
+
+/// Hash aggregation implementing GγF (materializes groups on Open). The
+/// heavy lifting is shared with the reference GroupBy; this operator exists
+/// so grouped plans run inside the Volcano engine with row accounting.
+class HashAggregateIterator : public Iterator {
+ public:
+  HashAggregateIterator(IterPtr child, std::vector<std::string> group_names,
+                        std::vector<AggSpec> aggs);
+
+  const Schema& schema() const override { return schema_; }
+  void Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override;
+  const char* name() const override { return "HashAggregate"; }
+  std::vector<Iterator*> InputIterators() override { return {child_.get()}; }
+
+ private:
+  IterPtr child_;
+  std::vector<std::string> group_names_;
+  std::vector<AggSpec> aggs_;
+  Schema schema_;
+  std::vector<Tuple> results_;
+  size_t position_ = 0;
+};
+
+}  // namespace quotient

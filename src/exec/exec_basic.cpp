@@ -1,0 +1,248 @@
+#include "exec/exec_basic.hpp"
+
+#include "util/status.hpp"
+
+namespace quotient {
+
+namespace {
+
+/// Index mapping that reorders `from` tuples into `to` attribute order;
+/// empty when the schemas already align positionally.
+std::vector<size_t> ReorderIndices(const Schema& to, const Schema& from) {
+  if (!to.SameAttributeSet(from)) {
+    throw SchemaError("set operation requires union-compatible schemas, got " + to.ToString() +
+                      " and " + from.ToString());
+  }
+  if (to == from) return {};
+  std::vector<size_t> indices;
+  indices.reserve(to.size());
+  for (const Attribute& a : to.attributes()) indices.push_back(from.IndexOfOrThrow(a.name));
+  return indices;
+}
+
+Tuple MaybeReorder(const Tuple& t, const std::vector<size_t>& indices) {
+  if (indices.empty()) return t;
+  return ProjectTuple(t, indices);
+}
+
+}  // namespace
+
+bool RelationScan::Next(Tuple* out) {
+  if (position_ >= relation_->size()) return false;
+  *out = relation_->tuples()[position_++];
+  CountRow();
+  return true;
+}
+
+FilterIterator::FilterIterator(IterPtr child, ExprPtr predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+void FilterIterator::Open() {
+  ResetCount();
+  child_->Open();
+  bound_ = std::make_unique<BoundExpr>(predicate_, child_->schema());
+}
+
+bool FilterIterator::Next(Tuple* out) {
+  while (child_->Next(out)) {
+    if (bound_->EvalBool(*out)) {
+      CountRow();
+      return true;
+    }
+  }
+  return false;
+}
+
+ProjectIterator::ProjectIterator(IterPtr child, std::vector<std::string> columns)
+    : child_(std::move(child)), schema_(child_->schema().Project(columns)) {
+  for (const std::string& column : columns) {
+    indices_.push_back(child_->schema().IndexOfOrThrow(column));
+  }
+}
+
+void ProjectIterator::Open() {
+  ResetCount();
+  child_->Open();
+  seen_.clear();
+}
+
+bool ProjectIterator::Next(Tuple* out) {
+  Tuple t;
+  while (child_->Next(&t)) {
+    Tuple projected = ProjectTuple(t, indices_);
+    if (seen_.insert(projected).second) {
+      *out = std::move(projected);
+      CountRow();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ProjectIterator::Close() {
+  child_->Close();
+  seen_.clear();
+}
+
+RenameIterator::RenameIterator(IterPtr child,
+                               std::vector<std::pair<std::string, std::string>> renames)
+    : child_(std::move(child)) {
+  std::vector<Attribute> attributes = child_->schema().attributes();
+  for (const auto& [from, to] : renames) {
+    attributes[child_->schema().IndexOfOrThrow(from)].name = to;
+  }
+  schema_ = Schema(std::move(attributes));
+}
+
+bool RenameIterator::Next(Tuple* out) {
+  if (!child_->Next(out)) return false;
+  CountRow();
+  return true;
+}
+
+UnionIterator::UnionIterator(IterPtr left, IterPtr right)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      right_reorder_(ReorderIndices(left_->schema(), right_->schema())) {}
+
+void UnionIterator::Open() {
+  ResetCount();
+  left_->Open();
+  right_->Open();
+  on_right_ = false;
+  seen_.clear();
+}
+
+bool UnionIterator::NextAligned(Tuple* out) {
+  if (!on_right_) {
+    if (left_->Next(out)) return true;
+    on_right_ = true;
+  }
+  Tuple t;
+  if (right_->Next(&t)) {
+    *out = MaybeReorder(t, right_reorder_);
+    return true;
+  }
+  return false;
+}
+
+bool UnionIterator::Next(Tuple* out) {
+  while (NextAligned(out)) {
+    if (seen_.insert(*out).second) {
+      CountRow();
+      return true;
+    }
+  }
+  return false;
+}
+
+void UnionIterator::Close() {
+  left_->Close();
+  right_->Close();
+  seen_.clear();
+}
+
+IntersectIterator::IntersectIterator(IterPtr left, IterPtr right)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      right_reorder_(ReorderIndices(left_->schema(), right_->schema())) {}
+
+void IntersectIterator::Open() {
+  ResetCount();
+  left_->Open();
+  right_->Open();
+  build_.clear();
+  emitted_.clear();
+  Tuple t;
+  while (right_->Next(&t)) build_.insert(MaybeReorder(t, right_reorder_));
+}
+
+bool IntersectIterator::Next(Tuple* out) {
+  while (left_->Next(out)) {
+    if (build_.count(*out) && emitted_.insert(*out).second) {
+      CountRow();
+      return true;
+    }
+  }
+  return false;
+}
+
+void IntersectIterator::Close() {
+  left_->Close();
+  right_->Close();
+  build_.clear();
+  emitted_.clear();
+}
+
+DifferenceIterator::DifferenceIterator(IterPtr left, IterPtr right)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      right_reorder_(ReorderIndices(left_->schema(), right_->schema())) {}
+
+void DifferenceIterator::Open() {
+  ResetCount();
+  left_->Open();
+  right_->Open();
+  build_.clear();
+  emitted_.clear();
+  Tuple t;
+  while (right_->Next(&t)) build_.insert(MaybeReorder(t, right_reorder_));
+}
+
+bool DifferenceIterator::Next(Tuple* out) {
+  while (left_->Next(out)) {
+    if (!build_.count(*out) && emitted_.insert(*out).second) {
+      CountRow();
+      return true;
+    }
+  }
+  return false;
+}
+
+void DifferenceIterator::Close() {
+  left_->Close();
+  right_->Close();
+  build_.clear();
+  emitted_.clear();
+}
+
+CrossProductIterator::CrossProductIterator(IterPtr left, IterPtr right)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      schema_(left_->schema().Concat(right_->schema())) {}
+
+void CrossProductIterator::Open() {
+  ResetCount();
+  left_->Open();
+  right_->Open();
+  right_rows_.clear();
+  Tuple t;
+  while (right_->Next(&t)) right_rows_.push_back(t);
+  have_left_ = false;
+  right_pos_ = 0;
+}
+
+bool CrossProductIterator::Next(Tuple* out) {
+  if (right_rows_.empty()) return false;
+  while (true) {
+    if (!have_left_) {
+      if (!left_->Next(&current_left_)) return false;
+      have_left_ = true;
+      right_pos_ = 0;
+    }
+    if (right_pos_ < right_rows_.size()) {
+      *out = ConcatTuples(current_left_, right_rows_[right_pos_++]);
+      CountRow();
+      return true;
+    }
+    have_left_ = false;
+  }
+}
+
+void CrossProductIterator::Close() {
+  left_->Close();
+  right_->Close();
+  right_rows_.clear();
+}
+
+}  // namespace quotient

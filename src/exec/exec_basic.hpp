@@ -1,0 +1,172 @@
+#pragma once
+
+#include <unordered_set>
+
+#include "algebra/predicate.hpp"
+#include "exec/iterator.hpp"
+
+namespace quotient {
+
+/// Scans a materialized relation (base table or intermediate).
+class RelationScan : public Iterator {
+ public:
+  explicit RelationScan(std::shared_ptr<const Relation> relation)
+      : relation_(std::move(relation)) {}
+
+  const Schema& schema() const override { return relation_->schema(); }
+  void Open() override {
+    ResetCount();
+    position_ = 0;
+  }
+  bool Next(Tuple* out) override;
+  void Close() override {}
+  const char* name() const override { return "Scan"; }
+  std::vector<Iterator*> InputIterators() override { return {}; }
+
+ private:
+  std::shared_ptr<const Relation> relation_;
+  size_t position_ = 0;
+};
+
+/// σ: emits child tuples satisfying the predicate.
+class FilterIterator : public Iterator {
+ public:
+  FilterIterator(IterPtr child, ExprPtr predicate);
+
+  const Schema& schema() const override { return child_->schema(); }
+  void Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override { child_->Close(); }
+  const char* name() const override { return "Filter"; }
+  std::vector<Iterator*> InputIterators() override { return {child_.get()}; }
+
+ private:
+  IterPtr child_;
+  ExprPtr predicate_;
+  std::unique_ptr<BoundExpr> bound_;
+};
+
+/// π with duplicate elimination (set semantics).
+class ProjectIterator : public Iterator {
+ public:
+  ProjectIterator(IterPtr child, std::vector<std::string> columns);
+
+  const Schema& schema() const override { return schema_; }
+  void Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override;
+  const char* name() const override { return "Project"; }
+  std::vector<Iterator*> InputIterators() override { return {child_.get()}; }
+
+ private:
+  IterPtr child_;
+  Schema schema_;
+  std::vector<size_t> indices_;
+  std::unordered_set<Tuple, TupleHash, TupleEq> seen_;
+};
+
+/// ρ: pass-through with a renamed schema.
+class RenameIterator : public Iterator {
+ public:
+  RenameIterator(IterPtr child, std::vector<std::pair<std::string, std::string>> renames);
+
+  const Schema& schema() const override { return schema_; }
+  void Open() override {
+    ResetCount();
+    child_->Open();
+  }
+  bool Next(Tuple* out) override;
+  void Close() override { child_->Close(); }
+  const char* name() const override { return "Rename"; }
+  std::vector<Iterator*> InputIterators() override { return {child_.get()}; }
+
+ private:
+  IterPtr child_;
+  Schema schema_;
+};
+
+/// ∪ with duplicate elimination.
+class UnionIterator : public Iterator {
+ public:
+  UnionIterator(IterPtr left, IterPtr right);
+
+  const Schema& schema() const override { return left_->schema(); }
+  void Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override;
+  const char* name() const override { return "Union"; }
+  std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
+
+ private:
+  bool NextAligned(Tuple* out);
+
+  IterPtr left_;
+  IterPtr right_;
+  std::vector<size_t> right_reorder_;  // empty when schemas align positionally
+  bool on_right_ = false;
+  std::unordered_set<Tuple, TupleHash, TupleEq> seen_;
+};
+
+/// ∩ (hash build on the right input).
+class IntersectIterator : public Iterator {
+ public:
+  IntersectIterator(IterPtr left, IterPtr right);
+
+  const Schema& schema() const override { return left_->schema(); }
+  void Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override;
+  const char* name() const override { return "Intersect"; }
+  std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
+
+ private:
+  IterPtr left_;
+  IterPtr right_;
+  std::vector<size_t> right_reorder_;
+  std::unordered_set<Tuple, TupleHash, TupleEq> build_;
+  std::unordered_set<Tuple, TupleHash, TupleEq> emitted_;
+};
+
+/// − (hash build on the right input).
+class DifferenceIterator : public Iterator {
+ public:
+  DifferenceIterator(IterPtr left, IterPtr right);
+
+  const Schema& schema() const override { return left_->schema(); }
+  void Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override;
+  const char* name() const override { return "Difference"; }
+  std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
+
+ private:
+  IterPtr left_;
+  IterPtr right_;
+  std::vector<size_t> right_reorder_;
+  std::unordered_set<Tuple, TupleHash, TupleEq> build_;
+  std::unordered_set<Tuple, TupleHash, TupleEq> emitted_;
+};
+
+/// × (right side materialized).
+class CrossProductIterator : public Iterator {
+ public:
+  CrossProductIterator(IterPtr left, IterPtr right);
+
+  const Schema& schema() const override { return schema_; }
+  void Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override;
+  const char* name() const override { return "CrossProduct"; }
+  std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
+
+ private:
+  IterPtr left_;
+  IterPtr right_;
+  Schema schema_;
+  std::vector<Tuple> right_rows_;
+  Tuple current_left_;
+  bool have_left_ = false;
+  size_t right_pos_ = 0;
+};
+
+}  // namespace quotient

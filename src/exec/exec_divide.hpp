@@ -1,0 +1,86 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "algebra/divide.hpp"
+#include "exec/iterator.hpp"
+#include "util/bitmap.hpp"
+
+namespace quotient {
+
+/// The physical small-divide algorithms (Graefe's catalogue [14], plus a
+/// pedagogical nested-loop baseline):
+///   kHash           — hash-division: divisor hashed to bit positions, one
+///                     bitmap per quotient candidate (Graefe/Cole [16]).
+///   kHashTransposed — hash-division with the roles transposed: quotient
+///                     candidates are numbered and each divisor tuple keeps
+///                     a bitmap over candidates; a candidate qualifies when
+///                     its bit is set in every divisor bitmap (the
+///                     "divisor-table bitmaps" variant of [16]). Preferable
+///                     when the divisor is small and candidates are many.
+///   kMergeSort      — "naive division": dividend sorted by (A, B), divisor
+///                     sorted; per-group merge test.
+///   kHashCount      — hash-based aggregate division: count matching divisor
+///                     tuples per candidate, compare with |divisor|.
+///   kSortCount      — sort-based aggregate division: same counting idea
+///                     over sorted runs.
+///   kNestedLoop     — per candidate, probe its group for every divisor
+///                     tuple.
+enum class DivisionAlgorithm {
+  kHash,
+  kHashTransposed,
+  kMergeSort,
+  kHashCount,
+  kSortCount,
+  kNestedLoop
+};
+
+const char* DivisionAlgorithmName(DivisionAlgorithm algorithm);
+
+/// All physical divisions are blocking: they materialize both inputs on
+/// Open() and then stream the quotient. All algorithms implement Codd's
+/// semantics including r1 ÷ ∅ = πA(r1).
+///
+/// Input streams are assumed duplicate-free (set semantics); every operator
+/// in this engine preserves that invariant.
+class DivisionIterator : public Iterator {
+ public:
+  DivisionIterator(IterPtr dividend, IterPtr divisor, DivisionAlgorithm algorithm);
+
+  const Schema& schema() const override { return schema_; }
+  void Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override;
+  const char* name() const override;
+  std::vector<Iterator*> InputIterators() override {
+    return {dividend_.get(), divisor_.get()};
+  }
+
+ private:
+  void RunHash(const std::vector<Tuple>& divisor_keys);
+  void RunHashTransposed(const std::vector<Tuple>& divisor_keys);
+  void RunMergeSort(std::vector<Tuple> divisor_keys);
+  void RunHashCount(const std::vector<Tuple>& divisor_keys);
+  void RunSortCount(const std::vector<Tuple>& divisor_keys);
+  void RunNestedLoop(const std::vector<Tuple>& divisor_keys);
+
+  IterPtr dividend_;
+  IterPtr divisor_;
+  DivisionAlgorithm algorithm_;
+  Schema schema_;
+  std::vector<size_t> a_idx_;        // A positions in the dividend
+  std::vector<size_t> b_idx_;        // B positions in the dividend
+  std::vector<size_t> divisor_idx_;  // B positions in the divisor
+
+  std::vector<Tuple> results_;
+  size_t position_ = 0;
+  // Scratch (valid between Open and Close): materialized dividend as
+  // (A-part, B-part) pairs.
+  std::vector<std::pair<Tuple, Tuple>> pairs_;
+};
+
+/// Convenience: run one algorithm on materialized relations.
+Relation ExecDivide(const Relation& dividend, const Relation& divisor,
+                    DivisionAlgorithm algorithm);
+
+}  // namespace quotient

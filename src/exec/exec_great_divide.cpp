@@ -1,0 +1,247 @@
+#include "exec/exec_great_divide.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <unordered_set>
+
+#include "exec/exec_basic.hpp"
+#include "util/status.hpp"
+
+namespace quotient {
+
+namespace {
+
+std::vector<size_t> IndicesOf(const Schema& schema, const std::vector<std::string>& names) {
+  std::vector<size_t> indices;
+  indices.reserve(names.size());
+  for (const std::string& name : names) indices.push_back(schema.IndexOfOrThrow(name));
+  return indices;
+}
+
+uint64_t SetSignature(const std::vector<Value>& elements) {
+  uint64_t signature = 0;
+  for (const Value& v : elements) signature |= uint64_t{1} << (v.Hash() & 63);
+  return signature;
+}
+
+}  // namespace
+
+const char* GreatDivideAlgorithmName(GreatDivideAlgorithm algorithm) {
+  switch (algorithm) {
+    case GreatDivideAlgorithm::kHash: return "HashGreatDivide";
+    case GreatDivideAlgorithm::kGroup: return "GroupGreatDivide";
+  }
+  return "?";
+}
+
+GreatDivideIterator::GreatDivideIterator(IterPtr dividend, IterPtr divisor,
+                                         GreatDivideAlgorithm algorithm)
+    : dividend_(std::move(dividend)), divisor_(std::move(divisor)), algorithm_(algorithm) {
+  DivisionAttributes attrs =
+      DivisionAttributeSets(dividend_->schema(), divisor_->schema(), /*allow_c=*/true);
+  if (attrs.c.empty()) {
+    throw SchemaError(
+        "GreatDivideIterator requires divisor group attributes C; use DivisionIterator for the "
+        "small divide");
+  }
+  schema_ = dividend_->schema().Project(attrs.a).Concat(divisor_->schema().Project(attrs.c));
+  a_idx_ = IndicesOf(dividend_->schema(), attrs.a);
+  b_idx_ = IndicesOf(dividend_->schema(), attrs.b);
+  divisor_b_idx_ = IndicesOf(divisor_->schema(), attrs.b);
+  divisor_c_idx_ = IndicesOf(divisor_->schema(), attrs.c);
+}
+
+void GreatDivideIterator::Open() {
+  ResetCount();
+  results_.clear();
+  position_ = 0;
+
+  dividend_->Open();
+  divisor_->Open();
+  std::vector<std::pair<Tuple, Tuple>> dividend_pairs;  // (A, B)
+  std::vector<std::pair<Tuple, Tuple>> divisor_pairs;   // (B, C)
+  Tuple t;
+  while (dividend_->Next(&t)) {
+    dividend_pairs.emplace_back(ProjectTuple(t, a_idx_), ProjectTuple(t, b_idx_));
+  }
+  while (divisor_->Next(&t)) {
+    divisor_pairs.emplace_back(ProjectTuple(t, divisor_b_idx_), ProjectTuple(t, divisor_c_idx_));
+  }
+
+  switch (algorithm_) {
+    case GreatDivideAlgorithm::kHash: RunHash(dividend_pairs, divisor_pairs); break;
+    case GreatDivideAlgorithm::kGroup: RunGroupAtATime(dividend_pairs, divisor_pairs); break;
+  }
+}
+
+void GreatDivideIterator::RunHash(const std::vector<std::pair<Tuple, Tuple>>& dividend_pairs,
+                                  const std::vector<std::pair<Tuple, Tuple>>& divisor_pairs) {
+  // Number the C-groups, record which groups each divisor B value belongs
+  // to, then count per-(candidate, group) matches in one dividend pass.
+  std::unordered_map<Tuple, size_t, TupleHash, TupleEq> group_ids;
+  std::vector<Tuple> group_values;
+  std::vector<size_t> group_sizes;
+  std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash, TupleEq> member_of;
+  for (const auto& [b, c] : divisor_pairs) {
+    auto [it, inserted] = group_ids.try_emplace(c, group_ids.size());
+    if (inserted) {
+      group_values.push_back(c);
+      group_sizes.push_back(0);
+    }
+    group_sizes[it->second] += 1;
+    member_of[b].push_back(static_cast<uint32_t>(it->second));
+  }
+  size_t k = group_values.size();
+
+  std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash, TupleEq> counts;
+  for (const auto& [a, b] : dividend_pairs) {
+    auto it = member_of.find(b);
+    if (it == member_of.end()) continue;
+    auto [entry, inserted] = counts.try_emplace(a);
+    if (inserted) entry->second.assign(k, 0);
+    for (uint32_t gid : it->second) entry->second[gid] += 1;
+  }
+  for (const auto& [a, per_group] : counts) {
+    for (size_t gid = 0; gid < k; ++gid) {
+      if (per_group[gid] == group_sizes[gid]) {
+        results_.push_back(ConcatTuples(a, group_values[gid]));
+      }
+    }
+  }
+}
+
+void GreatDivideIterator::RunGroupAtATime(
+    const std::vector<std::pair<Tuple, Tuple>>& dividend_pairs,
+    const std::vector<std::pair<Tuple, Tuple>>& divisor_pairs) {
+  // Definition 4 executed literally: one small divide per divisor group.
+  std::unordered_map<Tuple, std::vector<Tuple>, TupleHash, TupleEq> groups;
+  for (const auto& [b, c] : divisor_pairs) groups[c].push_back(b);
+
+  for (const auto& [c, divisor_keys] : groups) {
+    std::unordered_set<Tuple, TupleHash, TupleEq> divisor_set(divisor_keys.begin(),
+                                                              divisor_keys.end());
+    std::unordered_map<Tuple, size_t, TupleHash, TupleEq> counts;
+    for (const auto& [a, b] : dividend_pairs) {  // full dividend re-scan per group
+      if (divisor_set.count(b)) counts[a] += 1;
+    }
+    for (const auto& [a, count] : counts) {
+      if (count == divisor_set.size()) results_.push_back(ConcatTuples(a, c));
+    }
+  }
+}
+
+bool GreatDivideIterator::Next(Tuple* out) {
+  if (position_ >= results_.size()) return false;
+  *out = results_[position_++];
+  CountRow();
+  return true;
+}
+
+void GreatDivideIterator::Close() {
+  dividend_->Close();
+  divisor_->Close();
+  results_.clear();
+}
+
+Relation ExecGreatDivide(const Relation& dividend, const Relation& divisor,
+                         GreatDivideAlgorithm algorithm) {
+  GreatDivideIterator it(
+      std::make_unique<RelationScan>(std::make_shared<const Relation>(dividend)),
+      std::make_unique<RelationScan>(std::make_shared<const Relation>(divisor)), algorithm);
+  return ExecuteToRelation(it);
+}
+
+Relation GreatDividePartitioned(const Relation& dividend, const Relation& divisor,
+                                size_t threads) {
+  if (threads == 0) throw SchemaError("GreatDividePartitioned needs threads >= 1");
+  DivisionAttributes attrs =
+      DivisionAttributeSets(dividend.schema(), divisor.schema(), /*allow_c=*/true);
+  if (attrs.c.empty()) throw SchemaError("GreatDividePartitioned requires C attributes");
+
+  // Hash-partition the divisor on C. Projections of the partitions on C are
+  // disjoint, so by Law 13 the union of the partial results is the answer.
+  std::vector<size_t> c_idx = IndicesOf(divisor.schema(), attrs.c);
+  std::vector<std::vector<Tuple>> parts(threads);
+  TupleHash hasher;
+  for (const Tuple& t : divisor.tuples()) {
+    parts[hasher(ProjectTuple(t, c_idx)) % threads].push_back(t);
+  }
+
+  std::vector<Relation> partial(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers.emplace_back([&, i] {
+      Relation part(divisor.schema(), std::move(parts[i]));
+      if (part.empty()) {
+        partial[i] = Relation(dividend.schema().Project(attrs.a).Concat(
+            divisor.schema().Project(attrs.c)));
+      } else {
+        partial[i] = ExecGreatDivide(dividend, part, GreatDivideAlgorithm::kHash);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  std::vector<Tuple> all;
+  for (const Relation& r : partial) {
+    all.insert(all.end(), r.tuples().begin(), r.tuples().end());
+  }
+  return Relation(dividend.schema().Project(attrs.a).Concat(divisor.schema().Project(attrs.c)),
+                  std::move(all));
+}
+
+SetContainmentJoinIterator::SetContainmentJoinIterator(IterPtr left, std::string left_set_attr,
+                                                       IterPtr right,
+                                                       std::string right_set_attr)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      schema_(left_->schema().Concat(right_->schema())),
+      left_idx_(left_->schema().IndexOfOrThrow(left_set_attr)),
+      right_idx_(right_->schema().IndexOfOrThrow(right_set_attr)) {
+  if (left_->schema().attribute(left_idx_).type != ValueType::kSet ||
+      right_->schema().attribute(right_idx_).type != ValueType::kSet) {
+    throw SchemaError("SetContainmentJoinIterator requires set-valued join attributes");
+  }
+}
+
+void SetContainmentJoinIterator::Open() {
+  ResetCount();
+  results_.clear();
+  position_ = 0;
+  left_->Open();
+  right_->Open();
+
+  Tuple t;
+  std::vector<std::pair<uint64_t, Tuple>> lhs;
+  while (left_->Next(&t)) lhs.emplace_back(SetSignature(t[left_idx_].as_set()), t);
+  std::vector<std::pair<uint64_t, Tuple>> rhs;
+  while (right_->Next(&t)) rhs.emplace_back(SetSignature(t[right_idx_].as_set()), t);
+
+  for (const auto& [sig1, t1] : lhs) {
+    const std::vector<Value>& s1 = t1[left_idx_].as_set();
+    for (const auto& [sig2, t2] : rhs) {
+      // Signature filter: containment implies sig2's bits ⊆ sig1's bits.
+      if ((sig1 & sig2) != sig2) continue;
+      const std::vector<Value>& s2 = t2[right_idx_].as_set();
+      if (std::includes(s1.begin(), s1.end(), s2.begin(), s2.end())) {
+        results_.push_back(ConcatTuples(t1, t2));
+      }
+    }
+  }
+}
+
+bool SetContainmentJoinIterator::Next(Tuple* out) {
+  if (position_ >= results_.size()) return false;
+  *out = results_[position_++];
+  CountRow();
+  return true;
+}
+
+void SetContainmentJoinIterator::Close() {
+  left_->Close();
+  right_->Close();
+  results_.clear();
+}
+
+}  // namespace quotient

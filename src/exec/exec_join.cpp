@@ -1,0 +1,185 @@
+#include "exec/exec_join.hpp"
+
+namespace quotient {
+
+namespace {
+
+std::vector<size_t> IndicesOf(const Schema& schema, const std::vector<std::string>& names) {
+  std::vector<size_t> indices;
+  indices.reserve(names.size());
+  for (const std::string& name : names) indices.push_back(schema.IndexOfOrThrow(name));
+  return indices;
+}
+
+}  // namespace
+
+HashJoinIterator::HashJoinIterator(IterPtr left, IterPtr right)
+    : left_(std::move(left)), right_(std::move(right)) {
+  std::vector<std::string> common = left_->schema().CommonNames(right_->schema());
+  std::vector<std::string> right_only = right_->schema().NamesMinus(left_->schema());
+  schema_ = left_->schema().Concat(right_->schema().Project(right_only));
+  left_key_ = IndicesOf(left_->schema(), common);
+  right_key_ = IndicesOf(right_->schema(), common);
+  right_rest_ = IndicesOf(right_->schema(), right_only);
+}
+
+void HashJoinIterator::Open() {
+  ResetCount();
+  left_->Open();
+  right_->Open();
+  build_.clear();
+  Tuple t;
+  while (right_->Next(&t)) build_[ProjectTuple(t, right_key_)].push_back(t);
+  matches_ = nullptr;
+  match_pos_ = 0;
+}
+
+bool HashJoinIterator::Next(Tuple* out) {
+  while (true) {
+    if (matches_ != nullptr && match_pos_ < matches_->size()) {
+      *out = ConcatTuples(current_left_, ProjectTuple((*matches_)[match_pos_++], right_rest_));
+      CountRow();
+      return true;
+    }
+    matches_ = nullptr;
+    if (!left_->Next(&current_left_)) return false;
+    auto it = build_.find(ProjectTuple(current_left_, left_key_));
+    if (it != build_.end()) {
+      matches_ = &it->second;
+      match_pos_ = 0;
+    }
+  }
+}
+
+void HashJoinIterator::Close() {
+  left_->Close();
+  right_->Close();
+  build_.clear();
+}
+
+NestedLoopJoinIterator::NestedLoopJoinIterator(IterPtr left, IterPtr right, ExprPtr condition)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      schema_(left_->schema().Concat(right_->schema())),
+      condition_(std::move(condition)) {}
+
+void NestedLoopJoinIterator::Open() {
+  ResetCount();
+  left_->Open();
+  right_->Open();
+  bound_ = std::make_unique<BoundExpr>(condition_, schema_);
+  right_rows_.clear();
+  Tuple t;
+  while (right_->Next(&t)) right_rows_.push_back(t);
+  have_left_ = false;
+  right_pos_ = 0;
+}
+
+bool NestedLoopJoinIterator::Next(Tuple* out) {
+  if (right_rows_.empty()) return false;
+  while (true) {
+    if (!have_left_) {
+      if (!left_->Next(&current_left_)) return false;
+      have_left_ = true;
+      right_pos_ = 0;
+    }
+    while (right_pos_ < right_rows_.size()) {
+      Tuple candidate = ConcatTuples(current_left_, right_rows_[right_pos_++]);
+      if (bound_->EvalBool(candidate)) {
+        *out = std::move(candidate);
+        CountRow();
+        return true;
+      }
+    }
+    have_left_ = false;
+  }
+}
+
+void NestedLoopJoinIterator::Close() {
+  left_->Close();
+  right_->Close();
+  right_rows_.clear();
+}
+
+EquiJoinIterator::EquiJoinIterator(IterPtr left, IterPtr right,
+                                   std::vector<std::string> left_keys,
+                                   std::vector<std::string> right_keys)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      schema_(left_->schema().Concat(right_->schema())),
+      left_key_(IndicesOf(left_->schema(), left_keys)),
+      right_key_(IndicesOf(right_->schema(), right_keys)) {}
+
+void EquiJoinIterator::Open() {
+  ResetCount();
+  left_->Open();
+  right_->Open();
+  build_.clear();
+  Tuple t;
+  while (right_->Next(&t)) build_[ProjectTuple(t, right_key_)].push_back(t);
+  matches_ = nullptr;
+  match_pos_ = 0;
+}
+
+bool EquiJoinIterator::Next(Tuple* out) {
+  while (true) {
+    if (matches_ != nullptr && match_pos_ < matches_->size()) {
+      *out = ConcatTuples(current_left_, (*matches_)[match_pos_++]);
+      CountRow();
+      return true;
+    }
+    matches_ = nullptr;
+    if (!left_->Next(&current_left_)) return false;
+    auto it = build_.find(ProjectTuple(current_left_, left_key_));
+    if (it != build_.end()) {
+      matches_ = &it->second;
+      match_pos_ = 0;
+    }
+  }
+}
+
+void EquiJoinIterator::Close() {
+  left_->Close();
+  right_->Close();
+  build_.clear();
+}
+
+HashSemiJoinIterator::HashSemiJoinIterator(IterPtr left, IterPtr right, bool anti)
+    : left_(std::move(left)), right_(std::move(right)), anti_(anti) {
+  std::vector<std::string> common = left_->schema().CommonNames(right_->schema());
+  left_key_ = IndicesOf(left_->schema(), common);
+  right_key_ = IndicesOf(right_->schema(), common);
+}
+
+void HashSemiJoinIterator::Open() {
+  ResetCount();
+  left_->Open();
+  right_->Open();
+  build_.clear();
+  right_empty_ = true;
+  Tuple t;
+  while (right_->Next(&t)) {
+    right_empty_ = false;
+    build_.insert(ProjectTuple(t, right_key_));
+  }
+}
+
+bool HashSemiJoinIterator::Next(Tuple* out) {
+  while (left_->Next(out)) {
+    bool matched =
+        left_key_.empty() ? !right_empty_ : build_.count(ProjectTuple(*out, left_key_)) > 0;
+    if (matched != anti_) {
+      CountRow();
+      return true;
+    }
+  }
+  return false;
+}
+
+void HashSemiJoinIterator::Close() {
+  left_->Close();
+  right_->Close();
+  build_.clear();
+}
+
+}  // namespace quotient

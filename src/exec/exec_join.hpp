@@ -1,0 +1,116 @@
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "algebra/predicate.hpp"
+#include "exec/iterator.hpp"
+
+namespace quotient {
+
+/// Hash natural join on the common attribute names (build on the right,
+/// probe with the left). Output schema: attrs(left) ++ (attrs(right) −
+/// common). Degenerates to a cross product when no names are shared.
+class HashJoinIterator : public Iterator {
+ public:
+  HashJoinIterator(IterPtr left, IterPtr right);
+
+  const Schema& schema() const override { return schema_; }
+  void Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override;
+  const char* name() const override { return "HashJoin"; }
+  std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
+
+ private:
+  IterPtr left_;
+  IterPtr right_;
+  Schema schema_;
+  std::vector<size_t> left_key_;
+  std::vector<size_t> right_key_;
+  std::vector<size_t> right_rest_;
+  std::unordered_map<Tuple, std::vector<Tuple>, TupleHash, TupleEq> build_;
+
+  Tuple current_left_;
+  const std::vector<Tuple>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+};
+
+/// Nested-loop theta join (right side materialized); handles arbitrary
+/// conditions. Output schema: attrs(left) ++ attrs(right) (disjoint names).
+class NestedLoopJoinIterator : public Iterator {
+ public:
+  NestedLoopJoinIterator(IterPtr left, IterPtr right, ExprPtr condition);
+
+  const Schema& schema() const override { return schema_; }
+  void Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override;
+  const char* name() const override { return "NestedLoopJoin"; }
+  std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
+
+ private:
+  IterPtr left_;
+  IterPtr right_;
+  Schema schema_;
+  ExprPtr condition_;
+  std::unique_ptr<BoundExpr> bound_;
+  std::vector<Tuple> right_rows_;
+  Tuple current_left_;
+  bool have_left_ = false;
+  size_t right_pos_ = 0;
+};
+
+/// Hash equi-join on explicit key columns (for theta joins whose condition
+/// is a conjunction of left-column = right-column equalities). Output schema
+/// attrs(left) ++ attrs(right), i.e. theta-join semantics: both key columns
+/// are preserved.
+class EquiJoinIterator : public Iterator {
+ public:
+  EquiJoinIterator(IterPtr left, IterPtr right, std::vector<std::string> left_keys,
+                   std::vector<std::string> right_keys);
+
+  const Schema& schema() const override { return schema_; }
+  void Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override;
+  const char* name() const override { return "EquiJoin"; }
+  std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
+
+ private:
+  IterPtr left_;
+  IterPtr right_;
+  Schema schema_;
+  std::vector<size_t> left_key_;
+  std::vector<size_t> right_key_;
+  std::unordered_map<Tuple, std::vector<Tuple>, TupleHash, TupleEq> build_;
+  Tuple current_left_;
+  const std::vector<Tuple>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+};
+
+/// Hash semi-join r1 ⋉ r2 on the common attribute names. With no common
+/// attributes it degenerates per Appendix A: keeps everything iff the right
+/// side is nonempty (used to compile Laws 11/12's guards).
+class HashSemiJoinIterator : public Iterator {
+ public:
+  HashSemiJoinIterator(IterPtr left, IterPtr right, bool anti = false);
+
+  const Schema& schema() const override { return left_->schema(); }
+  void Open() override;
+  bool Next(Tuple* out) override;
+  void Close() override;
+  const char* name() const override { return anti_ ? "HashAntiJoin" : "HashSemiJoin"; }
+  std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
+
+ private:
+  IterPtr left_;
+  IterPtr right_;
+  bool anti_;
+  std::vector<size_t> left_key_;
+  std::vector<size_t> right_key_;
+  bool right_empty_ = true;
+  std::unordered_set<Tuple, TupleHash, TupleEq> build_;
+};
+
+}  // namespace quotient

@@ -1,0 +1,46 @@
+#include "exec/iterator.hpp"
+
+namespace quotient {
+
+Relation ExecuteToRelation(Iterator& it) {
+  it.Open();
+  std::vector<Tuple> tuples;
+  Tuple t;
+  while (it.Next(&t)) tuples.push_back(t);
+  it.Close();
+  return Relation(it.schema(), std::move(tuples));
+}
+
+size_t TotalRowsProduced(Iterator& root) {
+  size_t total = root.rows_produced();
+  for (Iterator* child : root.InputIterators()) total += TotalRowsProduced(*child);
+  return total;
+}
+
+size_t MaxRowsProduced(Iterator& root) {
+  size_t max_rows = root.rows_produced();
+  for (Iterator* child : root.InputIterators()) {
+    max_rows = std::max(max_rows, MaxRowsProduced(*child));
+  }
+  return max_rows;
+}
+
+namespace {
+
+void Render(Iterator& it, std::string* out, int indent) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  *out += it.name();
+  *out += "  rows=" + std::to_string(it.rows_produced());
+  *out += "  " + it.schema().ToString() + "\n";
+  for (Iterator* child : it.InputIterators()) Render(*child, out, indent + 1);
+}
+
+}  // namespace
+
+std::string ExplainTree(Iterator& root) {
+  std::string out;
+  Render(root, &out, 0);
+  return out;
+}
+
+}  // namespace quotient

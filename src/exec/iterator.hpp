@@ -1,0 +1,58 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/relation.hpp"
+
+namespace quotient {
+
+/// Volcano-style physical operator: Open / Next / Close, tuple at a time.
+/// Every iterator counts the tuples it produces; ExecStats aggregates those
+/// counters over a plan so benchmarks can report intermediate-result sizes
+/// (the quantity the Leinders/Van den Bussche result in §6 is about).
+class Iterator {
+ public:
+  virtual ~Iterator() = default;
+
+  /// The output schema; valid before Open().
+  virtual const Schema& schema() const = 0;
+  /// Acquires resources / builds hash tables. Must be called before Next().
+  virtual void Open() = 0;
+  /// Produces the next tuple; returns false at end of stream.
+  virtual bool Next(Tuple* out) = 0;
+  /// Releases resources; the iterator may be re-Opened afterwards.
+  virtual void Close() = 0;
+
+  /// Operator name for EXPLAIN output.
+  virtual const char* name() const = 0;
+
+  /// Children for plan walking (non-owning).
+  virtual std::vector<Iterator*> InputIterators() = 0;
+
+  /// Tuples this operator has produced since Open().
+  size_t rows_produced() const { return rows_produced_; }
+
+ protected:
+  void CountRow() { ++rows_produced_; }
+  void ResetCount() { rows_produced_ = 0; }
+  size_t rows_produced_ = 0;
+};
+
+using IterPtr = std::unique_ptr<Iterator>;
+
+/// Drains `it` (Open/Next/Close) into a canonical Relation.
+Relation ExecuteToRelation(Iterator& it);
+
+/// Sum of rows_produced over the whole plan (call after draining).
+size_t TotalRowsProduced(Iterator& root);
+
+/// Largest rows_produced of any single operator in the plan.
+size_t MaxRowsProduced(Iterator& root);
+
+/// Indented operator tree with per-operator row counts, for EXPLAIN ANALYZE
+/// style output.
+std::string ExplainTree(Iterator& root);
+
+}  // namespace quotient

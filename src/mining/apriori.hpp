@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plan/catalog.hpp"
+
+namespace quotient {
+namespace mining {
+
+/// A frequent itemset with its absolute support (number of transactions
+/// containing every item).
+struct FrequentItemset {
+  std::vector<int64_t> items;  // sorted
+  int64_t support = 0;
+
+  bool operator==(const FrequentItemset& other) const = default;
+};
+
+/// How the support-counting phase is executed (§3):
+///   kGreatDivide — quotient = transactions ÷* candidates on the vertical
+///                  layout, then group/count/filter (the paper's proposal);
+///   kHashProbe   — direct subset probing of per-transaction hash sets
+///                  (classic Apriori baseline);
+///   kSqlDivide   — the literal §4 SQL query with DIVIDE BY, GROUP BY and
+///                  HAVING, run through the SQL front end.
+enum class SupportCounting { kGreatDivide, kHashProbe, kSqlDivide };
+
+const char* SupportCountingName(SupportCounting method);
+
+/// Apriori frequent itemset discovery over a vertical transactions table
+/// (tid, item). Candidate generation is the standard k-1 self-join with
+/// subset pruning; support counting is pluggable. Note the great-divide
+/// path does NOT require all candidates to have the same size k (§3) — the
+/// per-level calls here are just Apriori's usual schedule.
+class Apriori {
+ public:
+  /// `transactions` must have schema (tid, item) with int attributes.
+  Apriori(Relation transactions, int64_t min_support, SupportCounting method);
+
+  /// All frequent itemsets, sorted by (size, items).
+  std::vector<FrequentItemset> Run();
+
+  /// Candidate k-itemsets from the frequent (k-1)-itemsets.
+  static std::vector<std::vector<int64_t>> GenerateCandidates(
+      const std::vector<std::vector<int64_t>>& frequent_previous);
+
+  /// The §3 vertical candidates relation candidates(item, itemset) where
+  /// `itemset` is the candidate's index in `candidates`.
+  static Relation CandidatesRelation(const std::vector<std::vector<int64_t>>& candidates);
+
+  /// Counts support for each candidate with the configured method; returns
+  /// per-candidate support aligned with `candidates`.
+  std::vector<int64_t> CountSupport(const std::vector<std::vector<int64_t>>& candidates);
+
+ private:
+  std::vector<int64_t> CountViaGreatDivide(const std::vector<std::vector<int64_t>>& candidates);
+  std::vector<int64_t> CountViaHashProbe(const std::vector<std::vector<int64_t>>& candidates);
+  std::vector<int64_t> CountViaSql(const std::vector<std::vector<int64_t>>& candidates);
+
+  Relation transactions_;
+  int64_t min_support_;
+  SupportCounting method_;
+};
+
+}  // namespace mining
+}  // namespace quotient

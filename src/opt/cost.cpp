@@ -1,0 +1,126 @@
+#include "opt/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace quotient {
+
+namespace {
+
+constexpr double kSelectSelectivity = 0.33;  // per predicate conjunct
+constexpr double kContainmentProbability = 0.1;  // P(group ⊇ divisor)
+
+double ConjunctCount(const ExprPtr& predicate) {
+  std::vector<ExprPtr> conjuncts;
+  Expr::SplitConjuncts(predicate, &conjuncts);
+  return static_cast<double>(conjuncts.size());
+}
+
+Estimate Estimate_(const PlanPtr& plan, const Catalog& catalog) {
+  const LogicalOp& op = *plan;
+  auto child = [&](size_t i) { return Estimate_(op.child(i), catalog); };
+
+  switch (op.kind()) {
+    case LogicalOp::Kind::kScan: {
+      double n = static_cast<double>(catalog.Get(op.table()).size());
+      return {n, n};
+    }
+    case LogicalOp::Kind::kValues: {
+      double n = static_cast<double>(op.values().size());
+      return {n, n};
+    }
+    case LogicalOp::Kind::kSelect: {
+      Estimate in = child(0);
+      double selectivity = std::pow(kSelectSelectivity, ConjunctCount(op.predicate()));
+      // Predicate evaluation is cheap relative to materializing operators.
+      return {in.cardinality * selectivity, in.cost + 0.1 * in.cardinality};
+    }
+    case LogicalOp::Kind::kProject: {
+      Estimate in = child(0);
+      // Projection may collapse duplicates; assume mild reduction.
+      return {in.cardinality * 0.8, in.cost + in.cardinality};
+    }
+    case LogicalOp::Kind::kRename: {
+      Estimate in = child(0);
+      return {in.cardinality, in.cost};
+    }
+    case LogicalOp::Kind::kUnion: {
+      Estimate l = child(0), r = child(1);
+      return {l.cardinality + r.cardinality,
+              l.cost + r.cost + l.cardinality + r.cardinality};
+    }
+    case LogicalOp::Kind::kIntersect: {
+      Estimate l = child(0), r = child(1);
+      return {std::min(l.cardinality, r.cardinality) * 0.5,
+              l.cost + r.cost + l.cardinality + r.cardinality};
+    }
+    case LogicalOp::Kind::kDifference: {
+      Estimate l = child(0), r = child(1);
+      return {l.cardinality * 0.5, l.cost + r.cost + l.cardinality + r.cardinality};
+    }
+    case LogicalOp::Kind::kProduct: {
+      Estimate l = child(0), r = child(1);
+      double out = l.cardinality * r.cardinality;
+      return {out, l.cost + r.cost + out};
+    }
+    case LogicalOp::Kind::kThetaJoin: {
+      Estimate l = child(0), r = child(1);
+      double selectivity = std::pow(kSelectSelectivity, ConjunctCount(op.predicate()));
+      double out = l.cardinality * r.cardinality * selectivity;
+      // Hash equi-joins touch each input once; conservative middle ground.
+      return {out, l.cost + r.cost + l.cardinality + r.cardinality + out};
+    }
+    case LogicalOp::Kind::kNaturalJoin: {
+      Estimate l = child(0), r = child(1);
+      double denominator = std::max(1.0, std::max(l.cardinality, r.cardinality));
+      double out = l.cardinality * r.cardinality / denominator;
+      return {out, l.cost + r.cost + l.cardinality + r.cardinality + out};
+    }
+    case LogicalOp::Kind::kSemiJoin: {
+      Estimate l = child(0), r = child(1);
+      return {l.cardinality * 0.5, l.cost + r.cost + l.cardinality + r.cardinality};
+    }
+    case LogicalOp::Kind::kAntiJoin: {
+      Estimate l = child(0), r = child(1);
+      return {l.cardinality * 0.5, l.cost + r.cost + l.cardinality + r.cardinality};
+    }
+    case LogicalOp::Kind::kDivide: {
+      Estimate l = child(0), r = child(1);
+      DivisionAttributes attrs = op.division_attributes();
+      // Quotient candidates ~ dividend rows / average group size; every
+      // dividend and divisor tuple is touched once (hash division), plus
+      // per-candidate bitmap work proportional to the divisor size.
+      double groups = std::max(1.0, l.cardinality / 4.0);
+      double out = groups * kContainmentProbability;
+      double bitmap_work = groups * std::max(1.0, r.cardinality) / 8.0;
+      (void)attrs;
+      return {out, l.cost + r.cost + l.cardinality + r.cardinality + bitmap_work};
+    }
+    case LogicalOp::Kind::kGreatDivide: {
+      Estimate l = child(0), r = child(1);
+      double groups = std::max(1.0, l.cardinality / 4.0);
+      double divisor_groups = std::max(1.0, r.cardinality / 4.0);
+      double out = groups * divisor_groups * kContainmentProbability;
+      double counter_work = groups * divisor_groups / 8.0;
+      return {out, l.cost + r.cost + l.cardinality + r.cardinality + counter_work};
+    }
+    case LogicalOp::Kind::kGroupBy: {
+      Estimate in = child(0);
+      double out = op.group_names().empty() ? 1.0 : std::max(1.0, in.cardinality / 4.0);
+      return {out, in.cost + in.cardinality};
+    }
+  }
+  return {0, 0};
+}
+
+}  // namespace
+
+Estimate EstimatePlan(const PlanPtr& plan, const Catalog& catalog) {
+  return Estimate_(plan, catalog);
+}
+
+double EstimateCost(const PlanPtr& plan, const Catalog& catalog) {
+  return Estimate_(plan, catalog).cost;
+}
+
+}  // namespace quotient

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "plan/logical.hpp"
+
+namespace quotient {
+
+/// Cardinality and cost estimates for logical plans. The model is the
+/// classic textbook one: base cardinalities come from the catalog,
+/// selections apply a default selectivity per conjunct, joins divide by the
+/// larger distinct count, and divisions estimate |A-groups| scaled by a
+/// containment probability. Costs count tuples touched (CPU-bound,
+/// in-memory engine), with the division operators priced per their
+/// algorithm family.
+struct Estimate {
+  double cardinality = 0;  // output rows
+  double cost = 0;         // cumulative work, in touched-tuple units
+};
+
+/// Estimates `plan` bottom-up against `catalog`.
+Estimate EstimatePlan(const PlanPtr& plan, const Catalog& catalog);
+
+/// Convenience: just the cost.
+double EstimateCost(const PlanPtr& plan, const Catalog& catalog);
+
+}  // namespace quotient

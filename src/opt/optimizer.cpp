@@ -1,0 +1,62 @@
+#include "opt/optimizer.hpp"
+
+#include <cstdio>
+
+namespace quotient {
+
+std::string OptimizationReport::Explain() const {
+  std::string out;
+  char line[128];
+  std::snprintf(line, sizeof(line), "original cost: %.1f, chosen cost: %.1f\n", original_cost,
+                chosen_cost);
+  out += line;
+  if (steps.empty()) {
+    out += "no rewrites applied\n";
+  } else {
+    out += "applied rewrites:\n";
+    for (const RewriteStep& step : steps) {
+      out += "  - " + step.rule + "\n";
+    }
+  }
+  out += "final plan:\n" + chosen->ToString();
+  return out;
+}
+
+Optimizer::Optimizer(const Catalog& catalog, OptimizerOptions options)
+    : catalog_(catalog), options_(std::move(options)), engine_(RewriteEngine::Default()) {}
+
+OptimizationReport Optimizer::Optimize(const PlanPtr& plan) const {
+  OptimizationReport report;
+  report.original = plan;
+  report.original_cost = EstimateCost(plan, catalog_);
+  report.chosen = plan;
+  report.chosen_cost = report.original_cost;
+
+  if (options_.use_rules) {
+    RewriteContext context{&catalog_, options_.allow_runtime_checks};
+    std::vector<RewriteStep> steps;
+    PlanPtr rewritten = engine_.Rewrite(plan, context, &steps, options_.max_rewrite_steps);
+    if (!steps.empty()) {
+      double rewritten_cost = EstimateCost(rewritten, catalog_);
+      // Keep the rewrite only if the model does not consider it a
+      // regression; the default rule set is curated, so ties go to the
+      // rewritten plan.
+      if (rewritten_cost <= report.original_cost * 1.05) {
+        report.chosen = rewritten;
+        report.chosen_cost = rewritten_cost;
+        report.steps = std::move(steps);
+      }
+    }
+  }
+  return report;
+}
+
+Relation Optimizer::Run(const PlanPtr& plan, ExecProfile* profile,
+                        OptimizationReport* report) const {
+  OptimizationReport local = Optimize(plan);
+  Relation result = ExecutePlan(local.chosen, catalog_, options_.planner, profile);
+  if (report != nullptr) *report = std::move(local);
+  return result;
+}
+
+}  // namespace quotient

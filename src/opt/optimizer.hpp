@@ -1,0 +1,53 @@
+#pragma once
+
+#include "core/engine.hpp"
+#include "opt/cost.hpp"
+#include "opt/planner.hpp"
+
+namespace quotient {
+
+/// End-to-end optimizer configuration.
+struct OptimizerOptions {
+  PlannerOptions planner;
+  /// Apply the default law-based rule set before lowering.
+  bool use_rules = true;
+  /// Permit rules to evaluate subplans for data-dependent preconditions
+  /// (the expensive-c1 trade-off of §5.1.1).
+  bool allow_runtime_checks = false;
+  size_t max_rewrite_steps = 64;
+};
+
+/// What the optimizer did to a query, for EXPLAIN output.
+struct OptimizationReport {
+  PlanPtr original;
+  PlanPtr chosen;
+  double original_cost = 0;
+  double chosen_cost = 0;
+  std::vector<RewriteStep> steps;  // applied law rewrites, in order
+
+  /// Human-readable summary: costs, applied laws, final plan.
+  std::string Explain() const;
+};
+
+/// The optimizer: law-based rewriting (src/core) guarded by the cost model,
+/// then lowering to the Volcano engine. If the rewritten plan estimates
+/// worse than the original (the model is deliberately simple), the original
+/// is kept — rewrites are never blindly trusted.
+class Optimizer {
+ public:
+  explicit Optimizer(const Catalog& catalog, OptimizerOptions options = {});
+
+  /// Rewrites and costs `plan` without executing it.
+  OptimizationReport Optimize(const PlanPtr& plan) const;
+
+  /// Optimizes, lowers, executes; fills `profile`/`report` when provided.
+  Relation Run(const PlanPtr& plan, ExecProfile* profile = nullptr,
+               OptimizationReport* report = nullptr) const;
+
+ private:
+  const Catalog& catalog_;
+  OptimizerOptions options_;
+  RewriteEngine engine_;
+};
+
+}  // namespace quotient

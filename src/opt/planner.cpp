@@ -1,0 +1,189 @@
+#include "opt/planner.hpp"
+
+#include "exec/exec_agg.hpp"
+#include "exec/exec_basic.hpp"
+#include "exec/exec_join.hpp"
+#include "util/status.hpp"
+
+namespace quotient {
+
+namespace {
+
+/// Detects a conjunction of cross-side column equalities; fills the key
+/// column names when eligible.
+bool IsEquiJoinCondition(const ExprPtr& condition, const Schema& left, const Schema& right,
+                         std::vector<std::string>* left_keys,
+                         std::vector<std::string>* right_keys) {
+  std::vector<ExprPtr> conjuncts;
+  Expr::SplitConjuncts(condition, &conjuncts);
+  for (const ExprPtr& conjunct : conjuncts) {
+    if (conjunct->kind() != Expr::Kind::kCompare || conjunct->cmp_op() != CmpOp::kEq) {
+      return false;
+    }
+    const ExprPtr& l = conjunct->left();
+    const ExprPtr& r = conjunct->right();
+    if (l->kind() != Expr::Kind::kColumn || r->kind() != Expr::Kind::kColumn) return false;
+    const std::string& lc = l->column_name();
+    const std::string& rc = r->column_name();
+    if (left.Contains(lc) && right.Contains(rc)) {
+      left_keys->push_back(lc);
+      right_keys->push_back(rc);
+    } else if (left.Contains(rc) && right.Contains(lc)) {
+      left_keys->push_back(rc);
+      right_keys->push_back(lc);
+    } else {
+      return false;
+    }
+  }
+  return !left_keys->empty();
+}
+
+/// Healy's expansion of r1 ÷ r2 as a logical plan over the original
+/// subplans: πA(r1) − πA((πA(r1) × r2) − r1).
+PlanPtr HealyExpansion(const PlanPtr& dividend, const PlanPtr& divisor) {
+  DivisionAttributes attrs =
+      DivisionAttributeSets(dividend->schema(), divisor->schema(), /*allow_c=*/false);
+  PlanPtr pa = LogicalOp::Project(dividend, attrs.a);
+  PlanPtr spoilers = LogicalOp::Project(
+      LogicalOp::Difference(LogicalOp::Product(pa, divisor), dividend), attrs.a);
+  return LogicalOp::Difference(pa, spoilers);
+}
+
+/// Common-subexpression materialization: rewrite rules deliberately share
+/// subplans by pointer (e.g. Laws 11/12 reuse the grouped dividend in the
+/// guard and in the result), so any node referenced more than once in the
+/// plan DAG is evaluated once and served from a cached relation.
+struct BuildContext {
+  std::unordered_map<const LogicalOp*, int> use_counts;
+  std::unordered_map<const LogicalOp*, std::shared_ptr<const Relation>> materialized;
+};
+
+void CountUses(const PlanPtr& plan, std::unordered_map<const LogicalOp*, int>* counts) {
+  (*counts)[plan.get()] += 1;
+  if ((*counts)[plan.get()] > 1) return;  // children already counted once
+  for (const PlanPtr& child : plan->children()) CountUses(child, counts);
+}
+
+IterPtr Build(const PlanPtr& plan, const Catalog& catalog, const PlannerOptions& options,
+              BuildContext* context);
+
+IterPtr BuildShared(const PlanPtr& plan, const Catalog& catalog,
+                    const PlannerOptions& options, BuildContext* context) {
+  bool shared = context != nullptr && context->use_counts[plan.get()] > 1 &&
+                plan->kind() != LogicalOp::Kind::kScan &&
+                plan->kind() != LogicalOp::Kind::kValues;
+  if (shared) {
+    auto it = context->materialized.find(plan.get());
+    if (it == context->materialized.end()) {
+      IterPtr built = Build(plan, catalog, options, context);
+      auto relation = std::make_shared<const Relation>(ExecuteToRelation(*built));
+      it = context->materialized.emplace(plan.get(), std::move(relation)).first;
+    }
+    return std::make_unique<RelationScan>(it->second);
+  }
+  return Build(plan, catalog, options, context);
+}
+
+IterPtr Build(const PlanPtr& plan, const Catalog& catalog, const PlannerOptions& options,
+              BuildContext* context) {
+  auto child = [&](size_t i) { return BuildShared(plan->child(i), catalog, options, context); };
+  (void)child;
+  const LogicalOp& op = *plan;
+  switch (op.kind()) {
+    case LogicalOp::Kind::kScan:
+      return std::make_unique<RelationScan>(
+          std::shared_ptr<const Relation>(&catalog.Get(op.table()), [](const Relation*) {}));
+    case LogicalOp::Kind::kValues:
+      return std::make_unique<RelationScan>(
+          std::make_shared<const Relation>(op.values()));
+    case LogicalOp::Kind::kSelect:
+      return std::make_unique<FilterIterator>(child(0),
+                                              op.predicate());
+    case LogicalOp::Kind::kProject:
+      return std::make_unique<ProjectIterator>(child(0),
+                                               op.columns());
+    case LogicalOp::Kind::kUnion:
+      return std::make_unique<UnionIterator>(child(0),
+                                             child(1));
+    case LogicalOp::Kind::kIntersect:
+      return std::make_unique<IntersectIterator>(child(0),
+                                                 child(1));
+    case LogicalOp::Kind::kDifference:
+      return std::make_unique<DifferenceIterator>(child(0),
+                                                  child(1));
+    case LogicalOp::Kind::kProduct:
+      return std::make_unique<CrossProductIterator>(child(0),
+                                                    child(1));
+    case LogicalOp::Kind::kThetaJoin: {
+      std::vector<std::string> left_keys, right_keys;
+      if (IsEquiJoinCondition(op.predicate(), op.child(0)->schema(), op.child(1)->schema(),
+                              &left_keys, &right_keys)) {
+        return std::make_unique<EquiJoinIterator>(child(0),
+                                                  child(1),
+                                                  std::move(left_keys), std::move(right_keys));
+      }
+      return std::make_unique<NestedLoopJoinIterator>(child(0),
+                                                      child(1),
+                                                      op.predicate());
+    }
+    case LogicalOp::Kind::kNaturalJoin:
+      return std::make_unique<HashJoinIterator>(child(0),
+                                                child(1));
+    case LogicalOp::Kind::kSemiJoin:
+      return std::make_unique<HashSemiJoinIterator>(child(0),
+                                                    child(1),
+                                                    /*anti=*/false);
+    case LogicalOp::Kind::kAntiJoin:
+      return std::make_unique<HashSemiJoinIterator>(child(0),
+                                                    child(1),
+                                                    /*anti=*/true);
+    case LogicalOp::Kind::kDivide:
+      if (options.expand_divide) {
+        return Build(HealyExpansion(op.child(0), op.child(1)), catalog, options, context);
+      }
+      return std::make_unique<DivisionIterator>(child(0),
+                                                child(1),
+                                                options.division);
+    case LogicalOp::Kind::kGreatDivide: {
+      DivisionAttributes attrs = op.division_attributes();
+      if (attrs.c.empty()) {
+        return std::make_unique<DivisionIterator>(child(0),
+                                                  child(1),
+                                                  options.division);
+      }
+      return std::make_unique<GreatDivideIterator>(child(0),
+                                                   child(1),
+                                                   options.great_divide);
+    }
+    case LogicalOp::Kind::kGroupBy:
+      return std::make_unique<HashAggregateIterator>(child(0),
+                                                     op.group_names(), op.aggs());
+    case LogicalOp::Kind::kRename:
+      return std::make_unique<RenameIterator>(child(0),
+                                              op.renames());
+  }
+  throw SchemaError("planner: bad logical operator kind");
+}
+
+}  // namespace
+
+IterPtr BuildPhysicalPlan(const PlanPtr& plan, const Catalog& catalog,
+                          const PlannerOptions& options) {
+  BuildContext context;
+  CountUses(plan, &context.use_counts);
+  return Build(plan, catalog, options, &context);
+}
+
+Relation ExecutePlan(const PlanPtr& plan, const Catalog& catalog, const PlannerOptions& options,
+                     ExecProfile* profile) {
+  IterPtr root = BuildPhysicalPlan(plan, catalog, options);
+  Relation result = ExecuteToRelation(*root);
+  if (profile != nullptr) {
+    profile->total_rows = TotalRowsProduced(*root);
+    profile->max_rows = MaxRowsProduced(*root);
+    profile->explain = ExplainTree(*root);
+  }
+  return result;
+}
+
+}  // namespace quotient

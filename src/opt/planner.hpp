@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+#include "exec/exec_divide.hpp"
+#include "exec/exec_great_divide.hpp"
+#include "exec/iterator.hpp"
+#include "plan/evaluate.hpp"
+#include "plan/logical.hpp"
+
+namespace quotient {
+
+/// How the planner lowers logical division nodes.
+struct PlannerOptions {
+  /// Physical algorithm for ÷ nodes.
+  DivisionAlgorithm division = DivisionAlgorithm::kHash;
+  /// Physical algorithm for ÷* nodes.
+  GreatDivideAlgorithm great_divide = GreatDivideAlgorithm::kHash;
+  /// Compile ÷ into Healy's basic-algebra expansion
+  /// πA(r1) − πA((πA(r1) × r2) − r1) instead of a first-class operator —
+  /// the baseline that exhibits quadratic intermediate results ([25], §6).
+  bool expand_divide = false;
+};
+
+/// Lowers a logical plan to a Volcano iterator tree over `catalog`.
+/// ThetaJoins whose condition is a conjunction of cross-side column
+/// equalities become hash equi-joins; other conditions fall back to a
+/// nested-loop join.
+IterPtr BuildPhysicalPlan(const PlanPtr& plan, const Catalog& catalog,
+                          const PlannerOptions& options = {});
+
+/// Execution profile: per-operator row counts rolled up.
+struct ExecProfile {
+  size_t total_rows = 0;      // sum of rows produced by every operator
+  size_t max_rows = 0;        // largest single operator output
+  std::string explain;        // EXPLAIN ANALYZE style tree
+};
+
+/// Builds, runs, and drains a physical plan; fills `profile` if given.
+Relation ExecutePlan(const PlanPtr& plan, const Catalog& catalog,
+                     const PlannerOptions& options = {}, ExecProfile* profile = nullptr);
+
+}  // namespace quotient

@@ -1,0 +1,106 @@
+#include "plan/catalog.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "algebra/ops.hpp"
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace quotient {
+
+namespace {
+
+std::vector<std::string> Sorted(std::vector<std::string> names) {
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace
+
+void Catalog::Put(const std::string& name, Relation relation) {
+  relations_.insert_or_assign(name, std::move(relation));
+}
+
+bool Catalog::Has(const std::string& name) const { return relations_.count(name) > 0; }
+
+const Relation& Catalog::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) throw SchemaError("unknown relation '" + name + "'");
+  return it->second;
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, r] : relations_) names.push_back(name);
+  return names;
+}
+
+std::string Catalog::KeyOf(const std::string& table, const std::vector<std::string>& attrs) {
+  return table + "|" + Join(Sorted(attrs), ",");
+}
+
+void Catalog::DeclareKey(const std::string& table, const std::vector<std::string>& attrs) {
+  keys_.insert(KeyOf(table, attrs));
+}
+
+bool Catalog::ImpliesKey(const std::string& table,
+                         const std::vector<std::string>& attrs) const {
+  // A declared key K makes any superset of K a key as well; checking all
+  // subsets would be exponential, so check every declared key of `table`.
+  std::string prefix = table + "|";
+  for (const std::string& entry : keys_) {
+    if (entry.compare(0, prefix.size(), prefix) != 0) continue;
+    std::vector<std::string> declared = SplitTrim(entry.substr(prefix.size()), ',');
+    bool subset = true;
+    for (const std::string& k : declared) {
+      if (std::find(attrs.begin(), attrs.end(), k) == attrs.end()) {
+        subset = false;
+        break;
+      }
+    }
+    if (subset) return true;
+  }
+  return false;
+}
+
+void Catalog::DeclareForeignKey(const std::string& from_table,
+                                const std::vector<std::string>& attrs,
+                                const std::string& to_table) {
+  foreign_keys_.insert(KeyOf(from_table, attrs) + "|" + to_table);
+}
+
+bool Catalog::HasForeignKey(const std::string& from_table,
+                            const std::vector<std::string>& attrs,
+                            const std::string& to_table) const {
+  return foreign_keys_.count(KeyOf(from_table, attrs) + "|" + to_table) > 0;
+}
+
+void Catalog::DeclareDisjoint(const std::string& table1, const std::string& table2,
+                              const std::vector<std::string>& attrs) {
+  disjoint_.insert(KeyOf(table1, attrs) + "|" + table2);
+  disjoint_.insert(KeyOf(table2, attrs) + "|" + table1);
+}
+
+bool Catalog::AreDisjoint(const std::string& table1, const std::string& table2,
+                          const std::vector<std::string>& attrs) const {
+  return disjoint_.count(KeyOf(table1, attrs) + "|" + table2) > 0;
+}
+
+bool Catalog::CheckKey(const Relation& r, const std::vector<std::string>& attrs) {
+  Relation projected = Project(r, attrs);
+  return projected.size() == r.size();
+}
+
+bool Catalog::CheckForeignKey(const Relation& from, const Relation& to,
+                              const std::vector<std::string>& attrs) {
+  return Project(from, attrs).SubsetOf(Project(to, attrs));
+}
+
+bool Catalog::CheckDisjoint(const Relation& r1, const Relation& r2,
+                            const std::vector<std::string>& attrs) {
+  return Intersect(Project(r1, attrs), Project(r2, attrs)).empty();
+}
+
+}  // namespace quotient

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/relation.hpp"
+
+namespace quotient {
+
+/// A named collection of base relations plus the integrity metadata the
+/// rewrite rules consult for their data-dependent preconditions:
+///
+///  * keys            — Laws 11/12 need "each group has one tuple";
+///  * foreign keys    — Law 12 needs r2.B ⊆ πB(r1), Example 3 needs
+///                      πb2(r2) ⊆ r1**;
+///  * disjointness    — Laws 2 (condition c2), 7, and 13 need disjoint
+///                      projections of two inputs.
+///
+/// Metadata can be declared (trusted, as an RDBMS trusts its constraints) or
+/// verified against the stored data with the Check* functions.
+class Catalog {
+ public:
+  /// Registers (or replaces) a base relation.
+  void Put(const std::string& name, Relation relation);
+
+  bool Has(const std::string& name) const;
+  /// Throws SchemaError if absent.
+  const Relation& Get(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+  /// Declares `attrs` a key of `table`.
+  void DeclareKey(const std::string& table, const std::vector<std::string>& attrs);
+  /// True iff a declared key of `table` is a subset of `attrs`.
+  bool ImpliesKey(const std::string& table, const std::vector<std::string>& attrs) const;
+
+  /// Declares a foreign key: π_attrs(from_table) ⊆ π_attrs(to_table).
+  void DeclareForeignKey(const std::string& from_table, const std::vector<std::string>& attrs,
+                         const std::string& to_table);
+  bool HasForeignKey(const std::string& from_table, const std::vector<std::string>& attrs,
+                     const std::string& to_table) const;
+
+  /// Declares π_attrs(table1) ∩ π_attrs(table2) = ∅.
+  void DeclareDisjoint(const std::string& table1, const std::string& table2,
+                       const std::vector<std::string>& attrs);
+  bool AreDisjoint(const std::string& table1, const std::string& table2,
+                   const std::vector<std::string>& attrs) const;
+
+  /// Verifies a declared-style key property against the data.
+  static bool CheckKey(const Relation& r, const std::vector<std::string>& attrs);
+  /// Verifies π_attrs(from) ⊆ π_attrs(to) against the data.
+  static bool CheckForeignKey(const Relation& from, const Relation& to,
+                              const std::vector<std::string>& attrs);
+  /// Verifies π_attrs(r1) ∩ π_attrs(r2) = ∅ against the data.
+  static bool CheckDisjoint(const Relation& r1, const Relation& r2,
+                            const std::vector<std::string>& attrs);
+
+ private:
+  static std::string KeyOf(const std::string& table, const std::vector<std::string>& attrs);
+
+  std::map<std::string, Relation> relations_;
+  std::set<std::string> keys_;          // "table|a,b"
+  std::set<std::string> foreign_keys_;  // "from|a,b|to"
+  std::set<std::string> disjoint_;      // "t1|t2|a,b" (stored both ways)
+};
+
+}  // namespace quotient

@@ -1,0 +1,51 @@
+#include "plan/evaluate.hpp"
+
+#include "algebra/divide.hpp"
+#include "algebra/ops.hpp"
+#include "util/status.hpp"
+
+namespace quotient {
+
+namespace {
+
+Relation EvaluateNode(const LogicalOp& op, const Catalog& catalog, EvalStats* stats) {
+  auto eval_child = [&](size_t i) { return EvaluateNode(*op.child(i), catalog, stats); };
+
+  Relation result;
+  switch (op.kind()) {
+    case LogicalOp::Kind::kScan: result = catalog.Get(op.table()); break;
+    case LogicalOp::Kind::kValues: result = op.values(); break;
+    case LogicalOp::Kind::kSelect: result = Select(eval_child(0), op.predicate()); break;
+    case LogicalOp::Kind::kProject: result = Project(eval_child(0), op.columns()); break;
+    case LogicalOp::Kind::kUnion: result = Union(eval_child(0), eval_child(1)); break;
+    case LogicalOp::Kind::kIntersect: result = Intersect(eval_child(0), eval_child(1)); break;
+    case LogicalOp::Kind::kDifference: result = Difference(eval_child(0), eval_child(1)); break;
+    case LogicalOp::Kind::kProduct: result = Product(eval_child(0), eval_child(1)); break;
+    case LogicalOp::Kind::kThetaJoin:
+      result = ThetaJoin(eval_child(0), eval_child(1), op.predicate());
+      break;
+    case LogicalOp::Kind::kNaturalJoin: result = NaturalJoin(eval_child(0), eval_child(1)); break;
+    case LogicalOp::Kind::kSemiJoin: result = SemiJoin(eval_child(0), eval_child(1)); break;
+    case LogicalOp::Kind::kAntiJoin: result = AntiSemiJoin(eval_child(0), eval_child(1)); break;
+    case LogicalOp::Kind::kDivide: result = Divide(eval_child(0), eval_child(1)); break;
+    case LogicalOp::Kind::kGreatDivide: result = GreatDivide(eval_child(0), eval_child(1)); break;
+    case LogicalOp::Kind::kGroupBy:
+      result = GroupBy(eval_child(0), op.group_names(), op.aggs());
+      break;
+    case LogicalOp::Kind::kRename: result = Rename(eval_child(0), op.renames()); break;
+  }
+  if (stats != nullptr) {
+    stats->nodes_evaluated += 1;
+    stats->total_intermediate_tuples += result.size();
+    stats->max_intermediate = std::max(stats->max_intermediate, result.size());
+  }
+  return result;
+}
+
+}  // namespace
+
+Relation Evaluate(const PlanPtr& plan, const Catalog& catalog, EvalStats* stats) {
+  return EvaluateNode(*plan, catalog, stats);
+}
+
+}  // namespace quotient

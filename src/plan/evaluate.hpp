@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+
+#include "plan/logical.hpp"
+
+namespace quotient {
+
+/// Tuple-count accounting for a plan evaluation. `max_intermediate` is the
+/// largest single intermediate result; the Leinders/Van den Bussche result
+/// cited in §6 predicts it grows quadratically for any basic-algebra
+/// simulation of small divide but stays linear for the first-class operator.
+struct EvalStats {
+  size_t total_intermediate_tuples = 0;
+  size_t max_intermediate = 0;
+  size_t nodes_evaluated = 0;
+};
+
+/// Interprets `plan` against `catalog` using the reference algebra of
+/// src/algebra. This is the semantics oracle: the rewrite engine and the
+/// physical engine are both validated against it.
+Relation Evaluate(const PlanPtr& plan, const Catalog& catalog, EvalStats* stats = nullptr);
+
+}  // namespace quotient

@@ -1,0 +1,67 @@
+#include "sql/ast.hpp"
+
+namespace quotient {
+namespace sql {
+
+std::string SqlExpr::ToString() const {
+  switch (kind) {
+    case Kind::kColumn: return qualifier.empty() ? name : qualifier + "." + name;
+    case Kind::kLiteral:
+      return literal.type() == ValueType::kString ? "'" + literal.ToString() + "'"
+                                                  : literal.ToString();
+    case Kind::kCompare:
+    case Kind::kArith: return "(" + left->ToString() + " " + op + " " + right->ToString() + ")";
+    case Kind::kAnd: return "(" + left->ToString() + " AND " + right->ToString() + ")";
+    case Kind::kOr: return "(" + left->ToString() + " OR " + right->ToString() + ")";
+    case Kind::kNot: return "(NOT " + left->ToString() + ")";
+    case Kind::kExists:
+      return std::string(negated ? "NOT " : "") + "EXISTS (" + subquery->ToString() + ")";
+    case Kind::kInSubquery:
+      return left->ToString() + (negated ? " NOT IN (" : " IN (") + subquery->ToString() + ")";
+    case Kind::kAggregate:
+      return name + "(" + (count_star ? "*" : left->ToString()) + ")";
+  }
+  return "?";
+}
+
+std::string SqlQuery::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (items[i].star) {
+      out += "*";
+    } else {
+      out += items[i].expr->ToString();
+      if (!items[i].alias.empty()) out += " AS " + items[i].alias;
+    }
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    const TableRef& ref = from[i];
+    auto render_factor = [](const TableRef& factor) {
+      std::string text = factor.table.empty() ? "(" + factor.subquery->ToString() + ")"
+                                              : factor.table;
+      if (!factor.alias.empty() && factor.alias != factor.table) text += " AS " + factor.alias;
+      return text;
+    };
+    out += render_factor(ref);
+    if (ref.divisor != nullptr) {
+      out += " DIVIDE BY " + render_factor(*ref.divisor) + " ON " + ref.on_condition->ToString();
+    }
+  }
+  if (where != nullptr) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  if (having != nullptr) out += " HAVING " + having->ToString();
+  return out;
+}
+
+}  // namespace sql
+}  // namespace quotient

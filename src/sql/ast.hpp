@@ -1,0 +1,75 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/value.hpp"
+
+namespace quotient {
+namespace sql {
+
+struct SqlQuery;
+
+/// SQL scalar / boolean expression AST.
+struct SqlExpr {
+  enum class Kind {
+    kColumn,     // possibly qualified: "s", "s1.p#"
+    kLiteral,    // number or string
+    kCompare,    // = <> < <= > >=
+    kAnd, kOr, kNot,
+    kArith,      // + - * /
+    kExists,     // EXISTS (subquery); `negated` for NOT EXISTS
+    kInSubquery, // expr IN (subquery); `negated` for NOT IN
+    kAggregate   // COUNT/SUM/MIN/MAX/AVG (in SELECT or HAVING)
+  };
+
+  Kind kind;
+  std::string qualifier;  // kColumn: table alias, may be empty
+  std::string name;       // kColumn: column; kAggregate: function name (upper)
+  Value literal;          // kLiteral
+  std::string op;         // kCompare: "=", "<>", ...; kArith: "+", ...
+  std::shared_ptr<SqlExpr> left;
+  std::shared_ptr<SqlExpr> right;
+  std::shared_ptr<SqlQuery> subquery;  // kExists / kInSubquery
+  bool negated = false;
+  bool count_star = false;  // COUNT(*)
+
+  std::string ToString() const;
+};
+
+using SqlExprPtr = std::shared_ptr<SqlExpr>;
+
+/// A FROM-clause table reference, optionally a paper-§4 quotient:
+///   <table reference> DIVIDE BY <table reference> ON <search condition>
+struct TableRef {
+  std::string table;                   // base table name (empty for subquery)
+  std::string alias;                   // defaults to the table name
+  std::shared_ptr<SqlQuery> subquery;  // derived table
+
+  // DIVIDE BY extension.
+  std::shared_ptr<TableRef> divisor;
+  SqlExprPtr on_condition;
+};
+
+/// One SELECT-list entry.
+struct SelectItem {
+  bool star = false;
+  SqlExprPtr expr;
+  std::string alias;  // output column name (defaults to the column name)
+};
+
+/// A parsed SELECT query.
+struct SqlQuery {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  SqlExprPtr where;
+  std::vector<SqlExprPtr> group_by;  // column expressions
+  SqlExprPtr having;
+
+  std::string ToString() const;
+};
+
+}  // namespace sql
+}  // namespace quotient

@@ -1,0 +1,297 @@
+#include "sql/binder.hpp"
+
+#include <optional>
+
+#include "sql/interp.hpp"
+#include "sql/parser.hpp"
+
+namespace quotient {
+namespace sql {
+
+namespace {
+
+/// Finds the unique qualified attribute matching a (possibly qualified)
+/// column reference.
+std::string ResolveAgainst(const Schema& schema, const SqlExpr& column) {
+  std::optional<std::string> found;
+  for (size_t i = 0; i < schema.size(); ++i) {
+    const std::string& attr = schema.attribute(i).name;
+    bool match;
+    if (!column.qualifier.empty()) {
+      match = attr == column.qualifier + "." + column.name;
+    } else {
+      match = attr == column.name ||
+              (attr.size() > column.name.size() &&
+               attr.compare(attr.size() - column.name.size(), column.name.size(),
+                            column.name) == 0 &&
+               attr[attr.size() - column.name.size() - 1] == '.');
+    }
+    if (match) {
+      if (found) throw SqlError("ambiguous column '" + column.ToString() + "'");
+      found = attr;
+    }
+  }
+  if (!found) throw SqlError("unknown column '" + column.ToString() + "'");
+  return *found;
+}
+
+/// Translates a subquery-free SQL condition into a predicate Expr over the
+/// qualified schema.
+ExprPtr TranslateCondition(const SqlExpr& cond, const Schema& schema) {
+  switch (cond.kind) {
+    case SqlExpr::Kind::kAnd:
+      return Expr::And(TranslateCondition(*cond.left, schema),
+                       TranslateCondition(*cond.right, schema));
+    case SqlExpr::Kind::kOr:
+      return Expr::Or(TranslateCondition(*cond.left, schema),
+                      TranslateCondition(*cond.right, schema));
+    case SqlExpr::Kind::kNot: return Expr::Not(TranslateCondition(*cond.left, schema));
+    case SqlExpr::Kind::kCompare: {
+      CmpOp op;
+      if (cond.op == "=") op = CmpOp::kEq;
+      else if (cond.op == "<>") op = CmpOp::kNe;
+      else if (cond.op == "<") op = CmpOp::kLt;
+      else if (cond.op == "<=") op = CmpOp::kLe;
+      else if (cond.op == ">") op = CmpOp::kGt;
+      else op = CmpOp::kGe;
+      return Expr::Compare(op, TranslateCondition(*cond.left, schema),
+                           TranslateCondition(*cond.right, schema));
+    }
+    case SqlExpr::Kind::kArith: {
+      Expr::Kind kind;
+      if (cond.op == "+") kind = Expr::Kind::kAdd;
+      else if (cond.op == "-") kind = Expr::Kind::kSub;
+      else if (cond.op == "*") kind = Expr::Kind::kMul;
+      else kind = Expr::Kind::kDiv;
+      return Expr::Arith(kind, TranslateCondition(*cond.left, schema),
+                         TranslateCondition(*cond.right, schema));
+    }
+    case SqlExpr::Kind::kColumn: return Expr::Column(ResolveAgainst(schema, cond));
+    case SqlExpr::Kind::kLiteral: return Expr::Literal(cond.literal);
+    case SqlExpr::Kind::kExists:
+    case SqlExpr::Kind::kInSubquery:
+      throw SqlError(
+          "subqueries in WHERE are not plannable; use sql::ExecuteQuery (the paper makes the "
+          "same point about detecting division in NOT EXISTS queries, §4)");
+    case SqlExpr::Kind::kAggregate:
+      throw SqlError("aggregates are only allowed in the GROUP BY select list / HAVING");
+  }
+  throw SqlError("bad condition");
+}
+
+PlanPtr BindTableFactor(const TableRef& ref, const Catalog& catalog);
+
+PlanPtr QualifyPlan(PlanPtr plan, const std::string& alias) {
+  std::vector<std::pair<std::string, std::string>> renames;
+  for (const Attribute& a : plan->schema().attributes()) {
+    size_t dot = a.name.rfind('.');
+    std::string bare = dot == std::string::npos ? a.name : a.name.substr(dot + 1);
+    renames.emplace_back(a.name, alias + "." + bare);
+  }
+  return LogicalOp::Rename(std::move(plan), std::move(renames));
+}
+
+PlanPtr BindTableFactor(const TableRef& ref, const Catalog& catalog) {
+  if (ref.subquery != nullptr) {
+    Result<PlanPtr> bound = BindQuery(*ref.subquery, catalog);
+    if (!bound.ok()) throw SqlError(bound.error());
+    return QualifyPlan(bound.value(), ref.alias);
+  }
+  if (!catalog.Has(ref.table)) throw SqlError("unknown table '" + ref.table + "'");
+  return QualifyPlan(LogicalOp::Scan(catalog, ref.table), ref.alias);
+}
+
+PlanPtr BindTableRef(const TableRef& ref, const Catalog& catalog) {
+  PlanPtr base = BindTableFactor(ref, catalog);
+  if (ref.divisor == nullptr) return base;
+  PlanPtr divisor = BindTableFactor(*ref.divisor, catalog);
+
+  // Analyze the ON clause exactly as the interpreter does: a conjunction of
+  // dividend-column = divisor-column equalities.
+  struct PairCollector {
+    const Schema& dividend;
+    const Schema& divisor;
+    std::vector<std::pair<std::string, std::string>> pairs;
+
+    void Collect(const SqlExpr& cond) {
+      if (cond.kind == SqlExpr::Kind::kAnd) {
+        Collect(*cond.left);
+        Collect(*cond.right);
+        return;
+      }
+      if (cond.kind != SqlExpr::Kind::kCompare || cond.op != "=" ||
+          cond.left->kind != SqlExpr::Kind::kColumn ||
+          cond.right->kind != SqlExpr::Kind::kColumn) {
+        throw SqlError("DIVIDE BY ON must be a conjunction of column equalities");
+      }
+      auto try_resolve = [](const Schema& schema, const SqlExpr& column)
+          -> std::optional<std::string> {
+        try {
+          return ResolveAgainst(schema, column);
+        } catch (const SqlError&) {
+          return std::nullopt;
+        }
+      };
+      auto l_dvd = try_resolve(dividend, *cond.left);
+      auto r_dsr = try_resolve(divisor, *cond.right);
+      if (l_dvd && r_dsr) {
+        pairs.emplace_back(*l_dvd, *r_dsr);
+        return;
+      }
+      auto l_dsr = try_resolve(divisor, *cond.left);
+      auto r_dvd = try_resolve(dividend, *cond.right);
+      if (l_dsr && r_dvd) {
+        pairs.emplace_back(*r_dvd, *l_dsr);
+        return;
+      }
+      throw SqlError("ON clause must relate a dividend column to a divisor column");
+    }
+  };
+  PairCollector collector{base->schema(), divisor->schema(), {}};
+  collector.Collect(*ref.on_condition);
+  if (collector.pairs.empty()) throw SqlError("DIVIDE BY needs at least one ON equality");
+
+  std::vector<std::pair<std::string, std::string>> renames;
+  for (const auto& [dividend_attr, divisor_attr] : collector.pairs) {
+    if (dividend_attr != divisor_attr) renames.emplace_back(divisor_attr, dividend_attr);
+  }
+  if (!renames.empty()) divisor = LogicalOp::Rename(divisor, renames);
+  // Small divide iff every divisor attribute is covered by the ON clause.
+  DivisionAttributes attrs =
+      DivisionAttributeSets(base->schema(), divisor->schema(), /*allow_c=*/true);
+  if (attrs.c.empty()) return LogicalOp::Divide(base, divisor);
+  return LogicalOp::GreatDivide(base, divisor);
+}
+
+}  // namespace
+
+Result<PlanPtr> BindQuery(const SqlQuery& query, const Catalog& catalog) {
+  try {
+    if (query.from.empty()) throw SqlError("FROM clause is required");
+    PlanPtr plan = BindTableRef(query.from[0], catalog);
+    for (size_t i = 1; i < query.from.size(); ++i) {
+      plan = LogicalOp::Product(plan, BindTableRef(query.from[i], catalog));
+    }
+    if (query.where != nullptr) {
+      plan = LogicalOp::Select(plan, TranslateCondition(*query.where, plan->schema()));
+    }
+
+    bool any_aggregate = query.having != nullptr || !query.group_by.empty();
+    for (const SelectItem& item : query.items) {
+      if (!item.star && item.expr->kind == SqlExpr::Kind::kAggregate) any_aggregate = true;
+    }
+
+    if (query.items.size() == 1 && query.items[0].star) {
+      return plan;  // keep qualified names
+    }
+
+    if (any_aggregate) {
+      std::vector<std::string> group_names;
+      for (const SqlExprPtr& g : query.group_by) {
+        if (g->kind != SqlExpr::Kind::kColumn) {
+          throw SqlError("GROUP BY supports plain columns only");
+        }
+        group_names.push_back(ResolveAgainst(plan->schema(), *g));
+      }
+      std::vector<AggSpec> aggs;
+      std::vector<std::pair<std::string, std::string>> final_renames;
+      std::vector<std::string> final_columns;
+      size_t agg_index = 0;
+      for (size_t i = 0; i < query.items.size(); ++i) {
+        const SelectItem& item = query.items[i];
+        std::string out_name = item.alias.empty() ? "col" + std::to_string(i + 1) : item.alias;
+        if (item.expr->kind == SqlExpr::Kind::kColumn) {
+          std::string qualified = ResolveAgainst(plan->schema(), *item.expr);
+          final_columns.push_back(qualified);
+          final_renames.emplace_back(qualified, out_name);
+        } else if (item.expr->kind == SqlExpr::Kind::kAggregate) {
+          AggSpec spec;
+          if (item.expr->name == "COUNT") spec.fn = AggFunc::kCount;
+          else if (item.expr->name == "SUM") spec.fn = AggFunc::kSum;
+          else if (item.expr->name == "MIN") spec.fn = AggFunc::kMin;
+          else if (item.expr->name == "MAX") spec.fn = AggFunc::kMax;
+          else spec.fn = AggFunc::kAvg;
+          if (!item.expr->count_star) {
+            if (item.expr->left->kind != SqlExpr::Kind::kColumn) {
+              throw SqlError("aggregate arguments must be plain columns");
+            }
+            spec.arg = ResolveAgainst(plan->schema(), *item.expr->left);
+          } else {
+            spec.arg = plan->schema().attribute(0).name;
+            spec.fn = AggFunc::kCount;
+          }
+          spec.out = "agg$" + std::to_string(agg_index++);
+          final_columns.push_back(spec.out);
+          final_renames.emplace_back(spec.out, out_name);
+          aggs.push_back(std::move(spec));
+        } else {
+          throw SqlError("grouped select items must be columns or aggregates");
+        }
+      }
+      plan = LogicalOp::GroupBy(plan, group_names, aggs);
+      if (query.having != nullptr) {
+        // HAVING may reference aggregate outputs by their select alias; we
+        // translate aggregates by matching shape against the select list.
+        struct HavingRewriter {
+          const std::vector<SelectItem>& items;
+          const std::vector<std::pair<std::string, std::string>>& renames;
+
+          SqlExpr Rewrite(const SqlExpr& e) const {
+            if (e.kind == SqlExpr::Kind::kAggregate) {
+              for (size_t i = 0; i < items.size(); ++i) {
+                if (!items[i].star && items[i].expr->ToString() == e.ToString()) {
+                  SqlExpr column;
+                  column.kind = SqlExpr::Kind::kColumn;
+                  column.name = renames[i].first;  // the agg$ output
+                  return column;
+                }
+              }
+              throw SqlError("HAVING aggregate must also appear in the select list");
+            }
+            SqlExpr out = e;
+            if (e.left != nullptr) out.left = std::make_shared<SqlExpr>(Rewrite(*e.left));
+            if (e.right != nullptr) out.right = std::make_shared<SqlExpr>(Rewrite(*e.right));
+            return out;
+          }
+        };
+        HavingRewriter rewriter{query.items, final_renames};
+        SqlExpr rewritten = rewriter.Rewrite(*query.having);
+        plan = LogicalOp::Select(plan, TranslateCondition(rewritten, plan->schema()));
+      }
+      plan = LogicalOp::Project(plan, final_columns);
+      plan = LogicalOp::Rename(plan, final_renames);
+      return plan;
+    }
+
+    // Plain column projection.
+    std::vector<std::string> columns;
+    std::vector<std::pair<std::string, std::string>> renames;
+    for (size_t i = 0; i < query.items.size(); ++i) {
+      const SelectItem& item = query.items[i];
+      if (item.star) throw SqlError("'*' must be the only select item");
+      if (item.expr->kind != SqlExpr::Kind::kColumn) {
+        throw SqlError("computed select items are not plannable; use sql::ExecuteQuery");
+      }
+      std::string qualified = ResolveAgainst(plan->schema(), *item.expr);
+      std::string out_name = item.alias.empty() ? "col" + std::to_string(i + 1) : item.alias;
+      columns.push_back(qualified);
+      renames.emplace_back(qualified, out_name);
+    }
+    plan = LogicalOp::Project(plan, columns);
+    plan = LogicalOp::Rename(plan, renames);
+    return plan;
+  } catch (const SqlError& error) {
+    return Result<PlanPtr>::Error(error.what());
+  } catch (const SchemaError& error) {
+    return Result<PlanPtr>::Error(error.what());
+  }
+}
+
+Result<PlanPtr> PlanSql(const std::string& text, const Catalog& catalog) {
+  Result<std::shared_ptr<SqlQuery>> parsed = ParseQuery(text);
+  if (!parsed.ok()) return Result<PlanPtr>::Error(parsed.error());
+  return BindQuery(*parsed.value(), catalog);
+}
+
+}  // namespace sql
+}  // namespace quotient

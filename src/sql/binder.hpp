@@ -1,0 +1,27 @@
+#pragma once
+
+#include "plan/logical.hpp"
+#include "sql/ast.hpp"
+#include "util/status.hpp"
+
+namespace quotient {
+namespace sql {
+
+/// Binds a parsed query to a logical plan (the optimizer path). This covers
+/// the plannable §4 subset:
+///   * FROM with base tables, derived tables, and DIVIDE BY ... ON,
+///   * WHERE without subqueries (use the interpreter for correlated
+///     EXISTS — that is precisely the paper's point about Q3 being hard to
+///     rewrite into division automatically),
+///   * GROUP BY plain columns with COUNT/SUM/MIN/MAX/AVG select items and
+///     an optional HAVING over those outputs.
+///
+/// The resulting plan uses qualified attribute names internally and ends
+/// with a Rename/Project producing the select-item aliases.
+Result<PlanPtr> BindQuery(const SqlQuery& query, const Catalog& catalog);
+
+/// Parse + bind.
+Result<PlanPtr> PlanSql(const std::string& text, const Catalog& catalog);
+
+}  // namespace sql
+}  // namespace quotient

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "plan/catalog.hpp"
+#include "sql/ast.hpp"
+#include "util/status.hpp"
+
+namespace quotient {
+namespace sql {
+
+/// Raised for semantic errors (unknown columns, ambiguous names, invalid
+/// DIVIDE BY conditions per the §4 restriction, ...).
+class SqlError : public std::runtime_error {
+ public:
+  explicit SqlError(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// Evaluates a parsed query against the catalog with full generality:
+/// correlated (NOT) EXISTS and IN subqueries are evaluated tuple-at-a-time
+/// (the tuple-calculus reading of Q3), DIVIDE BY becomes a great divide
+/// (small divide when the ON clause covers every divisor attribute, §4),
+/// GROUP BY/HAVING/aggregates are supported.
+///
+/// Output columns are named by the select-item aliases; '*' keeps source
+/// columns (unqualified when unambiguous).
+Relation ExecuteQuery(const SqlQuery& query, const Catalog& catalog);
+
+/// Parse + execute; returns parse/semantic errors as Result.
+Result<Relation> ExecuteSql(const std::string& text, const Catalog& catalog);
+
+}  // namespace sql
+}  // namespace quotient

@@ -1,0 +1,104 @@
+#include "sql/lexer.hpp"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace quotient {
+namespace sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT", "DISTINCT", "FROM",  "WHERE", "GROUP", "BY",    "HAVING", "AS",
+      "DIVIDE", "ON",       "AND",   "OR",    "NOT",   "EXISTS", "IN",    "ORDER",
+      "COUNT",  "SUM",      "MIN",   "MAX",   "AVG",   "UNION",  "ALL"};
+  return kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '#';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < text.size() && IsIdentChar(text[i])) ++i;
+      token.text = text.substr(start, i - start);
+      std::string upper = ToUpper(token.text);
+      if (Keywords().count(upper)) {
+        token.kind = TokenKind::kKeyword;
+        token.text = upper;
+      } else {
+        token.kind = TokenKind::kIdent;
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool has_dot = false;
+      while (i < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[i])) ||
+              (text[i] == '.' && !has_dot))) {
+        if (text[i] == '.') has_dot = true;
+        ++i;
+      }
+      token.kind = TokenKind::kNumber;
+      token.text = text.substr(start, i - start);
+    } else if (c == '\'') {
+      size_t start = ++i;
+      while (i < text.size() && text[i] != '\'') ++i;
+      if (i >= text.size()) {
+        return Result<std::vector<Token>>::Error("unterminated string literal at position " +
+                                                 std::to_string(start - 1));
+      }
+      token.kind = TokenKind::kString;
+      token.text = text.substr(start, i - start);
+      ++i;  // closing quote
+    } else {
+      token.kind = TokenKind::kSymbol;
+      // Two-character comparators first.
+      if (i + 1 < text.size()) {
+        std::string two = text.substr(i, 2);
+        if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+          token.text = two == "!=" ? "<>" : two;
+          i += 2;
+          tokens.push_back(token);
+          continue;
+        }
+      }
+      static const std::string kSingles = "(),.*=<>+-/";
+      if (kSingles.find(c) == std::string::npos) {
+        return Result<std::vector<Token>>::Error(std::string("unexpected character '") + c +
+                                                 "' at position " + std::to_string(i));
+      }
+      token.text = std::string(1, c);
+      ++i;
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = text.size();
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace quotient

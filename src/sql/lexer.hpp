@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace quotient {
+namespace sql {
+
+enum class TokenKind {
+  kIdent,    // table/column names; may contain '#' (s#, p#) and '_'
+  kNumber,   // integer or decimal literal
+  kString,   // '...' literal
+  kSymbol,   // ( ) , . * = <> < <= > >= + - /
+  kKeyword,  // upper-cased SQL keyword
+  kEnd
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // keyword text is upper-cased; idents keep their case
+  size_t position = 0;  // byte offset, for error messages
+
+  bool IsKeyword(const char* word) const {
+    return kind == TokenKind::kKeyword && text == word;
+  }
+  bool IsSymbol(const char* symbol) const {
+    return kind == TokenKind::kSymbol && text == symbol;
+  }
+};
+
+/// Tokenizes `text`; returns an error with position info on bad input.
+/// Keywords are recognized case-insensitively and normalized to upper case.
+Result<std::vector<Token>> Tokenize(const std::string& text);
+
+}  // namespace sql
+}  // namespace quotient

@@ -1,0 +1,312 @@
+#include "sql/parser.hpp"
+
+#include "sql/lexer.hpp"
+
+namespace quotient {
+namespace sql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream. Errors are thrown as
+/// ParseError internally and converted to Result at the boundary.
+struct ParseError {
+  std::string message;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  std::shared_ptr<SqlQuery> ParseQueryToEnd() {
+    auto query = ParseSelect();
+    Expect(TokenKind::kEnd, "end of input");
+    return query;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = position_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[position_++]; }
+  bool AcceptKeyword(const char* word) {
+    if (Peek().IsKeyword(word)) {
+      ++position_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(const char* symbol) {
+    if (Peek().IsSymbol(symbol)) {
+      ++position_;
+      return true;
+    }
+    return false;
+  }
+  void ExpectKeyword(const char* word) {
+    if (!AcceptKeyword(word)) Fail(std::string("expected ") + word);
+  }
+  void ExpectSymbol(const char* symbol) {
+    if (!AcceptSymbol(symbol)) Fail(std::string("expected '") + symbol + "'");
+  }
+  void Expect(TokenKind kind, const char* what) {
+    if (Peek().kind != kind) Fail(std::string("expected ") + what);
+    ++position_;
+  }
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw ParseError{message + " at position " + std::to_string(Peek().position) + " (near '" +
+                     Peek().text + "')"};
+  }
+
+  std::string ExpectIdent() {
+    if (Peek().kind != TokenKind::kIdent) Fail("expected identifier");
+    return Advance().text;
+  }
+
+  std::shared_ptr<SqlQuery> ParseSelect() {
+    ExpectKeyword("SELECT");
+    auto query = std::make_shared<SqlQuery>();
+    query->distinct = AcceptKeyword("DISTINCT");
+    // Select list.
+    if (AcceptSymbol("*")) {
+      SelectItem item;
+      item.star = true;
+      query->items.push_back(std::move(item));
+    } else {
+      do {
+        SelectItem item;
+        item.expr = ParseExpr();
+        if (AcceptKeyword("AS")) {
+          item.alias = ExpectIdent();
+        } else if (item.expr->kind == SqlExpr::Kind::kColumn) {
+          item.alias = item.expr->name;
+        }
+        query->items.push_back(std::move(item));
+      } while (AcceptSymbol(","));
+    }
+    ExpectKeyword("FROM");
+    do {
+      query->from.push_back(ParseTableRef());
+    } while (AcceptSymbol(","));
+    if (AcceptKeyword("WHERE")) query->where = ParseCondition();
+    if (AcceptKeyword("GROUP")) {
+      ExpectKeyword("BY");
+      do {
+        query->group_by.push_back(ParseExpr());
+      } while (AcceptSymbol(","));
+      if (AcceptKeyword("HAVING")) query->having = ParseCondition();
+    }
+    return query;
+  }
+
+  TableRef ParseTableFactor() {
+    TableRef ref;
+    if (AcceptSymbol("(")) {
+      ref.subquery = ParseSelect();
+      ExpectSymbol(")");
+      AcceptKeyword("AS");
+      ref.alias = ExpectIdent();
+    } else {
+      ref.table = ExpectIdent();
+      ref.alias = ref.table;
+      if (AcceptKeyword("AS")) {
+        ref.alias = ExpectIdent();
+      } else if (Peek().kind == TokenKind::kIdent) {
+        ref.alias = Advance().text;  // bare alias
+      }
+    }
+    return ref;
+  }
+
+  TableRef ParseTableRef() {
+    TableRef ref = ParseTableFactor();
+    if (AcceptKeyword("DIVIDE")) {
+      ExpectKeyword("BY");
+      ref.divisor = std::make_shared<TableRef>(ParseTableFactor());
+      ExpectKeyword("ON");
+      ref.on_condition = ParseCondition();
+    }
+    return ref;
+  }
+
+  // condition := or_term; or_term := and_term (OR and_term)*
+  SqlExprPtr ParseCondition() {
+    SqlExprPtr left = ParseAnd();
+    while (AcceptKeyword("OR")) {
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExpr::Kind::kOr;
+      node->left = left;
+      node->right = ParseAnd();
+      left = node;
+    }
+    return left;
+  }
+
+  SqlExprPtr ParseAnd() {
+    SqlExprPtr left = ParseCondUnary();
+    while (AcceptKeyword("AND")) {
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExpr::Kind::kAnd;
+      node->left = left;
+      node->right = ParseCondUnary();
+      left = node;
+    }
+    return left;
+  }
+
+  SqlExprPtr ParseCondUnary() {
+    if (AcceptKeyword("NOT")) {
+      // NOT EXISTS is folded into the EXISTS node.
+      if (Peek().IsKeyword("EXISTS")) {
+        SqlExprPtr exists = ParseCondUnary();
+        exists->negated = true;
+        return exists;
+      }
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExpr::Kind::kNot;
+      node->left = ParseCondUnary();
+      return node;
+    }
+    if (AcceptKeyword("EXISTS")) {
+      ExpectSymbol("(");
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExpr::Kind::kExists;
+      node->subquery = ParseSelect();
+      ExpectSymbol(")");
+      return node;
+    }
+    if (Peek().IsSymbol("(")) {
+      // Parenthesized condition.
+      ExpectSymbol("(");
+      SqlExprPtr inner = ParseCondition();
+      ExpectSymbol(")");
+      return inner;
+    }
+    // expr [cmp expr | (NOT) IN (subquery)]
+    SqlExprPtr left = ParseExpr();
+    for (const char* op : {"=", "<>", "<=", ">=", "<", ">"}) {
+      if (AcceptSymbol(op)) {
+        auto node = std::make_shared<SqlExpr>();
+        node->kind = SqlExpr::Kind::kCompare;
+        node->op = op;
+        node->left = left;
+        node->right = ParseExpr();
+        return node;
+      }
+    }
+    bool negated_in = false;
+    if (Peek().IsKeyword("NOT") && Peek(1).IsKeyword("IN")) {
+      Advance();
+      negated_in = true;
+    }
+    if (AcceptKeyword("IN")) {
+      ExpectSymbol("(");
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExpr::Kind::kInSubquery;
+      node->left = left;
+      node->negated = negated_in;
+      node->subquery = ParseSelect();
+      ExpectSymbol(")");
+      return node;
+    }
+    return left;  // bare boolean expression
+  }
+
+  SqlExprPtr ParseExpr() {  // additive
+    SqlExprPtr left = ParseTerm();
+    while (Peek().IsSymbol("+") || Peek().IsSymbol("-")) {
+      std::string op = Advance().text;
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExpr::Kind::kArith;
+      node->op = op;
+      node->left = left;
+      node->right = ParseTerm();
+      left = node;
+    }
+    return left;
+  }
+
+  SqlExprPtr ParseTerm() {
+    SqlExprPtr left = ParsePrimary();
+    while (Peek().IsSymbol("*") || Peek().IsSymbol("/")) {
+      std::string op = Advance().text;
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExpr::Kind::kArith;
+      node->op = op;
+      node->left = left;
+      node->right = ParsePrimary();
+      left = node;
+    }
+    return left;
+  }
+
+  SqlExprPtr ParsePrimary() {
+    auto node = std::make_shared<SqlExpr>();
+    const Token& token = Peek();
+    // Aggregate functions.
+    for (const char* fn : {"COUNT", "SUM", "MIN", "MAX", "AVG"}) {
+      if (token.IsKeyword(fn)) {
+        Advance();
+        ExpectSymbol("(");
+        node->kind = SqlExpr::Kind::kAggregate;
+        node->name = fn;
+        if (AcceptSymbol("*")) {
+          node->count_star = true;
+        } else {
+          node->left = ParseExpr();
+        }
+        ExpectSymbol(")");
+        return node;
+      }
+    }
+    if (token.kind == TokenKind::kNumber) {
+      Advance();
+      node->kind = SqlExpr::Kind::kLiteral;
+      node->literal = token.text.find('.') == std::string::npos
+                          ? Value::Int(std::stoll(token.text))
+                          : Value::Real(std::stod(token.text));
+      return node;
+    }
+    if (token.kind == TokenKind::kString) {
+      Advance();
+      node->kind = SqlExpr::Kind::kLiteral;
+      node->literal = Value::Str(token.text);
+      return node;
+    }
+    if (token.kind == TokenKind::kIdent) {
+      Advance();
+      node->kind = SqlExpr::Kind::kColumn;
+      node->name = token.text;
+      if (AcceptSymbol(".")) {
+        node->qualifier = node->name;
+        node->name = ExpectIdent();
+      }
+      return node;
+    }
+    if (AcceptSymbol("(")) {
+      SqlExprPtr inner = ParseExpr();
+      ExpectSymbol(")");
+      return inner;
+    }
+    Fail("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t position_ = 0;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<SqlQuery>> ParseQuery(const std::string& text) {
+  Result<std::vector<Token>> tokens = Tokenize(text);
+  if (!tokens.ok()) return Result<std::shared_ptr<SqlQuery>>::Error(tokens.error());
+  try {
+    Parser parser(std::move(tokens).value());
+    return parser.ParseQueryToEnd();
+  } catch (const ParseError& error) {
+    return Result<std::shared_ptr<SqlQuery>>::Error(error.message);
+  }
+}
+
+}  // namespace sql
+}  // namespace quotient

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sql/ast.hpp"
+#include "util/status.hpp"
+
+namespace quotient {
+namespace sql {
+
+/// Parses a SELECT query in the dialect of Section 4:
+///
+///   SELECT [DISTINCT] items FROM table_ref (',' table_ref)*
+///     [WHERE condition] [GROUP BY columns [HAVING condition]]
+///
+///   table_ref := table_factor [DIVIDE BY table_factor ON condition]
+///   table_factor := name [[AS] alias] | '(' query ')' [AS] alias
+///
+/// Conditions support AND/OR/NOT, the six comparators, (NOT) EXISTS
+/// (subquery), expr (NOT) IN (subquery), and arithmetic with the aggregate
+/// functions COUNT/SUM/MIN/MAX/AVG.
+Result<std::shared_ptr<SqlQuery>> ParseQuery(const std::string& text);
+
+}  // namespace sql
+}  // namespace quotient

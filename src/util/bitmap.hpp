@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace quotient {
+
+/// A fixed-width dynamic bitmap. Used by hash-division and the hash great
+/// divide to record, per quotient candidate, which divisor tuples have been
+/// seen (Graefe's hash-division bitmap scheme).
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t bits) : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  size_t size() const { return bits_; }
+
+  void Set(size_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+  bool Test(size_t i) const { return (words_[i >> 6] >> (i & 63)) & 1; }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  /// True iff every bit is set.
+  bool All() const { return Count() == bits_; }
+
+  /// True iff no bit is set.
+  bool None() const {
+    for (uint64_t w : words_)
+      if (w != 0) return false;
+    return true;
+  }
+
+ private:
+  size_t bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace quotient

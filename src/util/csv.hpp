@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "algebra/relation.hpp"
+#include "util/status.hpp"
+
+namespace quotient {
+
+/// CSV import/export for relations, so the examples and downstream users
+/// can move data in and out of the engine.
+///
+/// Format: first line is the header "name:type,name:type,..." (types as in
+/// Schema::Parse; a bare name means int); every following line is one
+/// tuple. Strings containing commas, quotes, or newlines are double-quoted
+/// with "" escaping. Set-valued attributes are not supported (use
+/// Nest/Unnest around the vertical layout instead).
+std::string RelationToCsv(const Relation& relation);
+
+/// Parses the format produced by RelationToCsv.
+Result<Relation> RelationFromCsv(const std::string& text);
+
+/// File-based convenience wrappers.
+Status WriteCsvFile(const Relation& relation, const std::string& path);
+Result<Relation> ReadCsvFile(const std::string& path);
+
+}  // namespace quotient

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace quotient {
+
+/// Error thrown on relational schema violations (arity/type/name mismatches).
+/// Schema errors are programming errors, not data errors, so they fail fast.
+class SchemaError : public std::runtime_error {
+ public:
+  explicit SchemaError(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// A success-or-message status for fallible user-facing operations (parsing).
+class Status {
+ public:
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) { return Status(std::move(message)); }
+
+  bool ok() const { return !message_.has_value(); }
+  /// Message text; empty string when ok.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return message_ ? *message_ : kEmpty;
+  }
+
+ private:
+  explicit Status(std::string message) : message_(std::move(message)) {}
+  std::optional<std::string> message_;
+};
+
+/// A value-or-error result used by the SQL front end. Either holds a T or an
+/// error message; checked access throws std::logic_error on misuse.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  static Result Error(std::string message) { return Result(Tag{}, std::move(message)); }
+
+  bool ok() const { return value_.has_value(); }
+  const std::string& error() const { return error_; }
+
+  const T& value() const& {
+    Require();
+    return *value_;
+  }
+  T& value() & {
+    Require();
+    return *value_;
+  }
+  T&& value() && {
+    Require();
+    return *std::move(value_);
+  }
+
+ private:
+  struct Tag {};
+  Result(Tag, std::string message) : error_(std::move(message)) {}
+  void Require() const {
+    if (!value_) throw std::logic_error("Result::value() on error: " + error_);
+  }
+
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace quotient

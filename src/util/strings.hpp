@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace quotient {
+
+/// Splits `text` on `sep`, trimming ASCII whitespace from each piece.
+/// Empty pieces are kept (so "a,,b" yields {"a", "", "b"}).
+std::vector<std::string> SplitTrim(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `text` starts with `prefix` ignoring ASCII case.
+bool StartsWithIgnoreCase(std::string_view text, std::string_view prefix);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view text);
+/// ASCII upper-casing.
+std::string ToUpper(std::string_view text);
+
+}  // namespace quotient

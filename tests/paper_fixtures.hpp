@@ -1,0 +1,157 @@
+#pragma once
+
+// The example relations printed in the paper's figures, transcribed exactly.
+// Shared by the figure-reproduction tests, the law tests, and bench_figures.
+
+#include "algebra/relation.hpp"
+
+namespace quotient {
+namespace paper {
+
+/// Figure 1(a) / 2(a): the nine-tuple dividend r1(a, b).
+inline Relation Fig1Dividend() {
+  return Relation::Parse("a, b", "1,1; 1,4; 2,1; 2,2; 2,3; 2,4; 3,1; 3,3; 3,4");
+}
+
+/// Figure 1(b): divisor r2(b) = {1, 3}.
+inline Relation Fig1Divisor() { return Relation::Parse("b", "1; 3"); }
+
+/// Figure 1(c): quotient r3(a) = {2, 3}.
+inline Relation Fig1Quotient() { return Relation::Parse("a", "2; 3"); }
+
+/// Figure 2(b): great-divide divisor r2(b, c).
+inline Relation Fig2Divisor() { return Relation::Parse("b, c", "1,1; 2,1; 4,1; 1,2; 3,2"); }
+
+/// Figure 2(c): great-divide quotient r3(a, c).
+inline Relation Fig2Quotient() { return Relation::Parse("a, c", "2,1; 2,2; 3,2"); }
+
+/// Figure 4(a) / 6(a): the eleven-tuple dividend (Fig. 1's plus a = 4 group).
+inline Relation Fig4Dividend() {
+  return Relation::Parse("a, b", "1,1; 1,4; 2,1; 2,2; 2,3; 2,4; 3,1; 3,3; 3,4; 4,1; 4,3");
+}
+
+/// Figure 4(b) / 6(c): divisor r2(b) = {1, 3, 4}.
+inline Relation Fig4Divisor() { return Relation::Parse("b", "1; 3; 4"); }
+
+/// Figure 4(c): divisor partition r2' = {1, 3}.
+inline Relation Fig4DivisorPrime() { return Relation::Parse("b", "1; 3"); }
+
+/// Figure 4(d): divisor partition r2'' = {3, 4} (overlaps r2' on b = 3).
+inline Relation Fig4DivisorPrimePrime() { return Relation::Parse("b", "3; 4"); }
+
+/// Figure 4(e): r1 ÷ r2' = {2, 3, 4}.
+inline Relation Fig4InnerQuotient() { return Relation::Parse("a", "2; 3; 4"); }
+
+/// Figure 4(f): r1 ⋉ (r1 ÷ r2').
+inline Relation Fig4SemiJoin() {
+  return Relation::Parse("a, b", "2,1; 2,2; 2,3; 2,4; 3,1; 3,3; 3,4; 4,1; 4,3");
+}
+
+/// Figure 4(g): the final quotient r3 = {2, 3}.
+inline Relation Fig4Quotient() { return Relation::Parse("a", "2; 3"); }
+
+/// Figure 5(a): dividend partition r1' (Law 2 counterexample).
+inline Relation Fig5R1Prime() { return Relation::Parse("a, b", "1,1; 1,2; 1,3"); }
+/// Figure 5(b): dividend partition r1''.
+inline Relation Fig5R1PrimePrime() { return Relation::Parse("a, b", "1,2; 1,4"); }
+/// Figure 5(c): divisor r2 = {1, 4}.
+inline Relation Fig5Divisor() { return Relation::Parse("b", "1; 4"); }
+
+/// Figure 7(a): r1*(a1) = {1, 2} (Law 8).
+inline Relation Fig7R1Star() { return Relation::Parse("a1", "1; 2"); }
+/// Figure 7(b): r1**(a2, b).
+inline Relation Fig7R1StarStar() {
+  return Relation::Parse("a2, b", "1,1; 1,2; 1,3; 2,1; 2,3; 3,2; 3,3");
+}
+/// Figure 7(c): r2(b) = {2, 3}.
+inline Relation Fig7Divisor() { return Relation::Parse("b", "2; 3"); }
+/// Figure 7(e): r1** ÷ r2 = {1, 3}.
+inline Relation Fig7InnerQuotient() { return Relation::Parse("a2", "1; 3"); }
+/// Figure 7(f): r3(a1, a2).
+inline Relation Fig7Quotient() { return Relation::Parse("a1, a2", "1,1; 1,3; 2,1; 2,3"); }
+
+/// Figure 8(a) / 9(a): r1*(a, b1) (Law 9 / Example 3).
+inline Relation Fig8R1Star() {
+  return Relation::Parse("a, b1", "1,1; 1,2; 1,3; 2,2; 2,3; 3,1; 3,3; 3,4");
+}
+/// Figure 8(b): r1**(b2) = {1, 2}.
+inline Relation Fig8R1StarStar() { return Relation::Parse("b2", "1; 2"); }
+/// Figure 8(c): r2(b1, b2).
+inline Relation Fig8Divisor() { return Relation::Parse("b1, b2", "1,2; 3,1; 3,2"); }
+/// Figure 8(e): πb1(r2) = {1, 3}.
+inline Relation Fig8DivisorB1() { return Relation::Parse("b1", "1; 3"); }
+/// Figure 8(g): r3(a) = {1, 3}.
+inline Relation Fig8Quotient() { return Relation::Parse("a", "1; 3"); }
+
+/// Figure 9(b): r1**(b2) = {1, 2, 4} (Example 3).
+inline Relation Fig9R1StarStar() { return Relation::Parse("b2", "1; 2; 4"); }
+/// Figure 9(c): r2(b1, b2) = {(1,4), (3,4)}.
+inline Relation Fig9Divisor() { return Relation::Parse("b1, b2", "1,4; 3,4"); }
+/// Figure 9(d): r1* ⋈_{b1<b2} r1**.
+inline Relation Fig9Joined() {
+  return Relation::Parse("a, b1, b2",
+                         "1,1,2; 1,1,4; 1,2,4; 1,3,4; 2,2,4; 2,3,4; 3,1,2; 3,1,4; 3,3,4");
+}
+/// Figure 9(e): πb1(σb1<b2(r2)) = {1, 3}.
+inline Relation Fig9DivisorB1() { return Relation::Parse("b1", "1; 3"); }
+/// Figure 9(f): r3(a) = {1, 3}.
+inline Relation Fig9Quotient() { return Relation::Parse("a", "1; 3"); }
+
+/// Figure 10(a): r0(a, x) (Law 11).
+inline Relation Fig10R0() {
+  return Relation::Parse("a, x", "1,1; 1,2; 1,3; 2,1; 2,3; 3,1; 3,3; 3,4");
+}
+/// Figure 10(b): r1 = aγsum(x)→b(r0) = {(1,6), (2,4), (3,8)}.
+inline Relation Fig10R1() { return Relation::Parse("a, b", "1,6; 2,4; 3,8"); }
+/// Figure 10(c): r2(b) = {4}.
+inline Relation Fig10Divisor() { return Relation::Parse("b", "4"); }
+/// Figure 10(d): r1 ⋉ r2 = {(2, 4)}.
+inline Relation Fig10SemiJoin() { return Relation::Parse("a, b", "2,4"); }
+/// Figure 10(e): πA(r1 ⋉ r2) = {2}.
+inline Relation Fig10Quotient() { return Relation::Parse("a", "2"); }
+
+/// Figure 11(a): r0(x, b) (Law 12).
+inline Relation Fig11R0() {
+  return Relation::Parse("x, b", "1,1; 1,2; 1,3; 2,1; 2,3; 3,1; 3,3; 3,4");
+}
+/// Figure 11(b): r1 = bγsum(x)→a(r0) = {(6,1), (1,2), (6,3), (3,4)}.
+inline Relation Fig11R1() { return Relation::Parse("a, b", "6,1; 1,2; 6,3; 3,4"); }
+/// Figure 11(c): r2(b) = {1, 3}.
+inline Relation Fig11Divisor() { return Relation::Parse("b", "1; 3"); }
+/// Figure 11(d): r1 ⋉ r2 = {(6,1), (6,3)}.
+inline Relation Fig11SemiJoin() { return Relation::Parse("a, b", "6,1; 6,3"); }
+/// Figure 11(e): πA(r1 ⋉ r2) = {6}.
+inline Relation Fig11Quotient() { return Relation::Parse("a", "6"); }
+
+/// The suppliers-and-parts database of Section 4 (queries Q1–Q3). The data
+/// is not printed in the paper; this instance is constructed so that Q1/Q3
+/// produce a nonempty, discriminating answer.
+inline Relation SuppliesTable() {
+  return Relation::Parse("s#, p#",
+                         "1,1; 1,2; 1,3; 1,4;"   // supplier 1 supplies everything
+                         "2,1; 2,3;"             // supplier 2: all blue parts
+                         "3,2; 3,4;"             // supplier 3: all red parts
+                         "4,1; 4,2");            // supplier 4: one of each
+}
+
+inline Relation PartsTable() {
+  return Relation::FromRows("p#:int, color:string", {{V(1), V("blue")},
+                                                     {V(2), V("red")},
+                                                     {V(3), V("blue")},
+                                                     {V(4), V("red")}});
+}
+
+/// Expected answer of Q1: each (supplier, color) where the supplier supplies
+/// every part of that color.
+inline Relation Q1Answer() {
+  return Relation::FromRows("s#:int, color:string", {{V(1), V("blue")},
+                                                     {V(1), V("red")},
+                                                     {V(2), V("blue")},
+                                                     {V(3), V("red")}});
+}
+
+/// Expected answer of Q2 ("suppliers that supply all blue parts").
+inline Relation Q2Answer() { return Relation::Parse("s#", "1; 2"); }
+
+}  // namespace paper
+}  // namespace quotient

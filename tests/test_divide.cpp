@@ -1,0 +1,120 @@
+// The division operators at the algebra level: schema rules, edge cases,
+// definitional cross-checks, nest/unnest, set containment join.
+
+#include "algebra/divide.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/status.hpp"
+
+namespace quotient {
+namespace {
+
+TEST(DivisionAttributesTest, DerivesABC) {
+  DivisionAttributes attrs = DivisionAttributeSets(Schema::Parse("a1, a2, b1, b2"),
+                                                   Schema::Parse("b1, b2, c"), /*allow_c=*/true);
+  EXPECT_EQ(attrs.a, (std::vector<std::string>{"a1", "a2"}));
+  EXPECT_EQ(attrs.b, (std::vector<std::string>{"b1", "b2"}));
+  EXPECT_EQ(attrs.c, (std::vector<std::string>{"c"}));
+}
+
+TEST(DivisionAttributesTest, SchemaRules) {
+  // B must be nonempty.
+  EXPECT_THROW(DivisionAttributeSets(Schema::Parse("a"), Schema::Parse("b"), false),
+               SchemaError);
+  // A must be nonempty.
+  EXPECT_THROW(DivisionAttributeSets(Schema::Parse("b"), Schema::Parse("b"), false),
+               SchemaError);
+  // Small divide forbids extra divisor attributes.
+  EXPECT_THROW(DivisionAttributeSets(Schema::Parse("a, b"), Schema::Parse("b, c"), false),
+               SchemaError);
+  // Shared attributes must agree on type.
+  EXPECT_THROW(
+      DivisionAttributeSets(Schema::Parse("a, b:int"), Schema::Parse("b:real"), false),
+      SchemaError);
+}
+
+TEST(DivideTest, SingleTupleCases) {
+  Relation r1 = Relation::Parse("a, b", "1,1");
+  EXPECT_EQ(Divide(r1, Relation::Parse("b", "1")), Relation::Parse("a", "1"));
+  EXPECT_TRUE(Divide(r1, Relation::Parse("b", "2")).empty());
+}
+
+TEST(DivideTest, EmptyDivisorIsVacuouslyTrueInAllDefinitions) {
+  Relation r1 = Relation::Parse("a, b", "1,1; 2,5");
+  Relation empty(Schema::Parse("b"));
+  Relation all_candidates = Relation::Parse("a", "1; 2");
+  EXPECT_EQ(DivideCodd(r1, empty), all_candidates);
+  EXPECT_EQ(DivideHealy(r1, empty), all_candidates);
+  EXPECT_EQ(DivideMaier(r1, empty), all_candidates);
+  EXPECT_EQ(DivideCounting(r1, empty), all_candidates);
+}
+
+TEST(DivideTest, DividendAttributeOrderIrrelevant) {
+  // Division is by attribute name; (b, a) dividend works the same.
+  Relation r1 = Relation::Parse("b, a", "1,2; 3,2; 1,9");
+  Relation r2 = Relation::Parse("b", "1; 3");
+  EXPECT_EQ(Divide(r1, r2), Relation::Parse("a", "2"));
+}
+
+TEST(DivideTest, MultiAttributeBRequiresExactTuples) {
+  Relation r1 = Relation::Parse("a, b1, b2", "1,1,10; 1,2,20; 2,1,20; 2,2,10");
+  Relation r2 = Relation::Parse("b1, b2", "1,10; 2,20");
+  // Group 1 has exactly (1,10) and (2,20); group 2 has the cross-matched
+  // pairs (1,20), (2,10) which do NOT satisfy the divisor.
+  EXPECT_EQ(Divide(r1, r2), Relation::Parse("a", "1"));
+}
+
+TEST(GreatDivideTest, DivisorGroupsAreIndependent) {
+  Relation r1 = Relation::Parse("a, b", "1,1; 1,2; 2,1");
+  Relation r2 = Relation::Parse("b, c", "1,100; 1,200; 2,200");
+  // Group c=100 needs {1}: both groups qualify. Group c=200 needs {1,2}.
+  EXPECT_EQ(GreatDivide(r1, r2), Relation::Parse("a, c", "1,100; 2,100; 1,200"));
+}
+
+TEST(GreatDivideTest, MultiAttributeC) {
+  Relation r1 = Relation::Parse("a, b", "1,1; 1,2");
+  Relation r2 = Relation::Parse("b, c1, c2", "1,7,8; 2,7,8; 1,9,9");
+  EXPECT_EQ(GreatDivide(r1, r2), Relation::Parse("a, c1, c2", "1,7,8; 1,9,9"));
+}
+
+TEST(GreatDivideTest, QuotientAttributeOrderIsAThenC) {
+  Relation r1 = Relation::Parse("a, b", "1,1");
+  Relation r2 = Relation::Parse("c, b", "5,1");  // C attribute listed first
+  Relation q = GreatDivide(r1, r2);
+  EXPECT_EQ(q.schema().Names(), (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(q, Relation::Parse("a, c", "1,5"));
+}
+
+TEST(NestUnnestTest, RoundTrip) {
+  Relation flat = Relation::Parse("a, b", "1,1; 1,2; 2,3");
+  Relation nested = Nest(flat, "b", "bs");
+  ASSERT_EQ(nested.size(), 2u);
+  EXPECT_EQ(nested.schema().attribute(1).type, ValueType::kSet);
+  Relation unnested = Unnest(nested, "bs", "b");
+  EXPECT_EQ(unnested, flat);
+}
+
+TEST(NestUnnestTest, UnnestDropsEmptySets) {
+  Relation r = Relation::FromRows("a:int, s:set",
+                                  {{V(1), Value::SetOf({})}, {V(2), Value::SetOf({V(9)})}});
+  Relation flat = Unnest(r, "s", "b");
+  EXPECT_EQ(flat, Relation::Parse("a, b", "2,9"));
+  EXPECT_THROW(Unnest(Relation::Parse("a, b", "1,1"), "b", "x"), SchemaError);
+}
+
+TEST(SetContainmentJoinTest, BasicContainment) {
+  Relation r1 = Relation::FromRows(
+      "a:int, s1:set", {{V(1), Value::SetOf({V(1), V(2), V(3)})},
+                        {V(2), Value::SetOf({V(1)})}});
+  Relation r2 = Relation::FromRows(
+      "s2:set, c:int", {{Value::SetOf({V(1), V(2)}), V(10)},
+                        {Value::SetOf({}), V(20)}});  // the empty set ⊆ everything
+  Relation j = SetContainmentJoin(r1, "s1", r2, "s2");
+  EXPECT_EQ(j.size(), 3u);  // (1 ⊇ {1,2}), (1 ⊇ ∅), (2 ⊇ ∅)
+  EXPECT_THROW(SetContainmentJoin(Relation::Parse("a, b", "1,1"), "b", r2, "s2"),
+               SchemaError);
+}
+
+}  // namespace
+}  // namespace quotient

@@ -1,0 +1,145 @@
+// Every physical division algorithm must agree with the reference algebra
+// (Codd's definition) on the paper's examples and on randomized inputs.
+
+#include <gtest/gtest.h>
+
+#include "algebra/divide.hpp"
+#include "algebra/generator.hpp"
+#include "algebra/ops.hpp"
+#include "exec/exec_basic.hpp"
+#include "exec/exec_divide.hpp"
+#include "exec/exec_great_divide.hpp"
+#include "paper_fixtures.hpp"
+
+namespace quotient {
+namespace {
+
+class DivisionAlgorithmTest : public ::testing::TestWithParam<DivisionAlgorithm> {};
+
+TEST_P(DivisionAlgorithmTest, Figure1) {
+  EXPECT_EQ(ExecDivide(paper::Fig1Dividend(), paper::Fig1Divisor(), GetParam()),
+            paper::Fig1Quotient());
+}
+
+TEST_P(DivisionAlgorithmTest, Figure4) {
+  EXPECT_EQ(ExecDivide(paper::Fig4Dividend(), paper::Fig4Divisor(), GetParam()),
+            paper::Fig4Quotient());
+}
+
+TEST_P(DivisionAlgorithmTest, EmptyDivisorYieldsAllCandidates) {
+  Relation r1 = paper::Fig1Dividend();
+  Relation empty(Schema::Parse("b"));
+  EXPECT_EQ(ExecDivide(r1, empty, GetParam()), Project(r1, {"a"}));
+}
+
+TEST_P(DivisionAlgorithmTest, EmptyDividendYieldsEmptyQuotient) {
+  Relation empty(Schema::Parse("a, b"));
+  EXPECT_TRUE(ExecDivide(empty, paper::Fig1Divisor(), GetParam()).empty());
+}
+
+TEST_P(DivisionAlgorithmTest, DivisorLargerThanEveryGroup) {
+  Relation r1 = Relation::Parse("a, b", "1,1; 2,2");
+  Relation r2 = Relation::Parse("b", "1; 2; 3");
+  EXPECT_TRUE(ExecDivide(r1, r2, GetParam()).empty());
+}
+
+TEST_P(DivisionAlgorithmTest, SingleGroupCoversDivisor) {
+  Relation r1 = Relation::Parse("a, b", "7,1; 7,2; 7,3");
+  Relation r2 = Relation::Parse("b", "1; 3");
+  EXPECT_EQ(ExecDivide(r1, r2, GetParam()), Relation::Parse("a", "7"));
+}
+
+TEST_P(DivisionAlgorithmTest, MultiAttributeAandB) {
+  // A = {a1, a2}, B = {b1, b2}.
+  Relation r1 = Relation::Parse("a1, a2, b1, b2",
+                                "1,1,10,20; 1,1,11,21;"
+                                "1,2,10,20;"
+                                "2,1,10,20; 2,1,11,21; 2,1,12,22");
+  Relation r2 = Relation::Parse("b1, b2", "10,20; 11,21");
+  Relation expected = Relation::Parse("a1, a2", "1,1; 2,1");
+  EXPECT_EQ(ExecDivide(r1, r2, GetParam()), expected);
+}
+
+TEST_P(DivisionAlgorithmTest, RandomizedAgainstReference) {
+  DataGen gen(0xD1Dull + static_cast<uint64_t>(GetParam()));
+  for (int round = 0; round < 60; ++round) {
+    Relation r1 = gen.Dividend(/*groups=*/gen.UniformInt(0, 12),
+                               /*domain=*/gen.UniformInt(1, 10), /*density=*/0.4);
+    Relation r2 = gen.Divisor(/*size=*/gen.UniformInt(0, 6), /*domain=*/10);
+    EXPECT_EQ(ExecDivide(r1, r2, GetParam()), DivideCodd(r1, r2))
+        << "round " << round << "\nr1:\n"
+        << r1.ToString() << "r2:\n"
+        << r2.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, DivisionAlgorithmTest,
+                         ::testing::Values(DivisionAlgorithm::kHash,
+                                           DivisionAlgorithm::kHashTransposed,
+                                           DivisionAlgorithm::kMergeSort,
+                                           DivisionAlgorithm::kHashCount,
+                                           DivisionAlgorithm::kSortCount,
+                                           DivisionAlgorithm::kNestedLoop),
+                         [](const ::testing::TestParamInfo<DivisionAlgorithm>& info) {
+                           return DivisionAlgorithmName(info.param);
+                         });
+
+class GreatDivideAlgorithmTest : public ::testing::TestWithParam<GreatDivideAlgorithm> {};
+
+TEST_P(GreatDivideAlgorithmTest, Figure2) {
+  EXPECT_EQ(ExecGreatDivide(paper::Fig1Dividend(), paper::Fig2Divisor(), GetParam()),
+            paper::Fig2Quotient());
+}
+
+TEST_P(GreatDivideAlgorithmTest, RandomizedAgainstReference) {
+  DataGen gen(0x6D1Dull + static_cast<uint64_t>(GetParam()));
+  for (int round = 0; round < 60; ++round) {
+    Relation r1 = gen.Dividend(gen.UniformInt(0, 10), gen.UniformInt(1, 8), 0.45);
+    Relation r2 = gen.GreatDivisor(gen.UniformInt(1, 5), 8, 0.3);
+    EXPECT_EQ(ExecGreatDivide(r1, r2, GetParam()), GreatDivideSCD(r1, r2))
+        << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, GreatDivideAlgorithmTest,
+                         ::testing::Values(GreatDivideAlgorithm::kHash,
+                                           GreatDivideAlgorithm::kGroup),
+                         [](const ::testing::TestParamInfo<GreatDivideAlgorithm>& info) {
+                           return GreatDivideAlgorithmName(info.param);
+                         });
+
+TEST(GreatDividePartitioned, MatchesReferenceAcrossThreadCounts) {
+  DataGen gen(0xAB12ull);
+  Relation r1 = gen.Dividend(20, 12, 0.5);
+  Relation r2 = gen.GreatDivisor(9, 12, 0.25);
+  Relation expected = GreatDivideSCD(r1, r2);
+  for (size_t threads : {1u, 2u, 3u, 4u, 8u}) {
+    EXPECT_EQ(GreatDividePartitioned(r1, r2, threads), expected) << threads << " threads";
+  }
+}
+
+TEST(SetContainmentJoinExec, AgreesWithReferenceOnFigure3) {
+  Relation r1 = Nest(paper::Fig1Dividend(), "b", "b1");
+  Relation r2 = Nest(paper::Fig2Divisor(), "b", "b2");
+  SetContainmentJoinIterator it(
+      std::make_unique<RelationScan>(std::make_shared<const Relation>(r1)), "b1",
+      std::make_unique<RelationScan>(std::make_shared<const Relation>(r2)), "b2");
+  EXPECT_EQ(ExecuteToRelation(it), SetContainmentJoin(r1, "b1", r2, "b2"));
+}
+
+TEST(SetContainmentJoinExec, RandomizedAgainstReference) {
+  DataGen gen(77);
+  for (int round = 0; round < 40; ++round) {
+    Relation left_flat = gen.Dividend(gen.UniformInt(1, 8), 10, 0.4);
+    Relation right_flat = gen.GreatDivisor(gen.UniformInt(1, 5), 10, 0.3);
+    Relation r1 = Nest(left_flat, "b", "s1");
+    Relation r2 = Rename(Nest(right_flat, "b", "s2"), {{"c", "g"}});
+    SetContainmentJoinIterator it(
+        std::make_unique<RelationScan>(std::make_shared<const Relation>(r1)), "s1",
+        std::make_unique<RelationScan>(std::make_shared<const Relation>(r2)), "s2");
+    EXPECT_EQ(ExecuteToRelation(it), SetContainmentJoin(r1, "s1", r2, "s2")) << round;
+  }
+}
+
+}  // namespace
+}  // namespace quotient

@@ -1,0 +1,188 @@
+// Exact reproduction of every figure in the paper (Figures 1-11): same
+// inputs, same outputs, including all printed intermediate results.
+
+#include <gtest/gtest.h>
+
+#include "algebra/divide.hpp"
+#include "algebra/ops.hpp"
+#include "core/laws.hpp"
+#include "paper_fixtures.hpp"
+
+namespace quotient {
+namespace {
+
+using namespace paper;
+
+TEST(Figure1, SmallDivide) {
+  EXPECT_EQ(Divide(Fig1Dividend(), Fig1Divisor()), Fig1Quotient());
+}
+
+TEST(Figure1, AllDefinitionsAgree) {
+  EXPECT_EQ(DivideCodd(Fig1Dividend(), Fig1Divisor()), Fig1Quotient());
+  EXPECT_EQ(DivideHealy(Fig1Dividend(), Fig1Divisor()), Fig1Quotient());
+  EXPECT_EQ(DivideMaier(Fig1Dividend(), Fig1Divisor()), Fig1Quotient());
+  EXPECT_EQ(DivideCounting(Fig1Dividend(), Fig1Divisor()), Fig1Quotient());
+}
+
+TEST(Figure2, GeneralizedDivision) {
+  EXPECT_EQ(GreatDivide(Fig1Dividend(), Fig2Divisor()), Fig2Quotient());
+}
+
+TEST(Figure2, AllDefinitionsAgree) {
+  EXPECT_EQ(GreatDivideSCD(Fig1Dividend(), Fig2Divisor()), Fig2Quotient());
+  EXPECT_EQ(GreatDivideDemolombe(Fig1Dividend(), Fig2Divisor()), Fig2Quotient());
+  EXPECT_EQ(GreatDivideTodd(Fig1Dividend(), Fig2Divisor()), Fig2Quotient());
+}
+
+TEST(Figure3, SetContainmentJoin) {
+  // Figure 3's NF² relations are the nested forms of Figure 2's relations.
+  Relation r1 = Nest(Fig1Dividend(), "b", "b1");
+  Relation r2 = Nest(Fig2Divisor(), "b", "b2");
+  ASSERT_EQ(r1.size(), 3u);
+  ASSERT_EQ(r2.size(), 2u);
+
+  Relation r3 = SetContainmentJoin(r1, "b1", r2, "b2");
+
+  Relation expected = Relation::FromRows(
+      "a:int, b1:set, b2:set, c:int",
+      {{V(2), Value::SetOf({V(1), V(2), V(3), V(4)}), Value::SetOf({V(1), V(2), V(4)}), V(1)},
+       {V(2), Value::SetOf({V(1), V(2), V(3), V(4)}), Value::SetOf({V(1), V(3)}), V(2)},
+       {V(3), Value::SetOf({V(1), V(3), V(4)}), Value::SetOf({V(1), V(3)}), V(2)}});
+  EXPECT_EQ(r3, expected);
+}
+
+TEST(Figure3, MatchesGreatDivideModuloSetAttributes) {
+  // §2.2: SCJ and great divide solve the same problem; projecting the join
+  // attributes away from the SCJ result yields the great-divide quotient.
+  Relation r1 = Nest(Fig1Dividend(), "b", "b1");
+  Relation r2 = Nest(Fig2Divisor(), "b", "b2");
+  Relation scj = SetContainmentJoin(r1, "b1", r2, "b2");
+  EXPECT_EQ(Project(scj, {"a", "c"}), Fig2Quotient());
+}
+
+TEST(Figure4, Law1EveryIntermediate) {
+  Relation r1 = Fig4Dividend();
+  // (b) = (c) ∪ (d)
+  EXPECT_EQ(Union(Fig4DivisorPrime(), Fig4DivisorPrimePrime()), Fig4Divisor());
+  // (e) r1 ÷ r2'
+  Relation inner = Divide(r1, Fig4DivisorPrime());
+  EXPECT_EQ(inner, Fig4InnerQuotient());
+  // (f) r1 ⋉ (r1 ÷ r2')
+  Relation semi = SemiJoin(r1, inner);
+  EXPECT_EQ(semi, Fig4SemiJoin());
+  // (g) final quotient both ways
+  EXPECT_EQ(Divide(semi, Fig4DivisorPrimePrime()), Fig4Quotient());
+  EXPECT_EQ(Divide(r1, Fig4Divisor()), Fig4Quotient());
+}
+
+TEST(Figure4, Law1HoldsDespiteOverlappingPartitions) {
+  // r2' ∩ r2'' = {3} ≠ ∅ — Law 1 does not need disjointness.
+  EXPECT_FALSE(Intersect(Fig4DivisorPrime(), Fig4DivisorPrimePrime()).empty());
+  EXPECT_EQ(laws::Law1Lhs(Fig4Dividend(), Fig4DivisorPrime(), Fig4DivisorPrimePrime()),
+            laws::Law1Rhs(Fig4Dividend(), Fig4DivisorPrime(), Fig4DivisorPrimePrime()));
+}
+
+TEST(Figure5, Law2PreconditionViolated) {
+  Relation r1p = Fig5R1Prime();
+  Relation r1pp = Fig5R1PrimePrime();
+  Relation r2 = Fig5Divisor();
+
+  // The paper: r1' ÷ r2 = ∅ and r1'' ÷ r2 = ∅ but (r1' ∪ r1'') ÷ r2 ≠ ∅.
+  EXPECT_TRUE(Divide(r1p, r2).empty());
+  EXPECT_TRUE(Divide(r1pp, r2).empty());
+  EXPECT_EQ(Divide(Union(r1p, r1pp), r2), Relation::Parse("a", "1"));
+
+  // Hence c1 is false and the two sides of Law 2 differ.
+  EXPECT_FALSE(laws::ConditionC1(r1p, r1pp, r2));
+  EXPECT_NE(laws::Law2Lhs(r1p, r1pp, r2), laws::Law2Rhs(r1p, r1pp, r2));
+}
+
+TEST(Figure6, Example1EveryIntermediate) {
+  Relation r1 = Fig4Dividend();
+  Relation r2 = Fig4Divisor();
+  ExprPtr p = Expr::ColCmp("b", CmpOp::kLt, V(3));
+
+  // (b) σb<3(r1)
+  EXPECT_EQ(Select(r1, p), Relation::Parse("a, b", "1,1; 2,1; 2,2; 3,1; 4,1"));
+  // (d) σb<3(r2)
+  EXPECT_EQ(Select(r2, p), Relation::Parse("b", "1"));
+  // (e) σb<3(r1) ÷ r2 = ∅
+  EXPECT_TRUE(Divide(Select(r1, p), r2).empty());
+  // (f) σb<3(r1) ÷ σb<3(r2)
+  EXPECT_EQ(Divide(Select(r1, p), Select(r2, p)), Relation::Parse("a", "1; 2; 3; 4"));
+  // (g) πa(r1) × σb>=3(r2)
+  ExprPtr not_p = Expr::ColCmp("b", CmpOp::kGe, V(3));
+  Relation g = Product(Project(r1, {"a"}), Select(r2, not_p));
+  EXPECT_EQ(g, Relation::Parse("a, b", "1,3; 1,4; 2,3; 2,4; 3,3; 3,4; 4,3; 4,4"));
+  // (h) πa(g)
+  EXPECT_EQ(Project(g, {"a"}), Relation::Parse("a", "1; 2; 3; 4"));
+  // (i) (f) − (h) = ∅, matching (e)
+  EXPECT_TRUE(Difference(Divide(Select(r1, p), Select(r2, p)), Project(g, {"a"})).empty());
+  // The packaged law helper agrees.
+  EXPECT_EQ(laws::Example1Lhs(r1, r2, p), laws::Example1Rhs(r1, r2, p));
+}
+
+TEST(Figure7, Law8EveryIntermediate) {
+  // (d) r1* × r1** has 2 × 7 = 14 tuples
+  Relation product = Product(Fig7R1Star(), Fig7R1StarStar());
+  EXPECT_EQ(product.size(), 14u);
+  // (e) r1** ÷ r2
+  EXPECT_EQ(Divide(Fig7R1StarStar(), Fig7Divisor()), Fig7InnerQuotient());
+  // (f) both sides equal the printed quotient
+  EXPECT_EQ(Divide(product, Fig7Divisor()), Fig7Quotient());
+  EXPECT_EQ(Product(Fig7R1Star(), Divide(Fig7R1StarStar(), Fig7Divisor())), Fig7Quotient());
+}
+
+TEST(Figure8, Law9EveryIntermediate) {
+  // Precondition: πB2(r2) ⊆ r1**.
+  EXPECT_TRUE(laws::Law9Precondition(Fig8R1StarStar(), Fig8Divisor()));
+  // (d) r1* × r1** has 8 × 2 = 16 tuples.
+  EXPECT_EQ(Product(Fig8R1Star(), Fig8R1StarStar()).size(), 16u);
+  // (e) πb1(r2)
+  EXPECT_EQ(Project(Fig8Divisor(), {"b1"}), Fig8DivisorB1());
+  // (g) both sides equal the printed quotient.
+  EXPECT_EQ(laws::Law9Lhs(Fig8R1Star(), Fig8R1StarStar(), Fig8Divisor()), Fig8Quotient());
+  EXPECT_EQ(laws::Law9Rhs(Fig8R1Star(), Fig8R1StarStar(), Fig8Divisor()), Fig8Quotient());
+}
+
+TEST(Figure9, Example3EveryIntermediate) {
+  // Precondition (foreign key): πb2(r2) ⊆ r1**.
+  EXPECT_TRUE(Project(Fig9Divisor(), {"b2"}).SubsetOf(Fig9R1StarStar()));
+  // (d) the theta-join.
+  ExprPtr theta = Expr::Compare(CmpOp::kLt, Expr::Column("b1"), Expr::Column("b2"));
+  EXPECT_EQ(ThetaJoin(Fig8R1Star(), Fig9R1StarStar(), theta), Fig9Joined());
+  // (e) πb1(σb1<b2(r2)).
+  EXPECT_EQ(Project(Select(Fig9Divisor(), theta), {"b1"}), Fig9DivisorB1());
+  // (f) both sides equal the printed quotient.
+  EXPECT_EQ(laws::Example3Lhs(Fig8R1Star(), Fig9R1StarStar(), Fig9Divisor()), Fig9Quotient());
+  EXPECT_EQ(laws::Example3Rhs(Fig8R1Star(), Fig9R1StarStar(), Fig9Divisor()), Fig9Quotient());
+}
+
+TEST(Figure10, Law11EveryIntermediate) {
+  // (b) the grouped dividend.
+  Relation r1 = GroupBy(Fig10R0(), {"a"}, {{AggFunc::kSum, "x", "b"}});
+  EXPECT_EQ(r1, Fig10R1());
+  // (d) r1 ⋉ r2 and (e) its projection.
+  EXPECT_EQ(SemiJoin(r1, Fig10Divisor()), Fig10SemiJoin());
+  EXPECT_EQ(Project(SemiJoin(r1, Fig10Divisor()), {"a"}), Fig10Quotient());
+  // Law 11 (|r2| = 1 case) agrees with the direct division.
+  EXPECT_TRUE(laws::Law11Precondition(r1, Fig10Divisor()));
+  EXPECT_EQ(laws::Law11Lhs(r1, Fig10Divisor()), Fig10Quotient());
+  EXPECT_EQ(laws::Law11Rhs(r1, Fig10Divisor()), Fig10Quotient());
+}
+
+TEST(Figure11, Law12EveryIntermediate) {
+  // (b) the grouped dividend.
+  Relation r1 = GroupBy(Fig11R0(), {"b"}, {{AggFunc::kSum, "x", "a"}});
+  EXPECT_EQ(r1, Fig11R1());
+  // (d) r1 ⋉ r2 and (e) its projection.
+  EXPECT_EQ(SemiJoin(r1, Fig11Divisor()), Fig11SemiJoin());
+  EXPECT_EQ(Project(SemiJoin(r1, Fig11Divisor()), {"a"}), Fig11Quotient());
+  // Law 12 agrees with the direct division.
+  EXPECT_TRUE(laws::Law12Precondition(r1, Fig11Divisor()));
+  EXPECT_EQ(laws::Law12Lhs(r1, Fig11Divisor()), Fig11Quotient());
+  EXPECT_EQ(laws::Law12Rhs(r1, Fig11Divisor()), Fig11Quotient());
+}
+
+}  // namespace
+}  // namespace quotient

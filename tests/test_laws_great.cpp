@@ -1,0 +1,145 @@
+// Laws 13-17 (great divide) and Example 4 on paper-shaped and edge inputs.
+
+#include <gtest/gtest.h>
+
+#include "algebra/generator.hpp"
+#include "core/laws.hpp"
+#include "paper_fixtures.hpp"
+
+namespace quotient {
+namespace {
+
+using namespace laws;
+
+// --------------------------------------------------------------- Law 13 ----
+
+TEST(Law13, SplitFigure2DivisorByGroup) {
+  // Partition Figure 2's divisor by c: {c=1} and {c=2} are C-disjoint.
+  Relation r2p = Relation::Parse("b, c", "1,1; 2,1; 4,1");
+  Relation r2pp = Relation::Parse("b, c", "1,2; 3,2");
+  ASSERT_TRUE(Law13Precondition(paper::Fig1Dividend(), r2p, r2pp));
+  EXPECT_EQ(Law13Lhs(paper::Fig1Dividend(), r2p, r2pp),
+            Law13Rhs(paper::Fig1Dividend(), r2p, r2pp));
+  EXPECT_EQ(Law13Lhs(paper::Fig1Dividend(), r2p, r2pp), paper::Fig2Quotient());
+}
+
+TEST(Law13, FailsWhenGroupIsSplitAcrossPartitions) {
+  // Split group c=1 itself: πC overlaps, and the two sides differ because
+  // each partition sees only half of the group's B set.
+  Relation r2p = Relation::Parse("b, c", "1,1; 1,2");
+  Relation r2pp = Relation::Parse("b, c", "2,1; 3,2");
+  ASSERT_FALSE(Law13Precondition(paper::Fig1Dividend(), r2p, r2pp));
+  EXPECT_NE(Law13Lhs(paper::Fig1Dividend(), r2p, r2pp),
+            Law13Rhs(paper::Fig1Dividend(), r2p, r2pp));
+}
+
+TEST(Law13, ManyPartitionsViaPairwiseSplit) {
+  DataGen gen(7);
+  Relation r1 = gen.Dividend(8, 8, 0.5);
+  Relation r2 = gen.GreatDivisor(6, 8, 0.4);
+  // Split into per-group partitions and fold the law pairwise.
+  ExprPtr even = Expr::ColCmp("c", CmpOp::kLt, V(3));
+  Relation r2p = Select(r2, even);
+  Relation r2pp = Select(r2, Expr::Not(even));
+  ASSERT_TRUE(Law13Precondition(r1, r2p, r2pp));
+  EXPECT_EQ(Law13Lhs(r1, r2p, r2pp), Law13Rhs(r1, r2p, r2pp));
+}
+
+// --------------------------------------------------------------- Law 14 ----
+
+TEST(Law14, QuotientSelectionPushdown) {
+  ExprPtr p = Expr::ColCmp("a", CmpOp::kGe, V(3));
+  EXPECT_EQ(Law14Lhs(paper::Fig1Dividend(), paper::Fig2Divisor(), p),
+            Law14Rhs(paper::Fig1Dividend(), paper::Fig2Divisor(), p));
+  EXPECT_EQ(Law14Lhs(paper::Fig1Dividend(), paper::Fig2Divisor(), p),
+            Relation::Parse("a, c", "3,2"));
+}
+
+// --------------------------------------------------------------- Law 15 ----
+
+TEST(Law15, DivisorGroupSelectionPushdown) {
+  ExprPtr p = Expr::ColCmp("c", CmpOp::kEq, V(2));
+  EXPECT_EQ(Law15Lhs(paper::Fig1Dividend(), paper::Fig2Divisor(), p),
+            Law15Rhs(paper::Fig1Dividend(), paper::Fig2Divisor(), p));
+  EXPECT_EQ(Law15Lhs(paper::Fig1Dividend(), paper::Fig2Divisor(), p),
+            Relation::Parse("a, c", "2,2; 3,2"));
+}
+
+TEST(Law15, SelectionRemovesAllGroups) {
+  ExprPtr p = Expr::ColCmp("c", CmpOp::kGt, V(99));
+  EXPECT_EQ(Law15Lhs(paper::Fig1Dividend(), paper::Fig2Divisor(), p),
+            Law15Rhs(paper::Fig1Dividend(), paper::Fig2Divisor(), p));
+  EXPECT_TRUE(Law15Lhs(paper::Fig1Dividend(), paper::Fig2Divisor(), p).empty());
+}
+
+// --------------------------------------------------------------- Law 16 ----
+
+TEST(Law16, ReplicateBSelection) {
+  ExprPtr p = Expr::ColCmp("b", CmpOp::kLe, V(3));
+  EXPECT_EQ(Law16Lhs(paper::Fig1Dividend(), paper::Fig2Divisor(), p),
+            Law16Rhs(paper::Fig1Dividend(), paper::Fig2Divisor(), p));
+}
+
+TEST(Law16, SelectionEmptiesDivisor) {
+  ExprPtr p = Expr::ColCmp("b", CmpOp::kGt, V(99));
+  EXPECT_EQ(Law16Lhs(paper::Fig1Dividend(), paper::Fig2Divisor(), p),
+            Law16Rhs(paper::Fig1Dividend(), paper::Fig2Divisor(), p));
+}
+
+// --------------------------------------------------------------- Law 17 ----
+
+TEST(Law17, ProductThroughGreatDivide) {
+  Relation star = Relation::Parse("z", "10; 20");
+  EXPECT_EQ(Law17Lhs(star, paper::Fig1Dividend(), paper::Fig2Divisor()),
+            Law17Rhs(star, paper::Fig1Dividend(), paper::Fig2Divisor()));
+}
+
+TEST(Law17, EmptyStarFactor) {
+  Relation star(Schema::Parse("z"));
+  EXPECT_EQ(Law17Lhs(star, paper::Fig1Dividend(), paper::Fig2Divisor()),
+            Law17Rhs(star, paper::Fig1Dividend(), paper::Fig2Divisor()));
+}
+
+// ------------------------------------------------------------ Example 4 ----
+
+TEST(Example4, JoinCommutesWithGreatDivide) {
+  Relation star = Relation::Parse("a1", "1; 3; 9");
+  Relation star_star = Rename(paper::Fig1Dividend(), {{"a", "a2"}});
+  EXPECT_EQ(Example4Lhs(star, star_star, paper::Fig2Divisor()),
+            Example4Rhs(star, star_star, paper::Fig2Divisor()));
+}
+
+TEST(Example4, HighlySelectiveJoin) {
+  Relation star = Relation::Parse("a1", "2");
+  Relation star_star = Rename(paper::Fig1Dividend(), {{"a", "a2"}});
+  Relation lhs = Example4Lhs(star, star_star, paper::Fig2Divisor());
+  EXPECT_EQ(lhs, Example4Rhs(star, star_star, paper::Fig2Divisor()));
+  EXPECT_EQ(lhs.size(), 2u);  // supplier 2 qualifies for both groups
+}
+
+// ------------------------------------------- degenerate great divides ----
+
+TEST(GreatDivide, DegeneratesToSmallDivideWhenCEmpty) {
+  // Darwen/Date (§2.2): with C = ∅ the great divide is the small divide.
+  EXPECT_EQ(GreatDivide(paper::Fig1Dividend(), paper::Fig1Divisor()),
+            Divide(paper::Fig1Dividend(), paper::Fig1Divisor()));
+  EXPECT_EQ(GreatDivideDemolombe(paper::Fig1Dividend(), paper::Fig1Divisor()),
+            Divide(paper::Fig1Dividend(), paper::Fig1Divisor()));
+  EXPECT_EQ(GreatDivideTodd(paper::Fig1Dividend(), paper::Fig1Divisor()),
+            Divide(paper::Fig1Dividend(), paper::Fig1Divisor()));
+}
+
+TEST(GreatDivide, EmptyDivisorYieldsEmptyQuotient) {
+  // No divisor groups means no (a, c) pairs — unlike the small divide's
+  // vacuous-truth case, which is keyed by B only.
+  Relation empty(Schema::Parse("b, c"));
+  EXPECT_TRUE(GreatDivide(paper::Fig1Dividend(), empty).empty());
+}
+
+TEST(GreatDivide, EmptyDividend) {
+  Relation empty(Schema::Parse("a, b"));
+  EXPECT_TRUE(GreatDivide(empty, paper::Fig2Divisor()).empty());
+}
+
+}  // namespace
+}  // namespace quotient

@@ -1,0 +1,322 @@
+// Laws 1-12 (small divide) on the paper's examples and targeted edge cases.
+
+#include <gtest/gtest.h>
+
+#include "algebra/generator.hpp"
+#include "core/laws.hpp"
+#include "paper_fixtures.hpp"
+
+namespace quotient {
+namespace {
+
+using namespace laws;
+
+// ---------------------------------------------------------------- Law 1 ----
+
+TEST(Law1, PaperExample) {
+  EXPECT_EQ(Law1Lhs(paper::Fig4Dividend(), paper::Fig4DivisorPrime(),
+                    paper::Fig4DivisorPrimePrime()),
+            paper::Fig4Quotient());
+  EXPECT_EQ(Law1Rhs(paper::Fig4Dividend(), paper::Fig4DivisorPrime(),
+                    paper::Fig4DivisorPrimePrime()),
+            paper::Fig4Quotient());
+}
+
+TEST(Law1, EmptyPartitions) {
+  Relation r1 = paper::Fig1Dividend();
+  Relation empty(Schema::Parse("b"));
+  // ∅ ∪ r2 on either side.
+  EXPECT_EQ(Law1Lhs(r1, empty, paper::Fig1Divisor()), Law1Rhs(r1, empty, paper::Fig1Divisor()));
+  EXPECT_EQ(Law1Lhs(r1, paper::Fig1Divisor(), empty), Law1Rhs(r1, paper::Fig1Divisor(), empty));
+  EXPECT_EQ(Law1Lhs(r1, empty, empty), Law1Rhs(r1, empty, empty));
+}
+
+TEST(Law1, IdenticalPartitions) {
+  Relation r1 = paper::Fig1Dividend();
+  Relation r2 = paper::Fig1Divisor();
+  EXPECT_EQ(Law1Lhs(r1, r2, r2), Law1Rhs(r1, r2, r2));
+}
+
+// ---------------------------------------------------------------- Law 2 ----
+
+TEST(Law2, HoldsUnderC2) {
+  // Split the Fig. 4 dividend by quotient-candidate ranges: c2 holds.
+  std::vector<Relation> parts = SplitByAttributeRange(paper::Fig4Dividend(), "a", 2);
+  ASSERT_TRUE(ConditionC2(parts[0], parts[1], paper::Fig4Divisor()));
+  EXPECT_EQ(Law2Lhs(parts[0], parts[1], paper::Fig4Divisor()),
+            Law2Rhs(parts[0], parts[1], paper::Fig4Divisor()));
+}
+
+TEST(Law2, C2ImpliesC1) {
+  DataGen gen(42);
+  for (int round = 0; round < 50; ++round) {
+    Relation r1 = gen.Dividend(6, 6, 0.5);
+    Relation r2 = gen.Divisor(3, 6);
+    std::vector<Relation> parts = SplitByAttributeRange(r1, "a", 2);
+    if (ConditionC2(parts[0], parts[1], r2)) {
+      EXPECT_TRUE(ConditionC1(parts[0], parts[1], r2)) << "c2 must imply c1 (Section 5.1.1)";
+    }
+  }
+}
+
+TEST(Law2, Figure5ViolatesC1AndLawFails) {
+  EXPECT_FALSE(ConditionC1(paper::Fig5R1Prime(), paper::Fig5R1PrimePrime(),
+                           paper::Fig5Divisor()));
+  EXPECT_NE(Law2Lhs(paper::Fig5R1Prime(), paper::Fig5R1PrimePrime(), paper::Fig5Divisor()),
+            Law2Rhs(paper::Fig5R1Prime(), paper::Fig5R1PrimePrime(), paper::Fig5Divisor()));
+}
+
+TEST(Law2, HoldsUnderC1EvenWhenC2Fails) {
+  // Both partitions contain candidate a=1, but the first alone covers r2:
+  // c1 holds while c2 does not.
+  Relation r1p = Relation::Parse("a, b", "1,1; 1,2");
+  Relation r1pp = Relation::Parse("a, b", "1,1; 2,1; 2,2");
+  Relation r2 = Relation::Parse("b", "1; 2");
+  ASSERT_FALSE(ConditionC2(r1p, r1pp, r2));
+  ASSERT_TRUE(ConditionC1(r1p, r1pp, r2));
+  EXPECT_EQ(Law2Lhs(r1p, r1pp, r2), Law2Rhs(r1p, r1pp, r2));
+}
+
+// ---------------------------------------------------------------- Law 3 ----
+
+TEST(Law3, SelectionPushdown) {
+  ExprPtr p = Expr::ColCmp("a", CmpOp::kGe, V(3));
+  EXPECT_EQ(Law3Lhs(paper::Fig1Dividend(), paper::Fig1Divisor(), p),
+            Law3Rhs(paper::Fig1Dividend(), paper::Fig1Divisor(), p));
+  EXPECT_EQ(Law3Lhs(paper::Fig1Dividend(), paper::Fig1Divisor(), p),
+            Relation::Parse("a", "3"));
+}
+
+TEST(Law3, FalsePredicate) {
+  ExprPtr p = Expr::Literal(V(0));
+  EXPECT_EQ(Law3Lhs(paper::Fig1Dividend(), paper::Fig1Divisor(), p),
+            Law3Rhs(paper::Fig1Dividend(), paper::Fig1Divisor(), p));
+  EXPECT_TRUE(Law3Lhs(paper::Fig1Dividend(), paper::Fig1Divisor(), p).empty());
+}
+
+// ---------------------------------------------------------------- Law 4 ----
+
+TEST(Law4, ReplicateSelection) {
+  ExprPtr p = Expr::ColCmp("b", CmpOp::kLe, V(3));
+  EXPECT_EQ(Law4Lhs(paper::Fig4Dividend(), paper::Fig4Divisor(), p),
+            Law4Rhs(paper::Fig4Dividend(), paper::Fig4Divisor(), p));
+}
+
+TEST(Law4, ErratumEmptyFilteredDivisor) {
+  // Reproduction erratum (see core/laws.hpp): with σp(r2) = ∅ the two sides
+  // differ — LHS divides by the empty set (vacuously πA(r1)) while the RHS
+  // also filters the dividend. The paper's proof assumes σp(r2) ≠ ∅.
+  ExprPtr p = Expr::ColCmp("b", CmpOp::kGt, V(100));
+  ASSERT_FALSE(Law4Precondition(paper::Fig1Divisor(), p));
+  EXPECT_EQ(Law4Lhs(paper::Fig1Dividend(), paper::Fig1Divisor(), p),
+            Relation::Parse("a", "1; 2; 3"));  // = πA(r1)
+  EXPECT_TRUE(Law4Rhs(paper::Fig1Dividend(), paper::Fig1Divisor(), p).empty());
+}
+
+TEST(Law4, HoldsWheneverFilteredDivisorNonEmpty) {
+  for (int64_t cut = 1; cut <= 4; ++cut) {
+    ExprPtr p = Expr::ColCmp("b", CmpOp::kLe, V(cut));
+    if (!Law4Precondition(paper::Fig4Divisor(), p)) continue;
+    EXPECT_EQ(Law4Lhs(paper::Fig4Dividend(), paper::Fig4Divisor(), p),
+              Law4Rhs(paper::Fig4Dividend(), paper::Fig4Divisor(), p))
+        << "cut " << cut;
+  }
+}
+
+// ------------------------------------------------------------ Example 1 ----
+
+TEST(Example1, PaperFigure6) {
+  ExprPtr p = Expr::ColCmp("b", CmpOp::kLt, V(3));
+  EXPECT_EQ(Example1Lhs(paper::Fig4Dividend(), paper::Fig4Divisor(), p),
+            Example1Rhs(paper::Fig4Dividend(), paper::Fig4Divisor(), p));
+}
+
+TEST(Example1, PredicateKeepsWholeDivisor) {
+  // σ¬p(r2) = ∅ — the blocker term vanishes and the law degenerates to Law 4.
+  ExprPtr p = Expr::ColCmp("b", CmpOp::kLe, V(100));
+  EXPECT_EQ(Example1Lhs(paper::Fig4Dividend(), paper::Fig4Divisor(), p),
+            Example1Rhs(paper::Fig4Dividend(), paper::Fig4Divisor(), p));
+  EXPECT_FALSE(Example1Lhs(paper::Fig4Dividend(), paper::Fig4Divisor(), p).empty());
+}
+
+// ---------------------------------------------------------------- Law 5 ----
+
+TEST(Law5, Intersection) {
+  Relation r1p = paper::Fig4Dividend();
+  Relation r1pp = Relation::Parse("a, b", "2,1; 2,2; 2,3; 2,4; 3,1; 9,9");
+  EXPECT_EQ(Law5Lhs(r1p, r1pp, paper::Fig4Divisor()),
+            Law5Rhs(r1p, r1pp, paper::Fig4Divisor()));
+}
+
+TEST(Law5, DisjointDividends) {
+  Relation r1p = Relation::Parse("a, b", "1,1; 1,3");
+  Relation r1pp = Relation::Parse("a, b", "2,1; 2,3");
+  EXPECT_EQ(Law5Lhs(r1p, r1pp, paper::Fig1Divisor()),
+            Law5Rhs(r1p, r1pp, paper::Fig1Divisor()));
+  EXPECT_TRUE(Law5Lhs(r1p, r1pp, paper::Fig1Divisor()).empty());
+}
+
+TEST(Law5, ErratumEmptyDivisor) {
+  // Reproduction erratum (see core/laws.hpp): with r2 = ∅ the sides differ
+  // when the dividends share a candidate but no tuple.
+  Relation r1p = Relation::Parse("a, b", "1,1");
+  Relation r1pp = Relation::Parse("a, b", "1,2");
+  Relation empty(Schema::Parse("b"));
+  EXPECT_TRUE(Law5Lhs(r1p, r1pp, empty).empty());                      // πA(∅)
+  EXPECT_EQ(Law5Rhs(r1p, r1pp, empty), Relation::Parse("a", "1"));     // πA ∩ πA
+}
+
+// ---------------------------------------------------------------- Law 6 ----
+
+TEST(Law6, NestedRangeSelections) {
+  // r1' = σa<=3(r1) ⊇ σa<=2(r1) = r1'' — the paper's a>10 / a>20 shape.
+  ExprPtr p_prime = Expr::ColCmp("a", CmpOp::kLe, V(3));
+  ExprPtr p_pp = Expr::ColCmp("a", CmpOp::kLe, V(2));
+  ASSERT_TRUE(Law6Precondition(paper::Fig4Dividend(), p_prime, p_pp));
+  EXPECT_EQ(Law6Lhs(paper::Fig4Dividend(), p_prime, p_pp, paper::Fig4Divisor()),
+            Law6Rhs(paper::Fig4Dividend(), p_prime, p_pp, paper::Fig4Divisor()));
+}
+
+TEST(Law6, EqualPredicates) {
+  ExprPtr p = Expr::ColCmp("a", CmpOp::kLe, V(3));
+  EXPECT_EQ(Law6Lhs(paper::Fig4Dividend(), p, p, paper::Fig4Divisor()),
+            Law6Rhs(paper::Fig4Dividend(), p, p, paper::Fig4Divisor()));
+  EXPECT_TRUE(Law6Lhs(paper::Fig4Dividend(), p, p, paper::Fig4Divisor()).empty());
+}
+
+// ---------------------------------------------------------------- Law 7 ----
+
+TEST(Law7, DisjointCandidateSets) {
+  Relation r1p = Relation::Parse("a, b", "1,1; 1,3; 2,1");
+  Relation r1pp = Relation::Parse("a, b", "3,1; 3,3; 4,1");
+  Relation r2 = paper::Fig1Divisor();
+  EXPECT_EQ(Law7Lhs(r1p, r1pp, r2), Law7Rhs(r1p, r1pp, r2));
+}
+
+TEST(Law7, FailsWithoutDisjointness) {
+  // Same candidate on both sides: the subtrahend removes a = 1, so the
+  // sides differ — showing the precondition is necessary.
+  Relation r1p = Relation::Parse("a, b", "1,1; 1,3");
+  Relation r1pp = Relation::Parse("a, b", "1,1; 1,3");
+  EXPECT_NE(Law7Lhs(r1p, r1pp, paper::Fig1Divisor()),
+            Law7Rhs(r1p, r1pp, paper::Fig1Divisor()));
+}
+
+// ---------------------------------------------------------------- Law 8 ----
+
+TEST(Law8, PaperFigure7) {
+  EXPECT_EQ(Law8Lhs(paper::Fig7R1Star(), paper::Fig7R1StarStar(), paper::Fig7Divisor()),
+            paper::Fig7Quotient());
+  EXPECT_EQ(Law8Rhs(paper::Fig7R1Star(), paper::Fig7R1StarStar(), paper::Fig7Divisor()),
+            paper::Fig7Quotient());
+}
+
+TEST(Law8, EmptyStarSide) {
+  Relation empty(Schema::Parse("a1"));
+  EXPECT_EQ(Law8Lhs(empty, paper::Fig7R1StarStar(), paper::Fig7Divisor()),
+            Law8Rhs(empty, paper::Fig7R1StarStar(), paper::Fig7Divisor()));
+}
+
+// ---------------------------------------------------------------- Law 9 ----
+
+TEST(Law9, PaperFigure8) {
+  ASSERT_TRUE(Law9Precondition(paper::Fig8R1StarStar(), paper::Fig8Divisor()));
+  EXPECT_EQ(Law9Lhs(paper::Fig8R1Star(), paper::Fig8R1StarStar(), paper::Fig8Divisor()),
+            Law9Rhs(paper::Fig8R1Star(), paper::Fig8R1StarStar(), paper::Fig8Divisor()));
+}
+
+TEST(Law9, PreconditionViolatedMayDiverge) {
+  // r2 contains a b2 value missing from r1**: precondition false.
+  Relation star_star = Relation::Parse("b2", "1");
+  Relation r2 = Relation::Parse("b1, b2", "1,1; 1,2");
+  EXPECT_FALSE(Law9Precondition(star_star, r2));
+  // LHS: no dividend tuple has b2=2, so the quotient is empty; RHS divides
+  // by πb1(r2)={1} and keeps candidates — the law genuinely needs its guard.
+  Relation star = Relation::Parse("a, b1", "7,1");
+  EXPECT_NE(Law9Lhs(star, star_star, r2), Law9Rhs(star, star_star, r2));
+}
+
+// ------------------------------------------------------------ Example 2 ----
+
+TEST(Example2, CancelCommonFactor) {
+  Relation r1 = paper::Fig8R1Star();   // (a, b1)
+  Relation r2 = paper::Fig8DivisorB1();  // (b1)
+  Relation s = Relation::Parse("b2", "10; 20");
+  EXPECT_EQ(Example2Lhs(r1, r2, s), Example2Rhs(r1, r2, s));
+}
+
+// --------------------------------------------------------------- Law 10 ----
+
+TEST(Law10, SemiJoinCommutes) {
+  Relation r3 = Relation::Parse("a", "2; 9");
+  EXPECT_EQ(Law10Lhs(paper::Fig1Dividend(), paper::Fig1Divisor(), r3),
+            Law10Rhs(paper::Fig1Dividend(), paper::Fig1Divisor(), r3));
+  EXPECT_EQ(Law10Lhs(paper::Fig1Dividend(), paper::Fig1Divisor(), r3),
+            Relation::Parse("a", "2"));
+}
+
+TEST(Law10, EmptyRestrictor) {
+  Relation r3(Schema::Parse("a"));
+  EXPECT_EQ(Law10Lhs(paper::Fig1Dividend(), paper::Fig1Divisor(), r3),
+            Law10Rhs(paper::Fig1Dividend(), paper::Fig1Divisor(), r3));
+}
+
+// --------------------------------------------------------------- Law 11 ----
+
+TEST(Law11, PaperFigure10AllCases) {
+  Relation r1 = paper::Fig10R1();
+  ASSERT_TRUE(laws::Law11Precondition(r1, paper::Fig10Divisor()));
+  // |r2| = 1 (the figure's case).
+  EXPECT_EQ(Law11Lhs(r1, paper::Fig10Divisor()), Law11Rhs(r1, paper::Fig10Divisor()));
+  // r2 = ∅.
+  Relation empty(Schema::Parse("b"));
+  EXPECT_EQ(Law11Lhs(r1, empty), Law11Rhs(r1, empty));
+  // |r2| > 1: quotient is empty because every A-group has one tuple.
+  Relation big = Relation::Parse("b", "4; 6");
+  EXPECT_EQ(Law11Lhs(r1, big), Law11Rhs(r1, big));
+  EXPECT_TRUE(Law11Lhs(r1, big).empty());
+}
+
+// --------------------------------------------------------------- Law 12 ----
+
+TEST(Law12, PaperFigure11) {
+  Relation r1 = paper::Fig11R1();
+  ASSERT_TRUE(Law12Precondition(r1, paper::Fig11Divisor()));
+  EXPECT_EQ(Law12Lhs(r1, paper::Fig11Divisor()), Law12Rhs(r1, paper::Fig11Divisor()));
+}
+
+TEST(Law12, NoQuotientWhenAValuesDiffer) {
+  // b-groups have size one but map to different a values: quotient empty.
+  Relation r1 = Relation::Parse("a, b", "5,1; 6,3");
+  Relation r2 = Relation::Parse("b", "1; 3");
+  ASSERT_TRUE(Law12Precondition(r1, r2));
+  EXPECT_EQ(Law12Lhs(r1, r2), Law12Rhs(r1, r2));
+  EXPECT_TRUE(Law12Lhs(r1, r2).empty());
+}
+
+TEST(Law12, SingleDivisorTuple) {
+  Relation r1 = Relation::Parse("a, b", "5,1; 6,3");
+  Relation r2 = Relation::Parse("b", "3");
+  ASSERT_TRUE(Law12Precondition(r1, r2));
+  EXPECT_EQ(Law12Lhs(r1, r2), Law12Rhs(r1, r2));
+  EXPECT_EQ(Law12Lhs(r1, r2), Relation::Parse("a", "6"));
+}
+
+// ------------------------------------------------------------ Example 3 ----
+
+TEST(Example3, PaperFigure9) {
+  EXPECT_EQ(Example3Lhs(paper::Fig8R1Star(), paper::Fig9R1StarStar(), paper::Fig9Divisor()),
+            Example3Rhs(paper::Fig8R1Star(), paper::Fig9R1StarStar(), paper::Fig9Divisor()));
+}
+
+TEST(Example3, NonEmptyGeResidue) {
+  // A divisor tuple with b1 >= b2 forces an empty result on both sides.
+  Relation r2 = Relation::Parse("b1, b2", "1,4; 4,1");
+  Relation star_star = Relation::Parse("b2", "1; 2; 4");
+  EXPECT_EQ(Example3Lhs(paper::Fig8R1Star(), star_star, r2),
+            Example3Rhs(paper::Fig8R1Star(), star_star, r2));
+  EXPECT_TRUE(Example3Lhs(paper::Fig8R1Star(), star_star, r2).empty());
+}
+
+}  // namespace
+}  // namespace quotient

@@ -1,0 +1,133 @@
+// Logical plan nodes: schema inference, validation, equality, WithChildren,
+// the catalog's constraint registry, the reference evaluator's statistics,
+// and the cost model's monotonicity properties.
+
+#include <gtest/gtest.h>
+
+#include "opt/cost.hpp"
+#include "plan/evaluate.hpp"
+#include "plan/logical.hpp"
+#include "util/status.hpp"
+
+namespace quotient {
+namespace {
+
+class LogicalPlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.Put("r1", Relation::Parse("a, b", "1,1; 1,2; 2,1"));
+    catalog_.Put("r2", Relation::Parse("b", "1; 2"));
+    catalog_.Put("gd", Relation::Parse("b, c", "1,5; 2,5; 1,6"));
+  }
+  Catalog catalog_;
+};
+
+TEST_F(LogicalPlanTest, SchemaInference) {
+  PlanPtr r1 = LogicalOp::Scan(catalog_, "r1");
+  EXPECT_EQ(r1->schema().Names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(LogicalOp::Divide(r1, LogicalOp::Scan(catalog_, "r2"))->schema().Names(),
+            (std::vector<std::string>{"a"}));
+  EXPECT_EQ(LogicalOp::GreatDivide(r1, LogicalOp::Scan(catalog_, "gd"))->schema().Names(),
+            (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(LogicalOp::GroupBy(r1, {"a"}, {{AggFunc::kCount, "b", "n"}})->schema().Names(),
+            (std::vector<std::string>{"a", "n"}));
+}
+
+TEST_F(LogicalPlanTest, ValidationErrors) {
+  PlanPtr r1 = LogicalOp::Scan(catalog_, "r1");
+  PlanPtr r2 = LogicalOp::Scan(catalog_, "r2");
+  EXPECT_THROW(LogicalOp::Scan(catalog_, "nosuch"), SchemaError);
+  EXPECT_THROW(LogicalOp::Select(r1, Expr::Column("zzz")), SchemaError);
+  EXPECT_THROW(LogicalOp::Project(r1, {"zzz"}), SchemaError);
+  EXPECT_THROW(LogicalOp::Union(r1, r2), SchemaError);
+  EXPECT_THROW(LogicalOp::Product(r1, r1), SchemaError);       // duplicate names
+  EXPECT_THROW(LogicalOp::Divide(r2, r1), SchemaError);        // Theorem 2 shape
+  EXPECT_THROW(LogicalOp::Divide(r1, LogicalOp::Scan(catalog_, "gd")), SchemaError);
+}
+
+TEST_F(LogicalPlanTest, EqualityAndWithChildren) {
+  PlanPtr a = LogicalOp::Select(LogicalOp::Scan(catalog_, "r1"),
+                                Expr::ColCmp("a", CmpOp::kEq, V(1)));
+  PlanPtr b = LogicalOp::Select(LogicalOp::Scan(catalog_, "r1"),
+                                Expr::ColCmp("a", CmpOp::kEq, V(1)));
+  PlanPtr c = LogicalOp::Select(LogicalOp::Scan(catalog_, "r1"),
+                                Expr::ColCmp("a", CmpOp::kEq, V(2)));
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+  EXPECT_EQ(a->TreeSize(), 2u);
+
+  PlanPtr swapped = a->WithChildren({LogicalOp::Scan(catalog_, "r1")});
+  EXPECT_TRUE(swapped->Equals(*a));
+  EXPECT_THROW(a->WithChildren({}), SchemaError);
+}
+
+TEST_F(LogicalPlanTest, RenderingShowsOperatorsAndSchemas) {
+  PlanPtr plan = LogicalOp::Divide(LogicalOp::Scan(catalog_, "r1"),
+                                   LogicalOp::Scan(catalog_, "r2"));
+  std::string text = plan->ToString();
+  EXPECT_NE(text.find("Divide"), std::string::npos);
+  EXPECT_NE(text.find("Scan r1"), std::string::npos);
+  EXPECT_NE(text.find("(a:int)"), std::string::npos);
+}
+
+TEST_F(LogicalPlanTest, EvaluateStatsTrackIntermediates) {
+  PlanPtr plan = LogicalOp::Project(
+      LogicalOp::Product(LogicalOp::Scan(catalog_, "r1"),
+                         LogicalOp::Rename(LogicalOp::Scan(catalog_, "r2"), {{"b", "z"}})),
+      {"a"});
+  EvalStats stats;
+  Relation result = Evaluate(plan, catalog_, &stats);
+  EXPECT_EQ(result, Relation::Parse("a", "1; 2"));
+  EXPECT_EQ(stats.nodes_evaluated, 5u);
+  EXPECT_EQ(stats.max_intermediate, 6u);  // the product
+}
+
+TEST_F(LogicalPlanTest, CatalogConstraints) {
+  catalog_.DeclareKey("r2", {"b"});
+  EXPECT_TRUE(catalog_.ImpliesKey("r2", {"b"}));
+  EXPECT_TRUE(catalog_.ImpliesKey("r2", {"b", "x"}));  // superset of a key
+  EXPECT_FALSE(catalog_.ImpliesKey("r1", {"a"}));
+
+  catalog_.DeclareForeignKey("r2", {"b"}, "r1");
+  EXPECT_TRUE(catalog_.HasForeignKey("r2", {"b"}, "r1"));
+  EXPECT_FALSE(catalog_.HasForeignKey("r1", {"b"}, "r2"));
+
+  catalog_.DeclareDisjoint("r1", "r2", {"b"});
+  EXPECT_TRUE(catalog_.AreDisjoint("r1", "r2", {"b"}));
+  EXPECT_TRUE(catalog_.AreDisjoint("r2", "r1", {"b"}));  // symmetric
+  EXPECT_FALSE(catalog_.AreDisjoint("r1", "r2", {"a"}));
+}
+
+TEST_F(LogicalPlanTest, CatalogDataChecks) {
+  EXPECT_TRUE(Catalog::CheckKey(catalog_.Get("r2"), {"b"}));
+  EXPECT_FALSE(Catalog::CheckKey(catalog_.Get("r1"), {"a"}));
+  EXPECT_TRUE(Catalog::CheckForeignKey(catalog_.Get("r2"), catalog_.Get("r1"), {"b"}));
+  EXPECT_FALSE(Catalog::CheckDisjoint(catalog_.Get("r1"), catalog_.Get("r2"), {"b"}));
+  EXPECT_THROW(catalog_.Get("nosuch"), SchemaError);
+}
+
+TEST_F(LogicalPlanTest, CostModelBasicMonotonicity) {
+  PlanPtr r1 = LogicalOp::Scan(catalog_, "r1");
+  PlanPtr r2 = LogicalOp::Scan(catalog_, "r2");
+  PlanPtr divide = LogicalOp::Divide(r1, r2);
+  // A plan strictly containing another costs at least as much.
+  EXPECT_GE(EstimateCost(divide, catalog_), EstimateCost(r1, catalog_));
+  // Selection reduces estimated cardinality.
+  PlanPtr filtered = LogicalOp::Select(r1, Expr::ColCmp("a", CmpOp::kEq, V(1)));
+  EXPECT_LT(EstimatePlan(filtered, catalog_).cardinality,
+            EstimatePlan(r1, catalog_).cardinality);
+  // Pushing the selection below the divide must not increase the estimate
+  // (this is what lets the optimizer accept Law 3).
+  PlanPtr above = LogicalOp::Select(divide, Expr::ColCmp("a", CmpOp::kEq, V(1)));
+  PlanPtr below = LogicalOp::Divide(filtered, r2);
+  EXPECT_LE(EstimateCost(below, catalog_), EstimateCost(above, catalog_) * 1.05);
+}
+
+TEST_F(LogicalPlanTest, ValuesNodesEvaluateInline) {
+  PlanPtr values = LogicalOp::Values(Relation::Parse("q", "1; 2"), "inline");
+  EXPECT_EQ(Evaluate(values, catalog_), Relation::Parse("q", "1; 2"));
+  EXPECT_NE(values->ToString().find("inline"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace quotient

@@ -1,0 +1,134 @@
+// Reference algebra (Appendix A): the basic and derived operators.
+
+#include "algebra/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/status.hpp"
+
+namespace quotient {
+namespace {
+
+const Relation kR = Relation::Parse("a, b", "1,1; 1,2; 2,1");
+const Relation kS = Relation::Parse("a, b", "1,2; 2,1; 3,3");
+
+TEST(OpsTest, SetOperations) {
+  EXPECT_EQ(Union(kR, kS), Relation::Parse("a, b", "1,1; 1,2; 2,1; 3,3"));
+  EXPECT_EQ(Intersect(kR, kS), Relation::Parse("a, b", "1,2; 2,1"));
+  EXPECT_EQ(Difference(kR, kS), Relation::Parse("a, b", "1,1"));
+  EXPECT_THROW(Union(kR, Relation::Parse("x", "1")), SchemaError);
+}
+
+TEST(OpsTest, SetOperationsReorderRightOperand) {
+  Relation swapped = Relation::Parse("b, a", "2,1; 1,2; 3,3");  // = kS reordered
+  EXPECT_EQ(Union(kR, swapped), Union(kR, kS));
+  EXPECT_EQ(Intersect(kR, swapped), Intersect(kR, kS));
+  EXPECT_EQ(Difference(kR, swapped), Difference(kR, kS));
+}
+
+TEST(OpsTest, ProductAndRename) {
+  Relation t = Relation::Parse("c", "7; 8");
+  Relation p = Product(kR, t);
+  EXPECT_EQ(p.size(), 6u);
+  EXPECT_EQ(p.schema().Names(), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_THROW(Product(kR, kS), SchemaError);  // name collision
+  Relation renamed = Rename(kS, {{"a", "x"}, {"b", "y"}});
+  EXPECT_EQ(renamed.schema().Names(), (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(Product(kR, renamed).size(), 9u);
+}
+
+TEST(OpsTest, ProjectRemovesDuplicates) {
+  EXPECT_EQ(Project(kR, {"a"}), Relation::Parse("a", "1; 2"));
+  EXPECT_EQ(Project(kR, {"b", "a"}).schema().Names(),
+            (std::vector<std::string>{"b", "a"}));
+}
+
+TEST(OpsTest, SelectFiltersByPredicate) {
+  EXPECT_EQ(Select(kR, Expr::ColCmp("b", CmpOp::kEq, V(1))),
+            Relation::Parse("a, b", "1,1; 2,1"));
+  EXPECT_TRUE(Select(kR, Expr::Literal(V(0))).empty());
+}
+
+TEST(OpsTest, Joins) {
+  Relation t = Relation::Parse("b, c", "1,10; 2,20; 9,90");
+  // Natural join on b.
+  Relation j = NaturalJoin(kR, t);
+  EXPECT_EQ(j, Relation::Parse("a, b, c", "1,1,10; 1,2,20; 2,1,10"));
+  // Theta join needs disjoint names.
+  Relation renamed = Rename(t, {{"b", "b2"}});
+  Relation theta = ThetaJoin(kR, renamed, Expr::ColEqCol("b", "b2"));
+  EXPECT_EQ(theta.size(), 3u);
+  EXPECT_EQ(theta.schema().size(), 4u);
+}
+
+TEST(OpsTest, NaturalJoinWithNoCommonNamesIsProduct) {
+  Relation t = Relation::Parse("z", "5");
+  EXPECT_EQ(NaturalJoin(kR, t).size(), kR.size());
+}
+
+TEST(OpsTest, SemiAndAntiJoins) {
+  Relation t = Relation::Parse("b", "1");
+  EXPECT_EQ(SemiJoin(kR, t), Relation::Parse("a, b", "1,1; 2,1"));
+  EXPECT_EQ(AntiSemiJoin(kR, t), Relation::Parse("a, b", "1,2"));
+  // Degenerate: no common attributes — keep all iff right side nonempty.
+  Relation unrelated = Relation::Parse("z", "1");
+  EXPECT_EQ(SemiJoin(kR, unrelated), kR);
+  EXPECT_TRUE(SemiJoin(kR, Relation(Schema::Parse("z"))).empty());
+}
+
+TEST(OpsTest, LeftOuterJoinPadsWithNulls) {
+  Relation t = Relation::Parse("b, c", "1,10");
+  Relation j = LeftOuterJoin(kR, t);
+  ASSERT_EQ(j.size(), 3u);
+  bool found_padded = false;
+  for (const Tuple& row : j.tuples()) {
+    if (row[1] == V(2)) {
+      EXPECT_TRUE(row[2].is_null());
+      found_padded = true;
+    }
+  }
+  EXPECT_TRUE(found_padded);
+}
+
+TEST(OpsTest, GroupByAllAggregates) {
+  Relation r = Relation::Parse("g, x", "1,10; 1,20; 2,5");
+  Relation out = GroupBy(r, {"g"},
+                         {{AggFunc::kCount, "x", "n"},
+                          {AggFunc::kSum, "x", "total"},
+                          {AggFunc::kMin, "x", "lo"},
+                          {AggFunc::kMax, "x", "hi"},
+                          {AggFunc::kAvg, "x", "mean"}});
+  ASSERT_EQ(out.size(), 2u);
+  const Tuple& g1 = out.tuples()[0];
+  EXPECT_EQ(g1, (Tuple{V(1), V(2), V(30), V(10), V(20), V(15.0)}));
+  const Tuple& g2 = out.tuples()[1];
+  EXPECT_EQ(g2, (Tuple{V(2), V(1), V(5), V(5), V(5), V(5.0)}));
+}
+
+TEST(OpsTest, GroupByGlobalGroupOnEmptyInput) {
+  Relation empty(Schema::Parse("x"));
+  Relation out = GroupBy(empty, {}, {{AggFunc::kCount, "x", "n"}, {AggFunc::kSum, "x", "s"}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.tuples()[0][0], V(0));
+  EXPECT_TRUE(out.tuples()[0][1].is_null());  // SUM of nothing is NULL
+}
+
+TEST(OpsTest, GroupByOutputSchemaTypes) {
+  Relation r = Relation::Parse("g, x:real", "1,1.5");
+  Schema s = GroupByOutputSchema(r.schema(), {"g"},
+                                 {{AggFunc::kCount, "x", "n"},
+                                  {AggFunc::kSum, "x", "t"},
+                                  {AggFunc::kAvg, "x", "m"}});
+  EXPECT_EQ(s.attribute(1).type, ValueType::kInt);   // count
+  EXPECT_EQ(s.attribute(2).type, ValueType::kReal);  // sum of real
+  EXPECT_EQ(s.attribute(3).type, ValueType::kReal);  // avg
+}
+
+TEST(OpsTest, ParametricUnionIdempotence) {
+  EXPECT_EQ(Union(kR, kR), kR);
+  EXPECT_EQ(Intersect(kR, kR), kR);
+  EXPECT_TRUE(Difference(kR, kR).empty());
+}
+
+}  // namespace
+}  // namespace quotient

@@ -1,0 +1,82 @@
+#include "algebra/schema.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/status.hpp"
+
+namespace quotient {
+namespace {
+
+TEST(SchemaTest, ParseWithTypesAndDefaults) {
+  Schema s = Schema::Parse("a, b:real, name:string, tags:set");
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.attribute(0).type, ValueType::kInt);  // default
+  EXPECT_EQ(s.attribute(1).type, ValueType::kReal);
+  EXPECT_EQ(s.attribute(2).type, ValueType::kString);
+  EXPECT_EQ(s.attribute(3).type, ValueType::kSet);
+}
+
+TEST(SchemaTest, ParseEmpty) {
+  EXPECT_EQ(Schema::Parse("").size(), 0u);
+  EXPECT_TRUE(Schema::Parse("  ").empty());
+}
+
+TEST(SchemaTest, RejectsDuplicatesAndBadTypes) {
+  EXPECT_THROW(Schema::Parse("a, a"), SchemaError);
+  EXPECT_THROW(Schema::Parse("a:frob"), SchemaError);
+}
+
+TEST(SchemaTest, IndexLookups) {
+  Schema s = Schema::Parse("a, b, c");
+  EXPECT_EQ(s.IndexOf("b"), std::optional<size_t>(1));
+  EXPECT_FALSE(s.IndexOf("z").has_value());
+  EXPECT_EQ(s.IndexOfOrThrow("c"), 2u);
+  EXPECT_THROW(s.IndexOfOrThrow("z"), SchemaError);
+  EXPECT_TRUE(s.Contains("a"));
+  EXPECT_FALSE(s.Contains("A"));  // names are case-sensitive
+}
+
+TEST(SchemaTest, ProjectPreservesOrderOfRequest) {
+  Schema s = Schema::Parse("a, b, c");
+  Schema p = s.Project({"c", "a"});
+  EXPECT_EQ(p.Names(), (std::vector<std::string>{"c", "a"}));
+  EXPECT_THROW(s.Project({"nope"}), SchemaError);
+}
+
+TEST(SchemaTest, ConcatRejectsCollisions) {
+  Schema s1 = Schema::Parse("a, b");
+  Schema s2 = Schema::Parse("c");
+  EXPECT_EQ(s1.Concat(s2).Names(), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_THROW(s1.Concat(Schema::Parse("b")), SchemaError);
+}
+
+TEST(SchemaTest, SetOperationsOnNames) {
+  Schema s1 = Schema::Parse("a, b, c");
+  Schema s2 = Schema::Parse("b, c, d");
+  EXPECT_EQ(s1.CommonNames(s2), (std::vector<std::string>{"b", "c"}));
+  EXPECT_EQ(s1.NamesMinus(s2), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(s2.NamesMinus(s1), (std::vector<std::string>{"d"}));
+}
+
+TEST(SchemaTest, SameAttributeSetIsOrderFree) {
+  Schema s1 = Schema::Parse("a, b");
+  Schema s2 = Schema::Parse("b, a");
+  EXPECT_TRUE(s1.SameAttributeSet(s2));
+  EXPECT_FALSE(s1 == s2);  // ordered equality differs
+  EXPECT_FALSE(s1.SameAttributeSet(Schema::Parse("a, b:real")));  // type mismatch
+  EXPECT_FALSE(s1.SameAttributeSet(Schema::Parse("a, b, c")));
+}
+
+TEST(SchemaTest, ContainsAllRequiresMatchingTypes) {
+  Schema s = Schema::Parse("a, b:real, c:string");
+  EXPECT_TRUE(s.ContainsAll(Schema::Parse("b:real")));
+  EXPECT_FALSE(s.ContainsAll(Schema::Parse("b:int")));
+  EXPECT_TRUE(s.ContainsAll(Schema()));
+}
+
+TEST(SchemaTest, ToStringRendering) {
+  EXPECT_EQ(Schema::Parse("a, s:string").ToString(), "(a:int, s:string)");
+}
+
+}  // namespace
+}  // namespace quotient

@@ -1,0 +1,111 @@
+// Theorems 1-3 in depth: the three generalized-division definitions on
+// adversarial edge inputs, non-commutativity across schema shapes, and the
+// schema algebra behind non-associativity.
+
+#include <gtest/gtest.h>
+
+#include "algebra/divide.hpp"
+#include "core/theorems.hpp"
+#include "util/status.hpp"
+#include "paper_fixtures.hpp"
+
+namespace quotient {
+namespace {
+
+using theorems::Theorem1Holds;
+using theorems::Theorem2CommutedIsInvalid;
+using theorems::Theorem3LeftSchema;
+using theorems::Theorem3RightSchema;
+using theorems::Theorem3SchemasAgree;
+
+TEST(Theorem1, PaperExample) {
+  EXPECT_TRUE(Theorem1Holds(paper::Fig1Dividend(), paper::Fig2Divisor()));
+}
+
+TEST(Theorem1, EmptyDividend) {
+  Relation empty(Schema::Parse("a, b"));
+  EXPECT_TRUE(Theorem1Holds(empty, paper::Fig2Divisor()));
+  EXPECT_TRUE(GreatDivideSCD(empty, paper::Fig2Divisor()).empty());
+}
+
+TEST(Theorem1, EmptyDivisor) {
+  Relation empty(Schema::Parse("b, c"));
+  EXPECT_TRUE(Theorem1Holds(paper::Fig1Dividend(), empty));
+  EXPECT_TRUE(GreatDivideSCD(paper::Fig1Dividend(), empty).empty());
+}
+
+TEST(Theorem1, DivisorGroupWithNoMatchingBValues) {
+  // A group whose B values appear nowhere in the dividend contributes no
+  // quotient tuples — in all three definitions.
+  Relation r1 = Relation::Parse("a, b", "1,1");
+  Relation r2 = Relation::Parse("b, c", "99,5; 1,6");
+  EXPECT_TRUE(Theorem1Holds(r1, r2));
+  EXPECT_EQ(GreatDivideSCD(r1, r2), Relation::Parse("a, c", "1,6"));
+}
+
+TEST(Theorem1, EveryCandidateQualifiesForEveryGroup) {
+  Relation r1 = Relation::Parse("a, b", "1,1; 1,2; 2,1; 2,2");
+  Relation r2 = Relation::Parse("b, c", "1,10; 2,20");
+  EXPECT_TRUE(Theorem1Holds(r1, r2));
+  EXPECT_EQ(GreatDivideSCD(r1, r2).size(), 4u);  // 2 candidates × 2 groups
+}
+
+TEST(Theorem1, MultiAttributeEverything) {
+  // A = {a1,a2}, B = {b1,b2}, C = {c1,c2}.
+  Relation r1 = Relation::Parse("a1, a2, b1, b2",
+                                "1,1,5,5; 1,1,6,6; 2,2,5,5");
+  Relation r2 = Relation::Parse("b1, b2, c1, c2",
+                                "5,5,7,8; 6,6,7,8; 5,5,9,9");
+  EXPECT_TRUE(Theorem1Holds(r1, r2));
+  EXPECT_EQ(GreatDivideSCD(r1, r2),
+            Relation::Parse("a1, a2, c1, c2", "1,1,7,8; 1,1,9,9; 2,2,9,9"));
+}
+
+TEST(Theorem2, ClassicShape) {
+  EXPECT_TRUE(Theorem2CommutedIsInvalid(paper::Fig1Dividend(), paper::Fig1Divisor()));
+}
+
+TEST(Theorem2, WideSchemas) {
+  Relation r1 = Relation::Parse("a1, a2, a3, b1, b2", "1,1,1,1,1");
+  Relation r2 = Relation::Parse("b1, b2", "1,1");
+  EXPECT_TRUE(Theorem2CommutedIsInvalid(r1, r2));
+}
+
+TEST(Theorem2, InvalidOriginalIsNotClaimed) {
+  // If r1 ÷ r2 itself is invalid, the helper reports false (theorem moot).
+  Relation r1 = Relation::Parse("a", "1");
+  Relation r2 = Relation::Parse("b", "1");
+  EXPECT_FALSE(Theorem2CommutedIsInvalid(r1, r2));
+}
+
+TEST(Theorem3, PaperValidNestingIsImpossible) {
+  // For r1 ÷ (r2 ÷ r3) AND (r1 ÷ r2) ÷ r3 to both be valid divisions, A3
+  // would need to be a nonempty subset of both A2 and A1 − A2 — disjoint
+  // sets. Demonstrate on concrete schemas: with A3 ⊆ A2 the left nesting
+  // is valid but the right one is rejected.
+  Relation r1 = Relation::Parse("x, y, z", "1,2,3");
+  Relation r2 = Relation::Parse("y, z", "2,3");
+  Relation r3 = Relation::Parse("z", "3");
+  Relation inner = Divide(r2, r3);                    // (y)
+  Relation left = Divide(r1, inner);                  // valid, schema (x, z)
+  EXPECT_EQ(left.schema().Names(), (std::vector<std::string>{"x", "z"}));
+  // Right association: (r1 ÷ r2) has schema (x); dividing by r3(z) is
+  // invalid because B = attrs(x) ∩ attrs(z) = ∅.
+  Relation outer = Divide(r1, r2);
+  EXPECT_THROW(Divide(outer, r3), SchemaError);
+}
+
+TEST(Theorem3, SchemaAlgebraMatchesSetDefinition) {
+  std::vector<std::string> a1 = {"p", "q", "r"};
+  std::vector<std::string> a2 = {"q", "r"};
+  std::vector<std::string> a3 = {"r"};
+  // A1 − (A2 − A3) = {p, r}; (A1 − A2) − A3 = {p}.
+  EXPECT_EQ(Theorem3LeftSchema(a1, a2, a3), (std::vector<std::string>{"p", "r"}));
+  EXPECT_EQ(Theorem3RightSchema(a1, a2, a3), (std::vector<std::string>{"p"}));
+  EXPECT_FALSE(Theorem3SchemasAgree(a1, a2, a3));
+  // Disjoint A1/A3 ⇒ agreement regardless of A2.
+  EXPECT_TRUE(Theorem3SchemasAgree({"p", "q"}, {"q", "z"}, {"z"}));
+}
+
+}  // namespace
+}  // namespace quotient

@@ -1,0 +1,156 @@
+// Utility layer: strings, bitmap, Status/Result, data generators.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "algebra/divide.hpp"
+#include "algebra/generator.hpp"
+#include "algebra/ops.hpp"
+#include "util/bitmap.hpp"
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace quotient {
+namespace {
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n "), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(StringsTest, SplitTrim) {
+  EXPECT_EQ(SplitTrim("a, b ,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitTrim("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(SplitTrim("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, JoinAndCase) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(ToUpper("Select"), "SELECT");
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_TRUE(StartsWithIgnoreCase("Select * from", "sElEcT"));
+  EXPECT_FALSE(StartsWithIgnoreCase("Sel", "select"));
+}
+
+TEST(BitmapTest, SetTestCountAll) {
+  Bitmap b(130);  // spans three words
+  EXPECT_TRUE(b.None());
+  EXPECT_FALSE(b.All());
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 3u);
+  for (size_t i = 0; i < 130; ++i) b.Set(i);
+  EXPECT_TRUE(b.All());
+  EXPECT_FALSE(b.None());
+}
+
+TEST(BitmapTest, EmptyBitmapIsVacuouslyAll) {
+  Bitmap b(0);
+  EXPECT_TRUE(b.All());  // matches r1 ÷ ∅ semantics in hash-division
+  EXPECT_TRUE(b.None());
+}
+
+TEST(StatusTest, OkAndError) {
+  EXPECT_TRUE(Status::Ok().ok());
+  Status error = Status::Error("boom");
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.message(), "boom");
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  Result<int> bad = Result<int>::Error("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), "nope");
+  EXPECT_THROW(bad.value(), std::logic_error);
+}
+
+TEST(DataGenTest, Deterministic) {
+  DataGen a(42), b(42);
+  Relation r1 = a.Dividend(5, 8, 0.5);
+  Relation r2 = b.Dividend(5, 8, 0.5);
+  EXPECT_EQ(r1, r2);
+}
+
+TEST(DataGenTest, DividendShape) {
+  DataGen gen(1);
+  Relation r = gen.Dividend(10, 8, 0.5);
+  EXPECT_EQ(r.schema().Names(), (std::vector<std::string>{"a", "b"}));
+  for (const Tuple& t : r.tuples()) {
+    EXPECT_GE(t[0].as_int(), 0);
+    EXPECT_LT(t[0].as_int(), 10);
+    EXPECT_LT(t[1].as_int(), 8);
+  }
+}
+
+TEST(DataGenTest, DivisorSizeRespected) {
+  DataGen gen(2);
+  Relation r = gen.Divisor(5, 100);
+  EXPECT_EQ(r.size(), 5u);
+  // Domain smaller than requested size saturates.
+  EXPECT_EQ(gen.Divisor(50, 3).size(), 3u);
+}
+
+TEST(DataGenTest, DividendWithHitsGuaranteesQuotients) {
+  DataGen gen(3);
+  Relation divisor = gen.Divisor(6, 20);
+  Relation dividend = gen.DividendWithHits(20, 5, divisor, 20, 0.1);
+  Relation quotient = Divide(dividend, divisor);
+  EXPECT_GE(quotient.size(), 5u);
+}
+
+TEST(DataGenTest, TransactionsShape) {
+  DataGen gen(4);
+  Relation t = gen.Transactions(10, 6, 2, 4);
+  EXPECT_EQ(t.schema().Names(), (std::vector<std::string>{"tid", "item"}));
+  // Every tid has between 2 and 4 distinct items.
+  std::map<int64_t, int> sizes;
+  for (const Tuple& row : t.tuples()) sizes[row[0].as_int()] += 1;
+  EXPECT_EQ(sizes.size(), 10u);
+  for (const auto& [tid, n] : sizes) {
+    EXPECT_GE(n, 2);
+    EXPECT_LE(n, 4);
+  }
+}
+
+TEST(SplitTest, HorizontalPartitionsCoverInput) {
+  DataGen gen(5);
+  Relation r = gen.Dividend(8, 8, 0.6);
+  std::vector<Relation> parts = SplitHorizontal(r, 3);
+  ASSERT_EQ(parts.size(), 3u);
+  Relation merged = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) merged = Union(merged, parts[i]);
+  EXPECT_EQ(merged, r);
+}
+
+TEST(SplitTest, ByAttributeRangeIsDisjointOnAttribute) {
+  DataGen gen(6);
+  Relation r = gen.Dividend(9, 8, 0.6);
+  std::vector<Relation> parts = SplitByAttributeRange(r, "a", 3);
+  ASSERT_EQ(parts.size(), 3u);
+  for (size_t i = 0; i < parts.size(); ++i) {
+    for (size_t j = i + 1; j < parts.size(); ++j) {
+      if (parts[i].empty() || parts[j].empty()) continue;
+      EXPECT_TRUE(
+          Intersect(Project(parts[i], {"a"}), Project(parts[j], {"a"})).empty())
+          << i << " vs " << j;
+    }
+  }
+  Relation merged = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) merged = Union(merged, parts[i]);
+  EXPECT_EQ(merged, r);
+}
+
+}  // namespace
+}  // namespace quotient
