@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Builds Release and emits benchmark JSON so PRs have a perf trajectory to
+# compare against.
+#
+# Usage: scripts/run_benchmarks.sh [output-dir]
+#   Writes BENCH_division.json (and BENCH_key_codec.json) to output-dir
+#   (default: bench-results/). Compare runs with benchmark's own
+#   tools/compare.py, or just diff the real_time fields.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+out_dir="${1:-"${repo_root}/bench-results"}"
+build_dir="${repo_root}/build-bench"
+
+cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${build_dir}" -j "$(nproc)" \
+  --target bench_division_algorithms bench_key_codec >/dev/null
+
+mkdir -p "${out_dir}"
+
+"${build_dir}/bench_division_algorithms" \
+  --benchmark_out="${out_dir}/BENCH_division.json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+"${build_dir}/bench_key_codec" \
+  --benchmark_out="${out_dir}/BENCH_key_codec.json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+echo "Wrote ${out_dir}/BENCH_division.json and ${out_dir}/BENCH_key_codec.json"

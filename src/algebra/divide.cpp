@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <map>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "exec/key_codec.hpp"
+#include "util/bitmap.hpp"
 #include "util/status.hpp"
 
 namespace quotient {
@@ -55,27 +55,50 @@ Relation DivideCodd(const Relation& r1, const Relation& r2) {
   std::vector<size_t> b_idx = IndicesOf(r1.schema(), attrs.b);
   std::vector<size_t> divisor_idx = IndicesOf(r2.schema(), attrs.b);
 
-  // Group the dividend by A, collecting each group's image set over B.
-  std::unordered_map<Tuple, std::unordered_set<Tuple, TupleHash, TupleEq>, TupleHash, TupleEq>
-      images;
+  // Key-encode the dividend's A and B columns and number both key spaces.
+  KeyCodec a_codec(a_idx.size());
+  KeyCodec b_codec(b_idx.size());
+  a_codec.Reserve(r1.size());
+  b_codec.Reserve(r1.size());
   for (const Tuple& t : r1.tuples()) {
-    images[ProjectTuple(t, a_idx)].insert(ProjectTuple(t, b_idx));
+    a_codec.Add(t, a_idx);
+    b_codec.Add(t, b_idx);
+  }
+  a_codec.Seal();
+  b_codec.Seal();
+  KeyNumbering a_num;
+  KeyNumbering b_num;
+  a_num.Build(a_codec);
+  b_num.Build(b_codec);
+
+  // Each A-group's image set over B, as one bitmap row per candidate.
+  BitmapMatrix images(b_num.count(), a_num.count());
+  for (size_t i = 0; i < r1.size(); ++i) {
+    images.Set(a_num.row_ids()[i], b_num.row_ids()[i]);
   }
 
-  std::vector<Tuple> divisor;
+  // Resolve the divisor to dividend B numbers. A divisor tuple absent from
+  // every image empties the quotient.
+  std::vector<uint32_t> divisor;
   divisor.reserve(r2.size());
-  for (const Tuple& t : r2.tuples()) divisor.push_back(ProjectTuple(t, divisor_idx));
+  for (const Tuple& t : r2.tuples()) {
+    uint32_t id = b_num.Probe(t, divisor_idx);
+    if (id == KeyNumbering::kNotFound) {
+      return Relation(r1.schema().Project(attrs.a));
+    }
+    divisor.push_back(id);
+  }
 
   std::vector<Tuple> quotient;
-  for (const auto& [a, image] : images) {
+  for (uint32_t cand = 0; cand < a_num.count(); ++cand) {
     bool contains_all = true;
-    for (const Tuple& d : divisor) {
-      if (!image.count(d)) {
+    for (uint32_t d : divisor) {
+      if (!images.Test(cand, d)) {
         contains_all = false;
         break;
       }
     }
-    if (contains_all) quotient.push_back(a);
+    if (contains_all) quotient.push_back(a_num.KeyTuple(cand));
   }
   return Relation(r1.schema().Project(attrs.a), std::move(quotient));
 }
@@ -108,14 +131,43 @@ Relation DivideCounting(const Relation& r1, const Relation& r2) {
   // we guard that case so all divide implementations agree with Codd's
   // semantics (r1 ÷ ∅ = πA(r1)).
   if (r2.empty()) return Project(r1, attrs.a);
-  // Count distinct B per quotient candidate among tuples that match some
-  // divisor tuple, and compare against |r2| (distinct over B). Relations are
-  // sets, so plain counts are distinct counts.
-  Relation matched = SemiJoin(r1, r2);
-  Relation per_group = GroupBy(matched, attrs.a, {{AggFunc::kCount, attrs.b[0], "c$"}});
-  Relation selected = Select(
-      per_group, Expr::ColCmp("c$", CmpOp::kEq, Value::Int(static_cast<int64_t>(r2.size()))));
-  return Project(selected, attrs.a);
+  std::vector<size_t> a_idx = IndicesOf(r1.schema(), attrs.a);
+  std::vector<size_t> b_idx = IndicesOf(r1.schema(), attrs.b);
+  std::vector<size_t> divisor_idx = IndicesOf(r2.schema(), attrs.b);
+
+  // Count matching divisor tuples per quotient candidate and compare against
+  // |r2| (footnote 1's σcount=|r2|(GγF(r1 ⋉ r2))), on encoded keys: the
+  // divisor's B tuples are the dictionary build side, candidates are
+  // numbered densely, and the per-candidate counts live in a flat array.
+  // Relations are sets, so plain counts are distinct counts.
+  KeyCodec b_codec(divisor_idx.size());
+  b_codec.Reserve(r2.size());
+  for (const Tuple& t : r2.tuples()) b_codec.Add(t, divisor_idx);
+  b_codec.Seal();
+  KeyNumbering b_num;
+  b_num.Build(b_codec);
+
+  KeyCodec a_codec(a_idx.size());
+  a_codec.Reserve(r1.size());
+  std::vector<bool> row_matched;
+  row_matched.reserve(r1.size());
+  for (const Tuple& t : r1.tuples()) {
+    a_codec.Add(t, a_idx);
+    row_matched.push_back(b_num.Probe(t, b_idx) != KeyNumbering::kNotFound);
+  }
+  a_codec.Seal();
+  KeyNumbering a_num;
+  a_num.Build(a_codec);
+
+  std::vector<uint32_t> counts(a_num.count(), 0);
+  for (size_t i = 0; i < row_matched.size(); ++i) {
+    if (row_matched[i]) counts[a_num.row_ids()[i]] += 1;
+  }
+  std::vector<Tuple> quotient;
+  for (uint32_t cand = 0; cand < a_num.count(); ++cand) {
+    if (counts[cand] == b_num.count()) quotient.push_back(a_num.KeyTuple(cand));
+  }
+  return Relation(r1.schema().Project(attrs.a), std::move(quotient));
 }
 
 Relation GreatDivideSCD(const Relation& r1, const Relation& r2) {

@@ -120,6 +120,24 @@ Relation DataGen::Transactions(size_t transactions, int64_t items, size_t min_si
   return Relation(Schema::Parse("tid, item"), std::move(tuples));
 }
 
+Relation StringifyAttribute(const Relation& r, const std::string& attr,
+                            const std::string& prefix) {
+  size_t idx = r.schema().IndexOfOrThrow(attr);
+  if (r.schema().attribute(idx).type != ValueType::kInt) {
+    throw SchemaError("StringifyAttribute requires an int attribute, got '" + attr + "'");
+  }
+  std::vector<Attribute> attributes = r.schema().attributes();
+  attributes[idx].type = ValueType::kString;
+  std::vector<Tuple> tuples;
+  tuples.reserve(r.size());
+  for (const Tuple& t : r.tuples()) {
+    Tuple row = t;
+    row[idx] = Value::Str(prefix + std::to_string(t[idx].as_int()));
+    tuples.push_back(std::move(row));
+  }
+  return Relation(Schema(std::move(attributes)), std::move(tuples));
+}
+
 std::vector<Relation> SplitHorizontal(const Relation& r, size_t parts) {
   std::vector<std::vector<Tuple>> buckets(parts);
   size_t i = 0;

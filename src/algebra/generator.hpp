@@ -58,6 +58,13 @@ class DataGen {
   std::mt19937_64 rng_;
 };
 
+/// The same relation with the integer attribute `attr` remapped to strings
+/// "<prefix><value>". Lets every integer workload generator double as a
+/// string-keyed workload (the key-codec benchmarks and the mixed-type
+/// division property tests use this for string-valued B domains).
+Relation StringifyAttribute(const Relation& r, const std::string& attr,
+                            const std::string& prefix = "v");
+
 /// Splits `r` into `parts` horizontal partitions round-robin (overlap-free;
 /// projections of a key attribute may still overlap).
 std::vector<Relation> SplitHorizontal(const Relation& r, size_t parts);

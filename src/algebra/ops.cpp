@@ -155,19 +155,34 @@ Relation Rename(const Relation& r,
   return Relation(Schema(std::move(attributes)), r.tuples());
 }
 
-namespace {
+std::vector<size_t> AggArgIndices(const Schema& input, const std::vector<AggSpec>& aggs) {
+  std::vector<size_t> indices;
+  indices.reserve(aggs.size());
+  for (const AggSpec& spec : aggs) {
+    indices.push_back(spec.fn == AggFunc::kCount && spec.arg.empty()
+                          ? size_t{0}
+                          : input.IndexOfOrThrow(spec.arg.empty() ? "?" : spec.arg));
+  }
+  return indices;
+}
 
-struct AggState {
-  int64_t count = 0;
-  double sum = 0;
-  bool sum_is_int = true;
-  int64_t sum_int = 0;
-  bool has_minmax = false;
-  Value min;
-  Value max;
-};
+void AggAccumulate(const AggSpec& spec, const Value& v, AggState* state) {
+  AggState& s = *state;
+  s.count += 1;
+  if (spec.fn == AggFunc::kCount) return;
+  if (v.type() == ValueType::kInt) {
+    s.sum_int += v.as_int();
+    s.sum += static_cast<double>(v.as_int());
+  } else if (v.type() == ValueType::kReal) {
+    s.sum_is_int = false;
+    s.sum += v.as_real();
+  }
+  if (!s.has_minmax || v < s.min) s.min = v;
+  if (!s.has_minmax || v > s.max) s.max = v;
+  s.has_minmax = true;
+}
 
-Value Finish(const AggSpec& spec, const AggState& s) {
+Value AggFinish(const AggSpec& spec, const AggState& s) {
   switch (spec.fn) {
     case AggFunc::kCount: return Value::Int(s.count);
     case AggFunc::kSum:
@@ -182,6 +197,8 @@ Value Finish(const AggSpec& spec, const AggState& s) {
   }
   return Value();
 }
+
+namespace {
 
 ValueType OutputType(const AggSpec& spec, const Schema& input) {
   switch (spec.fn) {
@@ -209,13 +226,7 @@ Schema GroupByOutputSchema(const Schema& input, const std::vector<std::string>& 
 Relation GroupBy(const Relation& r, const std::vector<std::string>& group_names,
                  const std::vector<AggSpec>& aggs) {
   std::vector<size_t> group_indices = IndicesOf(r.schema(), group_names);
-  std::vector<size_t> arg_indices;
-  arg_indices.reserve(aggs.size());
-  for (const AggSpec& spec : aggs) {
-    arg_indices.push_back(spec.fn == AggFunc::kCount && spec.arg.empty()
-                              ? size_t{0}
-                              : r.schema().IndexOfOrThrow(spec.arg.empty() ? "?" : spec.arg));
-  }
+  std::vector<size_t> arg_indices = AggArgIndices(r.schema(), aggs);
 
   std::map<Tuple, std::vector<AggState>, TupleLess> groups;
   if (group_names.empty()) groups.emplace(Tuple{}, std::vector<AggState>(aggs.size()));
@@ -223,20 +234,7 @@ Relation GroupBy(const Relation& r, const std::vector<std::string>& group_names,
     Tuple key = ProjectTuple(t, group_indices);
     auto [it, inserted] = groups.try_emplace(std::move(key), std::vector<AggState>(aggs.size()));
     for (size_t i = 0; i < aggs.size(); ++i) {
-      AggState& s = it->second[i];
-      s.count += 1;
-      if (aggs[i].fn == AggFunc::kCount) continue;
-      const Value& v = t[arg_indices[i]];
-      if (v.type() == ValueType::kInt) {
-        s.sum_int += v.as_int();
-        s.sum += static_cast<double>(v.as_int());
-      } else if (v.type() == ValueType::kReal) {
-        s.sum_is_int = false;
-        s.sum += v.as_real();
-      }
-      if (!s.has_minmax || v < s.min) s.min = v;
-      if (!s.has_minmax || v > s.max) s.max = v;
-      s.has_minmax = true;
+      AggAccumulate(aggs[i], t[arg_indices[i]], &it->second[i]);
     }
   }
 
@@ -244,7 +242,7 @@ Relation GroupBy(const Relation& r, const std::vector<std::string>& group_names,
   tuples.reserve(groups.size());
   for (auto& [key, states] : groups) {
     Tuple t = key;
-    for (size_t i = 0; i < aggs.size(); ++i) t.push_back(Finish(aggs[i], states[i]));
+    for (size_t i = 0; i < aggs.size(); ++i) t.push_back(AggFinish(aggs[i], states[i]));
     tuples.push_back(std::move(t));
   }
   return Relation(GroupByOutputSchema(r.schema(), group_names, aggs), std::move(tuples));

@@ -68,6 +68,30 @@ struct AggSpec {
 Schema GroupByOutputSchema(const Schema& input, const std::vector<std::string>& group_names,
                            const std::vector<AggSpec>& aggs);
 
+/// Incremental aggregation state for one (group, AggSpec) pair; shared by
+/// the reference GroupBy and the key-encoded HashAggregateIterator so both
+/// compute identical results.
+struct AggState {
+  int64_t count = 0;
+  double sum = 0;
+  bool sum_is_int = true;
+  int64_t sum_int = 0;
+  bool has_minmax = false;
+  Value min;
+  Value max;
+};
+
+/// Per-spec argument column positions (position 0 for a bare COUNT with no
+/// argument); shared by GroupBy and HashAggregateIterator so both resolve
+/// aggregate arguments identically.
+std::vector<size_t> AggArgIndices(const Schema& input, const std::vector<AggSpec>& aggs);
+
+/// Folds one input value into `state` (`v` is ignored for kCount).
+void AggAccumulate(const AggSpec& spec, const Value& v, AggState* state);
+
+/// The final output value for `spec` over `state`.
+Value AggFinish(const AggSpec& spec, const AggState& state);
+
 /// GγF(r) (Appendix A): groups `r` by `group_names` and computes the
 /// aggregates. Output schema: group attributes (in the given order) followed
 /// by aggregate outputs. With empty `group_names`, produces one global row

@@ -40,7 +40,12 @@ class Relation {
   /// Membership test by binary search.
   bool Contains(const Tuple& tuple) const;
 
-  /// Sorted insert; no-op if the tuple is already present.
+  /// Sorted insert of ONE tuple; no-op if the tuple is already present.
+  ///
+  /// This is O(n) per call (it shifts the sorted tail), so inserting k
+  /// tuples in a loop is O(n·k). Bulk builds must go through the
+  /// canonicalizing `Relation(Schema, std::vector<Tuple>)` constructor
+  /// (or FromRows/Parse), which sorts once: O((n+k) log (n+k)).
   void Insert(Tuple tuple);
 
   /// True iff this relation is a subset of `other` (schemas must have the

@@ -7,21 +7,63 @@ HashAggregateIterator::HashAggregateIterator(IterPtr child, std::vector<std::str
     : child_(std::move(child)),
       group_names_(std::move(group_names)),
       aggs_(std::move(aggs)),
-      schema_(GroupByOutputSchema(child_->schema(), group_names_, aggs_)) {}
+      schema_(GroupByOutputSchema(child_->schema(), group_names_, aggs_)) {
+  for (const std::string& name : group_names_) {
+    group_indices_.push_back(child_->schema().IndexOfOrThrow(name));
+  }
+  arg_indices_ = AggArgIndices(child_->schema(), aggs_);
+}
 
 void HashAggregateIterator::Open() {
   ResetCount();
   child_->Open();
-  // Delegate the aggregation to the reference implementation over the
-  // drained child; correctness first, and the materialization cost is the
-  // same order as any hash aggregate.
-  std::vector<Tuple> rows;
-  Tuple t;
-  while (child_->Next(&t)) rows.push_back(std::move(t));
-  Relation input(child_->schema(), std::move(rows));
-  Relation result = GroupBy(input, group_names_, aggs_);
-  results_ = result.tuples();
+  results_.clear();
   position_ = 0;
+
+  // Online hash aggregation: group keys are incrementally dictionary-encoded
+  // and interned to dense group numbers; per-group aggregate states live in
+  // one flat array. Nothing is materialized but the output.
+  IncrementalKeyEncoder encoder(group_indices_.size());
+  KeyInterner<uint64_t> groups64;
+  KeyInterner<SmallByteKey> groups_spill;
+  const size_t na = aggs_.size();
+  std::vector<AggState> states;
+  SmallByteKey spill;
+  while (const Tuple* t = child_->NextRef()) {
+    uint32_t gid;
+    if (encoder.fits64()) {
+      gid = groups64.Intern(encoder.Encode64(*t, &group_indices_));
+    } else {
+      encoder.EncodeSpill(*t, &group_indices_, &spill);
+      gid = groups_spill.Intern(spill);
+    }
+    if (size_t{gid} * na >= states.size()) states.resize(states.size() + na);
+    for (size_t i = 0; i < na; ++i) {
+      AggAccumulate(aggs_[i], (*t)[arg_indices_[i]], &states[size_t{gid} * na + i]);
+    }
+  }
+
+  size_t num_groups = encoder.fits64() ? groups64.size() : groups_spill.size();
+  if (group_names_.empty() && num_groups == 0) {
+    // GγF with no group attributes produces one global row even for empty
+    // input (count = 0, sum/min/max/avg NULL).
+    Tuple global;
+    for (size_t i = 0; i < na; ++i) global.push_back(AggFinish(aggs_[i], AggState{}));
+    results_.push_back(std::move(global));
+    return;
+  }
+  results_.reserve(num_groups);
+  for (uint32_t gid = 0; gid < num_groups; ++gid) {
+    Tuple t;
+    t.reserve(group_indices_.size() + na);
+    if (encoder.fits64()) {
+      encoder.Decode(groups64.At(gid), &t);
+    } else {
+      encoder.Decode(groups_spill.At(gid), &t);
+    }
+    for (size_t i = 0; i < na; ++i) t.push_back(AggFinish(aggs_[i], states[size_t{gid} * na + i]));
+    results_.push_back(std::move(t));
+  }
 }
 
 bool HashAggregateIterator::Next(Tuple* out) {

@@ -1,15 +1,16 @@
 #pragma once
 
-#include <map>
-
 #include "algebra/ops.hpp"
 #include "exec/iterator.hpp"
+#include "exec/key_codec.hpp"
 
 namespace quotient {
 
-/// Hash aggregation implementing GγF (materializes groups on Open). The
-/// heavy lifting is shared with the reference GroupBy; this operator exists
-/// so grouped plans run inside the Volcano engine with row accounting.
+/// Hash aggregation implementing GγF: online, key-encoded grouping. Group
+/// keys are incrementally dictionary-encoded (IncrementalKeyEncoder) and
+/// interned to dense group numbers; aggregate states are accumulated in a
+/// flat array with the same AggState machinery as the reference GroupBy, so
+/// results agree by construction.
 class HashAggregateIterator : public Iterator {
  public:
   HashAggregateIterator(IterPtr child, std::vector<std::string> group_names,
@@ -27,6 +28,8 @@ class HashAggregateIterator : public Iterator {
   std::vector<std::string> group_names_;
   std::vector<AggSpec> aggs_;
   Schema schema_;
+  std::vector<size_t> group_indices_;
+  std::vector<size_t> arg_indices_;
   std::vector<Tuple> results_;
   size_t position_ = 0;
 };

@@ -25,6 +25,26 @@ Tuple MaybeReorder(const Tuple& t, const std::vector<size_t>& indices) {
   return ProjectTuple(t, indices);
 }
 
+/// Shared build side of ∩ and −: drains `right` into an encoded key set
+/// (reordered into the left schema's attribute order via `reorder`).
+void BuildKeySet(Iterator& right, const std::vector<size_t>& right_reorder,
+                 IncrementalKeyEncoder& encoder,
+                 std::unordered_set<uint64_t, FlatKeyHash>& set64,
+                 std::unordered_set<SmallByteKey, FlatKeyHash>& set_spill) {
+  size_t expected = right.EstimatedRows();
+  if (encoder.fits64()) set64.reserve(expected);
+  SmallByteKey spill;
+  const std::vector<size_t>* reorder = right_reorder.empty() ? nullptr : &right_reorder;
+  while (const Tuple* t = right.NextRef()) {
+    if (encoder.fits64()) {
+      set64.insert(encoder.Encode64(*t, reorder));
+    } else {
+      encoder.EncodeSpill(*t, reorder, &spill);
+      set_spill.insert(spill);
+    }
+  }
+}
+
 }  // namespace
 
 bool RelationScan::Next(Tuple* out) {
@@ -53,6 +73,16 @@ bool FilterIterator::Next(Tuple* out) {
   return false;
 }
 
+const Tuple* FilterIterator::NextRef() {
+  while (const Tuple* t = child_->NextRef()) {
+    if (bound_->EvalBool(*t)) {
+      CountRow();
+      return t;
+    }
+  }
+  return nullptr;
+}
+
 ProjectIterator::ProjectIterator(IterPtr child, std::vector<std::string> columns)
     : child_(std::move(child)), schema_(child_->schema().Project(columns)) {
   for (const std::string& column : columns) {
@@ -63,15 +93,22 @@ ProjectIterator::ProjectIterator(IterPtr child, std::vector<std::string> columns
 void ProjectIterator::Open() {
   ResetCount();
   child_->Open();
-  seen_.clear();
+  encoder_ = IncrementalKeyEncoder(indices_.size());
+  seen64_.clear();
+  seen_spill_.clear();
 }
 
 bool ProjectIterator::Next(Tuple* out) {
-  Tuple t;
-  while (child_->Next(&t)) {
-    Tuple projected = ProjectTuple(t, indices_);
-    if (seen_.insert(projected).second) {
-      *out = std::move(projected);
+  SmallByteKey spill;
+  while (const Tuple* t = child_->NextRef()) {
+    // Dedup on the encoded key; only materialize the projection for fresh
+    // keys.
+    bool fresh = encoder_.fits64()
+                     ? seen64_.insert(encoder_.Encode64(*t, &indices_)).second
+                     : (encoder_.EncodeSpill(*t, &indices_, &spill),
+                        seen_spill_.insert(spill).second);
+    if (fresh) {
+      *out = ProjectTuple(*t, indices_);
       CountRow();
       return true;
     }
@@ -81,7 +118,8 @@ bool ProjectIterator::Next(Tuple* out) {
 
 void ProjectIterator::Close() {
   child_->Close();
-  seen_.clear();
+  seen64_.clear();
+  seen_spill_.clear();
 }
 
 RenameIterator::RenameIterator(IterPtr child,
@@ -110,7 +148,9 @@ void UnionIterator::Open() {
   left_->Open();
   right_->Open();
   on_right_ = false;
-  seen_.clear();
+  encoder_ = IncrementalKeyEncoder(left_->schema().size());
+  seen64_.clear();
+  seen_spill_.clear();
 }
 
 bool UnionIterator::NextAligned(Tuple* out) {
@@ -127,8 +167,13 @@ bool UnionIterator::NextAligned(Tuple* out) {
 }
 
 bool UnionIterator::Next(Tuple* out) {
+  SmallByteKey spill;
   while (NextAligned(out)) {
-    if (seen_.insert(*out).second) {
+    bool fresh = encoder_.fits64()
+                     ? seen64_.insert(encoder_.Encode64(*out, nullptr)).second
+                     : (encoder_.EncodeSpill(*out, nullptr, &spill),
+                        seen_spill_.insert(spill).second);
+    if (fresh) {
       CountRow();
       return true;
     }
@@ -139,7 +184,8 @@ bool UnionIterator::Next(Tuple* out) {
 void UnionIterator::Close() {
   left_->Close();
   right_->Close();
-  seen_.clear();
+  seen64_.clear();
+  seen_spill_.clear();
 }
 
 IntersectIterator::IntersectIterator(IterPtr left, IterPtr right)
@@ -151,15 +197,26 @@ void IntersectIterator::Open() {
   ResetCount();
   left_->Open();
   right_->Open();
-  build_.clear();
-  emitted_.clear();
-  Tuple t;
-  while (right_->Next(&t)) build_.insert(MaybeReorder(t, right_reorder_));
+  encoder_ = IncrementalKeyEncoder(left_->schema().size());
+  build64_.clear();
+  emitted64_.clear();
+  build_spill_.clear();
+  emitted_spill_.clear();
+  BuildKeySet(*right_, right_reorder_, encoder_, build64_, build_spill_);
 }
 
 bool IntersectIterator::Next(Tuple* out) {
+  SmallByteKey spill;
   while (left_->Next(out)) {
-    if (build_.count(*out) && emitted_.insert(*out).second) {
+    bool hit;
+    if (encoder_.fits64()) {
+      uint64_t key = encoder_.Encode64(*out, nullptr);
+      hit = build64_.count(key) && emitted64_.insert(key).second;
+    } else {
+      encoder_.EncodeSpill(*out, nullptr, &spill);
+      hit = build_spill_.count(spill) && emitted_spill_.insert(spill).second;
+    }
+    if (hit) {
       CountRow();
       return true;
     }
@@ -170,8 +227,10 @@ bool IntersectIterator::Next(Tuple* out) {
 void IntersectIterator::Close() {
   left_->Close();
   right_->Close();
-  build_.clear();
-  emitted_.clear();
+  build64_.clear();
+  emitted64_.clear();
+  build_spill_.clear();
+  emitted_spill_.clear();
 }
 
 DifferenceIterator::DifferenceIterator(IterPtr left, IterPtr right)
@@ -183,15 +242,26 @@ void DifferenceIterator::Open() {
   ResetCount();
   left_->Open();
   right_->Open();
-  build_.clear();
-  emitted_.clear();
-  Tuple t;
-  while (right_->Next(&t)) build_.insert(MaybeReorder(t, right_reorder_));
+  encoder_ = IncrementalKeyEncoder(left_->schema().size());
+  build64_.clear();
+  emitted64_.clear();
+  build_spill_.clear();
+  emitted_spill_.clear();
+  BuildKeySet(*right_, right_reorder_, encoder_, build64_, build_spill_);
 }
 
 bool DifferenceIterator::Next(Tuple* out) {
+  SmallByteKey spill;
   while (left_->Next(out)) {
-    if (!build_.count(*out) && emitted_.insert(*out).second) {
+    bool keep;
+    if (encoder_.fits64()) {
+      uint64_t key = encoder_.Encode64(*out, nullptr);
+      keep = !build64_.count(key) && emitted64_.insert(key).second;
+    } else {
+      encoder_.EncodeSpill(*out, nullptr, &spill);
+      keep = !build_spill_.count(spill) && emitted_spill_.insert(spill).second;
+    }
+    if (keep) {
       CountRow();
       return true;
     }
@@ -202,8 +272,10 @@ bool DifferenceIterator::Next(Tuple* out) {
 void DifferenceIterator::Close() {
   left_->Close();
   right_->Close();
-  build_.clear();
-  emitted_.clear();
+  build64_.clear();
+  emitted64_.clear();
+  build_spill_.clear();
+  emitted_spill_.clear();
 }
 
 CrossProductIterator::CrossProductIterator(IterPtr left, IterPtr right)
@@ -216,8 +288,8 @@ void CrossProductIterator::Open() {
   left_->Open();
   right_->Open();
   right_rows_.clear();
-  Tuple t;
-  while (right_->Next(&t)) right_rows_.push_back(t);
+  right_rows_.reserve(right_->EstimatedRows());
+  while (const Tuple* t = right_->NextRef()) right_rows_.push_back(*t);
   have_left_ = false;
   right_pos_ = 0;
 }

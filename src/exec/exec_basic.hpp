@@ -4,8 +4,16 @@
 
 #include "algebra/predicate.hpp"
 #include "exec/iterator.hpp"
+#include "exec/key_codec.hpp"
 
 namespace quotient {
+
+/// Non-owning shared_ptr view of a caller-owned Relation, for wiring scans
+/// in convenience wrappers (ExecDivide & friends) without deep-copying the
+/// relation. The caller must keep `r` alive while the iterator lives.
+inline std::shared_ptr<const Relation> BorrowRelation(const Relation& r) {
+  return std::shared_ptr<const Relation>(std::shared_ptr<const Relation>(), &r);
+}
 
 /// Scans a materialized relation (base table or intermediate).
 class RelationScan : public Iterator {
@@ -19,9 +27,15 @@ class RelationScan : public Iterator {
     position_ = 0;
   }
   bool Next(Tuple* out) override;
+  const Tuple* NextRef() override {
+    if (position_ >= relation_->size()) return nullptr;
+    CountRow();
+    return &relation_->tuples()[position_++];
+  }
   void Close() override {}
   const char* name() const override { return "Scan"; }
   std::vector<Iterator*> InputIterators() override { return {}; }
+  size_t EstimatedRows() const override { return relation_->size(); }
 
  private:
   std::shared_ptr<const Relation> relation_;
@@ -36,9 +50,11 @@ class FilterIterator : public Iterator {
   const Schema& schema() const override { return child_->schema(); }
   void Open() override;
   bool Next(Tuple* out) override;
+  const Tuple* NextRef() override;
   void Close() override { child_->Close(); }
   const char* name() const override { return "Filter"; }
   std::vector<Iterator*> InputIterators() override { return {child_.get()}; }
+  size_t EstimatedRows() const override { return child_->EstimatedRows(); }
 
  private:
   IterPtr child_;
@@ -57,12 +73,16 @@ class ProjectIterator : public Iterator {
   void Close() override;
   const char* name() const override { return "Project"; }
   std::vector<Iterator*> InputIterators() override { return {child_.get()}; }
+  size_t EstimatedRows() const override { return child_->EstimatedRows(); }
 
  private:
   IterPtr child_;
   Schema schema_;
   std::vector<size_t> indices_;
-  std::unordered_set<Tuple, TupleHash, TupleEq> seen_;
+  // Streaming dedup on incrementally encoded keys (see key_codec.hpp).
+  IncrementalKeyEncoder encoder_;
+  std::unordered_set<uint64_t, FlatKeyHash> seen64_;
+  std::unordered_set<SmallByteKey, FlatKeyHash> seen_spill_;
 };
 
 /// ρ: pass-through with a renamed schema.
@@ -76,9 +96,15 @@ class RenameIterator : public Iterator {
     child_->Open();
   }
   bool Next(Tuple* out) override;
+  const Tuple* NextRef() override {
+    const Tuple* t = child_->NextRef();
+    if (t != nullptr) CountRow();
+    return t;
+  }
   void Close() override { child_->Close(); }
   const char* name() const override { return "Rename"; }
   std::vector<Iterator*> InputIterators() override { return {child_.get()}; }
+  size_t EstimatedRows() const override { return child_->EstimatedRows(); }
 
  private:
   IterPtr child_;
@@ -96,6 +122,9 @@ class UnionIterator : public Iterator {
   void Close() override;
   const char* name() const override { return "Union"; }
   std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
+  size_t EstimatedRows() const override {
+    return left_->EstimatedRows() + right_->EstimatedRows();
+  }
 
  private:
   bool NextAligned(Tuple* out);
@@ -104,7 +133,10 @@ class UnionIterator : public Iterator {
   IterPtr right_;
   std::vector<size_t> right_reorder_;  // empty when schemas align positionally
   bool on_right_ = false;
-  std::unordered_set<Tuple, TupleHash, TupleEq> seen_;
+  // Streaming dedup on incrementally encoded keys.
+  IncrementalKeyEncoder encoder_;
+  std::unordered_set<uint64_t, FlatKeyHash> seen64_;
+  std::unordered_set<SmallByteKey, FlatKeyHash> seen_spill_;
 };
 
 /// ∩ (hash build on the right input).
@@ -118,13 +150,17 @@ class IntersectIterator : public Iterator {
   void Close() override;
   const char* name() const override { return "Intersect"; }
   std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
+  size_t EstimatedRows() const override { return left_->EstimatedRows(); }
 
  private:
   IterPtr left_;
   IterPtr right_;
   std::vector<size_t> right_reorder_;
-  std::unordered_set<Tuple, TupleHash, TupleEq> build_;
-  std::unordered_set<Tuple, TupleHash, TupleEq> emitted_;
+  // Build and probe share one incremental encoder: equal tuples get equal
+  // flat keys, so membership and once-only emission are key-set lookups.
+  IncrementalKeyEncoder encoder_;
+  std::unordered_set<uint64_t, FlatKeyHash> build64_, emitted64_;
+  std::unordered_set<SmallByteKey, FlatKeyHash> build_spill_, emitted_spill_;
 };
 
 /// − (hash build on the right input).
@@ -138,13 +174,15 @@ class DifferenceIterator : public Iterator {
   void Close() override;
   const char* name() const override { return "Difference"; }
   std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
+  size_t EstimatedRows() const override { return left_->EstimatedRows(); }
 
  private:
   IterPtr left_;
   IterPtr right_;
   std::vector<size_t> right_reorder_;
-  std::unordered_set<Tuple, TupleHash, TupleEq> build_;
-  std::unordered_set<Tuple, TupleHash, TupleEq> emitted_;
+  IncrementalKeyEncoder encoder_;
+  std::unordered_set<uint64_t, FlatKeyHash> build64_, emitted64_;
+  std::unordered_set<SmallByteKey, FlatKeyHash> build_spill_, emitted_spill_;
 };
 
 /// × (right side materialized).

@@ -1,14 +1,18 @@
 #include "exec/exec_divide.hpp"
 
 #include <algorithm>
-#include <unordered_set>
+#include <type_traits>
 
 #include "exec/exec_basic.hpp"
+#include "util/bitmap.hpp"
 #include "util/status.hpp"
 
 namespace quotient {
 
 namespace {
+
+/// Sentinel for a dividend row whose B columns match no divisor tuple.
+constexpr uint32_t kMissB = UINT32_MAX;
 
 std::vector<size_t> IndicesOf(const Schema& schema, const std::vector<std::string>& names) {
   std::vector<size_t> indices;
@@ -17,13 +21,172 @@ std::vector<size_t> IndicesOf(const Schema& schema, const std::vector<std::strin
   return indices;
 }
 
-struct PairLess {
-  bool operator()(const std::pair<Tuple, Tuple>& x, const std::pair<Tuple, Tuple>& y) const {
-    int c = CompareTuples(x.first, y.first);
-    if (c != 0) return c < 0;
-    return CompareTuples(x.second, y.second) < 0;
+/// r1 ÷ ∅ = πA(r1): emit every distinct candidate.
+template <typename AView, typename Numbering>
+void EmitDistinctCandidates(const AView& aview, Numbering& candidates, size_t rows,
+                            std::vector<Tuple>* results) {
+  for (size_t i = 0; i < rows; ++i) candidates.Intern(aview.RowKey(i));
+  for (uint32_t id = 0; id < candidates.size(); ++id) {
+    results->push_back(aview.codec->DecodeTuple(candidates.At(id)));
   }
-};
+}
+
+// Hash-division: divisor tuples are numbered 0..n-1; each quotient candidate
+// keeps a bitmap of the divisor numbers seen in its group. Candidates are
+// numbered densely (identity when A is a single dictionary column, interned
+// otherwise), so the bitmaps live in one contiguous matrix.
+template <typename AView, typename Numbering>
+void RunHash(const AView& aview, Numbering& candidates, const std::vector<uint32_t>& row_b,
+             size_t rows, size_t n, std::vector<Tuple>* results) {
+  BitmapMatrix seen(n);
+  seen.Reserve(candidates.size());
+  for (size_t i = 0; i < rows; ++i) {
+    if (row_b[i] == kMissB) continue;  // b not in divisor: cannot help
+    uint32_t cand = candidates.Intern(aview.RowKey(i));
+    while (cand >= seen.rows()) seen.AddRow();
+    seen.Set(cand, row_b[i]);
+  }
+  for (uint32_t id = 0; id < seen.rows(); ++id) {
+    if (seen.RowAll(id)) results->push_back(aview.codec->DecodeTuple(candidates.At(id)));
+  }
+}
+
+// Transposed hash-division: number the quotient candidates in a first pass,
+// then give each divisor number a bitmap over candidates and set bits in a
+// second pass. A candidate qualifies iff its bit is set in every divisor
+// bitmap.
+template <typename AView, typename Numbering>
+void RunHashTransposed(const AView& aview, Numbering& candidates,
+                       const std::vector<uint32_t>& row_b, size_t rows, size_t n,
+                       std::vector<Tuple>* results) {
+  std::vector<uint32_t> row_cand(rows);
+  for (size_t i = 0; i < rows; ++i) row_cand[i] = candidates.Intern(aview.RowKey(i));
+
+  BitmapMatrix divisor_bitmaps(candidates.size(), n);
+  for (size_t i = 0; i < rows; ++i) {
+    if (row_b[i] == kMissB) continue;
+    divisor_bitmaps.Set(row_b[i], row_cand[i]);
+  }
+
+  for (uint32_t id = 0; id < candidates.size(); ++id) {
+    bool in_all = true;
+    for (size_t d = 0; d < n; ++d) {
+      if (!divisor_bitmaps.Test(d, id)) {
+        in_all = false;
+        break;
+      }
+    }
+    if (in_all) results->push_back(aview.codec->DecodeTuple(candidates.At(id)));
+  }
+}
+
+// "Naive division": sort the dividend by (A key, divisor number) — misses
+// sort last — then merge each A-group's numbers against the ascending
+// divisor numbers 0..n-1.
+template <typename AView>
+void RunMergeSort(const AView& aview, const std::vector<uint32_t>& row_b, size_t rows, size_t n,
+                  std::vector<Tuple>* results) {
+  using K = typename AView::Key;
+  std::vector<std::pair<K, uint32_t>> sorted;
+  sorted.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) sorted.emplace_back(aview.RowKey(i), row_b[i]);
+  std::sort(sorted.begin(), sorted.end(), [](const auto& x, const auto& y) {
+    if (x.first != y.first) return x.first < y.first;
+    return x.second < y.second;
+  });
+
+  size_t i = 0;
+  while (i < sorted.size()) {
+    const K& a = sorted[i].first;
+    size_t divisor_pos = 0;
+    size_t j = i;
+    for (; j < sorted.size() && sorted[j].first == a; ++j) {
+      if (divisor_pos < n) {
+        uint32_t b = sorted[j].second;
+        if (b == divisor_pos) {
+          ++divisor_pos;
+        } else if (b > divisor_pos) {
+          // Sorted group has passed the needed divisor number: missing.
+          divisor_pos = n + 1;  // mark failure
+        }
+      }
+    }
+    if (divisor_pos == n) results->push_back(aview.codec->DecodeTuple(a));
+    i = j;
+  }
+}
+
+// Hash-based aggregate division: count matching divisor numbers per
+// candidate (inputs are sets, so counts are distinct counts) and compare
+// with n.
+template <typename AView, typename Numbering>
+void RunHashCount(const AView& aview, Numbering& candidates, const std::vector<uint32_t>& row_b,
+                  size_t rows, size_t n, std::vector<Tuple>* results) {
+  std::vector<uint32_t> counts;
+  counts.reserve(candidates.size());
+  for (size_t i = 0; i < rows; ++i) {
+    if (row_b[i] == kMissB) continue;
+    uint32_t cand = candidates.Intern(aview.RowKey(i));
+    if (cand >= counts.size()) counts.resize(cand + 1, 0);
+    counts[cand] += 1;
+  }
+  for (uint32_t id = 0; id < counts.size(); ++id) {
+    if (counts[id] == n) results->push_back(aview.codec->DecodeTuple(candidates.At(id)));
+  }
+}
+
+// Sort-based aggregate division: keep matching rows' A keys, sort, count run
+// lengths.
+template <typename AView>
+void RunSortCount(const AView& aview, const std::vector<uint32_t>& row_b, size_t rows, size_t n,
+                  std::vector<Tuple>* results) {
+  using K = typename AView::Key;
+  std::vector<K> matched;
+  matched.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    if (row_b[i] != kMissB) matched.push_back(aview.RowKey(i));
+  }
+  std::sort(matched.begin(), matched.end());
+  size_t i = 0;
+  while (i < matched.size()) {
+    size_t j = i;
+    while (j < matched.size() && matched[j] == matched[i]) ++j;
+    if (j - i == n) results->push_back(aview.codec->DecodeTuple(matched[i]));
+    i = j;
+  }
+}
+
+// Group the dividend, then probe each group linearly for every divisor
+// number: O(|r1| · |r2|) comparisons — the baseline the fast algorithms are
+// measured against.
+template <typename AView, typename Numbering>
+void RunNestedLoop(const AView& aview, Numbering& candidates, const std::vector<uint32_t>& row_b,
+                   size_t rows, size_t n, std::vector<Tuple>* results) {
+  std::vector<std::vector<uint32_t>> groups;
+  groups.reserve(candidates.size());
+  for (size_t i = 0; i < rows; ++i) {
+    uint32_t cand = candidates.Intern(aview.RowKey(i));
+    if (cand >= groups.size()) groups.resize(cand + 1);
+    if (row_b[i] != kMissB) groups[cand].push_back(row_b[i]);
+  }
+  for (uint32_t id = 0; id < groups.size(); ++id) {
+    bool all = true;
+    for (uint32_t d = 0; d < n; ++d) {
+      bool found = false;
+      for (uint32_t b : groups[id]) {
+        if (b == d) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        all = false;
+        break;
+      }
+    }
+    if (all) results->push_back(aview.codec->DecodeTuple(candidates.At(id)));
+  }
+}
 
 }  // namespace
 
@@ -56,176 +219,92 @@ void DivisionIterator::Open() {
   ResetCount();
   results_.clear();
   position_ = 0;
-  pairs_.clear();
 
   dividend_->Open();
   divisor_->Open();
-  Tuple t;
-  std::vector<Tuple> divisor_keys;
-  while (divisor_->Next(&t)) divisor_keys.push_back(ProjectTuple(t, divisor_idx_));
-  while (dividend_->Next(&t)) {
-    pairs_.emplace_back(ProjectTuple(t, a_idx_), ProjectTuple(t, b_idx_));
-  }
 
-  if (divisor_keys.empty()) {
-    // r1 ÷ ∅ = πA(r1) under Codd's semantics.
-    std::unordered_set<Tuple, TupleHash, TupleEq> seen;
-    for (const auto& [a, b] : pairs_) {
-      if (seen.insert(a).second) results_.push_back(a);
+  // Build phase: dictionary-encode the divisor's B tuples.
+  b_codec_ = KeyCodec(divisor_idx_.size());
+  b_codec_.Reserve(divisor_->EstimatedRows());
+  while (const Tuple* t = divisor_->NextRef()) b_codec_.Add(*t, divisor_idx_);
+  b_codec_.Seal();
+
+  // Probe phase: number the divisor keys densely, then drain the dividend
+  // once, interning A keys and resolving each row's B columns to a divisor
+  // number (kMissB when any value never occurs in the divisor).
+  a_codec_ = KeyCodec(a_idx_.size());
+  size_t expected = dividend_->EstimatedRows();
+  a_codec_.Reserve(expected);
+  row_b_.clear();
+  row_b_.reserve(expected);
+  divisor_count_ = 0;
+  if (b_codec_.keys_are_dense_ids()) {
+    // Single B column: dictionary ids are the divisor numbers (the divisor
+    // is duplicate-free, so ids follow row order) — one dictionary probe
+    // per dividend row, no packing, no interning.
+    const ValueDict& bdict = b_codec_.dict(0);
+    divisor_count_ = bdict.size();
+    size_t bcol = b_idx_[0];
+    while (const Tuple* row = dividend_->NextRef()) {
+      a_codec_.Add(*row, a_idx_);
+      row_b_.push_back(bdict.Find((*row)[bcol]));  // kNotFound == kMissB
     }
-    return;
-  }
-
-  switch (algorithm_) {
-    case DivisionAlgorithm::kHash: RunHash(divisor_keys); break;
-    case DivisionAlgorithm::kHashTransposed: RunHashTransposed(divisor_keys); break;
-    case DivisionAlgorithm::kMergeSort: RunMergeSort(std::move(divisor_keys)); break;
-    case DivisionAlgorithm::kHashCount: RunHashCount(divisor_keys); break;
-    case DivisionAlgorithm::kSortCount: RunSortCount(divisor_keys); break;
-    case DivisionAlgorithm::kNestedLoop: RunNestedLoop(divisor_keys); break;
-  }
-}
-
-void DivisionIterator::RunHash(const std::vector<Tuple>& divisor_keys) {
-  // Hash-division: number the divisor tuples; each quotient candidate keeps
-  // a bitmap of the divisor tuples seen in its group.
-  std::unordered_map<Tuple, size_t, TupleHash, TupleEq> divisor_index;
-  for (const Tuple& d : divisor_keys) divisor_index.emplace(d, divisor_index.size());
-  size_t n = divisor_index.size();
-
-  std::unordered_map<Tuple, Bitmap, TupleHash, TupleEq> candidates;
-  for (const auto& [a, b] : pairs_) {
-    auto it = divisor_index.find(b);
-    if (it == divisor_index.end()) continue;  // b not in divisor: cannot help
-    auto [entry, inserted] = candidates.try_emplace(a, n);
-    entry->second.Set(it->second);
-  }
-  for (const auto& [a, bitmap] : candidates) {
-    if (bitmap.All()) results_.push_back(a);
-  }
-}
-
-void DivisionIterator::RunHashTransposed(const std::vector<Tuple>& divisor_keys) {
-  // Transposed hash-division: number the quotient candidates in a first
-  // pass, then give each divisor tuple a bitmap over candidates and set
-  // bits in a second pass. A candidate qualifies iff its bit is set in
-  // every divisor bitmap.
-  std::unordered_map<Tuple, size_t, TupleHash, TupleEq> candidate_ids;
-  std::vector<const Tuple*> candidates;
-  for (const auto& [a, b] : pairs_) {
-    auto [it, inserted] = candidate_ids.try_emplace(a, candidate_ids.size());
-    if (inserted) candidates.push_back(&it->first);
-  }
-
-  std::unordered_map<Tuple, Bitmap, TupleHash, TupleEq> divisor_bitmaps;
-  for (const Tuple& d : divisor_keys) divisor_bitmaps.try_emplace(d, candidates.size());
-
-  for (const auto& [a, b] : pairs_) {
-    auto it = divisor_bitmaps.find(b);
-    if (it == divisor_bitmaps.end()) continue;
-    it->second.Set(candidate_ids.find(a)->second);
-  }
-
-  for (size_t id = 0; id < candidates.size(); ++id) {
-    bool in_all = true;
-    for (const auto& [d, bitmap] : divisor_bitmaps) {
-      if (!bitmap.Test(id)) {
-        in_all = false;
-        break;
-      }
-    }
-    if (in_all) results_.push_back(*candidates[id]);
-  }
-}
-
-void DivisionIterator::RunMergeSort(std::vector<Tuple> divisor_keys) {
-  // "Naive division": sort both inputs, then merge each dividend A-group's
-  // sorted B values against the sorted divisor.
-  std::sort(divisor_keys.begin(), divisor_keys.end(), TupleLess{});
-  divisor_keys.erase(std::unique(divisor_keys.begin(), divisor_keys.end(),
-                                 [](const Tuple& a, const Tuple& b) {
-                                   return CompareTuples(a, b) == 0;
-                                 }),
-                     divisor_keys.end());
-  std::sort(pairs_.begin(), pairs_.end(), PairLess{});
-
-  size_t i = 0;
-  while (i < pairs_.size()) {
-    const Tuple& a = pairs_[i].first;
-    size_t divisor_pos = 0;
-    size_t j = i;
-    for (; j < pairs_.size() && CompareTuples(pairs_[j].first, a) == 0; ++j) {
-      if (divisor_pos < divisor_keys.size()) {
-        int c = CompareTuples(pairs_[j].second, divisor_keys[divisor_pos]);
-        if (c == 0) {
-          ++divisor_pos;
-        } else if (c > 0) {
-          // Sorted group has passed the needed divisor value: missing.
-          // (Also covers duplicates-free invariant; c < 0 just advances.)
-          divisor_pos = divisor_keys.size() + 1;  // mark failure
+  } else {
+    WithKeyView(b_codec_, [&](auto bview) {
+      using K = typename decltype(bview)::Key;
+      KeyInterner<K> divisor_numbers(b_codec_.rows());
+      for (size_t i = 0; i < b_codec_.rows(); ++i) divisor_numbers.Intern(bview.RowKey(i));
+      divisor_count_ = divisor_numbers.size();
+      K probe{};
+      while (const Tuple* row = dividend_->NextRef()) {
+        a_codec_.Add(*row, a_idx_);
+        uint32_t number = kMissB;
+        if (bview.TryEncode(*row, b_idx_, &probe)) {
+          number = divisor_numbers.Find(probe);  // kNotFound == kMissB
         }
+        row_b_.push_back(number);
       }
-    }
-    if (divisor_pos == divisor_keys.size()) results_.push_back(a);
-    i = j;
+    });
   }
-}
+  a_codec_.Seal();
 
-void DivisionIterator::RunHashCount(const std::vector<Tuple>& divisor_keys) {
-  std::unordered_set<Tuple, TupleHash, TupleEq> divisor_set(divisor_keys.begin(),
-                                                            divisor_keys.end());
-  size_t n = divisor_set.size();
-  std::unordered_map<Tuple, size_t, TupleHash, TupleEq> counts;
-  for (const auto& [a, b] : pairs_) {
-    if (divisor_set.count(b)) counts[a] += 1;  // inputs are sets: no double count
-  }
-  for (const auto& [a, count] : counts) {
-    if (count == n) results_.push_back(a);
-  }
-}
-
-void DivisionIterator::RunSortCount(const std::vector<Tuple>& divisor_keys) {
-  std::unordered_set<Tuple, TupleHash, TupleEq> divisor_set(divisor_keys.begin(),
-                                                            divisor_keys.end());
-  size_t n = divisor_set.size();
-  // Keep only matching pairs, sort by A, count run lengths.
-  std::vector<Tuple> matched_a;
-  for (const auto& [a, b] : pairs_) {
-    if (divisor_set.count(b)) matched_a.push_back(a);
-  }
-  std::sort(matched_a.begin(), matched_a.end(), TupleLess{});
-  size_t i = 0;
-  while (i < matched_a.size()) {
-    size_t j = i;
-    while (j < matched_a.size() && CompareTuples(matched_a[j], matched_a[i]) == 0) ++j;
-    if (j - i == n) results_.push_back(matched_a[i]);
-    i = j;
-  }
-}
-
-void DivisionIterator::RunNestedLoop(const std::vector<Tuple>& divisor_keys) {
-  // Group the dividend, then probe each group linearly for every divisor
-  // tuple: O(|r1| · |r2|) comparisons — the baseline the fast algorithms are
-  // measured against.
-  std::unordered_map<Tuple, std::vector<Tuple>, TupleHash, TupleEq> groups;
-  for (const auto& [a, b] : pairs_) groups[a].push_back(b);
-  for (const auto& [a, group] : groups) {
-    bool all = true;
-    for (const Tuple& d : divisor_keys) {
-      bool found = false;
-      for (const Tuple& b : group) {
-        if (CompareTuples(b, d) == 0) {
-          found = true;
+  size_t rows = a_codec_.rows();
+  size_t n = divisor_count_;
+  WithKeyView(a_codec_, [&](auto aview) {
+    using K = typename decltype(aview)::Key;
+    auto run = [&](auto& candidates) {
+      if (n == 0) {
+        // r1 ÷ ∅ = πA(r1) under Codd's semantics.
+        EmitDistinctCandidates(aview, candidates, rows, &results_);
+        return;
+      }
+      switch (algorithm_) {
+        case DivisionAlgorithm::kHash:
+          RunHash(aview, candidates, row_b_, rows, n, &results_);
           break;
-        }
+        case DivisionAlgorithm::kHashTransposed:
+          RunHashTransposed(aview, candidates, row_b_, rows, n, &results_);
+          break;
+        case DivisionAlgorithm::kMergeSort: RunMergeSort(aview, row_b_, rows, n, &results_); break;
+        case DivisionAlgorithm::kHashCount:
+          RunHashCount(aview, candidates, row_b_, rows, n, &results_);
+          break;
+        case DivisionAlgorithm::kSortCount: RunSortCount(aview, row_b_, rows, n, &results_); break;
+        case DivisionAlgorithm::kNestedLoop:
+          RunNestedLoop(aview, candidates, row_b_, rows, n, &results_);
+          break;
       }
-      if (!found) {
-        all = false;
-        break;
+    };
+    if constexpr (std::is_same_v<K, uint64_t>) {
+      if (a_codec_.keys_are_dense_ids()) {
+        DenseNumbering candidates{a_codec_.dict(0).size()};
+        run(candidates);
+        return;
       }
     }
-    if (all) results_.push_back(a);
-  }
+    KeyInterner<K> candidates;
+    run(candidates);
+  });
 }
 
 bool DivisionIterator::Next(Tuple* out) {
@@ -239,14 +318,15 @@ void DivisionIterator::Close() {
   dividend_->Close();
   divisor_->Close();
   results_.clear();
-  pairs_.clear();
+  a_codec_ = KeyCodec();
+  b_codec_ = KeyCodec();
+  row_b_.clear();
 }
 
 Relation ExecDivide(const Relation& dividend, const Relation& divisor,
                     DivisionAlgorithm algorithm) {
-  DivisionIterator it(
-      std::make_unique<RelationScan>(std::make_shared<const Relation>(dividend)),
-      std::make_unique<RelationScan>(std::make_shared<const Relation>(divisor)), algorithm);
+  DivisionIterator it(std::make_unique<RelationScan>(BorrowRelation(dividend)),
+                      std::make_unique<RelationScan>(BorrowRelation(divisor)), algorithm);
   return ExecuteToRelation(it);
 }
 

@@ -1,10 +1,8 @@
 #pragma once
 
-#include <unordered_map>
-
 #include "algebra/divide.hpp"
 #include "exec/iterator.hpp"
-#include "util/bitmap.hpp"
+#include "exec/key_codec.hpp"
 
 namespace quotient {
 
@@ -43,6 +41,13 @@ const char* DivisionAlgorithmName(DivisionAlgorithm algorithm);
 ///
 /// Input streams are assumed duplicate-free (set semantics); every operator
 /// in this engine preserves that invariant.
+///
+/// Execution is key-encoded (see docs/key_encoding.md): Open() dictionary-
+/// encodes the divisor's B tuples and numbers them densely 0..n-1, then
+/// drains the dividend once, interning each row's A key and resolving its B
+/// columns to a divisor number (or a miss). Every algorithm then runs over
+/// two flat arrays — per-row A keys and per-row divisor numbers — instead of
+/// hash tables keyed by materialized Tuples.
 class DivisionIterator : public Iterator {
  public:
   DivisionIterator(IterPtr dividend, IterPtr divisor, DivisionAlgorithm algorithm);
@@ -57,13 +62,6 @@ class DivisionIterator : public Iterator {
   }
 
  private:
-  void RunHash(const std::vector<Tuple>& divisor_keys);
-  void RunHashTransposed(const std::vector<Tuple>& divisor_keys);
-  void RunMergeSort(std::vector<Tuple> divisor_keys);
-  void RunHashCount(const std::vector<Tuple>& divisor_keys);
-  void RunSortCount(const std::vector<Tuple>& divisor_keys);
-  void RunNestedLoop(const std::vector<Tuple>& divisor_keys);
-
   IterPtr dividend_;
   IterPtr divisor_;
   DivisionAlgorithm algorithm_;
@@ -74,9 +72,11 @@ class DivisionIterator : public Iterator {
 
   std::vector<Tuple> results_;
   size_t position_ = 0;
-  // Scratch (valid between Open and Close): materialized dividend as
-  // (A-part, B-part) pairs.
-  std::vector<std::pair<Tuple, Tuple>> pairs_;
+  // Scratch (valid between Open and Close): the key-encoded dividend.
+  KeyCodec a_codec_;               // per-row A keys of the dividend
+  KeyCodec b_codec_;               // divisor B dictionary (probe target)
+  std::vector<uint32_t> row_b_;    // per-row divisor number, or miss
+  size_t divisor_count_ = 0;       // n = |distinct divisor B tuples|
 };
 
 /// Convenience: run one algorithm on materialized relations.

@@ -58,74 +58,108 @@ void GreatDivideIterator::Open() {
 
   dividend_->Open();
   divisor_->Open();
-  std::vector<std::pair<Tuple, Tuple>> dividend_pairs;  // (A, B)
-  std::vector<std::pair<Tuple, Tuple>> divisor_pairs;   // (B, C)
-  Tuple t;
-  while (dividend_->Next(&t)) {
-    dividend_pairs.emplace_back(ProjectTuple(t, a_idx_), ProjectTuple(t, b_idx_));
+
+  // Build phase: dictionary-encode the divisor's B and C columns and number
+  // both key spaces densely.
+  b_codec_ = KeyCodec(divisor_b_idx_.size());
+  c_codec_ = KeyCodec(divisor_c_idx_.size());
+  size_t divisor_expected = divisor_->EstimatedRows();
+  b_codec_.Reserve(divisor_expected);
+  c_codec_.Reserve(divisor_expected);
+  while (const Tuple* t = divisor_->NextRef()) {
+    b_codec_.Add(*t, divisor_b_idx_);
+    c_codec_.Add(*t, divisor_c_idx_);
   }
-  while (divisor_->Next(&t)) {
-    divisor_pairs.emplace_back(ProjectTuple(t, divisor_b_idx_), ProjectTuple(t, divisor_c_idx_));
+  b_codec_.Seal();
+  c_codec_.Seal();
+
+  Encoded enc;
+  enc.b.Build(b_codec_);
+  enc.c.Build(c_codec_);
+  enc.group_sizes.assign(enc.c.count(), 0);
+  enc.member_of.assign(enc.b.count(), {});
+  for (size_t i = 0; i < b_codec_.rows(); ++i) {
+    uint32_t gid = enc.c.row_ids()[i];
+    enc.group_sizes[gid] += 1;
+    enc.member_of[enc.b.row_ids()[i]].push_back(gid);
   }
+
+  // Probe phase: drain the dividend once, interning A keys and resolving
+  // each row's B columns to a divisor B number (or a miss).
+  a_codec_ = KeyCodec(a_idx_.size());
+  size_t expected = dividend_->EstimatedRows();
+  a_codec_.Reserve(expected);
+  enc.row_b.reserve(expected);
+  while (const Tuple* row = dividend_->NextRef()) {
+    a_codec_.Add(*row, a_idx_);
+    enc.row_b.push_back(enc.b.Probe(*row, b_idx_));
+  }
+  a_codec_.Seal();
+  enc.a.Build(a_codec_);
 
   switch (algorithm_) {
-    case GreatDivideAlgorithm::kHash: RunHash(dividend_pairs, divisor_pairs); break;
-    case GreatDivideAlgorithm::kGroup: RunGroupAtATime(dividend_pairs, divisor_pairs); break;
+    case GreatDivideAlgorithm::kHash: RunHash(enc); break;
+    case GreatDivideAlgorithm::kGroup: RunGroupAtATime(enc); break;
   }
 }
 
-void GreatDivideIterator::RunHash(const std::vector<std::pair<Tuple, Tuple>>& dividend_pairs,
-                                  const std::vector<std::pair<Tuple, Tuple>>& divisor_pairs) {
-  // Number the C-groups, record which groups each divisor B value belongs
-  // to, then count per-(candidate, group) matches in one dividend pass.
-  std::unordered_map<Tuple, size_t, TupleHash, TupleEq> group_ids;
-  std::vector<Tuple> group_values;
-  std::vector<size_t> group_sizes;
-  std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash, TupleEq> member_of;
-  for (const auto& [b, c] : divisor_pairs) {
-    auto [it, inserted] = group_ids.try_emplace(c, group_ids.size());
-    if (inserted) {
-      group_values.push_back(c);
-      group_sizes.push_back(0);
-    }
-    group_sizes[it->second] += 1;
-    member_of[b].push_back(static_cast<uint32_t>(it->second));
+void GreatDivideIterator::RunHash(const Encoded& enc) {
+  // One pass over the dividend maintaining a (candidate × group) match-count
+  // matrix; each divisor B number knows which C groups it belongs to.
+  size_t k = enc.c.count();
+  size_t candidates = enc.a.count();
+  if (k == 0) return;  // empty divisor: no C groups, empty result
+  std::vector<uint32_t> counts(candidates * k, 0);
+  for (size_t i = 0; i < enc.row_b.size(); ++i) {
+    uint32_t b = enc.row_b[i];
+    if (b == KeyNumbering::kNotFound) continue;
+    uint32_t* row = &counts[size_t{enc.a.row_ids()[i]} * k];
+    for (uint32_t gid : enc.member_of[b]) row[gid] += 1;
   }
-  size_t k = group_values.size();
-
-  std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash, TupleEq> counts;
-  for (const auto& [a, b] : dividend_pairs) {
-    auto it = member_of.find(b);
-    if (it == member_of.end()) continue;
-    auto [entry, inserted] = counts.try_emplace(a);
-    if (inserted) entry->second.assign(k, 0);
-    for (uint32_t gid : it->second) entry->second[gid] += 1;
-  }
-  for (const auto& [a, per_group] : counts) {
+  for (uint32_t cand = 0; cand < candidates; ++cand) {
+    const uint32_t* row = &counts[size_t{cand} * k];
+    Tuple a_tuple;  // decoded lazily: most candidates qualify for no group
     for (size_t gid = 0; gid < k; ++gid) {
-      if (per_group[gid] == group_sizes[gid]) {
-        results_.push_back(ConcatTuples(a, group_values[gid]));
-      }
+      if (row[gid] != enc.group_sizes[gid]) continue;
+      if (a_tuple.empty()) a_tuple = enc.a.KeyTuple(cand);
+      results_.push_back(ConcatTuples(a_tuple, enc.c.KeyTuple(static_cast<uint32_t>(gid))));
     }
   }
 }
 
-void GreatDivideIterator::RunGroupAtATime(
-    const std::vector<std::pair<Tuple, Tuple>>& dividend_pairs,
-    const std::vector<std::pair<Tuple, Tuple>>& divisor_pairs) {
-  // Definition 4 executed literally: one small divide per divisor group.
-  std::unordered_map<Tuple, std::vector<Tuple>, TupleHash, TupleEq> groups;
-  for (const auto& [b, c] : divisor_pairs) groups[c].push_back(b);
+void GreatDivideIterator::RunGroupAtATime(const Encoded& enc) {
+  // Definition 4 executed literally: one small (counting) divide per divisor
+  // C group, re-scanning the encoded dividend per group. Group-stamped
+  // scratch arrays avoid re-zeroing between groups.
+  constexpr uint32_t kNoStamp = UINT32_MAX;
+  size_t k = enc.c.count();
 
-  for (const auto& [c, divisor_keys] : groups) {
-    std::unordered_set<Tuple, TupleHash, TupleEq> divisor_set(divisor_keys.begin(),
-                                                              divisor_keys.end());
-    std::unordered_map<Tuple, size_t, TupleHash, TupleEq> counts;
-    for (const auto& [a, b] : dividend_pairs) {  // full dividend re-scan per group
-      if (divisor_set.count(b)) counts[a] += 1;
+  // Invert member_of: per group, its B numbers.
+  std::vector<std::vector<uint32_t>> group_members(k);
+  for (uint32_t b = 0; b < enc.member_of.size(); ++b) {
+    for (uint32_t gid : enc.member_of[b]) group_members[gid].push_back(b);
+  }
+
+  std::vector<uint32_t> b_stamp(enc.b.count(), kNoStamp);
+  std::vector<uint32_t> cand_stamp(enc.a.count(), kNoStamp);
+  std::vector<uint32_t> cand_count(enc.a.count(), 0);
+  for (uint32_t gid = 0; gid < k; ++gid) {
+    for (uint32_t b : group_members[gid]) b_stamp[b] = gid;
+    uint32_t group_size = static_cast<uint32_t>(group_members[gid].size());
+    for (size_t i = 0; i < enc.row_b.size(); ++i) {  // full dividend re-scan per group
+      uint32_t b = enc.row_b[i];
+      if (b == KeyNumbering::kNotFound || b_stamp[b] != gid) continue;
+      uint32_t cand = enc.a.row_ids()[i];
+      if (cand_stamp[cand] != gid) {
+        cand_stamp[cand] = gid;
+        cand_count[cand] = 0;
+      }
+      cand_count[cand] += 1;
     }
-    for (const auto& [a, count] : counts) {
-      if (count == divisor_set.size()) results_.push_back(ConcatTuples(a, c));
+    for (uint32_t cand = 0; cand < enc.a.count(); ++cand) {
+      if (cand_stamp[cand] == gid && cand_count[cand] == group_size) {
+        results_.push_back(ConcatTuples(enc.a.KeyTuple(cand), enc.c.KeyTuple(gid)));
+      }
     }
   }
 }
@@ -141,13 +175,15 @@ void GreatDivideIterator::Close() {
   dividend_->Close();
   divisor_->Close();
   results_.clear();
+  a_codec_ = KeyCodec();
+  b_codec_ = KeyCodec();
+  c_codec_ = KeyCodec();
 }
 
 Relation ExecGreatDivide(const Relation& dividend, const Relation& divisor,
                          GreatDivideAlgorithm algorithm) {
-  GreatDivideIterator it(
-      std::make_unique<RelationScan>(std::make_shared<const Relation>(dividend)),
-      std::make_unique<RelationScan>(std::make_shared<const Relation>(divisor)), algorithm);
+  GreatDivideIterator it(std::make_unique<RelationScan>(BorrowRelation(dividend)),
+                         std::make_unique<RelationScan>(BorrowRelation(divisor)), algorithm);
   return ExecuteToRelation(it);
 }
 

@@ -1,9 +1,8 @@
 #pragma once
 
-#include <unordered_map>
-
 #include "algebra/divide.hpp"
 #include "exec/iterator.hpp"
+#include "exec/key_codec.hpp"
 
 namespace quotient {
 
@@ -31,10 +30,20 @@ class GreatDivideIterator : public Iterator {
   }
 
  private:
-  void RunHash(const std::vector<std::pair<Tuple, Tuple>>& dividend_pairs,
-               const std::vector<std::pair<Tuple, Tuple>>& divisor_pairs);
-  void RunGroupAtATime(const std::vector<std::pair<Tuple, Tuple>>& dividend_pairs,
-                       const std::vector<std::pair<Tuple, Tuple>>& divisor_pairs);
+  /// Key-encoded inputs, built once per Open() and shared by both
+  /// algorithms: divisor B values and C groups are numbered densely, every
+  /// dividend row carries its candidate number and divisor-B number.
+  struct Encoded {
+    KeyNumbering b;                               // divisor B values
+    KeyNumbering c;                               // divisor C groups
+    KeyNumbering a;                               // dividend A candidates
+    std::vector<uint32_t> group_sizes;            // per C group: |B values|
+    std::vector<std::vector<uint32_t>> member_of; // B number -> C groups
+    std::vector<uint32_t> row_b;                  // dividend row -> B number or miss
+  };
+
+  void RunHash(const Encoded& enc);
+  void RunGroupAtATime(const Encoded& enc);
 
   IterPtr dividend_;
   IterPtr divisor_;
@@ -45,6 +54,9 @@ class GreatDivideIterator : public Iterator {
   std::vector<size_t> divisor_b_idx_;
   std::vector<size_t> divisor_c_idx_;
 
+  KeyCodec a_codec_;
+  KeyCodec b_codec_;
+  KeyCodec c_codec_;
   std::vector<Tuple> results_;
   size_t position_ = 0;
 };

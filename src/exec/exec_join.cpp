@@ -27,9 +27,20 @@ void HashJoinIterator::Open() {
   ResetCount();
   left_->Open();
   right_->Open();
-  build_.clear();
-  Tuple t;
-  while (right_->Next(&t)) build_[ProjectTuple(t, right_key_)].push_back(t);
+  codec_ = KeyCodec(right_key_.size());
+  codec_.Reserve(right_->EstimatedRows());
+  std::vector<Tuple> rest_rows;
+  rest_rows.reserve(right_->EstimatedRows());
+  while (const Tuple* t = right_->NextRef()) {
+    codec_.Add(*t, right_key_);
+    rest_rows.push_back(ProjectTuple(*t, right_rest_));
+  }
+  codec_.Seal();
+  numbering_.Build(codec_);
+  buckets_.assign(numbering_.count(), {});
+  for (size_t i = 0; i < rest_rows.size(); ++i) {
+    buckets_[numbering_.row_ids()[i]].push_back(std::move(rest_rows[i]));
+  }
   matches_ = nullptr;
   match_pos_ = 0;
 }
@@ -37,15 +48,15 @@ void HashJoinIterator::Open() {
 bool HashJoinIterator::Next(Tuple* out) {
   while (true) {
     if (matches_ != nullptr && match_pos_ < matches_->size()) {
-      *out = ConcatTuples(current_left_, ProjectTuple((*matches_)[match_pos_++], right_rest_));
+      *out = ConcatTuples(current_left_, (*matches_)[match_pos_++]);
       CountRow();
       return true;
     }
     matches_ = nullptr;
     if (!left_->Next(&current_left_)) return false;
-    auto it = build_.find(ProjectTuple(current_left_, left_key_));
-    if (it != build_.end()) {
-      matches_ = &it->second;
+    uint32_t id = numbering_.Probe(current_left_, left_key_);
+    if (id != KeyNumbering::kNotFound) {
+      matches_ = &buckets_[id];
       match_pos_ = 0;
     }
   }
@@ -54,7 +65,8 @@ bool HashJoinIterator::Next(Tuple* out) {
 void HashJoinIterator::Close() {
   left_->Close();
   right_->Close();
-  build_.clear();
+  buckets_.clear();
+  codec_ = KeyCodec();
 }
 
 NestedLoopJoinIterator::NestedLoopJoinIterator(IterPtr left, IterPtr right, ExprPtr condition)
@@ -69,8 +81,8 @@ void NestedLoopJoinIterator::Open() {
   right_->Open();
   bound_ = std::make_unique<BoundExpr>(condition_, schema_);
   right_rows_.clear();
-  Tuple t;
-  while (right_->Next(&t)) right_rows_.push_back(t);
+  right_rows_.reserve(right_->EstimatedRows());
+  while (const Tuple* t = right_->NextRef()) right_rows_.push_back(*t);
   have_left_ = false;
   right_pos_ = 0;
 }
@@ -114,9 +126,20 @@ void EquiJoinIterator::Open() {
   ResetCount();
   left_->Open();
   right_->Open();
-  build_.clear();
-  Tuple t;
-  while (right_->Next(&t)) build_[ProjectTuple(t, right_key_)].push_back(t);
+  codec_ = KeyCodec(right_key_.size());
+  codec_.Reserve(right_->EstimatedRows());
+  std::vector<Tuple> right_rows;
+  right_rows.reserve(right_->EstimatedRows());
+  while (const Tuple* t = right_->NextRef()) {
+    codec_.Add(*t, right_key_);
+    right_rows.push_back(*t);
+  }
+  codec_.Seal();
+  numbering_.Build(codec_);
+  buckets_.assign(numbering_.count(), {});
+  for (size_t i = 0; i < right_rows.size(); ++i) {
+    buckets_[numbering_.row_ids()[i]].push_back(std::move(right_rows[i]));
+  }
   matches_ = nullptr;
   match_pos_ = 0;
 }
@@ -130,9 +153,9 @@ bool EquiJoinIterator::Next(Tuple* out) {
     }
     matches_ = nullptr;
     if (!left_->Next(&current_left_)) return false;
-    auto it = build_.find(ProjectTuple(current_left_, left_key_));
-    if (it != build_.end()) {
-      matches_ = &it->second;
+    uint32_t id = numbering_.Probe(current_left_, left_key_);
+    if (id != KeyNumbering::kNotFound) {
+      matches_ = &buckets_[id];
       match_pos_ = 0;
     }
   }
@@ -141,7 +164,8 @@ bool EquiJoinIterator::Next(Tuple* out) {
 void EquiJoinIterator::Close() {
   left_->Close();
   right_->Close();
-  build_.clear();
+  buckets_.clear();
+  codec_ = KeyCodec();
 }
 
 HashSemiJoinIterator::HashSemiJoinIterator(IterPtr left, IterPtr right, bool anti)
@@ -155,19 +179,22 @@ void HashSemiJoinIterator::Open() {
   ResetCount();
   left_->Open();
   right_->Open();
-  build_.clear();
+  codec_ = KeyCodec(right_key_.size());
+  codec_.Reserve(right_->EstimatedRows());
   right_empty_ = true;
-  Tuple t;
-  while (right_->Next(&t)) {
+  while (const Tuple* t = right_->NextRef()) {
     right_empty_ = false;
-    build_.insert(ProjectTuple(t, right_key_));
+    codec_.Add(*t, right_key_);
   }
+  codec_.Seal();
+  numbering_.Build(codec_);
 }
 
 bool HashSemiJoinIterator::Next(Tuple* out) {
   while (left_->Next(out)) {
-    bool matched =
-        left_key_.empty() ? !right_empty_ : build_.count(ProjectTuple(*out, left_key_)) > 0;
+    bool matched = left_key_.empty()
+                       ? !right_empty_
+                       : numbering_.Probe(*out, left_key_) != KeyNumbering::kNotFound;
     if (matched != anti_) {
       CountRow();
       return true;
@@ -179,7 +206,7 @@ bool HashSemiJoinIterator::Next(Tuple* out) {
 void HashSemiJoinIterator::Close() {
   left_->Close();
   right_->Close();
-  build_.clear();
+  codec_ = KeyCodec();
 }
 
 }  // namespace quotient

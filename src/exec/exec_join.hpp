@@ -1,16 +1,19 @@
 #pragma once
 
-#include <unordered_map>
-#include <unordered_set>
-
 #include "algebra/predicate.hpp"
 #include "exec/iterator.hpp"
+#include "exec/key_codec.hpp"
 
 namespace quotient {
 
 /// Hash natural join on the common attribute names (build on the right,
 /// probe with the left). Output schema: attrs(left) ++ (attrs(right) −
 /// common). Degenerates to a cross product when no names are shared.
+///
+/// The build side is key-encoded: right keys are dictionary-compressed and
+/// numbered densely, so the "hash table" is a plain bucket vector indexed by
+/// key number, and probes are dictionary lookups (a probe value unseen
+/// during build cannot match).
 class HashJoinIterator : public Iterator {
  public:
   HashJoinIterator(IterPtr left, IterPtr right);
@@ -29,7 +32,11 @@ class HashJoinIterator : public Iterator {
   std::vector<size_t> left_key_;
   std::vector<size_t> right_key_;
   std::vector<size_t> right_rest_;
-  std::unordered_map<Tuple, std::vector<Tuple>, TupleHash, TupleEq> build_;
+  KeyCodec codec_;
+  KeyNumbering numbering_;
+  // Per right-key number: the matching rows' right_rest projections
+  // (projected once at build, not per emitted row).
+  std::vector<std::vector<Tuple>> buckets_;
 
   Tuple current_left_;
   const std::vector<Tuple>* matches_ = nullptr;
@@ -83,7 +90,9 @@ class EquiJoinIterator : public Iterator {
   Schema schema_;
   std::vector<size_t> left_key_;
   std::vector<size_t> right_key_;
-  std::unordered_map<Tuple, std::vector<Tuple>, TupleHash, TupleEq> build_;
+  KeyCodec codec_;
+  KeyNumbering numbering_;
+  std::vector<std::vector<Tuple>> buckets_;  // per right-key number: full right rows
   Tuple current_left_;
   const std::vector<Tuple>* matches_ = nullptr;
   size_t match_pos_ = 0;
@@ -110,7 +119,10 @@ class HashSemiJoinIterator : public Iterator {
   std::vector<size_t> left_key_;
   std::vector<size_t> right_key_;
   bool right_empty_ = true;
-  std::unordered_set<Tuple, TupleHash, TupleEq> build_;
+  // The key numbering doubles as the membership set: a probe hit means the
+  // left key equals some right key.
+  KeyCodec codec_;
+  KeyNumbering numbering_;
 };
 
 }  // namespace quotient

@@ -22,6 +22,15 @@ class Iterator {
   virtual void Open() = 0;
   /// Produces the next tuple; returns false at end of stream.
   virtual bool Next(Tuple* out) = 0;
+
+  /// Zero-copy variant of Next(): returns a pointer to the next tuple, or
+  /// nullptr at end of stream. The pointee is only valid until the next
+  /// Next()/NextRef() call. Operators that materialize their input (hash
+  /// builds, blocking divisions) drain children through this to avoid a
+  /// Tuple copy per row; scans and pass-through operators override it.
+  virtual const Tuple* NextRef() {
+    return Next(&ref_scratch_) ? &ref_scratch_ : nullptr;
+  }
   /// Releases resources; the iterator may be re-Opened afterwards.
   virtual void Close() = 0;
 
@@ -31,6 +40,10 @@ class Iterator {
   /// Children for plan walking (non-owning).
   virtual std::vector<Iterator*> InputIterators() = 0;
 
+  /// Upper-bound row-count hint for pre-sizing buffers and hash tables;
+  /// 0 means unknown. Valid before Open().
+  virtual size_t EstimatedRows() const { return 0; }
+
   /// Tuples this operator has produced since Open().
   size_t rows_produced() const { return rows_produced_; }
 
@@ -38,6 +51,9 @@ class Iterator {
   void CountRow() { ++rows_produced_; }
   void ResetCount() { rows_produced_ = 0; }
   size_t rows_produced_ = 0;
+
+ private:
+  Tuple ref_scratch_;  // backing storage for the default NextRef()
 };
 
 using IterPtr = std::unique_ptr<Iterator>;

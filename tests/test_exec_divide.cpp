@@ -73,6 +73,84 @@ TEST_P(DivisionAlgorithmTest, RandomizedAgainstReference) {
   }
 }
 
+TEST_P(DivisionAlgorithmTest, RandomizedStringBAgainstReference) {
+  // String-valued B domain: the key dictionaries intern strings instead of
+  // ints; every algorithm must still agree with the reference.
+  DivisionAlgorithm algorithm = GetParam();
+  DataGen gen(0x57Dull + static_cast<uint64_t>(algorithm));
+  for (int round = 0; round < 30; ++round) {
+    Relation r1 = StringifyAttribute(
+        gen.Dividend(gen.UniformInt(0, 10), gen.UniformInt(1, 9), 0.4), "b");
+    Relation r2 = StringifyAttribute(gen.Divisor(gen.UniformInt(0, 6), 9), "b");
+    EXPECT_EQ(ExecDivide(r1, r2, algorithm), DivideCodd(r1, r2)) << "round " << round;
+  }
+}
+
+TEST_P(DivisionAlgorithmTest, RandomizedMixedTypeBAgainstReference) {
+  // B mixes an int, a real, and a string attribute: dictionary equality must
+  // respect strict Value equality (Int(2) != Real(2.0)) per column.
+  DivisionAlgorithm algorithm = GetParam();
+  DataGen gen(0x317ull + static_cast<uint64_t>(algorithm));
+  for (int round = 0; round < 30; ++round) {
+    std::vector<Tuple> dividend_rows;
+    size_t groups = static_cast<size_t>(gen.UniformInt(0, 8));
+    for (size_t g = 0; g < groups; ++g) {
+      for (int i = 0, n = static_cast<int>(gen.UniformInt(0, 10)); i < n; ++i) {
+        dividend_rows.push_back({V(static_cast<int64_t>(g)), V(gen.UniformInt(0, 3)),
+                                 V(0.5 * static_cast<double>(gen.UniformInt(0, 3))),
+                                 V("s" + std::to_string(gen.UniformInt(0, 3)))});
+      }
+    }
+    Relation r1(Schema::Parse("a, b1, b2:real, b3:string"), std::move(dividend_rows));
+    std::vector<Tuple> divisor_rows;
+    for (int i = 0, n = static_cast<int>(gen.UniformInt(0, 4)); i < n; ++i) {
+      divisor_rows.push_back({V(gen.UniformInt(0, 3)),
+                              V(0.5 * static_cast<double>(gen.UniformInt(0, 3))),
+                              V("s" + std::to_string(gen.UniformInt(0, 3)))});
+    }
+    Relation r2(Schema::Parse("b1, b2:real, b3:string"), std::move(divisor_rows));
+    EXPECT_EQ(ExecDivide(r1, r2, algorithm), DivideCodd(r1, r2)) << "round " << round;
+  }
+}
+
+TEST_P(DivisionAlgorithmTest, WideBKeysExerciseSpillPath) {
+  // 17+ B columns over a 10-value domain overflow the 64-bit key layout, so
+  // the divisor codec takes the spill (SmallByteKey) representation.
+  DivisionAlgorithm algorithm = GetParam();
+  DataGen gen(0x5B111ull + static_cast<uint64_t>(algorithm));
+  for (int round = 0; round < 3; ++round) {
+    constexpr size_t kNumB = 18;
+    // 18 B columns, each with hundreds of distinct values (≥9 bits): the
+    // packed layout needs far more than 64 bits, guaranteeing a spill.
+    Relation r1 = gen.DividendWide(/*groups=*/4, /*num_a=*/1, kNumB,
+                                   /*domain=*/300, /*density=*/0.2);
+    // Divisor: a sample of the dividend's own B tuples (plus arity check),
+    // so quotients are nonempty.
+    std::vector<size_t> b_idx;
+    for (size_t i = 1; i <= kNumB; ++i) b_idx.push_back(i);
+    std::vector<Tuple> divisor_rows;
+    for (const Tuple& t : r1.tuples()) {
+      if (gen.Chance(0.1)) divisor_rows.push_back(ProjectTuple(t, b_idx));
+    }
+    std::vector<std::string> b_names;
+    for (size_t i = 1; i <= kNumB; ++i) b_names.push_back("b" + std::to_string(i));
+    Relation r2(r1.schema().Project(b_names), std::move(divisor_rows));
+    EXPECT_EQ(ExecDivide(r1, r2, algorithm), DivideCodd(r1, r2)) << "round " << round;
+  }
+}
+
+TEST_P(DivisionAlgorithmTest, WideAKeysExerciseSpillPath) {
+  // Many A columns: the candidate (quotient) codec spills instead.
+  DivisionAlgorithm algorithm = GetParam();
+  DataGen gen(0x5A111ull + static_cast<uint64_t>(algorithm));
+  for (int round = 0; round < 3; ++round) {
+    Relation r1 = gen.DividendWide(/*groups=*/40, /*num_a=*/18, /*num_b=*/1,
+                                   /*domain=*/300, /*density=*/0.05);
+    Relation r2 = gen.Divisor(/*size=*/3, /*domain=*/300);
+    EXPECT_EQ(ExecDivide(r1, r2, algorithm), DivideCodd(r1, r2)) << "round " << round;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, DivisionAlgorithmTest,
                          ::testing::Values(DivisionAlgorithm::kHash,
                                            DivisionAlgorithm::kHashTransposed,
@@ -89,6 +167,15 @@ class GreatDivideAlgorithmTest : public ::testing::TestWithParam<GreatDivideAlgo
 TEST_P(GreatDivideAlgorithmTest, Figure2) {
   EXPECT_EQ(ExecGreatDivide(paper::Fig1Dividend(), paper::Fig2Divisor(), GetParam()),
             paper::Fig2Quotient());
+}
+
+TEST_P(GreatDivideAlgorithmTest, EmptyDivisorYieldsEmptyResult) {
+  // No divisor rows means no C groups, so the great divide is empty (this
+  // regressed once as an out-of-bounds index on the empty count matrix).
+  Relation r1 = paper::Fig1Dividend();
+  Relation empty(Schema::Parse("b, c"));
+  EXPECT_EQ(ExecGreatDivide(r1, empty, GetParam()), GreatDivideSCD(r1, empty));
+  EXPECT_TRUE(ExecGreatDivide(r1, empty, GetParam()).empty());
 }
 
 TEST_P(GreatDivideAlgorithmTest, RandomizedAgainstReference) {
