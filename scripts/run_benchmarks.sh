@@ -3,9 +3,14 @@
 # compare against.
 #
 # Usage: scripts/run_benchmarks.sh [output-dir]
-#   Writes BENCH_division.json (and BENCH_key_codec.json) to output-dir
-#   (default: bench-results/). Compare runs with benchmark's own
-#   tools/compare.py, or just diff the real_time fields.
+#   Writes to output-dir (default: bench-results/):
+#     BENCH_division.json        division algorithms, batched execution
+#     BENCH_division_tuple.json  same binary forced to tuple-at-a-time
+#     BENCH_key_codec.json       key-codec microbenchmarks
+#     BENCH_batched.json         per-benchmark batched vs tuple comparison
+#                                (division + law benches), with speedups
+#   Compare runs with benchmark's own tools/compare.py, or just diff the
+#   real_time fields.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -14,18 +19,75 @@ build_dir="${repo_root}/build-bench"
 
 cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${build_dir}" -j "$(nproc)" \
-  --target bench_division_algorithms bench_key_codec >/dev/null
+  --target bench_division_algorithms bench_key_codec \
+           bench_law10_semijoin bench_law13_partitioned_great_divide >/dev/null
 
 mkdir -p "${out_dir}"
 
-"${build_dir}/bench_division_algorithms" \
-  --benchmark_out="${out_dir}/BENCH_division.json" \
-  --benchmark_out_format=json \
-  --benchmark_min_time=0.2
+run_bench() {  # binary mode out_file [extra args...]
+  local binary="$1" mode="$2" out_file="$3"
+  shift 3
+  QUOTIENT_EXEC_MODE="${mode}" "${build_dir}/${binary}" \
+    --benchmark_out="${out_file}" \
+    --benchmark_out_format=json \
+    --benchmark_min_time=0.2 "$@"
+}
 
-"${build_dir}/bench_key_codec" \
-  --benchmark_out="${out_dir}/BENCH_key_codec.json" \
-  --benchmark_out_format=json \
-  --benchmark_min_time=0.2
+# Canonical trajectory files (batched is the engine default).
+run_bench bench_division_algorithms batch "${out_dir}/BENCH_division.json"
+run_bench bench_key_codec batch "${out_dir}/BENCH_key_codec.json"
 
-echo "Wrote ${out_dir}/BENCH_division.json and ${out_dir}/BENCH_key_codec.json"
+# A/B: the same binaries under tuple-at-a-time execution.
+run_bench bench_division_algorithms tuple "${out_dir}/BENCH_division_tuple.json"
+run_bench bench_law10_semijoin batch "${out_dir}/.law10_batch.json"
+run_bench bench_law10_semijoin tuple "${out_dir}/.law10_tuple.json"
+run_bench bench_law13_partitioned_great_divide batch "${out_dir}/.law13_batch.json"
+run_bench bench_law13_partitioned_great_divide tuple "${out_dir}/.law13_tuple.json"
+
+# Merge into one comparison file: real_time per mode plus the speedup.
+python3 - "${out_dir}" <<'PY'
+import json, sys, os
+
+out_dir = sys.argv[1]
+pairs = [
+    ("division", "BENCH_division.json", "BENCH_division_tuple.json"),
+    ("law10_semijoin", ".law10_batch.json", ".law10_tuple.json"),
+    ("law13_partitioned_great_divide", ".law13_batch.json", ".law13_tuple.json"),
+]
+
+def times(path):
+    with open(os.path.join(out_dir, path)) as f:
+        doc = json.load(f)
+    return {b["name"]: b["real_time"]
+            for b in doc.get("benchmarks", [])
+            if b.get("run_type", "iteration") == "iteration"}
+
+comparison = []
+for suite, batch_file, tuple_file in pairs:
+    batched, tuple_at_a_time = times(batch_file), times(tuple_file)
+    for name in batched:
+        if name not in tuple_at_a_time:
+            continue
+        b, t = batched[name], tuple_at_a_time[name]
+        comparison.append({
+            "suite": suite,
+            "name": name,
+            "batched_us": round(b, 3),
+            "tuple_us": round(t, 3),
+            "speedup": round(t / b, 3) if b > 0 else None,
+        })
+
+with open(os.path.join(out_dir, "BENCH_batched.json"), "w") as f:
+    json.dump({"comparison": comparison}, f, indent=1)
+
+hash_speedups = [c["speedup"] for c in comparison
+                 if c["suite"] == "division" and "Hash" in c["name"]]
+if hash_speedups:
+    print(f"hash-division speedup (batched vs tuple): "
+          f"min {min(hash_speedups):.2f}x / "
+          f"median {sorted(hash_speedups)[len(hash_speedups)//2]:.2f}x")
+PY
+rm -f "${out_dir}"/.law1[03]_*.json
+
+echo "Wrote ${out_dir}/BENCH_division.json, BENCH_division_tuple.json," \
+     "BENCH_key_codec.json and BENCH_batched.json"

@@ -1,5 +1,7 @@
 #include "exec/exec_agg.hpp"
 
+#include "exec/batch.hpp"
+
 namespace quotient {
 
 HashAggregateIterator::HashAggregateIterator(IterPtr child, std::vector<std::string> group_names,
@@ -22,24 +24,47 @@ void HashAggregateIterator::Open() {
 
   // Online hash aggregation: group keys are incrementally dictionary-encoded
   // and interned to dense group numbers; per-group aggregate states live in
-  // one flat array. Nothing is materialized but the output.
+  // one flat array. Nothing is materialized but the output. The batch path
+  // resolves group keys through translation arrays into the same encoder id
+  // space, so grouping is identical across modes.
   IncrementalKeyEncoder encoder(group_indices_.size());
   KeyInterner<uint64_t> groups64;
   KeyInterner<SmallByteKey> groups_spill;
   const size_t na = aggs_.size();
   std::vector<AggState> states;
-  SmallByteKey spill;
-  while (const Tuple* t = child_->NextRef()) {
-    uint32_t gid;
-    if (encoder.fits64()) {
-      gid = groups64.Intern(encoder.Encode64(*t, &group_indices_));
-    } else {
-      encoder.EncodeSpill(*t, &group_indices_, &spill);
-      gid = groups_spill.Intern(spill);
-    }
+  auto accumulate = [&](uint32_t gid, auto&& value_at) {
     if (size_t{gid} * na >= states.size()) states.resize(states.size() + na);
     for (size_t i = 0; i < na; ++i) {
-      AggAccumulate(aggs_[i], (*t)[arg_indices_[i]], &states[size_t{gid} * na + i]);
+      AggAccumulate(aggs_[i], value_at(arg_indices_[i]), &states[size_t{gid} * na + i]);
+    }
+  };
+
+  if (GetExecMode() == ExecMode::kBatch) {
+    BatchIncrementalKeyer keyer(&encoder, group_indices_.size());
+    Batch batch;
+    std::vector<uint64_t> keys64;
+    std::vector<SmallByteKey> keys_spill;
+    while (child_->NextBatch(&batch)) {
+      keyer.Keys(batch, &group_indices_, &keys64, &keys_spill);
+      size_t n = batch.ActiveRows();
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t gid = encoder.fits64() ? groups64.Intern(keys64[i])
+                                        : groups_spill.Intern(keys_spill[i]);
+        uint32_t row = batch.RowAt(i);
+        accumulate(gid, [&](size_t col) -> const Value& { return batch.At(row, col); });
+      }
+    }
+  } else {
+    SmallByteKey spill;
+    while (const Tuple* t = child_->NextRef()) {
+      uint32_t gid;
+      if (encoder.fits64()) {
+        gid = groups64.Intern(encoder.Encode64(*t, &group_indices_));
+      } else {
+        encoder.EncodeSpill(*t, &group_indices_, &spill);
+        gid = groups_spill.Intern(spill);
+      }
+      accumulate(gid, [&](size_t col) -> const Value& { return (*t)[col]; });
     }
   }
 
@@ -70,6 +95,12 @@ bool HashAggregateIterator::Next(Tuple* out) {
   if (position_ >= results_.size()) return false;
   *out = results_[position_++];
   CountRow();
+  return true;
+}
+
+bool HashAggregateIterator::NextBatch(Batch* out) {
+  if (!EmitResultBatch(results_, &position_, out)) return false;
+  CountRows(out->ActiveRows());
   return true;
 }
 

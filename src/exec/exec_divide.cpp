@@ -215,29 +215,15 @@ DivisionIterator::DivisionIterator(IterPtr dividend, IterPtr divisor,
 
 const char* DivisionIterator::name() const { return DivisionAlgorithmName(algorithm_); }
 
-void DivisionIterator::Open() {
-  ResetCount();
-  results_.clear();
-  position_ = 0;
-
-  dividend_->Open();
-  divisor_->Open();
-
+// Tuple-at-a-time drain (the PR 1 reference path, ExecMode::kTuple).
+void DivisionIterator::DrainTuple() {
   // Build phase: dictionary-encode the divisor's B tuples.
-  b_codec_ = KeyCodec(divisor_idx_.size());
-  b_codec_.Reserve(divisor_->EstimatedRows());
   while (const Tuple* t = divisor_->NextRef()) b_codec_.Add(*t, divisor_idx_);
   b_codec_.Seal();
 
   // Probe phase: number the divisor keys densely, then drain the dividend
   // once, interning A keys and resolving each row's B columns to a divisor
   // number (kMissB when any value never occurs in the divisor).
-  a_codec_ = KeyCodec(a_idx_.size());
-  size_t expected = dividend_->EstimatedRows();
-  a_codec_.Reserve(expected);
-  row_b_.clear();
-  row_b_.reserve(expected);
-  divisor_count_ = 0;
   if (b_codec_.keys_are_dense_ids()) {
     // Single B column: dictionary ids are the divisor numbers (the divisor
     // is duplicate-free, so ids follow row order) — one dictionary probe
@@ -265,6 +251,52 @@ void DivisionIterator::Open() {
         row_b_.push_back(number);
       }
     });
+  }
+}
+
+// Batched drain (ExecMode::kBatch): same two phases over encoded batches.
+// Scan dictionary ids translate into the codecs' id spaces through
+// per-column translation arrays, so each dividend row costs an array load
+// for its A key and one for its divisor number instead of Value hashes.
+void DivisionIterator::DrainBatch() {
+  Batch batch;
+  BatchCodecAppender b_append(&b_codec_, &divisor_idx_);
+  while (divisor_->NextBatch(&batch)) b_append.Append(batch);
+  b_codec_.Seal();
+
+  KeyNumbering divisor_numbers;
+  divisor_numbers.Build(b_codec_);
+  divisor_count_ = divisor_numbers.count();
+
+  BatchCodecAppender a_append(&a_codec_, &a_idx_);
+  BatchKeyProbe b_probe;
+  b_probe.Bind(&divisor_numbers, &b_codec_, &b_idx_);
+  while (dividend_->NextBatch(&batch)) {
+    a_append.Append(batch);
+    b_probe.Resolve(batch, &row_b_);  // kNotFound == kMissB
+  }
+}
+
+void DivisionIterator::Open() {
+  ResetCount();
+  results_.clear();
+  position_ = 0;
+
+  dividend_->Open();
+  divisor_->Open();
+
+  b_codec_ = KeyCodec(divisor_idx_.size());
+  b_codec_.Reserve(divisor_->EstimatedRows());
+  a_codec_ = KeyCodec(a_idx_.size());
+  size_t expected = dividend_->EstimatedRows();
+  a_codec_.Reserve(expected);
+  row_b_.clear();
+  row_b_.reserve(expected);
+  divisor_count_ = 0;
+  if (GetExecMode() == ExecMode::kBatch) {
+    DrainBatch();
+  } else {
+    DrainTuple();
   }
   a_codec_.Seal();
 
@@ -314,6 +346,12 @@ bool DivisionIterator::Next(Tuple* out) {
   return true;
 }
 
+bool DivisionIterator::NextBatch(Batch* out) {
+  if (!EmitResultBatch(results_, &position_, out)) return false;
+  CountRows(out->ActiveRows());
+  return true;
+}
+
 void DivisionIterator::Close() {
   dividend_->Close();
   divisor_->Close();
@@ -324,9 +362,12 @@ void DivisionIterator::Close() {
 }
 
 Relation ExecDivide(const Relation& dividend, const Relation& divisor,
-                    DivisionAlgorithm algorithm) {
-  DivisionIterator it(std::make_unique<RelationScan>(BorrowRelation(dividend)),
-                      std::make_unique<RelationScan>(BorrowRelation(divisor)), algorithm);
+                    DivisionAlgorithm algorithm, TableEncodingPtr dividend_enc,
+                    TableEncodingPtr divisor_enc) {
+  DivisionIterator it(
+      std::make_unique<RelationScan>(BorrowRelation(dividend), std::move(dividend_enc)),
+      std::make_unique<RelationScan>(BorrowRelation(divisor), std::move(divisor_enc)),
+      algorithm);
   return ExecuteToRelation(it);
 }
 

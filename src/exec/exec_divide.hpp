@@ -48,6 +48,11 @@ const char* DivisionAlgorithmName(DivisionAlgorithm algorithm);
 /// columns to a divisor number (or a miss). Every algorithm then runs over
 /// two flat arrays — per-row A keys and per-row divisor numbers — instead of
 /// hash tables keyed by materialized Tuples.
+///
+/// In ExecMode::kBatch both drains consume encoded batches: dictionary ids
+/// from the scans translate into the division's codecs through per-column
+/// translation arrays (see docs/batched_execution.md), so the per-row probe
+/// cost drops from a Value hash to an array load.
 class DivisionIterator : public Iterator {
  public:
   DivisionIterator(IterPtr dividend, IterPtr divisor, DivisionAlgorithm algorithm);
@@ -55,6 +60,7 @@ class DivisionIterator : public Iterator {
   const Schema& schema() const override { return schema_; }
   void Open() override;
   bool Next(Tuple* out) override;
+  bool NextBatch(Batch* out) override;
   void Close() override;
   const char* name() const override;
   std::vector<Iterator*> InputIterators() override {
@@ -62,6 +68,9 @@ class DivisionIterator : public Iterator {
   }
 
  private:
+  void DrainTuple();
+  void DrainBatch();
+
   IterPtr dividend_;
   IterPtr divisor_;
   DivisionAlgorithm algorithm_;
@@ -79,8 +88,11 @@ class DivisionIterator : public Iterator {
   size_t divisor_count_ = 0;       // n = |distinct divisor B tuples|
 };
 
-/// Convenience: run one algorithm on materialized relations.
+/// Convenience: run one algorithm on materialized relations. Optional
+/// pre-built table encodings (TableEncoding::Build or a catalog cache) let
+/// repeated calls skip re-encoding the inputs in batch mode.
 Relation ExecDivide(const Relation& dividend, const Relation& divisor,
-                    DivisionAlgorithm algorithm);
+                    DivisionAlgorithm algorithm, TableEncodingPtr dividend_enc = nullptr,
+                    TableEncodingPtr divisor_enc = nullptr);
 
 }  // namespace quotient

@@ -51,6 +51,41 @@ GreatDivideIterator::GreatDivideIterator(IterPtr dividend, IterPtr divisor,
   divisor_c_idx_ = IndicesOf(divisor_->schema(), attrs.c);
 }
 
+void GreatDivideIterator::DrainDivisorTuple() {
+  while (const Tuple* t = divisor_->NextRef()) {
+    b_codec_.Add(*t, divisor_b_idx_);
+    c_codec_.Add(*t, divisor_c_idx_);
+  }
+}
+
+void GreatDivideIterator::DrainDivisorBatch() {
+  BatchCodecAppender b_append(&b_codec_, &divisor_b_idx_);
+  BatchCodecAppender c_append(&c_codec_, &divisor_c_idx_);
+  Batch batch;
+  while (divisor_->NextBatch(&batch)) {
+    b_append.Append(batch);
+    c_append.Append(batch);
+  }
+}
+
+void GreatDivideIterator::DrainDividendTuple(Encoded* enc) {
+  while (const Tuple* row = dividend_->NextRef()) {
+    a_codec_.Add(*row, a_idx_);
+    enc->row_b.push_back(enc->b.Probe(*row, b_idx_));
+  }
+}
+
+void GreatDivideIterator::DrainDividendBatch(Encoded* enc) {
+  BatchCodecAppender a_append(&a_codec_, &a_idx_);
+  BatchKeyProbe b_probe;
+  b_probe.Bind(&enc->b, &b_codec_, &b_idx_);
+  Batch batch;
+  while (dividend_->NextBatch(&batch)) {
+    a_append.Append(batch);
+    b_probe.Resolve(batch, &enc->row_b);
+  }
+}
+
 void GreatDivideIterator::Open() {
   ResetCount();
   results_.clear();
@@ -58,6 +93,7 @@ void GreatDivideIterator::Open() {
 
   dividend_->Open();
   divisor_->Open();
+  bool batch_mode = GetExecMode() == ExecMode::kBatch;
 
   // Build phase: dictionary-encode the divisor's B and C columns and number
   // both key spaces densely.
@@ -66,9 +102,10 @@ void GreatDivideIterator::Open() {
   size_t divisor_expected = divisor_->EstimatedRows();
   b_codec_.Reserve(divisor_expected);
   c_codec_.Reserve(divisor_expected);
-  while (const Tuple* t = divisor_->NextRef()) {
-    b_codec_.Add(*t, divisor_b_idx_);
-    c_codec_.Add(*t, divisor_c_idx_);
+  if (batch_mode) {
+    DrainDivisorBatch();
+  } else {
+    DrainDivisorTuple();
   }
   b_codec_.Seal();
   c_codec_.Seal();
@@ -90,9 +127,10 @@ void GreatDivideIterator::Open() {
   size_t expected = dividend_->EstimatedRows();
   a_codec_.Reserve(expected);
   enc.row_b.reserve(expected);
-  while (const Tuple* row = dividend_->NextRef()) {
-    a_codec_.Add(*row, a_idx_);
-    enc.row_b.push_back(enc.b.Probe(*row, b_idx_));
+  if (batch_mode) {
+    DrainDividendBatch(&enc);
+  } else {
+    DrainDividendTuple(&enc);
   }
   a_codec_.Seal();
   enc.a.Build(a_codec_);
@@ -171,6 +209,12 @@ bool GreatDivideIterator::Next(Tuple* out) {
   return true;
 }
 
+bool GreatDivideIterator::NextBatch(Batch* out) {
+  if (!EmitResultBatch(results_, &position_, out)) return false;
+  CountRows(out->ActiveRows());
+  return true;
+}
+
 void GreatDivideIterator::Close() {
   dividend_->Close();
   divisor_->Close();
@@ -181,14 +225,17 @@ void GreatDivideIterator::Close() {
 }
 
 Relation ExecGreatDivide(const Relation& dividend, const Relation& divisor,
-                         GreatDivideAlgorithm algorithm) {
-  GreatDivideIterator it(std::make_unique<RelationScan>(BorrowRelation(dividend)),
-                         std::make_unique<RelationScan>(BorrowRelation(divisor)), algorithm);
+                         GreatDivideAlgorithm algorithm, TableEncodingPtr dividend_enc,
+                         TableEncodingPtr divisor_enc) {
+  GreatDivideIterator it(
+      std::make_unique<RelationScan>(BorrowRelation(dividend), std::move(dividend_enc)),
+      std::make_unique<RelationScan>(BorrowRelation(divisor), std::move(divisor_enc)),
+      algorithm);
   return ExecuteToRelation(it);
 }
 
 Relation GreatDividePartitioned(const Relation& dividend, const Relation& divisor,
-                                size_t threads) {
+                                size_t threads, TableEncodingPtr dividend_enc) {
   if (threads == 0) throw SchemaError("GreatDividePartitioned needs threads >= 1");
   DivisionAttributes attrs =
       DivisionAttributeSets(dividend.schema(), divisor.schema(), /*allow_c=*/true);
@@ -203,6 +250,12 @@ Relation GreatDividePartitioned(const Relation& dividend, const Relation& diviso
     parts[hasher(ProjectTuple(t, c_idx)) % threads].push_back(t);
   }
 
+  // One shared dividend encoding: workers translate from it instead of each
+  // re-encoding the full dividend (read-only after Build, so no locking).
+  if (dividend_enc == nullptr && GetExecMode() == ExecMode::kBatch) {
+    dividend_enc = TableEncoding::Build(dividend);
+  }
+
   std::vector<Relation> partial(threads);
   std::vector<std::thread> workers;
   workers.reserve(threads);
@@ -213,7 +266,7 @@ Relation GreatDividePartitioned(const Relation& dividend, const Relation& diviso
         partial[i] = Relation(dividend.schema().Project(attrs.a).Concat(
             divisor.schema().Project(attrs.c)));
       } else {
-        partial[i] = ExecGreatDivide(dividend, part, GreatDivideAlgorithm::kHash);
+        partial[i] = ExecGreatDivide(dividend, part, GreatDivideAlgorithm::kHash, dividend_enc);
       }
     });
   }
@@ -271,6 +324,12 @@ bool SetContainmentJoinIterator::Next(Tuple* out) {
   if (position_ >= results_.size()) return false;
   *out = results_[position_++];
   CountRow();
+  return true;
+}
+
+bool SetContainmentJoinIterator::NextBatch(Batch* out) {
+  if (!EmitResultBatch(results_, &position_, out)) return false;
+  CountRows(out->ActiveRows());
   return true;
 }
 

@@ -23,6 +23,7 @@ class GreatDivideIterator : public Iterator {
   const Schema& schema() const override { return schema_; }
   void Open() override;
   bool Next(Tuple* out) override;
+  bool NextBatch(Batch* out) override;
   void Close() override;
   const char* name() const override { return GreatDivideAlgorithmName(algorithm_); }
   std::vector<Iterator*> InputIterators() override {
@@ -42,6 +43,10 @@ class GreatDivideIterator : public Iterator {
     std::vector<uint32_t> row_b;                  // dividend row -> B number or miss
   };
 
+  void DrainDivisorTuple();
+  void DrainDivisorBatch();
+  void DrainDividendTuple(Encoded* enc);
+  void DrainDividendBatch(Encoded* enc);
   void RunHash(const Encoded& enc);
   void RunGroupAtATime(const Encoded& enc);
 
@@ -65,12 +70,20 @@ class GreatDivideIterator : public Iterator {
 /// `threads` disjoint parts (hash on C), runs a hash great divide per part
 /// in parallel against the shared dividend, and unions the results. Correct
 /// because the partition projections on C are disjoint by construction.
+/// The dividend's table encoding is built once and shared by every worker
+/// (it is read-only after Build), so partitions stop re-encoding the
+/// dividend — the cache behavior ROADMAP item 2 asks for. Callers holding a
+/// cached encoding (Catalog::Encoding) pass it to skip even that one build.
 Relation GreatDividePartitioned(const Relation& dividend, const Relation& divisor,
-                                size_t threads);
+                                size_t threads, TableEncodingPtr dividend_enc = nullptr);
 
-/// Convenience: run one algorithm on materialized relations.
+/// Convenience: run one algorithm on materialized relations. Optional
+/// pre-built table encodings let repeated calls skip re-encoding inputs in
+/// batch mode.
 Relation ExecGreatDivide(const Relation& dividend, const Relation& divisor,
-                         GreatDivideAlgorithm algorithm);
+                         GreatDivideAlgorithm algorithm,
+                         TableEncodingPtr dividend_enc = nullptr,
+                         TableEncodingPtr divisor_enc = nullptr);
 
 /// Physical set containment join r1 ⋈_{b1⊇b2} r2 with a 64-bit signature
 /// pre-filter (Helmer/Moerkotte style): sig(s2) ⊄ sig(s1) disproves
@@ -83,6 +96,7 @@ class SetContainmentJoinIterator : public Iterator {
   const Schema& schema() const override { return schema_; }
   void Open() override;
   bool Next(Tuple* out) override;
+  bool NextBatch(Batch* out) override;
   void Close() override;
   const char* name() const override { return "SetContainmentJoin"; }
   std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }

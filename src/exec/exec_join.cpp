@@ -11,6 +11,73 @@ std::vector<size_t> IndicesOf(const Schema& schema, const std::vector<std::strin
   return indices;
 }
 
+/// Core batched probe loop shared by the hash joins: pulls left batches,
+/// resolves their keys in one pass (BatchKeyProbe), and emits matching
+/// (left row × bucket tuple) pairs into a columnar output batch of at most
+/// GetBatchRows() rows. Left columns stay dictionary-encoded when the input
+/// batch is; bucket tuples are appended as Value columns. Oversized buckets
+/// resume via the state's match cursor. Returns rows emitted (0 = end).
+size_t JoinEmitBatch(Iterator& left, BatchKeyProbe& probe, JoinProbeState& st,
+                     const std::vector<std::vector<Tuple>>& buckets, size_t num_left,
+                     size_t num_right, Batch* out) {
+  const size_t target = GetBatchRows();
+  while (true) {
+    if (!st.valid) {
+      if (!left.NextBatch(&st.in)) return 0;
+      st.keys.clear();
+      probe.Resolve(st.in, &st.keys);
+      st.pos = 0;
+      st.match_pos = 0;
+      st.valid = true;
+    }
+    // Bind the output layout to this input batch (per-batch, so mixed
+    // row-view and columnar left streams stay consistent), hoisting each
+    // encoded column's id array out of the emit loop.
+    out->Reset(num_left + num_right);
+    std::vector<const uint32_t*> src_ids(num_left, nullptr);
+    for (size_t c = 0; c < num_left; ++c) {
+      if (const BatchColumn* enc = st.in.EncodedColumn(c)) {
+        out->column(c).dict = enc->dict;
+        src_ids[c] = enc->ids.data();
+      }
+    }
+    size_t emitted = 0;
+    size_t active = st.in.ActiveRows();
+    while (st.pos < active && emitted < target) {
+      uint32_t key = st.keys[st.pos];
+      if (key == KeyNumbering::kNotFound) {
+        ++st.pos;
+        st.match_pos = 0;
+        continue;
+      }
+      const std::vector<Tuple>& bucket = buckets[key];
+      uint32_t row = st.in.RowAt(st.pos);
+      while (st.match_pos < bucket.size() && emitted < target) {
+        const Tuple& right = bucket[st.match_pos++];
+        for (size_t c = 0; c < num_left; ++c) {
+          BatchColumn& ocol = out->column(c);
+          if (src_ids[c] != nullptr) {
+            ocol.ids.push_back(src_ids[c][row]);
+          } else {
+            ocol.values.push_back(st.in.At(row, c));
+          }
+        }
+        for (size_t c = 0; c < num_right; ++c) {
+          out->column(num_left + c).values.push_back(right[c]);
+        }
+        ++emitted;
+      }
+      if (st.match_pos >= bucket.size()) {
+        ++st.pos;
+        st.match_pos = 0;
+      }
+    }
+    out->set_rows(emitted);
+    if (st.pos >= active) st.Reset();
+    if (emitted > 0) return emitted;
+  }
+}
+
 }  // namespace
 
 HashJoinIterator::HashJoinIterator(IterPtr left, IterPtr right)
@@ -31,9 +98,24 @@ void HashJoinIterator::Open() {
   codec_.Reserve(right_->EstimatedRows());
   std::vector<Tuple> rest_rows;
   rest_rows.reserve(right_->EstimatedRows());
-  while (const Tuple* t = right_->NextRef()) {
-    codec_.Add(*t, right_key_);
-    rest_rows.push_back(ProjectTuple(*t, right_rest_));
+  if (GetExecMode() == ExecMode::kBatch) {
+    BatchCodecAppender append(&codec_, &right_key_);
+    Batch batch;
+    while (right_->NextBatch(&batch)) {
+      append.Append(batch);
+      for (size_t i = 0; i < batch.ActiveRows(); ++i) {
+        uint32_t r = batch.RowAt(i);
+        Tuple rest;
+        rest.reserve(right_rest_.size());
+        for (size_t c : right_rest_) rest.push_back(batch.At(r, c));
+        rest_rows.push_back(std::move(rest));
+      }
+    }
+  } else {
+    while (const Tuple* t = right_->NextRef()) {
+      codec_.Add(*t, right_key_);
+      rest_rows.push_back(ProjectTuple(*t, right_rest_));
+    }
   }
   codec_.Seal();
   numbering_.Build(codec_);
@@ -43,6 +125,8 @@ void HashJoinIterator::Open() {
   }
   matches_ = nullptr;
   match_pos_ = 0;
+  probe_.Bind(&numbering_, &codec_, &left_key_);
+  state_.Reset();
 }
 
 bool HashJoinIterator::Next(Tuple* out) {
@@ -60,6 +144,14 @@ bool HashJoinIterator::Next(Tuple* out) {
       match_pos_ = 0;
     }
   }
+}
+
+bool HashJoinIterator::NextBatch(Batch* out) {
+  size_t emitted = JoinEmitBatch(*left_, probe_, state_, buckets_, left_->schema().size(),
+                                 right_rest_.size(), out);
+  if (emitted == 0) return false;
+  CountRows(emitted);
+  return true;
 }
 
 void HashJoinIterator::Close() {
@@ -130,9 +222,22 @@ void EquiJoinIterator::Open() {
   codec_.Reserve(right_->EstimatedRows());
   std::vector<Tuple> right_rows;
   right_rows.reserve(right_->EstimatedRows());
-  while (const Tuple* t = right_->NextRef()) {
-    codec_.Add(*t, right_key_);
-    right_rows.push_back(*t);
+  if (GetExecMode() == ExecMode::kBatch) {
+    BatchCodecAppender append(&codec_, &right_key_);
+    Batch batch;
+    Tuple t;
+    while (right_->NextBatch(&batch)) {
+      append.Append(batch);
+      for (size_t i = 0; i < batch.ActiveRows(); ++i) {
+        batch.ToTuple(batch.RowAt(i), &t);
+        right_rows.push_back(std::move(t));
+      }
+    }
+  } else {
+    while (const Tuple* t = right_->NextRef()) {
+      codec_.Add(*t, right_key_);
+      right_rows.push_back(*t);
+    }
   }
   codec_.Seal();
   numbering_.Build(codec_);
@@ -142,6 +247,8 @@ void EquiJoinIterator::Open() {
   }
   matches_ = nullptr;
   match_pos_ = 0;
+  probe_.Bind(&numbering_, &codec_, &left_key_);
+  state_.Reset();
 }
 
 bool EquiJoinIterator::Next(Tuple* out) {
@@ -159,6 +266,14 @@ bool EquiJoinIterator::Next(Tuple* out) {
       match_pos_ = 0;
     }
   }
+}
+
+bool EquiJoinIterator::NextBatch(Batch* out) {
+  size_t emitted = JoinEmitBatch(*left_, probe_, state_, buckets_, left_->schema().size(),
+                                 right_->schema().size(), out);
+  if (emitted == 0) return false;
+  CountRows(emitted);
+  return true;
 }
 
 void EquiJoinIterator::Close() {
@@ -182,12 +297,22 @@ void HashSemiJoinIterator::Open() {
   codec_ = KeyCodec(right_key_.size());
   codec_.Reserve(right_->EstimatedRows());
   right_empty_ = true;
-  while (const Tuple* t = right_->NextRef()) {
-    right_empty_ = false;
-    codec_.Add(*t, right_key_);
+  if (GetExecMode() == ExecMode::kBatch) {
+    BatchCodecAppender append(&codec_, &right_key_);
+    Batch batch;
+    while (right_->NextBatch(&batch)) {
+      if (batch.ActiveRows() > 0) right_empty_ = false;
+      append.Append(batch);
+    }
+  } else {
+    while (const Tuple* t = right_->NextRef()) {
+      right_empty_ = false;
+      codec_.Add(*t, right_key_);
+    }
   }
   codec_.Seal();
   numbering_.Build(codec_);
+  probe_.Bind(&numbering_, &codec_, &left_key_);
 }
 
 bool HashSemiJoinIterator::Next(Tuple* out) {
@@ -197,6 +322,35 @@ bool HashSemiJoinIterator::Next(Tuple* out) {
                        : numbering_.Probe(*out, left_key_) != KeyNumbering::kNotFound;
     if (matched != anti_) {
       CountRow();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HashSemiJoinIterator::NextBatch(Batch* out) {
+  while (left_->NextBatch(out)) {
+    size_t n = out->ActiveRows();
+    std::vector<uint32_t> sel;
+    if (left_key_.empty()) {
+      // Appendix A degenerate form: keep everything iff the right side is
+      // nonempty (flipped for the anti join).
+      bool keep = !right_empty_ != anti_;
+      if (keep) {
+        sel.reserve(n);
+        for (size_t i = 0; i < n; ++i) sel.push_back(out->RowAt(i));
+      }
+    } else {
+      batch_keys_.clear();
+      probe_.Resolve(*out, &batch_keys_);
+      for (size_t i = 0; i < n; ++i) {
+        bool matched = batch_keys_[i] != KeyNumbering::kNotFound;
+        if (matched != anti_) sel.push_back(out->RowAt(i));
+      }
+    }
+    out->SetSelection(std::move(sel));
+    if (out->ActiveRows() > 0) {
+      CountRows(out->ActiveRows());
       return true;
     }
   }

@@ -1,10 +1,29 @@
 #pragma once
 
 #include "algebra/predicate.hpp"
+#include "exec/batch.hpp"
 #include "exec/iterator.hpp"
 #include "exec/key_codec.hpp"
 
 namespace quotient {
+
+/// Shared batched-probe state of the hash joins: the current left batch,
+/// its per-row dense key ids (BatchKeyProbe resolves one batch at a time in
+/// a tight loop), and the resume cursor for buckets larger than what fits
+/// in one output batch.
+struct JoinProbeState {
+  Batch in;                       // current left batch
+  std::vector<uint32_t> keys;     // dense right-key id per active row
+  size_t pos = 0;                 // next active-row index to emit from
+  size_t match_pos = 0;           // next bucket entry for that row
+  bool valid = false;             // `in` holds an undrained batch
+
+  void Reset() {
+    pos = 0;
+    match_pos = 0;
+    valid = false;
+  }
+};
 
 /// Hash natural join on the common attribute names (build on the right,
 /// probe with the left). Output schema: attrs(left) ++ (attrs(right) −
@@ -13,7 +32,9 @@ namespace quotient {
 /// The build side is key-encoded: right keys are dictionary-compressed and
 /// numbered densely, so the "hash table" is a plain bucket vector indexed by
 /// key number, and probes are dictionary lookups (a probe value unseen
-/// during build cannot match).
+/// during build cannot match). NextBatch() probes a whole left batch at a
+/// time and emits columnar output: left columns stay dictionary-encoded
+/// when the input batch is, right columns are copied Values.
 class HashJoinIterator : public Iterator {
  public:
   HashJoinIterator(IterPtr left, IterPtr right);
@@ -21,6 +42,7 @@ class HashJoinIterator : public Iterator {
   const Schema& schema() const override { return schema_; }
   void Open() override;
   bool Next(Tuple* out) override;
+  bool NextBatch(Batch* out) override;
   void Close() override;
   const char* name() const override { return "HashJoin"; }
   std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
@@ -41,6 +63,9 @@ class HashJoinIterator : public Iterator {
   Tuple current_left_;
   const std::vector<Tuple>* matches_ = nullptr;
   size_t match_pos_ = 0;
+  // Batch path.
+  BatchKeyProbe probe_;
+  JoinProbeState state_;
 };
 
 /// Nested-loop theta join (right side materialized); handles arbitrary
@@ -80,6 +105,7 @@ class EquiJoinIterator : public Iterator {
   const Schema& schema() const override { return schema_; }
   void Open() override;
   bool Next(Tuple* out) override;
+  bool NextBatch(Batch* out) override;
   void Close() override;
   const char* name() const override { return "EquiJoin"; }
   std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
@@ -96,6 +122,9 @@ class EquiJoinIterator : public Iterator {
   Tuple current_left_;
   const std::vector<Tuple>* matches_ = nullptr;
   size_t match_pos_ = 0;
+  // Batch path.
+  BatchKeyProbe probe_;
+  JoinProbeState state_;
 };
 
 /// Hash semi-join r1 ⋉ r2 on the common attribute names. With no common
@@ -108,6 +137,7 @@ class HashSemiJoinIterator : public Iterator {
   const Schema& schema() const override { return left_->schema(); }
   void Open() override;
   bool Next(Tuple* out) override;
+  bool NextBatch(Batch* out) override;
   void Close() override;
   const char* name() const override { return anti_ ? "HashAntiJoin" : "HashSemiJoin"; }
   std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
@@ -123,6 +153,9 @@ class HashSemiJoinIterator : public Iterator {
   // left key equals some right key.
   KeyCodec codec_;
   KeyNumbering numbering_;
+  // Batch path.
+  BatchKeyProbe probe_;
+  std::vector<uint32_t> batch_keys_;
 };
 
 }  // namespace quotient

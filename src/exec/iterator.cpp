@@ -2,11 +2,34 @@
 
 namespace quotient {
 
+bool Iterator::NextBatch(Batch* out) {
+  // Legacy adapter: wraps the tuple-at-a-time interface so non-batched
+  // operators keep working inside batched pipelines. Rows are owned by the
+  // batch (NextRef pointees die on the next pull, so they cannot be
+  // batched by reference). Next() counts rows itself — no CountRows here.
+  out->ResetRows();
+  size_t target = GetBatchRows();
+  Tuple t;
+  while (out->rows() < target && Next(&t)) out->AppendOwnedRow(std::move(t));
+  return out->rows() > 0;
+}
+
 Relation ExecuteToRelation(Iterator& it) {
   it.Open();
   std::vector<Tuple> tuples;
-  Tuple t;
-  while (it.Next(&t)) tuples.push_back(t);
+  if (GetExecMode() == ExecMode::kBatch) {
+    Batch batch;
+    Tuple t;
+    while (it.NextBatch(&batch)) {
+      for (size_t i = 0; i < batch.ActiveRows(); ++i) {
+        batch.ToTuple(batch.RowAt(i), &t);
+        tuples.push_back(std::move(t));
+      }
+    }
+  } else {
+    Tuple t;
+    while (it.Next(&t)) tuples.push_back(t);
+  }
   it.Close();
   return Relation(it.schema(), std::move(tuples));
 }

@@ -5,10 +5,13 @@
 #include <vector>
 
 #include "algebra/relation.hpp"
+#include "exec/batch.hpp"
 
 namespace quotient {
 
-/// Volcano-style physical operator: Open / Next / Close, tuple at a time.
+/// Volcano-style physical operator: Open / Next / Close, tuple at a time,
+/// plus the batched contract NextBatch() that moves ~GetBatchRows() rows per
+/// virtual call as columns of dictionary ids (see docs/batched_execution.md).
 /// Every iterator counts the tuples it produces; ExecStats aggregates those
 /// counters over a plan so benchmarks can report intermediate-result sizes
 /// (the quantity the Leinders/Van den Bussche result in §6 is about).
@@ -31,6 +34,19 @@ class Iterator {
   virtual const Tuple* NextRef() {
     return Next(&ref_scratch_) ? &ref_scratch_ : nullptr;
   }
+
+  /// Batched pull: fills `out` with the next 1..GetBatchRows() active rows
+  /// (batch-producing operators may emit more when forwarding a child batch
+  /// whose selection they only narrow). Returns false at end of stream —
+  /// a true return always carries at least one active row. The batch's
+  /// contents are valid until the next NextBatch() call on this iterator.
+  ///
+  /// The default adapter wraps Next(), so every operator participates in
+  /// batched plans; operators with a columnar fast path override it. Within
+  /// one Open() a caller must commit to one pull discipline — mixing Next()
+  /// and NextBatch() pulls on the same iterator double-consumes the stream.
+  virtual bool NextBatch(Batch* out);
+
   /// Releases resources; the iterator may be re-Opened afterwards.
   virtual void Close() = 0;
 
@@ -49,6 +65,10 @@ class Iterator {
 
  protected:
   void CountRow() { ++rows_produced_; }
+  /// Batch producers count active rows, not batches, so ExplainTree and
+  /// TotalRowsProduced stay comparable across execution modes. The Next()
+  /// adapter must NOT call this — the wrapped Next() already counts.
+  void CountRows(size_t n) { rows_produced_ += n; }
   void ResetCount() { rows_produced_ = 0; }
   size_t rows_produced_ = 0;
 
@@ -58,7 +78,8 @@ class Iterator {
 
 using IterPtr = std::unique_ptr<Iterator>;
 
-/// Drains `it` (Open/Next/Close) into a canonical Relation.
+/// Drains `it` (Open/.../Close) into a canonical Relation, pulling batches
+/// in ExecMode::kBatch and tuples in ExecMode::kTuple.
 Relation ExecuteToRelation(Iterator& it);
 
 /// Sum of rows_produced over the whole plan (call after draining).

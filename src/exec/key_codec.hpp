@@ -275,6 +275,36 @@ class KeyCodec {
     ++num_rows_;
   }
 
+  /// Batch build path: interns `v` into column `c`'s dictionary without
+  /// appending a row (BatchCodecAppender resolves ids per column, then
+  /// appends whole rows of pre-resolved ids via AppendRows).
+  uint32_t InternValue(size_t c, const Value& v) { return dicts_[c].GetOrAdd(v); }
+
+  /// Batch probe path: id of `v` in column `c`'s dictionary, or
+  /// ValueDict::kNotFound.
+  uint32_t FindValue(size_t c, const Value& v) const { return dicts_[c].Find(v); }
+
+  /// Appends `nrows` build rows of pre-resolved ids, row-major
+  /// (nrows * num_cols() ids).
+  void AppendRows(const uint32_t* ids, size_t nrows) {
+    row_ids_.insert(row_ids_.end(), ids, ids + nrows * dicts_.size());
+    num_rows_ += nrows;
+  }
+
+  /// Packs pre-resolved per-column ids into a flat key. Valid after Seal()
+  /// when !spilled(); every id must come from this codec's dictionaries.
+  uint64_t PackIds(const uint32_t* ids) const {
+    uint64_t key = 0;
+    for (size_t c = 0; c < dicts_.size(); ++c) key |= uint64_t{ids[c]} << shifts_[c];
+    return key;
+  }
+
+  /// Spill form of PackIds, for sealed codecs with spilled() layouts.
+  void SpillFromIds(const uint32_t* ids, SmallByteKey* out) const {
+    out->Clear();
+    for (size_t c = 0; c < dicts_.size(); ++c) out->PushId(ids[c]);
+  }
+
   /// Freezes dictionaries and chooses the packed layout.
   void Seal();
 
@@ -373,6 +403,23 @@ class IncrementalKeyEncoder {
     for (size_t c = 0; c < dicts_.size(); ++c) {
       out->PushId(dicts_[c].GetOrAdd(t[indices ? (*indices)[c] : c]));
     }
+  }
+
+  /// Batch path: interns `v` into column `c`'s (growable) dictionary.
+  uint32_t InternValue(size_t c, const Value& v) { return dicts_[c].GetOrAdd(v); }
+
+  /// Packs pre-resolved per-column ids into the fixed 32-bit-field layout.
+  /// Only valid when fits64().
+  uint64_t PackIds(const uint32_t* ids) const {
+    uint64_t key = 0;
+    for (size_t c = 0; c < dicts_.size(); ++c) key |= uint64_t{ids[c]} << (32 * c);
+    return key;
+  }
+
+  /// Spill form of PackIds, for keys of three or more columns.
+  void SpillFromIds(const uint32_t* ids, SmallByteKey* out) const {
+    out->Clear();
+    for (size_t c = 0; c < dicts_.size(); ++c) out->PushId(ids[c]);
   }
 
   /// Appends the column Values of an encoded key to `out`.
@@ -489,6 +536,17 @@ class KeyNumbering {
     }
     SmallByteKey key;
     return codec_->TryEncodeSpill(t, indices, &key) ? interner_spill_.Find(key) : kNotFound;
+  }
+
+  /// Batch-path probe: dense id for a key given as per-column codec
+  /// dictionary ids (every id already resolved, no misses). BatchKeyProbe
+  /// handles the miss detection before calling this.
+  uint32_t ProbeIds(const uint32_t* ids) const {
+    if (dense_) return ids[0];
+    if (!codec_->spilled()) return interner64_.Find(codec_->PackIds(ids));
+    SmallByteKey key;
+    codec_->SpillFromIds(ids, &key);
+    return interner_spill_.Find(key);
   }
 
   /// Decodes key `id` back into a Tuple.

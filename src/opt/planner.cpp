@@ -91,8 +91,11 @@ IterPtr Build(const PlanPtr& plan, const Catalog& catalog, const PlannerOptions&
   const LogicalOp& op = *plan;
   switch (op.kind()) {
     case LogicalOp::Kind::kScan:
+      // Batched plans scan through the catalog's cached per-table dictionary
+      // encoding, so repeated queries share encode work across Open()s.
       return std::make_unique<RelationScan>(
-          std::shared_ptr<const Relation>(&catalog.Get(op.table()), [](const Relation*) {}));
+          std::shared_ptr<const Relation>(&catalog.Get(op.table()), [](const Relation*) {}),
+          GetExecMode() == ExecMode::kBatch ? catalog.Encoding(op.table()) : nullptr);
     case LogicalOp::Kind::kValues:
       return std::make_unique<RelationScan>(
           std::make_shared<const Relation>(op.values()));

@@ -18,8 +18,36 @@ std::vector<std::string> Sorted(std::vector<std::string> names) {
 
 }  // namespace
 
+Catalog::Catalog(const Catalog& other) { *this = other; }
+
+Catalog& Catalog::operator=(const Catalog& other) {
+  if (this == &other) return *this;
+  relations_ = other.relations_;
+  keys_ = other.keys_;
+  foreign_keys_ = other.foreign_keys_;
+  disjoint_ = other.disjoint_;
+  std::scoped_lock lock(encodings_mutex_, other.encodings_mutex_);
+  encodings_ = other.encodings_;
+  return *this;
+}
+
+Catalog::Catalog(Catalog&& other) noexcept { *this = std::move(other); }
+
+Catalog& Catalog::operator=(Catalog&& other) noexcept {
+  if (this == &other) return *this;
+  relations_ = std::move(other.relations_);
+  keys_ = std::move(other.keys_);
+  foreign_keys_ = std::move(other.foreign_keys_);
+  disjoint_ = std::move(other.disjoint_);
+  std::scoped_lock lock(encodings_mutex_, other.encodings_mutex_);
+  encodings_ = std::move(other.encodings_);
+  return *this;
+}
+
 void Catalog::Put(const std::string& name, Relation relation) {
   relations_.insert_or_assign(name, std::move(relation));
+  std::lock_guard<std::mutex> lock(encodings_mutex_);
+  encodings_.erase(name);  // replaced data invalidates the cached encoding
 }
 
 bool Catalog::Has(const std::string& name) const { return relations_.count(name) > 0; }
@@ -27,6 +55,16 @@ bool Catalog::Has(const std::string& name) const { return relations_.count(name)
 const Relation& Catalog::Get(const std::string& name) const {
   auto it = relations_.find(name);
   if (it == relations_.end()) throw SchemaError("unknown relation '" + name + "'");
+  return it->second;
+}
+
+TableEncodingPtr Catalog::Encoding(const std::string& name) const {
+  const Relation& relation = Get(name);
+  std::lock_guard<std::mutex> lock(encodings_mutex_);
+  auto it = encodings_.find(name);
+  if (it == encodings_.end()) {
+    it = encodings_.emplace(name, TableEncoding::Build(relation)).first;
+  }
   return it->second;
 }
 

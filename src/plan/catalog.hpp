@@ -1,11 +1,14 @@
 #pragma once
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "algebra/relation.hpp"
+#include "exec/batch.hpp"
 
 namespace quotient {
 
@@ -22,6 +25,14 @@ namespace quotient {
 /// verified against the stored data with the Check* functions.
 class Catalog {
  public:
+  Catalog() = default;
+  // The encoding cache's mutex is not copyable/movable; copies carry the
+  // cached encodings over (they are immutable and describe identical data).
+  Catalog(const Catalog& other);
+  Catalog& operator=(const Catalog& other);
+  Catalog(Catalog&& other) noexcept;
+  Catalog& operator=(Catalog&& other) noexcept;
+
   /// Registers (or replaces) a base relation.
   void Put(const std::string& name, Relation relation);
 
@@ -29,6 +40,14 @@ class Catalog {
   /// Throws SchemaError if absent.
   const Relation& Get(const std::string& name) const;
   std::vector<std::string> Names() const;
+
+  /// The table's column-dictionary encoding (see exec/batch.hpp), built on
+  /// first request and cached until Put() replaces the relation. Scans over
+  /// catalog tables share it, so repeated queries — and the Law 13
+  /// partitioned great divide — stop rebuilding dictionaries on every
+  /// Open(). Thread-safe; the returned encoding is immutable and outlives
+  /// later invalidation (callers hold a shared_ptr).
+  TableEncodingPtr Encoding(const std::string& name) const;
 
   /// Declares `attrs` a key of `table`.
   void DeclareKey(const std::string& table, const std::vector<std::string>& attrs);
@@ -63,6 +82,9 @@ class Catalog {
   std::set<std::string> keys_;          // "table|a,b"
   std::set<std::string> foreign_keys_;  // "from|a,b|to"
   std::set<std::string> disjoint_;      // "t1|t2|a,b" (stored both ways)
+  // Lazily built per-table dictionary encodings (ROADMAP item 2).
+  mutable std::mutex encodings_mutex_;
+  mutable std::map<std::string, TableEncodingPtr> encodings_;
 };
 
 }  // namespace quotient
