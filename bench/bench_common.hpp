@@ -17,20 +17,25 @@
 namespace quotient {
 namespace bench {
 
-/// Applies QUOTIENT_EXEC_MODE ("batch" | "tuple") before main() runs, so
-/// scripts/run_benchmarks.sh can A/B the two execution disciplines with the
-/// same binaries (every bench includes this header, so the initializer runs
-/// in each of them).
+/// Applies QUOTIENT_EXEC_MODE ("parallel" | "batch" | "tuple") before
+/// main() runs, so scripts/run_benchmarks.sh can A/B the execution
+/// disciplines with the same binaries (every bench includes this header, so
+/// the initializer runs in each of them). The worker count for "parallel"
+/// comes from QUOTIENT_THREADS (exec/scheduler.hpp).
 inline const bool kExecModeFromEnv = [] {
   if (const char* mode = std::getenv("QUOTIENT_EXEC_MODE")) {
     if (std::string_view(mode) == "tuple") {
       SetExecMode(ExecMode::kTuple);
     } else if (std::string_view(mode) == "batch") {
       SetExecMode(ExecMode::kBatch);
+    } else if (std::string_view(mode) == "parallel") {
+      SetExecMode(ExecMode::kParallel);
     } else {
       // A typo here would silently record default-mode numbers under the
       // wrong label in an A/B comparison — refuse to run instead.
-      std::fprintf(stderr, "QUOTIENT_EXEC_MODE must be 'batch' or 'tuple', got '%s'\n", mode);
+      std::fprintf(stderr,
+                   "QUOTIENT_EXEC_MODE must be 'parallel', 'batch' or 'tuple', got '%s'\n",
+                   mode);
       std::exit(1);
     }
   }

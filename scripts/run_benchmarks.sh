@@ -9,8 +9,12 @@
 #     BENCH_key_codec.json       key-codec microbenchmarks
 #     BENCH_batched.json         per-benchmark batched vs tuple comparison
 #                                (division + law benches), with speedups
+#     BENCH_parallel.json        QUOTIENT_THREADS=1 vs N A/B of the
+#                                morsel-driven parallel executor
+#                                (docs/parallel_execution.md)
 #   Compare runs with benchmark's own tools/compare.py, or just diff the
-#   real_time fields.
+#   real_time fields. QUOTIENT_BENCH_THREADS overrides the parallel A/B's
+#   high thread count (default: nproc, min 2).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -33,6 +37,15 @@ run_bench() {  # binary mode out_file [extra args...]
     --benchmark_min_time=0.2 "$@"
 }
 
+run_bench_threads() {  # binary threads out_file [extra args...]
+  local binary="$1" threads="$2" out_file="$3"
+  shift 3
+  QUOTIENT_EXEC_MODE=parallel QUOTIENT_THREADS="${threads}" "${build_dir}/${binary}" \
+    --benchmark_out="${out_file}" \
+    --benchmark_out_format=json \
+    --benchmark_min_time=0.2 "$@"
+}
+
 # Canonical trajectory files (batched is the engine default).
 run_bench bench_division_algorithms batch "${out_dir}/BENCH_division.json"
 run_bench bench_key_codec batch "${out_dir}/BENCH_key_codec.json"
@@ -44,8 +57,20 @@ run_bench bench_law10_semijoin tuple "${out_dir}/.law10_tuple.json"
 run_bench bench_law13_partitioned_great_divide batch "${out_dir}/.law13_batch.json"
 run_bench bench_law13_partitioned_great_divide tuple "${out_dir}/.law13_tuple.json"
 
+# A/B the morsel-driven parallel executor: the same binaries in parallel
+# mode at 1 worker vs N workers (the Law 13 partitioned bench also scales
+# its pool-scheduled partitions).
+par_threads="${QUOTIENT_BENCH_THREADS:-$(nproc)}"
+if [ "${par_threads}" -lt 2 ]; then par_threads=2; fi
+run_bench_threads bench_division_algorithms 1 "${out_dir}/.div_par1.json"
+run_bench_threads bench_division_algorithms "${par_threads}" "${out_dir}/.div_parN.json"
+run_bench_threads bench_law10_semijoin 1 "${out_dir}/.law10_par1.json"
+run_bench_threads bench_law10_semijoin "${par_threads}" "${out_dir}/.law10_parN.json"
+run_bench_threads bench_law13_partitioned_great_divide 1 "${out_dir}/.law13_par1.json"
+run_bench_threads bench_law13_partitioned_great_divide "${par_threads}" "${out_dir}/.law13_parN.json"
+
 # Merge into one comparison file: real_time per mode plus the speedup.
-python3 - "${out_dir}" <<'PY'
+PAR_THREADS="${par_threads}" python3 - "${out_dir}" <<'PY'
 import json, sys, os
 
 out_dir = sys.argv[1]
@@ -86,8 +111,40 @@ if hash_speedups:
     print(f"hash-division speedup (batched vs tuple): "
           f"min {min(hash_speedups):.2f}x / "
           f"median {sorted(hash_speedups)[len(hash_speedups)//2]:.2f}x")
+
+# Parallel A/B: 1 worker vs N workers, same parallel-mode binaries.
+par_pairs = [
+    ("division", ".div_par1.json", ".div_parN.json"),
+    ("law10_semijoin", ".law10_par1.json", ".law10_parN.json"),
+    ("law13_partitioned_great_divide", ".law13_par1.json", ".law13_parN.json"),
+]
+threads_n = os.environ.get("PAR_THREADS", "?")
+par_comparison = []
+for suite, one_file, n_file in par_pairs:
+    one, many = times(one_file), times(n_file)
+    for name in one:
+        if name not in many:
+            continue
+        t1, tn = one[name], many[name]
+        par_comparison.append({
+            "suite": suite,
+            "name": name,
+            "threads_1_us": round(t1, 3),
+            "threads_n_us": round(tn, 3),
+            "speedup": round(t1 / tn, 3) if tn > 0 else None,
+        })
+
+with open(os.path.join(out_dir, "BENCH_parallel.json"), "w") as f:
+    json.dump({"threads_n": threads_n, "comparison": par_comparison}, f, indent=1)
+
+par_speedups = [c["speedup"] for c in par_comparison if c["speedup"] is not None]
+if par_speedups:
+    print(f"parallel speedup ({threads_n} threads vs 1): "
+          f"min {min(par_speedups):.2f}x / "
+          f"median {sorted(par_speedups)[len(par_speedups)//2]:.2f}x / "
+          f"max {max(par_speedups):.2f}x")
 PY
-rm -f "${out_dir}"/.law1[03]_*.json
+rm -f "${out_dir}"/.law1[03]_*.json "${out_dir}"/.div_par*.json
 
 echo "Wrote ${out_dir}/BENCH_division.json, BENCH_division_tuple.json," \
-     "BENCH_key_codec.json and BENCH_batched.json"
+     "BENCH_key_codec.json, BENCH_batched.json and BENCH_parallel.json"

@@ -89,6 +89,12 @@ std::vector<size_t> AggArgIndices(const Schema& input, const std::vector<AggSpec
 /// Folds one input value into `state` (`v` is ignored for kCount).
 void AggAccumulate(const AggSpec& spec, const Value& v, AggState* state);
 
+/// Folds a partial state into `dst` (the merge phase of parallel grouping
+/// pipelines). Count/min/max and integer sums merge exactly; floating-point
+/// sums may associate differently than the serial fold, so the executor
+/// only parallelizes aggregations whose sum/avg arguments are integer.
+void AggMerge(const AggState& src, AggState* dst);
+
 /// The final output value for `spec` over `state`.
 Value AggFinish(const AggSpec& spec, const AggState& state);
 

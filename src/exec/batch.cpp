@@ -9,7 +9,7 @@ namespace {
 constexpr size_t kDefaultBatchRows = 1024;
 
 std::atomic<ExecMode>& ExecModeFlag() {
-  static std::atomic<ExecMode> mode{ExecMode::kBatch};
+  static std::atomic<ExecMode> mode{ExecMode::kParallel};
   return mode;
 }
 

@@ -13,11 +13,13 @@
 // IncrementalKeyEncoder id space, replacing a Value hash per row with an
 // array load per row.
 //
-// Two execution disciplines coexist behind the Iterator interface:
-//   ExecMode::kBatch — NextBatch() pipelines (the default);
-//   ExecMode::kTuple — the PR 1 tuple-at-a-time paths, kept alive as the
-//                      semantics reference the property tests cross-check
-//                      against and as the benchmark baseline.
+// Three execution disciplines coexist behind the Iterator interface:
+//   ExecMode::kParallel — NextBatch() pipelines with morsel-parallel
+//                         blocking drains (the default; exec/pipeline.hpp);
+//   ExecMode::kBatch    — the same NextBatch() pipelines, strictly serial;
+//   ExecMode::kTuple    — the PR 1 tuple-at-a-time paths, kept alive as the
+//                         semantics reference the property tests cross-check
+//                         against and as the benchmark baseline.
 
 #include <algorithm>
 #include <cstdint>
@@ -31,7 +33,15 @@ namespace quotient {
 
 /// Which pull discipline drains plans (ExecuteToRelation) and internal
 /// operator builds. Process-wide; set before executing, not mid-plan.
-enum class ExecMode { kBatch, kTuple };
+///   kParallel — the default: batched pipelines whose blocking drains run
+///               morsel-parallel over the worker pool (exec/pipeline.hpp,
+///               exec/scheduler.hpp); bit-identical to kBatch at any
+///               thread count by the chunk-ordered merge discipline.
+///   kBatch    — strictly serial batched execution (the PR 2 discipline),
+///               kept as the single-threaded reference and A/B baseline.
+///   kTuple    — tuple-at-a-time execution (the PR 1 discipline), the
+///               semantics reference the property tests cross-check.
+enum class ExecMode { kBatch, kTuple, kParallel };
 
 ExecMode GetExecMode();
 void SetExecMode(ExecMode mode);

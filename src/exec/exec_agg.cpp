@@ -1,8 +1,146 @@
 #include "exec/exec_agg.hpp"
 
 #include "exec/batch.hpp"
+#include "exec/pipeline.hpp"
 
 namespace quotient {
+
+namespace {
+
+/// The grouping state of one aggregation: incrementally encoded group keys
+/// interned to dense group numbers, plus the flat per-(group, spec) AggState
+/// array. The global state and each parallel chunk's partial hold one.
+struct GroupState {
+  explicit GroupState(size_t group_cols) : encoder(group_cols) {}
+
+  size_t num_groups() const {
+    return encoder.fits64() ? groups64.size() : groups_spill.size();
+  }
+
+  IncrementalKeyEncoder encoder;
+  KeyInterner<uint64_t> groups64;
+  KeyInterner<SmallByteKey> groups_spill;
+  std::vector<AggState> states;
+};
+
+/// Folds one batch's rows into `gs` using its pre-resolved group keys.
+void FoldBatch(const Batch& batch, const std::vector<uint64_t>& keys64,
+               const std::vector<SmallByteKey>& keys_spill, const std::vector<AggSpec>& aggs,
+               const std::vector<size_t>& arg_indices, GroupState* gs) {
+  const size_t na = aggs.size();
+  const bool fits64 = gs->encoder.fits64();
+  size_t n = batch.ActiveRows();
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t gid = fits64 ? gs->groups64.Intern(keys64[i]) : gs->groups_spill.Intern(keys_spill[i]);
+    if (size_t{gid} * na >= gs->states.size()) gs->states.resize(gs->states.size() + na);
+    uint32_t row = batch.RowAt(i);
+    for (size_t j = 0; j < na; ++j) {
+      AggAccumulate(aggs[j], batch.At(row, arg_indices[j]), &gs->states[size_t{gid} * na + j]);
+    }
+  }
+}
+
+/// Grouping sink for RunPipeline: chunks aggregate into local GroupStates,
+/// and the merge re-interns each chunk's groups (in local first-seen order,
+/// chunks in index order — i.e. global row order) into the target state,
+/// AggMerge-ing the partial accumulators. Refuses to parallelize when a
+/// sum/avg argument is floating point, where re-associated addition could
+/// diverge from the serial fold.
+class AggregateSink : public PipelineSink {
+ public:
+  AggregateSink(GroupState* target, const std::vector<AggSpec>* aggs,
+                const std::vector<size_t>* group_indices,
+                const std::vector<size_t>* arg_indices, bool exact)
+      : target_(target),
+        aggs_(aggs),
+        group_indices_(group_indices),
+        arg_indices_(arg_indices),
+        exact_(exact),
+        serial_keyer_(&target->encoder, group_indices->size()) {}
+
+  bool AllowParallel() const override { return exact_; }
+
+  void ConsumeSerial(const Batch& batch) override {
+    serial_keyer_.Keys(batch, group_indices_, &keys64_, &keys_spill_);
+    FoldBatch(batch, keys64_, keys_spill_, *aggs_, *arg_indices_, target_);
+  }
+
+  std::unique_ptr<SinkChunk> MakeChunk() override {
+    return std::make_unique<Chunk>(group_indices_->size());
+  }
+
+  void Consume(SinkChunk& chunk, const Batch& batch) override {
+    Chunk& c = static_cast<Chunk&>(chunk);
+    c.keyer.Keys(batch, group_indices_, &c.keys64, &c.keys_spill);
+    FoldBatch(batch, c.keys64, c.keys_spill, *aggs_, *arg_indices_, &c.part);
+  }
+
+  void Merge(SinkChunk& chunk) override {
+    Chunk& c = static_cast<Chunk&>(chunk);
+    const size_t na = aggs_->size();
+    const size_t nc = group_indices_->size();
+    // Both encoders are built over the same group columns, so they always
+    // agree on the key representation.
+    const bool fits64 = target_->encoder.fits64();
+    size_t local_groups = c.part.num_groups();
+    // Lazy per-column translation of chunk-local dictionary ids into the
+    // target encoder's id space — one Value intern per distinct chunk
+    // value, an array load per group key id afterwards, the same merge
+    // pattern as KeyCodec::AppendTranslated.
+    std::vector<std::vector<uint32_t>> xlat(nc);
+    for (size_t col = 0; col < nc; ++col) {
+      xlat[col].assign(c.part.encoder.dict(col).size(), ValueDict::kNotFound);
+    }
+    std::vector<uint32_t> ids(nc);
+    SmallByteKey spill;
+    for (uint32_t gid = 0; gid < local_groups; ++gid) {
+      for (size_t col = 0; col < nc; ++col) {
+        uint32_t local_id =
+            fits64 ? static_cast<uint32_t>(c.part.groups64.At(gid) >> (32 * col))
+                   : c.part.groups_spill.At(gid).IdAt(col);
+        uint32_t& slot = xlat[col][local_id];
+        if (slot == ValueDict::kNotFound) {
+          slot = target_->encoder.InternValue(col, c.part.encoder.dict(col).At(local_id));
+        }
+        ids[col] = slot;
+      }
+      uint32_t global;
+      if (fits64) {
+        global = target_->groups64.Intern(target_->encoder.PackIds(ids.data()));
+      } else {
+        target_->encoder.SpillFromIds(ids.data(), &spill);
+        global = target_->groups_spill.Intern(spill);
+      }
+      if (size_t{global} * na >= target_->states.size()) {
+        target_->states.resize(target_->states.size() + na);
+      }
+      for (size_t j = 0; j < na; ++j) {
+        AggMerge(c.part.states[size_t{gid} * na + j],
+                 &target_->states[size_t{global} * na + j]);
+      }
+    }
+  }
+
+ private:
+  struct Chunk : SinkChunk {
+    explicit Chunk(size_t group_cols) : part(group_cols), keyer(&part.encoder, group_cols) {}
+    GroupState part;
+    BatchIncrementalKeyer keyer;
+    std::vector<uint64_t> keys64;
+    std::vector<SmallByteKey> keys_spill;
+  };
+
+  GroupState* target_;
+  const std::vector<AggSpec>* aggs_;
+  const std::vector<size_t>* group_indices_;
+  const std::vector<size_t>* arg_indices_;
+  bool exact_;
+  BatchIncrementalKeyer serial_keyer_;
+  std::vector<uint64_t> keys64_;
+  std::vector<SmallByteKey> keys_spill_;
+};
+
+}  // namespace
 
 HashAggregateIterator::HashAggregateIterator(IterPtr child, std::vector<std::string> group_names,
                                              std::vector<AggSpec> aggs)
@@ -24,56 +162,45 @@ void HashAggregateIterator::Open() {
 
   // Online hash aggregation: group keys are incrementally dictionary-encoded
   // and interned to dense group numbers; per-group aggregate states live in
-  // one flat array. Nothing is materialized but the output. The batch path
-  // resolves group keys through translation arrays into the same encoder id
-  // space, so grouping is identical across modes.
-  IncrementalKeyEncoder encoder(group_indices_.size());
-  KeyInterner<uint64_t> groups64;
-  KeyInterner<SmallByteKey> groups_spill;
+  // one flat array. Nothing is materialized but the output. The batch and
+  // parallel paths resolve group keys through translation arrays into the
+  // same encoder id space, so grouping is identical across modes.
+  GroupState groups(group_indices_.size());
   const size_t na = aggs_.size();
-  std::vector<AggState> states;
-  auto accumulate = [&](uint32_t gid, auto&& value_at) {
-    if (size_t{gid} * na >= states.size()) states.resize(states.size() + na);
-    for (size_t i = 0; i < na; ++i) {
-      AggAccumulate(aggs_[i], value_at(arg_indices_[i]), &states[size_t{gid} * na + i]);
-    }
-  };
 
-  if (GetExecMode() == ExecMode::kBatch) {
-    BatchIncrementalKeyer keyer(&encoder, group_indices_.size());
-    Batch batch;
-    std::vector<uint64_t> keys64;
-    std::vector<SmallByteKey> keys_spill;
-    while (child_->NextBatch(&batch)) {
-      keyer.Keys(batch, &group_indices_, &keys64, &keys_spill);
-      size_t n = batch.ActiveRows();
-      for (size_t i = 0; i < n; ++i) {
-        uint32_t gid = encoder.fits64() ? groups64.Intern(keys64[i])
-                                        : groups_spill.Intern(keys_spill[i]);
-        uint32_t row = batch.RowAt(i);
-        accumulate(gid, [&](size_t col) -> const Value& { return batch.At(row, col); });
-      }
-    }
-  } else {
+  if (UseTupleDrain(*child_)) {
     SmallByteKey spill;
     while (const Tuple* t = child_->NextRef()) {
       uint32_t gid;
-      if (encoder.fits64()) {
-        gid = groups64.Intern(encoder.Encode64(*t, &group_indices_));
+      if (groups.encoder.fits64()) {
+        gid = groups.groups64.Intern(groups.encoder.Encode64(*t, &group_indices_));
       } else {
-        encoder.EncodeSpill(*t, &group_indices_, &spill);
-        gid = groups_spill.Intern(spill);
+        groups.encoder.EncodeSpill(*t, &group_indices_, &spill);
+        gid = groups.groups_spill.Intern(spill);
       }
-      accumulate(gid, [&](size_t col) -> const Value& { return (*t)[col]; });
+      if (size_t{gid} * na >= groups.states.size()) groups.states.resize(groups.states.size() + na);
+      for (size_t j = 0; j < na; ++j) {
+        AggAccumulate(aggs_[j], (*t)[arg_indices_[j]], &groups.states[size_t{gid} * na + j]);
+      }
     }
+  } else {
+    // Parallel merges re-associate additions; only exact (integer) sums may
+    // take the chunked path.
+    bool exact = true;
+    for (size_t j = 0; j < na; ++j) {
+      if (aggs_[j].fn != AggFunc::kSum && aggs_[j].fn != AggFunc::kAvg) continue;
+      if (child_->schema().attribute(arg_indices_[j]).type != ValueType::kInt) exact = false;
+    }
+    AggregateSink sink(&groups, &aggs_, &group_indices_, &arg_indices_, exact);
+    RecordPipelineDop(RunPipeline(*child_, sink).dop);
   }
 
-  size_t num_groups = encoder.fits64() ? groups64.size() : groups_spill.size();
+  size_t num_groups = groups.num_groups();
   if (group_names_.empty() && num_groups == 0) {
     // GγF with no group attributes produces one global row even for empty
     // input (count = 0, sum/min/max/avg NULL).
     Tuple global;
-    for (size_t i = 0; i < na; ++i) global.push_back(AggFinish(aggs_[i], AggState{}));
+    for (size_t j = 0; j < na; ++j) global.push_back(AggFinish(aggs_[j], AggState{}));
     results_.push_back(std::move(global));
     return;
   }
@@ -81,12 +208,14 @@ void HashAggregateIterator::Open() {
   for (uint32_t gid = 0; gid < num_groups; ++gid) {
     Tuple t;
     t.reserve(group_indices_.size() + na);
-    if (encoder.fits64()) {
-      encoder.Decode(groups64.At(gid), &t);
+    if (groups.encoder.fits64()) {
+      groups.encoder.Decode(groups.groups64.At(gid), &t);
     } else {
-      encoder.Decode(groups_spill.At(gid), &t);
+      groups.encoder.Decode(groups.groups_spill.At(gid), &t);
     }
-    for (size_t i = 0; i < na; ++i) t.push_back(AggFinish(aggs_[i], states[size_t{gid} * na + i]));
+    for (size_t j = 0; j < na; ++j) {
+      t.push_back(AggFinish(aggs_[j], groups.states[size_t{gid} * na + j]));
+    }
     results_.push_back(std::move(t));
   }
 }

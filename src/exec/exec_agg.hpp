@@ -23,6 +23,7 @@ class HashAggregateIterator : public Iterator {
   void Close() override;
   const char* name() const override { return "HashAggregate"; }
   std::vector<Iterator*> InputIterators() override { return {child_.get()}; }
+  std::vector<size_t> BlockingInputs() override { return {0}; }
 
  private:
   IterPtr child_;

@@ -97,7 +97,7 @@ void BuildKeySet(Iterator& right, const std::vector<size_t>& right_reorder,
   size_t expected = right.EstimatedRows();
   if (encoder.fits64()) set64.reserve(expected);
   const std::vector<size_t>* reorder = right_reorder.empty() ? nullptr : &right_reorder;
-  if (GetExecMode() == ExecMode::kBatch) {
+  if (GetExecMode() != ExecMode::kTuple) {
     BatchIncrementalKeyer keyer(&encoder, encoder.num_cols());
     Batch batch;
     std::vector<uint64_t> keys64;
@@ -134,27 +134,31 @@ bool RelationScan::NextBatch(Batch* out) {
   size_t n = relation_->size();
   if (position_ >= n) return false;
   size_t take = std::min(GetBatchRows(), n - position_);
+  FillSpan(position_, take, out);
+  position_ += take;
+  CountRows(take);
+  return true;
+}
+
+void RelationScan::FillSpan(size_t begin, size_t count, Batch* out) const {
   // Use the encoding only when its shape matches this relation exactly — a
   // stale or mis-wired encoding (e.g. swapped dividend/divisor arguments)
   // must degrade to the row view, not emit another table's dictionary ids.
-  if (encoding_ != nullptr && encoding_->rows == n &&
+  if (encoding_ != nullptr && encoding_->rows == relation_->size() &&
       encoding_->columns.size() == relation_->schema().size()) {
     out->Reset(relation_->schema().size());
     for (size_t c = 0; c < encoding_->columns.size(); ++c) {
       const ColumnEncoding& src = encoding_->columns[c];
       BatchColumn& col = out->column(c);
       col.dict = &src.dict;
-      col.ids.assign(src.ids.begin() + position_, src.ids.begin() + position_ + take);
+      col.ids.assign(src.ids.begin() + begin, src.ids.begin() + begin + count);
     }
-    out->set_rows(take);
+    out->set_rows(count);
   } else {
     // No (or stale) encoding: a zero-copy row view into canonical storage.
     out->ResetRows();
-    for (size_t i = 0; i < take; ++i) out->AppendRowRef(&relation_->tuples()[position_ + i]);
+    for (size_t i = 0; i < count; ++i) out->AppendRowRef(&relation_->tuples()[begin + i]);
   }
-  position_ += take;
-  CountRows(take);
-  return true;
 }
 
 FilterIterator::FilterIterator(IterPtr child, ExprPtr predicate)

@@ -43,6 +43,14 @@ class RelationScan : public Iterator {
   std::vector<Iterator*> InputIterators() override { return {}; }
   size_t EstimatedRows() const override { return relation_->size(); }
 
+  /// Morsel interface for the pipeline executor (exec/pipeline.hpp): total
+  /// storage rows, and a positionless span read. FillSpan is const and
+  /// touches only the immutable relation/encoding, so concurrent workers
+  /// may read disjoint (or even overlapping) spans. Does not count rows —
+  /// the executor credits the bypassed chain once per pipeline.
+  size_t TotalRows() const { return relation_->size(); }
+  void FillSpan(size_t begin, size_t count, Batch* out) const;
+
  private:
   std::shared_ptr<const Relation> relation_;
   TableEncodingPtr encoding_;
@@ -202,6 +210,7 @@ class IntersectIterator : public Iterator {
   void Close() override;
   const char* name() const override { return "Intersect"; }
   std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
+  std::vector<size_t> BlockingInputs() override { return {1}; }
   size_t EstimatedRows() const override { return left_->EstimatedRows(); }
 
  private:
@@ -230,6 +239,7 @@ class DifferenceIterator : public Iterator {
   void Close() override;
   const char* name() const override { return "Difference"; }
   std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
+  std::vector<size_t> BlockingInputs() override { return {1}; }
   size_t EstimatedRows() const override { return left_->EstimatedRows(); }
 
  private:
@@ -255,6 +265,7 @@ class CrossProductIterator : public Iterator {
   void Close() override;
   const char* name() const override { return "CrossProduct"; }
   std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
+  std::vector<size_t> BlockingInputs() override { return {1}; }
 
  private:
   IterPtr left_;
@@ -267,7 +278,7 @@ class CrossProductIterator : public Iterator {
 };
 
 /// Shared build-side helper for ∩ / −: drains `right` into an encoded key
-/// set (mode-aware: batches in ExecMode::kBatch, tuples otherwise).
+/// set (mode-aware: tuples in ExecMode::kTuple, batches otherwise).
 void BuildKeySet(Iterator& right, const std::vector<size_t>& right_reorder,
                  IncrementalKeyEncoder& encoder,
                  std::unordered_set<uint64_t, FlatKeyHash>& set64,

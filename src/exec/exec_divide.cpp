@@ -4,6 +4,7 @@
 #include <type_traits>
 
 #include "exec/exec_basic.hpp"
+#include "exec/pipeline.hpp"
 #include "util/bitmap.hpp"
 #include "util/status.hpp"
 
@@ -215,68 +216,6 @@ DivisionIterator::DivisionIterator(IterPtr dividend, IterPtr divisor,
 
 const char* DivisionIterator::name() const { return DivisionAlgorithmName(algorithm_); }
 
-// Tuple-at-a-time drain (the PR 1 reference path, ExecMode::kTuple).
-void DivisionIterator::DrainTuple() {
-  // Build phase: dictionary-encode the divisor's B tuples.
-  while (const Tuple* t = divisor_->NextRef()) b_codec_.Add(*t, divisor_idx_);
-  b_codec_.Seal();
-
-  // Probe phase: number the divisor keys densely, then drain the dividend
-  // once, interning A keys and resolving each row's B columns to a divisor
-  // number (kMissB when any value never occurs in the divisor).
-  if (b_codec_.keys_are_dense_ids()) {
-    // Single B column: dictionary ids are the divisor numbers (the divisor
-    // is duplicate-free, so ids follow row order) — one dictionary probe
-    // per dividend row, no packing, no interning.
-    const ValueDict& bdict = b_codec_.dict(0);
-    divisor_count_ = bdict.size();
-    size_t bcol = b_idx_[0];
-    while (const Tuple* row = dividend_->NextRef()) {
-      a_codec_.Add(*row, a_idx_);
-      row_b_.push_back(bdict.Find((*row)[bcol]));  // kNotFound == kMissB
-    }
-  } else {
-    WithKeyView(b_codec_, [&](auto bview) {
-      using K = typename decltype(bview)::Key;
-      KeyInterner<K> divisor_numbers(b_codec_.rows());
-      for (size_t i = 0; i < b_codec_.rows(); ++i) divisor_numbers.Intern(bview.RowKey(i));
-      divisor_count_ = divisor_numbers.size();
-      K probe{};
-      while (const Tuple* row = dividend_->NextRef()) {
-        a_codec_.Add(*row, a_idx_);
-        uint32_t number = kMissB;
-        if (bview.TryEncode(*row, b_idx_, &probe)) {
-          number = divisor_numbers.Find(probe);  // kNotFound == kMissB
-        }
-        row_b_.push_back(number);
-      }
-    });
-  }
-}
-
-// Batched drain (ExecMode::kBatch): same two phases over encoded batches.
-// Scan dictionary ids translate into the codecs' id spaces through
-// per-column translation arrays, so each dividend row costs an array load
-// for its A key and one for its divisor number instead of Value hashes.
-void DivisionIterator::DrainBatch() {
-  Batch batch;
-  BatchCodecAppender b_append(&b_codec_, &divisor_idx_);
-  while (divisor_->NextBatch(&batch)) b_append.Append(batch);
-  b_codec_.Seal();
-
-  KeyNumbering divisor_numbers;
-  divisor_numbers.Build(b_codec_);
-  divisor_count_ = divisor_numbers.count();
-
-  BatchCodecAppender a_append(&a_codec_, &a_idx_);
-  BatchKeyProbe b_probe;
-  b_probe.Bind(&divisor_numbers, &b_codec_, &b_idx_);
-  while (dividend_->NextBatch(&batch)) {
-    a_append.Append(batch);
-    b_probe.Resolve(batch, &row_b_);  // kNotFound == kMissB
-  }
-}
-
 void DivisionIterator::Open() {
   ResetCount();
   results_.clear();
@@ -285,18 +224,40 @@ void DivisionIterator::Open() {
   dividend_->Open();
   divisor_->Open();
 
+  // Build pipeline: dictionary-encode the divisor's B tuples. Each drain
+  // picks its discipline per pipeline (exec/pipeline.hpp): tuple-at-a-time
+  // for tiny inputs and ExecMode::kTuple, serial batches in kBatch, and
+  // morsel-parallel chunk states merged in chunk order in kParallel.
   b_codec_ = KeyCodec(divisor_idx_.size());
   b_codec_.Reserve(divisor_->EstimatedRows());
+  if (UseTupleDrain(*divisor_)) {
+    while (const Tuple* t = divisor_->NextRef()) b_codec_.Add(*t, divisor_idx_);
+  } else {
+    CodecAppendSink sink(&b_codec_, &divisor_idx_);
+    RecordPipelineDop(RunPipeline(*divisor_, sink).dop);
+  }
+  b_codec_.Seal();
+
+  KeyNumbering divisor_numbers;
+  divisor_numbers.Build(b_codec_);
+  divisor_count_ = divisor_numbers.count();
+
+  // Probe pipeline: drain the dividend once, interning A keys and
+  // resolving each row's B columns to a divisor number (kMissB when any
+  // value never occurs in the divisor).
   a_codec_ = KeyCodec(a_idx_.size());
   size_t expected = dividend_->EstimatedRows();
   a_codec_.Reserve(expected);
   row_b_.clear();
   row_b_.reserve(expected);
-  divisor_count_ = 0;
-  if (GetExecMode() == ExecMode::kBatch) {
-    DrainBatch();
+  if (UseTupleDrain(*dividend_)) {
+    while (const Tuple* row = dividend_->NextRef()) {
+      a_codec_.Add(*row, a_idx_);
+      row_b_.push_back(divisor_numbers.Probe(*row, b_idx_));  // kNotFound == kMissB
+    }
   } else {
-    DrainTuple();
+    ProbeAppendSink sink(&a_codec_, &a_idx_, &divisor_numbers, &b_codec_, &b_idx_, &row_b_);
+    RecordPipelineDop(RunPipeline(*dividend_, sink).dop);
   }
   a_codec_.Seal();
 

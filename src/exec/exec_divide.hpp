@@ -49,10 +49,13 @@ const char* DivisionAlgorithmName(DivisionAlgorithm algorithm);
 /// two flat arrays — per-row A keys and per-row divisor numbers — instead of
 /// hash tables keyed by materialized Tuples.
 ///
-/// In ExecMode::kBatch both drains consume encoded batches: dictionary ids
+/// In batched modes both drains consume encoded batches: dictionary ids
 /// from the scans translate into the division's codecs through per-column
 /// translation arrays (see docs/batched_execution.md), so the per-row probe
-/// cost drops from a Value hash to an array load.
+/// cost drops from a Value hash to an array load. In ExecMode::kParallel
+/// each drain is a pipeline (exec/pipeline.hpp): the input's id spans run
+/// morsel-parallel into per-chunk codec/probe states that merge in chunk
+/// order, so results are bit-identical to the serial disciplines.
 class DivisionIterator : public Iterator {
  public:
   DivisionIterator(IterPtr dividend, IterPtr divisor, DivisionAlgorithm algorithm);
@@ -66,11 +69,9 @@ class DivisionIterator : public Iterator {
   std::vector<Iterator*> InputIterators() override {
     return {dividend_.get(), divisor_.get()};
   }
+  std::vector<size_t> BlockingInputs() override { return {0, 1}; }
 
  private:
-  void DrainTuple();
-  void DrainBatch();
-
   IterPtr dividend_;
   IterPtr divisor_;
   DivisionAlgorithm algorithm_;

@@ -1,10 +1,11 @@
 #include "exec/exec_great_divide.hpp"
 
 #include <algorithm>
-#include <thread>
 #include <unordered_set>
 
 #include "exec/exec_basic.hpp"
+#include "exec/pipeline.hpp"
+#include "exec/scheduler.hpp"
 #include "util/status.hpp"
 
 namespace quotient {
@@ -51,41 +52,6 @@ GreatDivideIterator::GreatDivideIterator(IterPtr dividend, IterPtr divisor,
   divisor_c_idx_ = IndicesOf(divisor_->schema(), attrs.c);
 }
 
-void GreatDivideIterator::DrainDivisorTuple() {
-  while (const Tuple* t = divisor_->NextRef()) {
-    b_codec_.Add(*t, divisor_b_idx_);
-    c_codec_.Add(*t, divisor_c_idx_);
-  }
-}
-
-void GreatDivideIterator::DrainDivisorBatch() {
-  BatchCodecAppender b_append(&b_codec_, &divisor_b_idx_);
-  BatchCodecAppender c_append(&c_codec_, &divisor_c_idx_);
-  Batch batch;
-  while (divisor_->NextBatch(&batch)) {
-    b_append.Append(batch);
-    c_append.Append(batch);
-  }
-}
-
-void GreatDivideIterator::DrainDividendTuple(Encoded* enc) {
-  while (const Tuple* row = dividend_->NextRef()) {
-    a_codec_.Add(*row, a_idx_);
-    enc->row_b.push_back(enc->b.Probe(*row, b_idx_));
-  }
-}
-
-void GreatDivideIterator::DrainDividendBatch(Encoded* enc) {
-  BatchCodecAppender a_append(&a_codec_, &a_idx_);
-  BatchKeyProbe b_probe;
-  b_probe.Bind(&enc->b, &b_codec_, &b_idx_);
-  Batch batch;
-  while (dividend_->NextBatch(&batch)) {
-    a_append.Append(batch);
-    b_probe.Resolve(batch, &enc->row_b);
-  }
-}
-
 void GreatDivideIterator::Open() {
   ResetCount();
   results_.clear();
@@ -93,19 +59,24 @@ void GreatDivideIterator::Open() {
 
   dividend_->Open();
   divisor_->Open();
-  bool batch_mode = GetExecMode() == ExecMode::kBatch;
 
-  // Build phase: dictionary-encode the divisor's B and C columns and number
-  // both key spaces densely.
+  // Build pipeline: dictionary-encode the divisor's B and C columns (one
+  // pass feeding both codecs) and number both key spaces densely. Drain
+  // discipline per pipeline: see exec/pipeline.hpp.
   b_codec_ = KeyCodec(divisor_b_idx_.size());
   c_codec_ = KeyCodec(divisor_c_idx_.size());
   size_t divisor_expected = divisor_->EstimatedRows();
   b_codec_.Reserve(divisor_expected);
   c_codec_.Reserve(divisor_expected);
-  if (batch_mode) {
-    DrainDivisorBatch();
+  if (UseTupleDrain(*divisor_)) {
+    while (const Tuple* t = divisor_->NextRef()) {
+      b_codec_.Add(*t, divisor_b_idx_);
+      c_codec_.Add(*t, divisor_c_idx_);
+    }
   } else {
-    DrainDivisorTuple();
+    CodecAppendSink sink(&b_codec_, &divisor_b_idx_);
+    sink.AddTarget(&c_codec_, &divisor_c_idx_);
+    RecordPipelineDop(RunPipeline(*divisor_, sink).dop);
   }
   b_codec_.Seal();
   c_codec_.Seal();
@@ -121,16 +92,20 @@ void GreatDivideIterator::Open() {
     enc.member_of[enc.b.row_ids()[i]].push_back(gid);
   }
 
-  // Probe phase: drain the dividend once, interning A keys and resolving
-  // each row's B columns to a divisor B number (or a miss).
+  // Probe pipeline: drain the dividend once, interning A keys and
+  // resolving each row's B columns to a divisor B number (or a miss).
   a_codec_ = KeyCodec(a_idx_.size());
   size_t expected = dividend_->EstimatedRows();
   a_codec_.Reserve(expected);
   enc.row_b.reserve(expected);
-  if (batch_mode) {
-    DrainDividendBatch(&enc);
+  if (UseTupleDrain(*dividend_)) {
+    while (const Tuple* row = dividend_->NextRef()) {
+      a_codec_.Add(*row, a_idx_);
+      enc.row_b.push_back(enc.b.Probe(*row, b_idx_));
+    }
   } else {
-    DrainDividendTuple(&enc);
+    ProbeAppendSink sink(&a_codec_, &a_idx_, &enc.b, &b_codec_, &b_idx_, &enc.row_b);
+    RecordPipelineDop(RunPipeline(*dividend_, sink).dop);
   }
   a_codec_.Seal();
   enc.a.Build(a_codec_);
@@ -252,25 +227,24 @@ Relation GreatDividePartitioned(const Relation& dividend, const Relation& diviso
 
   // One shared dividend encoding: workers translate from it instead of each
   // re-encoding the full dividend (read-only after Build, so no locking).
-  if (dividend_enc == nullptr && GetExecMode() == ExecMode::kBatch) {
+  if (dividend_enc == nullptr && GetExecMode() != ExecMode::kTuple) {
     dividend_enc = TableEncoding::Build(dividend);
   }
 
+  // Partitions run as tasks on the shared worker pool (exec/scheduler.hpp);
+  // the per-partition divisions detect they are on a pool worker and drain
+  // inline, so the partitioned strategy composes with the morsel-parallel
+  // pipelines without re-entering the pool.
   std::vector<Relation> partial(threads);
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (size_t i = 0; i < threads; ++i) {
-    workers.emplace_back([&, i] {
-      Relation part(divisor.schema(), std::move(parts[i]));
-      if (part.empty()) {
-        partial[i] = Relation(dividend.schema().Project(attrs.a).Concat(
-            divisor.schema().Project(attrs.c)));
-      } else {
-        partial[i] = ExecGreatDivide(dividend, part, GreatDivideAlgorithm::kHash, dividend_enc);
-      }
-    });
-  }
-  for (std::thread& w : workers) w.join();
+  ParallelFor(threads, [&](size_t i) {
+    Relation part(divisor.schema(), std::move(parts[i]));
+    if (part.empty()) {
+      partial[i] = Relation(dividend.schema().Project(attrs.a).Concat(
+          divisor.schema().Project(attrs.c)));
+    } else {
+      partial[i] = ExecGreatDivide(dividend, part, GreatDivideAlgorithm::kHash, dividend_enc);
+    }
+  });
 
   std::vector<Tuple> all;
   for (const Relation& r : partial) {

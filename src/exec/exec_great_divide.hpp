@@ -29,6 +29,7 @@ class GreatDivideIterator : public Iterator {
   std::vector<Iterator*> InputIterators() override {
     return {dividend_.get(), divisor_.get()};
   }
+  std::vector<size_t> BlockingInputs() override { return {0, 1}; }
 
  private:
   /// Key-encoded inputs, built once per Open() and shared by both
@@ -43,10 +44,6 @@ class GreatDivideIterator : public Iterator {
     std::vector<uint32_t> row_b;                  // dividend row -> B number or miss
   };
 
-  void DrainDivisorTuple();
-  void DrainDivisorBatch();
-  void DrainDividendTuple(Encoded* enc);
-  void DrainDividendBatch(Encoded* enc);
   void RunHash(const Encoded& enc);
   void RunGroupAtATime(const Encoded& enc);
 
@@ -100,6 +97,7 @@ class SetContainmentJoinIterator : public Iterator {
   void Close() override;
   const char* name() const override { return "SetContainmentJoin"; }
   std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
+  std::vector<size_t> BlockingInputs() override { return {0, 1}; }
 
  private:
   IterPtr left_;

@@ -1,5 +1,7 @@
 #include "exec/exec_join.hpp"
 
+#include "exec/pipeline.hpp"
+
 namespace quotient {
 
 namespace {
@@ -98,24 +100,16 @@ void HashJoinIterator::Open() {
   codec_.Reserve(right_->EstimatedRows());
   std::vector<Tuple> rest_rows;
   rest_rows.reserve(right_->EstimatedRows());
-  if (GetExecMode() == ExecMode::kBatch) {
-    BatchCodecAppender append(&codec_, &right_key_);
-    Batch batch;
-    while (right_->NextBatch(&batch)) {
-      append.Append(batch);
-      for (size_t i = 0; i < batch.ActiveRows(); ++i) {
-        uint32_t r = batch.RowAt(i);
-        Tuple rest;
-        rest.reserve(right_rest_.size());
-        for (size_t c : right_rest_) rest.push_back(batch.At(r, c));
-        rest_rows.push_back(std::move(rest));
-      }
-    }
-  } else {
+  // Build pipeline: key columns into the codec plus the projected rest of
+  // each build row, drained per exec/pipeline.hpp's discipline choice.
+  if (UseTupleDrain(*right_)) {
     while (const Tuple* t = right_->NextRef()) {
       codec_.Add(*t, right_key_);
       rest_rows.push_back(ProjectTuple(*t, right_rest_));
     }
+  } else {
+    JoinBuildSink sink(&codec_, &right_key_, &right_rest_, &rest_rows);
+    RecordPipelineDop(RunPipeline(*right_, sink).dop);
   }
   codec_.Seal();
   numbering_.Build(codec_);
@@ -222,22 +216,15 @@ void EquiJoinIterator::Open() {
   codec_.Reserve(right_->EstimatedRows());
   std::vector<Tuple> right_rows;
   right_rows.reserve(right_->EstimatedRows());
-  if (GetExecMode() == ExecMode::kBatch) {
-    BatchCodecAppender append(&codec_, &right_key_);
-    Batch batch;
-    Tuple t;
-    while (right_->NextBatch(&batch)) {
-      append.Append(batch);
-      for (size_t i = 0; i < batch.ActiveRows(); ++i) {
-        batch.ToTuple(batch.RowAt(i), &t);
-        right_rows.push_back(std::move(t));
-      }
-    }
-  } else {
+  // Build pipeline: key columns into the codec plus whole build rows.
+  if (UseTupleDrain(*right_)) {
     while (const Tuple* t = right_->NextRef()) {
       codec_.Add(*t, right_key_);
       right_rows.push_back(*t);
     }
+  } else {
+    JoinBuildSink sink(&codec_, &right_key_, /*proj=*/nullptr, &right_rows);
+    RecordPipelineDop(RunPipeline(*right_, sink).dop);
   }
   codec_.Seal();
   numbering_.Build(codec_);
@@ -297,18 +284,17 @@ void HashSemiJoinIterator::Open() {
   codec_ = KeyCodec(right_key_.size());
   codec_.Reserve(right_->EstimatedRows());
   right_empty_ = true;
-  if (GetExecMode() == ExecMode::kBatch) {
-    BatchCodecAppender append(&codec_, &right_key_);
-    Batch batch;
-    while (right_->NextBatch(&batch)) {
-      if (batch.ActiveRows() > 0) right_empty_ = false;
-      append.Append(batch);
-    }
-  } else {
+  // Build pipeline: the key codec doubles as the membership set.
+  if (UseTupleDrain(*right_)) {
     while (const Tuple* t = right_->NextRef()) {
       right_empty_ = false;
       codec_.Add(*t, right_key_);
     }
+  } else {
+    CodecAppendSink sink(&codec_, &right_key_);
+    PipelineStats stats = RunPipeline(*right_, sink);
+    RecordPipelineDop(stats.dop);
+    right_empty_ = stats.rows == 0;
   }
   codec_.Seal();
   numbering_.Build(codec_);

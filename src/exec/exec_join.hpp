@@ -46,6 +46,7 @@ class HashJoinIterator : public Iterator {
   void Close() override;
   const char* name() const override { return "HashJoin"; }
   std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
+  std::vector<size_t> BlockingInputs() override { return {1}; }
 
  private:
   IterPtr left_;
@@ -80,6 +81,7 @@ class NestedLoopJoinIterator : public Iterator {
   void Close() override;
   const char* name() const override { return "NestedLoopJoin"; }
   std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
+  std::vector<size_t> BlockingInputs() override { return {1}; }
 
  private:
   IterPtr left_;
@@ -109,6 +111,7 @@ class EquiJoinIterator : public Iterator {
   void Close() override;
   const char* name() const override { return "EquiJoin"; }
   std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
+  std::vector<size_t> BlockingInputs() override { return {1}; }
 
  private:
   IterPtr left_;
@@ -141,6 +144,7 @@ class HashSemiJoinIterator : public Iterator {
   void Close() override;
   const char* name() const override { return anti_ ? "HashAntiJoin" : "HashSemiJoin"; }
   std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
+  std::vector<size_t> BlockingInputs() override { return {1}; }
 
  private:
   IterPtr left_;

@@ -17,7 +17,7 @@ bool Iterator::NextBatch(Batch* out) {
 Relation ExecuteToRelation(Iterator& it) {
   it.Open();
   std::vector<Tuple> tuples;
-  if (GetExecMode() == ExecMode::kBatch) {
+  if (GetExecMode() != ExecMode::kTuple) {
     Batch batch;
     Tuple t;
     while (it.NextBatch(&batch)) {
@@ -48,12 +48,23 @@ size_t MaxRowsProduced(Iterator& root) {
   return max_rows;
 }
 
+size_t MaxPipelineDop(Iterator& root) {
+  size_t max_dop = root.pipeline_dop();
+  for (Iterator* child : root.InputIterators()) {
+    max_dop = std::max(max_dop, MaxPipelineDop(*child));
+  }
+  return max_dop;
+}
+
 namespace {
 
 void Render(Iterator& it, std::string* out, int indent) {
   out->append(static_cast<size_t>(indent) * 2, ' ');
   *out += it.name();
   *out += "  rows=" + std::to_string(it.rows_produced());
+  // Degree of parallelism of this operator's pipeline drains (recorded by
+  // the pipeline executor; 0 = tuple-mode or streaming operator).
+  if (it.pipeline_dop() > 0) *out += "  dop=" + std::to_string(it.pipeline_dop());
   *out += "  " + it.schema().ToString() + "\n";
   for (Iterator* child : it.InputIterators()) Render(*child, out, indent + 1);
 }

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -60,17 +62,45 @@ class Iterator {
   /// 0 means unknown. Valid before Open().
   virtual size_t EstimatedRows() const { return 0; }
 
+  /// Indices (into InputIterators()) of the children this operator fully
+  /// drains during Open() — the pipeline-breaker edges where the executor
+  /// splits the plan into pipelines (exec/pipeline.hpp). Children not
+  /// listed stream lazily and belong to this operator's own pipeline.
+  virtual std::vector<size_t> BlockingInputs() { return {}; }
+
   /// Tuples this operator has produced since Open().
-  size_t rows_produced() const { return rows_produced_; }
+  size_t rows_produced() const { return rows_produced_.load(std::memory_order_relaxed); }
+
+  /// Degree of parallelism the last Open() recorded for this operator's
+  /// pipeline drains (0 = none recorded; streaming operators never do).
+  size_t pipeline_dop() const { return pipeline_dop_; }
+
+  /// Pipeline-executor accounting hook: credits rows produced when a
+  /// parallel pipeline reads morsel spans straight from storage instead of
+  /// pulling this operator's NextBatch. Keeps EXPLAIN row totals identical
+  /// across execution modes and thread counts.
+  void AddProducedRows(size_t n) { CountRows(n); }
 
  protected:
-  void CountRow() { ++rows_produced_; }
+  void CountRow() { rows_produced_.fetch_add(1, std::memory_order_relaxed); }
   /// Batch producers count active rows, not batches, so ExplainTree and
   /// TotalRowsProduced stay comparable across execution modes. The Next()
   /// adapter must NOT call this — the wrapped Next() already counts.
-  void CountRows(size_t n) { rows_produced_ += n; }
-  void ResetCount() { rows_produced_ = 0; }
-  size_t rows_produced_ = 0;
+  void CountRows(size_t n) { rows_produced_.fetch_add(n, std::memory_order_relaxed); }
+  /// Clears the row counter AND the recorded pipeline parallelism; every
+  /// operator calls this at the top of Open().
+  void ResetCount() {
+    rows_produced_.store(0, std::memory_order_relaxed);
+    pipeline_dop_ = 0;
+  }
+  /// Blocking operators record the parallelism of each drain; EXPLAIN
+  /// shows the maximum over this Open()'s pipelines.
+  void RecordPipelineDop(size_t dop) { pipeline_dop_ = std::max(pipeline_dop_, dop); }
+  // Atomic so workers may account concurrently; the pipeline executor's
+  // merge discipline means all updates normally happen on the owning
+  // thread, but the counter must stay exact under any future interleaving.
+  std::atomic<size_t> rows_produced_{0};
+  size_t pipeline_dop_ = 0;
 
  private:
   Tuple ref_scratch_;  // backing storage for the default NextRef()
@@ -78,8 +108,8 @@ class Iterator {
 
 using IterPtr = std::unique_ptr<Iterator>;
 
-/// Drains `it` (Open/.../Close) into a canonical Relation, pulling batches
-/// in ExecMode::kBatch and tuples in ExecMode::kTuple.
+/// Drains `it` (Open/.../Close) into a canonical Relation, pulling tuples
+/// in ExecMode::kTuple and batches otherwise (kBatch and kParallel).
 Relation ExecuteToRelation(Iterator& it);
 
 /// Sum of rows_produced over the whole plan (call after draining).
@@ -87,6 +117,10 @@ size_t TotalRowsProduced(Iterator& root);
 
 /// Largest rows_produced of any single operator in the plan.
 size_t MaxRowsProduced(Iterator& root);
+
+/// Largest pipeline degree of parallelism recorded anywhere in the plan
+/// (0 when every drain ran tuple-at-a-time).
+size_t MaxPipelineDop(Iterator& root);
 
 /// Indented operator tree with per-operator row counts, for EXPLAIN ANALYZE
 /// style output.

@@ -26,4 +26,27 @@ void KeyCodec::Seal() {
   sealed_ = true;
 }
 
+void KeyCodec::AppendTranslated(const KeyCodec& part) {
+  size_t nc = dicts_.size();
+  if (part.num_rows_ == 0 || nc == 0) {
+    num_rows_ += part.num_rows_;
+    return;
+  }
+  // Lazy per-column translation: part id -> this codec's id, resolved once
+  // per (column, distinct part value). kNotFound marks unfilled slots — a
+  // translated id is always a real dense id, so it can never collide.
+  std::vector<std::vector<uint32_t>> xlat(nc);
+  for (size_t c = 0; c < nc; ++c) xlat[c].assign(part.dicts_[c].size(), ValueDict::kNotFound);
+  row_ids_.reserve(row_ids_.size() + part.row_ids_.size());
+  const uint32_t* src = part.row_ids_.data();
+  for (size_t r = 0; r < part.num_rows_; ++r, src += nc) {
+    for (size_t c = 0; c < nc; ++c) {
+      uint32_t& slot = xlat[c][src[c]];
+      if (slot == ValueDict::kNotFound) slot = dicts_[c].GetOrAdd(part.dicts_[c].At(src[c]));
+      row_ids_.push_back(slot);
+    }
+  }
+  num_rows_ += part.num_rows_;
+}
+
 }  // namespace quotient

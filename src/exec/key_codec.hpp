@@ -291,6 +291,14 @@ class KeyCodec {
     num_rows_ += nrows;
   }
 
+  /// Merge phase of parallel pipeline drains: appends every build row of
+  /// `part` (an unsealed chunk-local codec over the same key columns) into
+  /// this codec, translating part-local dictionary ids into this codec's
+  /// id spaces through lazy per-column translation arrays. Values are
+  /// interned on first sight in part-row order, so merging chunks in
+  /// chunk-index order reproduces the serial scan's id assignment exactly.
+  void AppendTranslated(const KeyCodec& part);
+
   /// Packs pre-resolved per-column ids into a flat key. Valid after Seal()
   /// when !spilled(); every id must come from this codec's dictionaries.
   uint64_t PackIds(const uint32_t* ids) const {
@@ -386,6 +394,7 @@ class IncrementalKeyEncoder {
 
   size_t num_cols() const { return dicts_.size(); }
   bool fits64() const { return dicts_.size() <= 2; }
+  const ValueDict& dict(size_t col) const { return dicts_[col]; }
 
   /// Key of `t`'s columns `indices` (nullptr = all of `t`), growing the
   /// dictionaries as needed. Only valid when fits64().

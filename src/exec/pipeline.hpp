@@ -1,0 +1,212 @@
+#pragma once
+
+// Pipeline-based parallel executor (docs/parallel_execution.md).
+//
+// A physical plan decomposes into pipelines at its breaker edges — child
+// streams a blocking operator fully drains during Open(): hash-table
+// builds, division codec drains, grouping, set-operation build sides. Each
+// such drain is "source → streaming ops → sink", and RunPipeline executes
+// it under the current ExecMode:
+//
+//   kTuple    — the operators' own tuple-at-a-time reference drains (the
+//               callers skip RunPipeline entirely, see UseTupleDrain);
+//   kBatch    — serial batched pull, exactly the PR 2 discipline;
+//   kParallel — morsel-driven: the source's rows are split into contiguous
+//               chunks of id spans, a worker pool (exec/scheduler.hpp) runs
+//               the batch kernels per chunk into per-chunk partial sink
+//               states, and the partials are merged in chunk-index order.
+//
+// The chunk-ordered merge is what makes parallel execution bit-identical to
+// serial batch execution at every thread count: iterating chunks in index
+// order and rows within a chunk in row order visits the input in exactly
+// the serial row order, so dictionary ids, candidate numberings, group
+// numbers, and result emission order all come out the same. Law 13's
+// partitioned great divide proved this merge shape correct for division;
+// the sinks here generalize it to every hash-based operator.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/batch.hpp"
+#include "exec/iterator.hpp"
+#include "exec/key_codec.hpp"
+
+namespace quotient {
+
+/// Target rows per parallel chunk (a "morsel" of contiguous source ids).
+/// Chunks grow past this when the input is large relative to the worker
+/// count (at most ~4 chunks per worker), and are never smaller than one
+/// batch. Default 4096; tests shrink it to force multi-chunk schedules on
+/// small fixtures.
+size_t GetMorselRows();
+void SetMorselRows(size_t rows);
+
+/// Inputs at or under this estimated row count drain tuple-at-a-time even
+/// in ExecMode::kParallel: batch/morsel setup costs more than it saves on
+/// tiny inputs (the minimal cost-based ExecMode choice from the ROADMAP).
+/// Default 64; 0 disables the heuristic (tests use this to force the
+/// parallel path on small fixtures).
+size_t GetSerialRowThreshold();
+void SetSerialRowThreshold(size_t rows);
+
+struct ScopedMorselRows {
+  explicit ScopedMorselRows(size_t rows) : saved(GetMorselRows()) { SetMorselRows(rows); }
+  ~ScopedMorselRows() { SetMorselRows(saved); }
+  size_t saved;
+};
+struct ScopedSerialRowThreshold {
+  explicit ScopedSerialRowThreshold(size_t rows) : saved(GetSerialRowThreshold()) {
+    SetSerialRowThreshold(rows);
+  }
+  ~ScopedSerialRowThreshold() { SetSerialRowThreshold(saved); }
+  size_t saved;
+};
+
+/// True when a blocking operator should drain `child` with its
+/// tuple-at-a-time reference path: always in ExecMode::kTuple, and in
+/// ExecMode::kParallel when the input is estimated under the serial row
+/// threshold. Decided per pipeline, so one operator may drain a tiny
+/// divisor tuple-wise while morsel-parallelizing a large dividend.
+bool UseTupleDrain(const Iterator& child);
+
+/// Partial state of one chunk of a parallel pipeline. Chunks are created
+/// up front, written by exactly one worker task, and merged in chunk-index
+/// order on the owning thread.
+class SinkChunk {
+ public:
+  virtual ~SinkChunk() = default;
+};
+
+/// Where a pipeline's rows land: a blocking operator's build state. A sink
+/// must implement both disciplines —
+///   ConsumeSerial : fold batches straight into the final state (serial
+///                   runs pay zero partial/merge overhead);
+///   MakeChunk / Consume / Merge : per-chunk partial states for parallel
+///                   runs; Consume is called concurrently on distinct
+///                   chunks and must only touch the chunk plus immutable
+///                   shared state; Merge runs serially in chunk order.
+class PipelineSink {
+ public:
+  virtual ~PipelineSink() = default;
+  virtual void ConsumeSerial(const Batch& batch) = 0;
+  virtual std::unique_ptr<SinkChunk> MakeChunk() = 0;
+  virtual void Consume(SinkChunk& chunk, const Batch& batch) = 0;
+  virtual void Merge(SinkChunk& chunk) = 0;
+  /// Sinks whose merge cannot reproduce the serial fold exactly (e.g.
+  /// floating-point sums) return false to force the serial discipline.
+  virtual bool AllowParallel() const { return true; }
+};
+
+/// What RunPipeline did, for EXPLAIN accounting.
+struct PipelineStats {
+  size_t rows = 0;    // active rows the sink consumed
+  size_t chunks = 1;  // partial states used (1 = serial)
+  size_t dop = 1;     // worker parallelism usable for those chunks
+};
+
+/// Drains `child` (already Open()ed) into `sink` under the current
+/// ExecMode; see the file comment for the disciplines. Parallel runs
+/// require the pipeline's source rows to be chunkable: a RelationScan
+/// source (under any chain of pass-through ρ) is split into id-span
+/// morsels read directly from storage; any other source is drained
+/// serially into buffered batches first and the batch kernels + sink work
+/// are parallelized over those.
+PipelineStats RunPipeline(Iterator& child, PipelineSink& sink);
+
+// ---------------------------------------------------------------- sinks
+// Reusable sinks for the standard drain shapes. All merges go through
+// KeyCodec::AppendTranslated, which re-interns each chunk's values in
+// chunk-row order — the serial id assignment, reproduced exactly.
+
+/// Appends the stream's key columns into one or more target KeyCodecs
+/// (division divisor drains, semi-join builds; the great divide's divisor
+/// feeds its B and C codecs from one pass via AddTarget).
+class CodecAppendSink : public PipelineSink {
+ public:
+  CodecAppendSink(KeyCodec* target, const std::vector<size_t>* indices) {
+    AddTarget(target, indices);
+  }
+  void AddTarget(KeyCodec* target, const std::vector<size_t>* indices);
+
+  void ConsumeSerial(const Batch& batch) override;
+  std::unique_ptr<SinkChunk> MakeChunk() override;
+  void Consume(SinkChunk& chunk, const Batch& batch) override;
+  void Merge(SinkChunk& chunk) override;
+
+ private:
+  struct Chunk;
+  std::vector<KeyCodec*> targets_;
+  std::vector<const std::vector<size_t>*> indices_;
+  std::vector<BatchCodecAppender> serial_;
+};
+
+/// The probe-side drain of ÷ and ÷*: appends the dividend's A columns into
+/// `a_codec` and resolves each row's B columns against a sealed divisor
+/// numbering into `row_b` (KeyNumbering::kNotFound = miss), both in row
+/// order.
+class ProbeAppendSink : public PipelineSink {
+ public:
+  ProbeAppendSink(KeyCodec* a_codec, const std::vector<size_t>* a_indices,
+                  const KeyNumbering* numbering, const KeyCodec* b_codec,
+                  const std::vector<size_t>* b_indices, std::vector<uint32_t>* row_b);
+
+  void ConsumeSerial(const Batch& batch) override;
+  std::unique_ptr<SinkChunk> MakeChunk() override;
+  void Consume(SinkChunk& chunk, const Batch& batch) override;
+  void Merge(SinkChunk& chunk) override;
+
+ private:
+  struct Chunk;
+  KeyCodec* a_codec_;
+  const std::vector<size_t>* a_indices_;
+  const KeyNumbering* numbering_;
+  const KeyCodec* b_codec_;
+  const std::vector<size_t>* b_indices_;
+  std::vector<uint32_t>* row_b_;
+  BatchCodecAppender serial_append_;
+  BatchKeyProbe serial_probe_;
+};
+
+/// Hash-join build drain: key columns into `codec`, plus one materialized
+/// Tuple per build row into `rows` (projected to `proj` when given, the
+/// whole row otherwise), in row order.
+class JoinBuildSink : public PipelineSink {
+ public:
+  JoinBuildSink(KeyCodec* codec, const std::vector<size_t>* key_indices,
+                const std::vector<size_t>* proj, std::vector<Tuple>* rows);
+
+  void ConsumeSerial(const Batch& batch) override;
+  std::unique_ptr<SinkChunk> MakeChunk() override;
+  void Consume(SinkChunk& chunk, const Batch& batch) override;
+  void Merge(SinkChunk& chunk) override;
+
+ private:
+  struct Chunk;
+  KeyCodec* codec_;
+  const std::vector<size_t>* key_indices_;
+  const std::vector<size_t>* proj_;  // nullptr = materialize whole rows
+  std::vector<Tuple>* rows_;
+  BatchCodecAppender serial_;
+};
+
+// -------------------------------------------- plan-level decomposition
+// Introspection over a built physical plan: the pipelines RunPipeline will
+// execute, derived from each operator's BlockingInputs() edges. EXPLAIN
+// uses this to report the plan's pipeline structure and per-pipeline
+// degree of parallelism.
+
+struct PipelineDesc {
+  Iterator* sink = nullptr;            // breaker (or root) terminating the pipeline
+  std::vector<Iterator*> ops;          // source-to-sink operator chain
+};
+
+/// All pipelines of the plan, sources before the pipelines that consume
+/// their output (children listed before parents).
+std::vector<PipelineDesc> DecomposePipelines(Iterator& root);
+
+/// One line per pipeline: "pipeline 0 dop=4: Scan -> HashDivision". Call
+/// after execution to see the recorded per-pipeline parallelism.
+std::string DescribePipelines(Iterator& root);
+
+}  // namespace quotient

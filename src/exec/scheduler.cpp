@@ -1,0 +1,203 @@
+#include "exec/scheduler.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace quotient {
+
+namespace {
+
+thread_local bool tls_on_worker = false;
+
+/// Marks the region owner as a worker while it drains tasks: a task that
+/// runs on the owner thread and starts a nested ParallelFor must execute
+/// inline (like tasks on pool workers do), not re-acquire the region
+/// mutex on the same thread.
+struct ScopedWorkerMark {
+  ScopedWorkerMark() : saved(tls_on_worker) { tls_on_worker = true; }
+  ~ScopedWorkerMark() { tls_on_worker = saved; }
+  bool saved;
+};
+
+size_t DefaultThreads() {
+  if (const char* env = std::getenv("QUOTIENT_THREADS")) {
+    char* end = nullptr;
+    long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed > 0) return static_cast<size_t>(parsed);
+  }
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::atomic<size_t>& ThreadsFlag() {
+  static std::atomic<size_t> threads{DefaultThreads()};
+  return threads;
+}
+
+/// The process-wide pool. Workers park on `work_cv` between regions and
+/// claim task indices from an atomic counter during one; the region owner
+/// participates as the (threads)-th worker. Leaked at exit so parked
+/// workers never race static destruction.
+struct Pool {
+  std::mutex region_mutex;  // admits one parallel region at a time
+
+  std::mutex m;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::vector<std::thread> workers;
+  bool stop = false;
+
+  // Current region's job (written by the owner before bumping generation).
+  uint64_t generation = 0;  // guarded by m
+  const std::function<void(size_t)>* fn = nullptr;
+  size_t count = 0;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  size_t active_workers = 0;  // workers inside DrainTasks, guarded by m
+  std::exception_ptr error;   // first task error, guarded by m
+
+  void RunTask(const std::function<void(size_t)>& f, size_t index) {
+    try {
+      f(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(m);
+      if (!error) error = std::current_exception();
+    }
+  }
+
+  /// Claims and runs tasks until the counter is exhausted; signals the
+  /// owner when the last task finishes.
+  void DrainTasks(const std::function<void(size_t)>& f, size_t task_count) {
+    while (true) {
+      size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= task_count) break;
+      RunTask(f, index);
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == task_count) {
+        std::lock_guard<std::mutex> lock(m);
+        done_cv.notify_all();
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    tls_on_worker = true;
+    uint64_t seen;
+    {
+      // Start in sync with the current generation: a worker spawned after
+      // regions already ran must wait for the next job, not chase an old
+      // generation number.
+      std::lock_guard<std::mutex> lock(m);
+      seen = generation;
+    }
+    while (true) {
+      const std::function<void(size_t)>* f = nullptr;
+      size_t task_count = 0;
+      {
+        std::unique_lock<std::mutex> lock(m);
+        work_cv.wait(lock, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+        // A finished region invalidates its job slot before the owner
+        // returns; a stale wakeup (the bump observed after that region
+        // ended) must not touch the dangling fn or the recycled counters.
+        if (fn == nullptr) continue;
+        f = fn;
+        task_count = count;
+        ++active_workers;
+      }
+      DrainTasks(*f, task_count);
+      {
+        // The owner must not recycle the job slots (fn, count, the atomic
+        // counters) while any worker can still touch them: it waits for
+        // active_workers to drain back to zero, not just for done == count.
+        std::lock_guard<std::mutex> lock(m);
+        if (--active_workers == 0) done_cv.notify_all();
+      }
+    }
+  }
+
+  /// Resizes the worker set; only called by a region owner while holding
+  /// region_mutex and with no job in flight.
+  void EnsureWorkers(size_t want) {
+    if (workers.size() == want) return;
+    {
+      std::lock_guard<std::mutex> lock(m);
+      stop = true;
+    }
+    work_cv.notify_all();
+    for (std::thread& w : workers) w.join();
+    workers.clear();
+    {
+      std::lock_guard<std::mutex> lock(m);
+      stop = false;
+    }
+    workers.reserve(want);
+    for (size_t i = 0; i < want; ++i) workers.emplace_back([this] { WorkerLoop(); });
+  }
+};
+
+Pool& ThePool() {
+  static Pool* pool = new Pool();  // leaked deliberately (see struct comment)
+  return *pool;
+}
+
+}  // namespace
+
+size_t GetExecThreads() { return ThreadsFlag().load(std::memory_order_relaxed); }
+
+void SetExecThreads(size_t threads) {
+  ThreadsFlag().store(threads == 0 ? 1 : threads, std::memory_order_relaxed);
+}
+
+bool OnWorkerThread() { return tls_on_worker; }
+
+void ParallelFor(size_t tasks, const std::function<void(size_t)>& fn) {
+  if (tasks == 0) return;
+  size_t threads = GetExecThreads();
+  if (tasks == 1 || threads <= 1 || tls_on_worker) {
+    for (size_t i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+
+  Pool& pool = ThePool();
+  std::lock_guard<std::mutex> region(pool.region_mutex);
+  pool.EnsureWorkers(threads - 1);  // the owner participates below
+  {
+    std::lock_guard<std::mutex> lock(pool.m);
+    pool.fn = &fn;
+    pool.count = tasks;
+    pool.next.store(0, std::memory_order_relaxed);
+    pool.done.store(0, std::memory_order_relaxed);
+    pool.error = nullptr;
+    ++pool.generation;
+  }
+  pool.work_cv.notify_all();
+  {
+    ScopedWorkerMark mark;  // nested ParallelFor from owner-run tasks inlines
+    pool.DrainTasks(fn, tasks);
+  }
+
+  std::unique_lock<std::mutex> lock(pool.m);
+  pool.done_cv.wait(lock, [&] {
+    return pool.done.load(std::memory_order_acquire) == tasks && pool.active_workers == 0;
+  });
+  // Invalidate the job slot before returning: `fn` points at the caller's
+  // stack, and a worker waking late off this region's generation bump must
+  // find nothing to run (see WorkerLoop).
+  pool.fn = nullptr;
+  pool.count = 0;
+  if (pool.error) {
+    std::exception_ptr error = pool.error;
+    pool.error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace quotient

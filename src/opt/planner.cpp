@@ -3,6 +3,7 @@
 #include "exec/exec_agg.hpp"
 #include "exec/exec_basic.hpp"
 #include "exec/exec_join.hpp"
+#include "exec/pipeline.hpp"
 #include "util/status.hpp"
 
 namespace quotient {
@@ -91,11 +92,13 @@ IterPtr Build(const PlanPtr& plan, const Catalog& catalog, const PlannerOptions&
   const LogicalOp& op = *plan;
   switch (op.kind()) {
     case LogicalOp::Kind::kScan:
-      // Batched plans scan through the catalog's cached per-table dictionary
-      // encoding, so repeated queries share encode work across Open()s.
+      // Batched and parallel plans scan through the catalog's cached
+      // per-table dictionary encoding, so repeated queries share encode
+      // work across Open()s and morsel workers share one immutable table
+      // encoding.
       return std::make_unique<RelationScan>(
           std::shared_ptr<const Relation>(&catalog.Get(op.table()), [](const Relation*) {}),
-          GetExecMode() == ExecMode::kBatch ? catalog.Encoding(op.table()) : nullptr);
+          GetExecMode() != ExecMode::kTuple ? catalog.Encoding(op.table()) : nullptr);
     case LogicalOp::Kind::kValues:
       return std::make_unique<RelationScan>(
           std::make_shared<const Relation>(op.values()));
@@ -184,7 +187,9 @@ Relation ExecutePlan(const PlanPtr& plan, const Catalog& catalog, const PlannerO
   if (profile != nullptr) {
     profile->total_rows = TotalRowsProduced(*root);
     profile->max_rows = MaxRowsProduced(*root);
+    profile->max_dop = MaxPipelineDop(*root);
     profile->explain = ExplainTree(*root);
+    profile->pipelines = DescribePipelines(*root);
   }
   return result;
 }

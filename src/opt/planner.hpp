@@ -29,11 +29,14 @@ struct PlannerOptions {
 IterPtr BuildPhysicalPlan(const PlanPtr& plan, const Catalog& catalog,
                           const PlannerOptions& options = {});
 
-/// Execution profile: per-operator row counts rolled up.
+/// Execution profile: per-operator row counts rolled up, plus the pipeline
+/// structure the parallel executor ran (exec/pipeline.hpp).
 struct ExecProfile {
   size_t total_rows = 0;      // sum of rows produced by every operator
   size_t max_rows = 0;        // largest single operator output
-  std::string explain;        // EXPLAIN ANALYZE style tree
+  size_t max_dop = 0;         // largest per-pipeline parallelism recorded
+  std::string explain;        // EXPLAIN ANALYZE style tree (rows + dop)
+  std::string pipelines;      // pipeline decomposition with per-pipeline dop
 };
 
 /// Builds, runs, and drains a physical plan; fills `profile` if given.

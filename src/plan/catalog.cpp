@@ -60,12 +60,35 @@ const Relation& Catalog::Get(const std::string& name) const {
 
 TableEncodingPtr Catalog::Encoding(const std::string& name) const {
   const Relation& relation = Get(name);
-  std::lock_guard<std::mutex> lock(encodings_mutex_);
-  auto it = encodings_.find(name);
-  if (it == encodings_.end()) {
-    it = encodings_.emplace(name, TableEncoding::Build(relation)).first;
+  std::promise<TableEncodingPtr> promise;
+  std::shared_future<TableEncodingPtr> future;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(encodings_mutex_);
+    auto it = encodings_.find(name);
+    if (it == encodings_.end()) {
+      it = encodings_.emplace(name, promise.get_future().share()).first;
+      builder = true;
+    }
+    future = it->second;
   }
-  return it->second;
+  if (builder) {
+    // Build outside the mutex: concurrent queries over other tables are
+    // not serialized, and threads racing on this table block on the future
+    // below instead of duplicating the dictionary construction.
+    try {
+      promise.set_value(TableEncoding::Build(relation));
+    } catch (...) {
+      // Don't poison the cache with a failed build: drop the entry so the
+      // next request retries, then deliver the error to current waiters.
+      {
+        std::lock_guard<std::mutex> lock(encodings_mutex_);
+        encodings_.erase(name);
+      }
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();
 }
 
 std::vector<std::string> Catalog::Names() const {

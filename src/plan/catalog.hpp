@@ -1,5 +1,6 @@
 #pragma once
 
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -23,6 +24,12 @@ namespace quotient {
 ///
 /// Metadata can be declared (trusted, as an RDBMS trusts its constraints) or
 /// verified against the stored data with the Check* functions.
+///
+/// Thread-safety: a catalog is shared-immutable during query execution —
+/// any number of threads may call the const read interface (Get, Encoding,
+/// the metadata queries) concurrently, including the pipeline executor's
+/// morsel workers. Put() and the Declare* mutators require external
+/// exclusivity (no concurrent readers), like DDL against a live table.
 class Catalog {
  public:
   Catalog() = default;
@@ -45,8 +52,11 @@ class Catalog {
   /// first request and cached until Put() replaces the relation. Scans over
   /// catalog tables share it, so repeated queries — and the Law 13
   /// partitioned great divide — stop rebuilding dictionaries on every
-  /// Open(). Thread-safe; the returned encoding is immutable and outlives
-  /// later invalidation (callers hold a shared_ptr).
+  /// Open(). Thread-safe: concurrent requests for the same table share one
+  /// build (the first caller constructs, the rest wait on its future) and
+  /// requests for different tables build concurrently — the cache mutex is
+  /// never held across dictionary construction. The returned encoding is
+  /// immutable and outlives later invalidation (callers hold a shared_ptr).
   TableEncodingPtr Encoding(const std::string& name) const;
 
   /// Declares `attrs` a key of `table`.
@@ -82,9 +92,12 @@ class Catalog {
   std::set<std::string> keys_;          // "table|a,b"
   std::set<std::string> foreign_keys_;  // "from|a,b|to"
   std::set<std::string> disjoint_;      // "t1|t2|a,b" (stored both ways)
-  // Lazily built per-table dictionary encodings (ROADMAP item 2).
+  // Lazily built per-table dictionary encodings (ROADMAP item 2). Each
+  // entry is a shared future so concurrent first requests for one table
+  // never race on (or duplicate) dictionary construction; the build itself
+  // runs outside encodings_mutex_.
   mutable std::mutex encodings_mutex_;
-  mutable std::map<std::string, TableEncodingPtr> encodings_;
+  mutable std::map<std::string, std::shared_future<TableEncodingPtr>> encodings_;
 };
 
 }  // namespace quotient
