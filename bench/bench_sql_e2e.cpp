@@ -1,0 +1,160 @@
+// End-to-end SQL through the Session front door: parse -> lower -> law
+// rewrites -> physical planning -> (parallel) pipeline execution, against a
+// generated suppliers-and-parts database. The cache-miss fixtures price the
+// whole compile+run path; the cache-hit fixtures isolate what the LRU plan
+// cache saves; the oracle fixture is the tuple-at-a-time interpreter
+// baseline the Session replaced as the default path.
+//
+// scripts/run_benchmarks.sh runs this binary into
+// bench-results/BENCH_sql.json.
+
+#include <benchmark/benchmark.h>
+
+#include "api/session.hpp"
+#include "bench_common.hpp"
+#include "sql/interp.hpp"
+
+namespace quotient {
+namespace {
+
+/// supplies(s#, p#) with `suppliers` suppliers over `parts` parts (full
+/// coverage for a fixed fraction so quotients are nonempty), and
+/// parts(p#, color) cycling through four colors.
+void FillTables(int64_t suppliers, int64_t parts, Session* session, Catalog* catalog) {
+  DataGen gen(17);
+  std::vector<Tuple> supply_rows;
+  for (int64_t s = 1; s <= suppliers; ++s) {
+    bool full = s % 10 == 0;  // every 10th supplier covers everything
+    for (int64_t p = 1; p <= parts; ++p) {
+      if (full || gen.Chance(0.3)) supply_rows.push_back({V(s), V(p)});
+    }
+  }
+  static const char* kColors[] = {"blue", "red", "green", "white"};
+  std::vector<Tuple> part_rows;
+  for (int64_t p = 1; p <= parts; ++p) {
+    part_rows.push_back({V(p), V(kColors[p % 4])});
+  }
+  Relation supplies(Schema::Parse("s#, p#"), std::move(supply_rows));
+  Relation part_rel(Schema::Parse("p#:int, color:string"), std::move(part_rows));
+  if (session != nullptr) {
+    session->CreateTable("supplies", supplies);
+    session->CreateTable("parts", part_rel);
+  }
+  if (catalog != nullptr) {
+    catalog->Put("supplies", std::move(supplies));
+    catalog->Put("parts", std::move(part_rel));
+  }
+}
+
+const char* kDivideSql =
+    "SELECT s#, color FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p# "
+    "WHERE color = 'blue'";
+
+void BM_SessionDivide_CacheMiss(benchmark::State& state) {
+  SessionOptions options;
+  options.plan_cache_capacity = 0;  // full parse+rewrite+plan every time
+  Session session(options);
+  FillTables(state.range(0), state.range(1), &session, nullptr);
+  for (auto _ : state) {
+    Result<QueryResult> result = session.Execute(kDivideSql);
+    if (!result.ok()) {
+      state.SkipWithError(result.error().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(result.value().rows);
+  }
+}
+BENCHMARK(BM_SessionDivide_CacheMiss)
+    ->ArgNames({"suppliers", "parts"})
+    ->Args({64, 16})
+    ->Args({512, 32})
+    ->Args({2048, 64})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SessionDivide_CacheHit(benchmark::State& state) {
+  Session session;
+  FillTables(state.range(0), state.range(1), &session, nullptr);
+  (void)session.Execute(kDivideSql);  // warm the plan cache
+  for (auto _ : state) {
+    Result<QueryResult> result = session.Execute(kDivideSql);
+    if (!result.ok()) {
+      state.SkipWithError(result.error().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(result.value().rows);
+  }
+}
+BENCHMARK(BM_SessionDivide_CacheHit)
+    ->ArgNames({"suppliers", "parts"})
+    ->Args({64, 16})
+    ->Args({512, 32})
+    ->Args({2048, 64})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_OracleInterpreter_Divide(benchmark::State& state) {
+  Catalog catalog;
+  FillTables(state.range(0), state.range(1), nullptr, &catalog);
+  for (auto _ : state) {
+    Result<Relation> result = sql::ExecuteSql(kDivideSql, catalog);
+    if (!result.ok()) {
+      state.SkipWithError(result.error().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(result.value());
+  }
+}
+BENCHMARK(BM_OracleInterpreter_Divide)
+    ->ArgNames({"suppliers", "parts"})
+    ->Args({64, 16})
+    ->Args({512, 32})
+    ->Args({2048, 64})
+    ->Unit(benchmark::kMicrosecond);
+
+// Compile-only cost (EXPLAIN does not execute): what Prepare()+cache avoid.
+void BM_SessionCompileOnly(benchmark::State& state) {
+  SessionOptions options;
+  options.plan_cache_capacity = 0;
+  Session session(options);
+  FillTables(64, 16, &session, nullptr);
+  std::string explain = std::string("EXPLAIN ") + kDivideSql;
+  for (auto _ : state) {
+    Result<QueryResult> result = session.Execute(explain);
+    if (!result.ok()) {
+      state.SkipWithError(result.error().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(result.value().rows);
+  }
+}
+BENCHMARK(BM_SessionCompileOnly)->Unit(benchmark::kMicrosecond);
+
+void BM_SessionPrepared_InSubquery(benchmark::State& state) {
+  Session session;
+  FillTables(state.range(0), state.range(1), &session, nullptr);
+  Result<PreparedStatement> prepared = session.Prepare(
+      "SELECT DISTINCT s# FROM supplies WHERE p# IN ("
+      "SELECT p# FROM parts WHERE color = ?)");
+  if (!prepared.ok()) {
+    state.SkipWithError(prepared.error().c_str());
+    return;
+  }
+  (void)prepared.value().Execute({Value::Str("red")});  // warm
+  for (auto _ : state) {
+    Result<QueryResult> result = prepared.value().Execute({Value::Str("red")});
+    if (!result.ok()) {
+      state.SkipWithError(result.error().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(result.value().rows);
+  }
+}
+BENCHMARK(BM_SessionPrepared_InSubquery)
+    ->ArgNames({"suppliers", "parts"})
+    ->Args({512, 32})
+    ->Args({2048, 64})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace quotient
+
+BENCHMARK_MAIN();

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "algebra/generator.hpp"
+#include "api/session.hpp"
 #include "mining/apriori.hpp"
 
 using namespace quotient;
@@ -13,7 +14,18 @@ int main() {
   DataGen gen(7);
   Relation transactions = gen.Transactions(/*transactions=*/60, /*items=*/15,
                                            /*min_size=*/2, /*max_size=*/6);
-  std::printf("synthetic baskets: %zu (tid, item) rows\n\n", transactions.size());
+  std::printf("synthetic baskets: %zu (tid, item) rows\n", transactions.size());
+
+  // Registered through the Session front door like any client data, so SQL
+  // can inspect the vertical layout before mining starts.
+  Session session;
+  session.CreateTable("transactions", transactions);
+  Result<QueryResult> stats = session.Execute(
+      "SELECT tid, COUNT(item) AS basket FROM transactions GROUP BY tid "
+      "HAVING COUNT(item) >= 6");
+  if (stats.ok()) {
+    std::printf("baskets with >= 6 items (via SQL): %zu\n\n", stats.value().rows.size());
+  }
 
   const int64_t min_support = 10;
   for (auto method : {mining::SupportCounting::kGreatDivide,

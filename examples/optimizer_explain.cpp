@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "algebra/generator.hpp"
+#include "api/session.hpp"
 #include "opt/optimizer.hpp"
 
 using namespace quotient;
@@ -67,5 +68,19 @@ int main() {
                                                {{AggFunc::kSum, "x", "b"}}),
                             LogicalOp::Scan(catalog, "one")),
           catalog);
+
+  // The same machinery from SQL: the Session front door runs EXPLAIN as a
+  // statement, so clients see the rewrite trace without building plans.
+  Session session;
+  session.CreateTable("r1", catalog.Get("r1"));
+  session.CreateTable("r2", catalog.Get("r2"));
+  Result<QueryResult> explained = session.Execute(
+      "EXPLAIN SELECT a FROM r1 DIVIDE BY r2 ON r1.b = r2.b WHERE a < 20");
+  if (explained.ok()) {
+    std::printf("================ the same Law 3 pushdown, via SQL EXPLAIN\n");
+    for (const Tuple& line : explained.value().rows.tuples()) {
+      std::printf("%s\n", line[1].ToString().c_str());
+    }
+  }
   return 0;
 }

@@ -1,48 +1,85 @@
-// Quickstart: build relations, run the small and great divide, and ask the
-// classic universal-quantification question from the paper's introduction:
-// "Find the suppliers that supply all blue parts."
+// Quickstart: open a Session — the engine's one front door — load the
+// suppliers-and-parts data, and ask the classic universal-quantification
+// question from the paper's introduction ("find the suppliers that supply
+// all blue parts") with the §4 DIVIDE BY syntax. Every statement here is
+// parsed, lowered to a logical plan with first-class division, rewritten by
+// the paper's laws, and executed on the parallel pipeline executor.
 
 #include <cstdio>
 
-#include "algebra/divide.hpp"
-#include "algebra/ops.hpp"
+#include "api/session.hpp"
 
 using namespace quotient;
 
-int main() {
-  // supplies(s#, p#): which supplier supplies which part.
-  Relation supplies = Relation::Parse("s#, p#",
-                                      "1,1; 1,2; 1,3; 1,4;"
-                                      "2,1; 2,3;"
-                                      "3,2; 3,4;"
-                                      "4,1; 4,2");
-  // parts(p#, color).
-  Relation parts = Relation::FromRows(
-      "p#:int, color:string",
-      {{V(1), V("blue")}, {V(2), V("red")}, {V(3), V("blue")}, {V(4), V("red")}});
+namespace {
 
-  std::printf("supplies:\n%s\n", supplies.ToString().c_str());
-  std::printf("parts:\n%s\n", parts.ToString().c_str());
+void Show(const char* label, Result<QueryResult> result) {
+  std::printf("-- %s\n", label);
+  if (!result.ok()) {
+    std::printf("ERROR: %s\n\n", result.error().c_str());
+    return;
+  }
+  std::printf("%s\n", result.value().rows.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  Session session;
+
+  // supplies(s#, p#): which supplier supplies which part; parts(p#, color).
+  session.CreateTable("supplies", Relation::Parse("s#, p#",
+                                                  "1,1; 1,2; 1,3; 1,4;"
+                                                  "2,1; 2,3;"
+                                                  "3,2; 3,4;"
+                                                  "4,1; 4,2"));
+  session.CreateTable("parts", "p#:int, color:string");
+  session.InsertRows("parts", {{V(1), V("blue")},
+                               {V(2), V("red")},
+                               {V(3), V("blue")},
+                               {V(4), V("red")}});
+
+  Show("the data", session.Execute("SELECT * FROM supplies"));
 
   // Small divide: suppliers supplying ALL blue parts.
-  Relation blue = Project(Select(parts, Expr::ColCmp("color", CmpOp::kEq, Value::Str("blue"))),
-                          {"p#"});
-  Relation all_blue_suppliers = Divide(supplies, blue);
-  std::printf("suppliers that supply all blue parts (supplies / blue_parts):\n%s\n",
-              all_blue_suppliers.ToString().c_str());
+  Show("suppliers that supply all blue parts (small divide)",
+       session.Execute("SELECT s# FROM supplies AS s DIVIDE BY ("
+                       "SELECT p# FROM parts WHERE color = 'blue') AS p ON s.p# = p.p#"));
 
   // Great divide: for EVERY color at once — one divisor group per color.
-  Relation quotient = GreatDivide(supplies, parts);
-  std::printf("per color, the suppliers supplying all parts of that color (/*):\n%s\n",
-              quotient.ToString().c_str());
+  Show("per color, the suppliers supplying all parts of that color (great divide)",
+       session.Execute(
+           "SELECT s#, color FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p#"));
 
-  // The three definitions of each operator agree (Theorem 1 of the paper).
-  bool small_agree = DivideCodd(supplies, blue) == DivideHealy(supplies, blue) &&
-                     DivideHealy(supplies, blue) == DivideMaier(supplies, blue);
-  bool great_agree = GreatDivideSCD(supplies, parts) == GreatDivideDemolombe(supplies, parts) &&
-                     GreatDivideDemolombe(supplies, parts) == GreatDivideTodd(supplies, parts);
-  std::printf("all small-divide definitions agree: %s\n", small_agree ? "yes" : "no");
-  std::printf("all great-divide definitions agree: %s (Theorem 1)\n",
-              great_agree ? "yes" : "no");
+  // Prepared statement: parse once, bind the color per execution; repeated
+  // bindings hit the plan cache.
+  Result<PreparedStatement> by_color = session.Prepare(
+      "SELECT s# FROM supplies AS s DIVIDE BY ("
+      "SELECT p# FROM parts WHERE color = ?) AS p ON s.p# = p.p#");
+  if (by_color.ok()) {
+    for (const char* color : {"blue", "red", "blue"}) {
+      Result<QueryResult> result = by_color.value().Execute({Value::Str(color)});
+      if (result.ok()) {
+        std::printf("suppliers covering all %s parts: %zu (cache %s)\n", color,
+                    result.value().rows.size(),
+                    result.value().profile.plan_cache_hit ? "hit" : "miss");
+      }
+    }
+  }
+
+  // Cursors stream rows without materializing the whole result.
+  Result<ResultCursor> cursor = session.Query("SELECT * FROM parts");
+  if (cursor.ok()) {
+    std::printf("\nstreaming parts:\n");
+    Tuple row;
+    while (cursor.value().Next(&row)) {
+      std::printf("  p#=%s color=%s\n", row[0].ToString().c_str(), row[1].ToString().c_str());
+    }
+  }
+
+  // EXPLAIN shows the compile story: the applied laws and the final plan.
+  Show("EXPLAIN of a filtered great divide (watch the laws fire)",
+       session.Execute("EXPLAIN SELECT s#, color FROM supplies AS s DIVIDE BY parts AS p "
+                       "ON s.p# = p.p# WHERE color = 'red'"));
   return 0;
 }

@@ -1,72 +1,81 @@
-// The Section 4 walk-through: the hypothetical DIVIDE BY syntax against the
-// suppliers-and-parts database, including the double-NOT-EXISTS formulation
-// Q3 and the check that it equals the divide-based Q1.
+// The Section 4 walk-through on the Session API: the hypothetical DIVIDE BY
+// syntax against the suppliers-and-parts database, the double-NOT-EXISTS
+// formulation Q3 (which the compiler cannot express — it transparently runs
+// on the oracle interpreter, with the reason recorded), and EXPLAIN ANALYZE
+// showing the full compile+run story.
 
 #include <cstdio>
 
-#include "plan/catalog.hpp"
-#include "sql/binder.hpp"
-#include "sql/interp.hpp"
+#include "api/session.hpp"
 
 using namespace quotient;
 
 namespace {
 
-void RunAndShow(const char* label, const char* query, const Catalog& catalog) {
+void RunAndShow(Session& session, const char* label, const char* query) {
   std::printf("-- %s\n%s\n", label, query);
-  Result<Relation> result = sql::ExecuteSql(query, catalog);
+  Result<QueryResult> result = session.Execute(query);
   if (!result.ok()) {
     std::printf("ERROR: %s\n\n", result.error().c_str());
     return;
   }
-  std::printf("%s\n", result.value().ToString().c_str());
+  std::printf("%s", result.value().rows.ToString().c_str());
+  if (result.value().compile.compiled) {
+    std::printf("[compiled; %zu law rewrite(s)]\n\n",
+                result.value().profile.rewrite_steps);
+  } else {
+    std::printf("[oracle fallback: %s]\n\n",
+                result.value().compile.fallback_reason.c_str());
+  }
 }
 
 }  // namespace
 
 int main() {
-  Catalog catalog;
-  catalog.Put("supplies", Relation::Parse("s#, p#",
-                                          "1,1; 1,2; 1,3; 1,4;"
-                                          "2,1; 2,3;"
-                                          "3,2; 3,4;"
-                                          "4,1; 4,2"));
-  catalog.Put("parts",
-              Relation::FromRows("p#:int, color:string", {{V(1), V("blue")},
-                                                          {V(2), V("red")},
-                                                          {V(3), V("blue")},
-                                                          {V(4), V("red")}}));
+  Session session;
+  session.CreateTable("supplies", Relation::Parse("s#, p#",
+                                                  "1,1; 1,2; 1,3; 1,4;"
+                                                  "2,1; 2,3;"
+                                                  "3,2; 3,4;"
+                                                  "4,1; 4,2"));
+  session.CreateTable("parts",
+                      Relation::FromRows("p#:int, color:string", {{V(1), V("blue")},
+                                                                  {V(2), V("red")},
+                                                                  {V(3), V("blue")},
+                                                                  {V(4), V("red")}}));
 
-  RunAndShow("Q1: great divide — all parts of each color",
-             "SELECT s#, color FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p#",
-             catalog);
+  RunAndShow(session, "Q1: great divide — all parts of each color",
+             "SELECT s#, color FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p#");
 
-  RunAndShow("Q2: small divide — all blue parts",
+  RunAndShow(session, "Q2: small divide — all blue parts",
              "SELECT s# FROM supplies AS s DIVIDE BY ("
-             "SELECT p# FROM parts WHERE color = 'blue') AS p ON s.p# = p.p#",
-             catalog);
+             "SELECT p# FROM parts WHERE color = 'blue') AS p ON s.p# = p.p#");
 
-  RunAndShow("Q3: the same as Q1 via double NOT EXISTS",
+  // Q3 nests a correlation two query levels deep; detecting the division
+  // hiding inside is exactly what the paper calls hard (§4). The Session
+  // falls back to the tuple-calculus oracle and says so.
+  RunAndShow(session, "Q3: the same as Q1 via double NOT EXISTS",
              "SELECT DISTINCT s#, color FROM supplies AS s1, parts AS p1 "
              "WHERE NOT EXISTS (SELECT * FROM parts AS p2 WHERE p2.color = p1.color "
              "AND NOT EXISTS (SELECT * FROM supplies AS s2 WHERE s2.p# = p2.p# AND "
-             "s2.s# = s1.s#))",
-             catalog);
+             "s2.s# = s1.s#))");
 
-  // The plannable path: Q1 becomes a first-class GreatDivide operator.
-  Result<PlanPtr> plan = sql::PlanSql(
-      "SELECT s#, color FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p#", catalog);
-  if (plan.ok()) {
-    std::printf("-- Q1 as a logical plan (note the first-class GreatDivide):\n%s\n",
-                plan.value()->ToString().c_str());
+  // One-level equality correlation, by contrast, IS expressible: the
+  // compiler turns it into a semi-join.
+  RunAndShow(session, "one-level EXISTS compiles to a semi-join",
+             "SELECT DISTINCT s# FROM supplies AS s1 WHERE EXISTS ("
+             "SELECT * FROM parts AS p WHERE p.p# = s1.p# AND p.color = 'blue')");
+
+  // EXPLAIN ANALYZE: rewrite trace, plan-cache flag, dop, and the operator
+  // profile of the parallel pipeline executor, as one relation of lines.
+  Result<QueryResult> explain = session.Execute(
+      "EXPLAIN ANALYZE SELECT s#, color FROM supplies AS s DIVIDE BY parts AS p "
+      "ON s.p# = p.p# WHERE color = 'red'");
+  if (explain.ok()) {
+    std::printf("-- EXPLAIN ANALYZE of the filtered Q1:\n");
+    for (const Tuple& line : explain.value().rows.tuples()) {
+      std::printf("%s\n", line[1].ToString().c_str());
+    }
   }
-
-  // Q3 is rejected by the binder — detecting division inside NOT EXISTS is
-  // exactly what the paper says is hard (§4); only the interpreter runs it.
-  Result<PlanPtr> q3_plan = sql::PlanSql(
-      "SELECT DISTINCT s# FROM supplies AS s1 WHERE NOT EXISTS (SELECT * FROM parts)",
-      catalog);
-  std::printf("-- binder on a NOT EXISTS query: %s\n",
-              q3_plan.ok() ? "planned (unexpected)" : q3_plan.error().c_str());
   return 0;
 }

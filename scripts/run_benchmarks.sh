@@ -12,6 +12,10 @@
 #     BENCH_parallel.json        QUOTIENT_THREADS=1 vs N A/B of the
 #                                morsel-driven parallel executor
 #                                (docs/parallel_execution.md)
+#     BENCH_sql.json             end-to-end SQL through the Session front
+#                                door (parse -> rewrite laws -> parallel
+#                                exec; plan-cache hit vs miss vs the oracle
+#                                interpreter; docs/api.md)
 #   Compare runs with benchmark's own tools/compare.py, or just diff the
 #   real_time fields. QUOTIENT_BENCH_THREADS overrides the parallel A/B's
 #   high thread count (default: nproc, min 2).
@@ -23,7 +27,7 @@ build_dir="${repo_root}/build-bench"
 
 cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${build_dir}" -j "$(nproc)" \
-  --target bench_division_algorithms bench_key_codec \
+  --target bench_division_algorithms bench_key_codec bench_sql_e2e \
            bench_law10_semijoin bench_law13_partitioned_great_divide >/dev/null
 
 mkdir -p "${out_dir}"
@@ -62,6 +66,13 @@ run_bench bench_law13_partitioned_great_divide tuple "${out_dir}/.law13_tuple.js
 # its pool-scheduled partitions).
 par_threads="${QUOTIENT_BENCH_THREADS:-$(nproc)}"
 if [ "${par_threads}" -lt 2 ]; then par_threads=2; fi
+
+# End-to-end SQL through the Session front door, in the production
+# configuration (parallel executor at the A/B's high thread count):
+# compile+run on a cold plan cache vs warm cache vs the oracle interpreter
+# baseline, plus prepared-statement re-execution.
+run_bench_threads bench_sql_e2e "${par_threads}" "${out_dir}/BENCH_sql.json"
+
 run_bench_threads bench_division_algorithms 1 "${out_dir}/.div_par1.json"
 run_bench_threads bench_division_algorithms "${par_threads}" "${out_dir}/.div_parN.json"
 run_bench_threads bench_law10_semijoin 1 "${out_dir}/.law10_par1.json"
@@ -147,4 +158,5 @@ PY
 rm -f "${out_dir}"/.law1[03]_*.json "${out_dir}"/.div_par*.json
 
 echo "Wrote ${out_dir}/BENCH_division.json, BENCH_division_tuple.json," \
-     "BENCH_key_codec.json, BENCH_batched.json and BENCH_parallel.json"
+     "BENCH_key_codec.json, BENCH_batched.json, BENCH_parallel.json" \
+     "and BENCH_sql.json"

@@ -1,0 +1,501 @@
+#include "api/session.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <string_view>
+
+#include "exec/exec_basic.hpp"
+#include "exec/pipeline.hpp"
+#include "sql/interp.hpp"
+#include "sql/lexer.hpp"
+#include "sql/lower.hpp"
+#include "sql/parser.hpp"
+#include "util/csv.hpp"
+
+namespace quotient {
+
+namespace {
+
+/// Case-insensitively strips one leading word (plus surrounding whitespace)
+/// from `*text`; the word must end at a non-identifier character.
+bool StripWord(std::string_view* text, std::string_view word) {
+  std::string_view rest = *text;
+  while (!rest.empty() && std::isspace(static_cast<unsigned char>(rest.front()))) {
+    rest.remove_prefix(1);
+  }
+  if (rest.size() < word.size()) return false;
+  for (size_t i = 0; i < word.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(rest[i])) != word[i]) return false;
+  }
+  if (rest.size() > word.size()) {
+    char next = rest[word.size()];
+    if (std::isalnum(static_cast<unsigned char>(next)) || next == '_') return false;
+  }
+  rest.remove_prefix(word.size());
+  *text = rest;
+  return true;
+}
+
+/// Whitespace- and keyword-case-insensitive plan-cache key: the token
+/// stream re-rendered with single spaces (keywords are already upper-cased
+/// by the lexer; identifiers keep their case — names are case-sensitive).
+std::string NormalizeSql(const std::vector<sql::Token>& tokens) {
+  std::string out;
+  for (const sql::Token& token : tokens) {
+    if (token.kind == sql::TokenKind::kEnd) break;
+    if (!out.empty()) out += ' ';
+    if (token.kind == sql::TokenKind::kString) {
+      out += '\'' + token.text + '\'';
+    } else {
+      out += token.text;
+    }
+  }
+  return out;
+}
+
+void AppendBlock(const std::string& text, const std::string& indent,
+                 std::vector<std::string>* lines) {
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    lines->push_back(indent + text.substr(start, end - start));
+    start = end + 1;
+  }
+}
+
+/// The plan-cache key of one '?' binding: the normalized SQL plus each
+/// value as "|<type>:<length>:<text>". The length prefix keeps the
+/// encoding injective — a '|' inside a string parameter cannot collide
+/// with the separator (and '|' never occurs in normalized SQL; the lexer
+/// rejects it).
+std::string BindingCacheKey(const std::string& normalized, const std::vector<Value>& params) {
+  std::string key = normalized;
+  for (const Value& v : params) {
+    std::string text = v.ToString();
+    key += '|';
+    key += std::to_string(static_cast<int>(v.type()));
+    key += ':';
+    key += std::to_string(text.size());
+    key += ':';
+    key += text;
+  }
+  return key;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ ResultCursor
+
+ResultCursor::ResultCursor(IterPtr root, std::shared_ptr<const Relation> owned,
+                           CompileInfo compile)
+    : root_(std::move(root)), owned_(std::move(owned)), compile_(std::move(compile)) {}
+
+ResultCursor::~ResultCursor() { Close(); }
+
+const Schema& ResultCursor::schema() const { return root_->schema(); }
+
+void ResultCursor::Close() {
+  if (root_ != nullptr && opened_) {
+    try {
+      root_->Close();
+    } catch (const std::exception& e) {
+      if (status_.ok()) status_ = Status::Error(e.what());
+    }
+    opened_ = false;
+  }
+  exhausted_ = true;
+  batch_valid_ = false;
+}
+
+bool ResultCursor::PullBatch() {
+  if (exhausted_ || root_ == nullptr) return false;
+  try {
+    if (!opened_) {
+      root_->Open();
+      opened_ = true;
+    }
+    batch_valid_ = root_->NextBatch(&batch_);
+    next_active_ = 0;
+    if (!batch_valid_) Close();
+    return batch_valid_;
+  } catch (const std::exception& e) {
+    status_ = Status::Error(e.what());
+    batch_valid_ = false;
+    Close();
+    return false;
+  }
+}
+
+bool ResultCursor::Next(Tuple* out) {
+  while (true) {
+    if (batch_valid_ && next_active_ < batch_.ActiveRows()) {
+      batch_.ToTuple(batch_.RowAt(next_active_++), out);
+      return true;
+    }
+    if (!PullBatch()) return false;
+  }
+}
+
+const Batch* ResultCursor::NextBatch() {
+  if (batch_valid_ && next_active_ < batch_.ActiveRows()) {
+    if (next_active_ > 0) {
+      // Some rows of this batch were already served through Next(): narrow
+      // the selection to the remainder.
+      std::vector<uint32_t> remaining;
+      remaining.reserve(batch_.ActiveRows() - next_active_);
+      for (size_t i = next_active_; i < batch_.ActiveRows(); ++i) {
+        remaining.push_back(batch_.RowAt(i));
+      }
+      batch_.SetSelection(std::move(remaining));
+    }
+    next_active_ = batch_.ActiveRows();
+    return &batch_;
+  }
+  if (!PullBatch()) return nullptr;
+  next_active_ = batch_.ActiveRows();
+  return &batch_;
+}
+
+Relation ResultCursor::Drain() {
+  Schema schema = this->schema();
+  std::vector<Tuple> rows;
+  Tuple t;
+  while (Next(&t)) rows.push_back(t);
+  return Relation(std::move(schema), std::move(rows));
+}
+
+ExecProfile ResultCursor::Profile() const {
+  ExecProfile profile;
+  if (root_ != nullptr) {
+    profile.total_rows = TotalRowsProduced(*root_);
+    profile.max_rows = MaxRowsProduced(*root_);
+    profile.max_dop = MaxPipelineDop(*root_);
+    profile.explain = ExplainTree(*root_);
+    profile.pipelines = DescribePipelines(*root_);
+  }
+  profile.rewrite_steps = compile_.rewrites.size();
+  profile.plan_cache_hit = compile_.cache_hit;
+  profile.fallback_reason = compile_.fallback_reason;
+  return profile;
+}
+
+// ------------------------------------------------------- PreparedStatement
+
+Result<QueryResult> PreparedStatement::Execute(const std::vector<Value>& params) {
+  if (session_ == nullptr) return Result<QueryResult>::Error("empty prepared statement");
+  try {
+    Result<Session::BoundStatement> bound = session_->BindPrepared(*this, params);
+    if (!bound.ok()) return Result<QueryResult>::Error(bound.error());
+    return session_->Run(bound.value().statement, bound.value().compiled);
+  } catch (const std::exception& e) {
+    return Result<QueryResult>::Error(e.what());
+  }
+}
+
+Result<ResultCursor> PreparedStatement::Query(const std::vector<Value>& params) {
+  if (session_ == nullptr) return Result<ResultCursor>::Error("empty prepared statement");
+  try {
+    Result<Session::BoundStatement> bound = session_->BindPrepared(*this, params);
+    if (!bound.ok()) return Result<ResultCursor>::Error(bound.error());
+    return session_->Open(bound.value().statement, bound.value().compiled);
+  } catch (const std::exception& e) {
+    return Result<ResultCursor>::Error(e.what());
+  }
+}
+
+// ---------------------------------------------------------------- Session
+
+Session::Session(SessionOptions options) : options_(std::move(options)) {}
+
+Status Session::CreateTable(const std::string& name, Relation rows) {
+  try {
+    catalog_.Put(name, std::move(rows));
+    InvalidatePlans();
+    return Status::Ok();
+  } catch (const std::exception& e) {
+    return Status::Error(e.what());
+  }
+}
+
+Status Session::CreateTable(const std::string& name, const std::string& schema_spec) {
+  try {
+    return CreateTable(name, Relation(Schema::Parse(schema_spec)));
+  } catch (const std::exception& e) {
+    return Status::Error(e.what());
+  }
+}
+
+Status Session::InsertRows(const std::string& name, const std::vector<Tuple>& rows) {
+  try {
+    if (!catalog_.Has(name)) {
+      return Status::Error("unknown table '" + name + "' (CreateTable first)");
+    }
+    Relation updated = catalog_.Get(name);
+    for (const Tuple& tuple : rows) updated.Insert(tuple);
+    catalog_.Put(name, std::move(updated));
+    InvalidatePlans();
+    return Status::Ok();
+  } catch (const std::exception& e) {
+    return Status::Error(e.what());
+  }
+}
+
+Status Session::LoadCsv(const std::string& name, const std::string& csv_text) {
+  Result<Relation> parsed = RelationFromCsv(csv_text);
+  if (!parsed.ok()) return Status::Error(parsed.error());
+  return CreateTable(name, std::move(parsed).value());
+}
+
+Status Session::LoadCsvFile(const std::string& name, const std::string& path) {
+  Result<Relation> parsed = ReadCsvFile(path);
+  if (!parsed.ok()) return Status::Error(parsed.error());
+  return CreateTable(name, std::move(parsed).value());
+}
+
+Status Session::DeclareKey(const std::string& table, const std::vector<std::string>& attrs) {
+  try {
+    catalog_.DeclareKey(table, attrs);
+    InvalidatePlans();
+    return Status::Ok();
+  } catch (const std::exception& e) {
+    return Status::Error(e.what());
+  }
+}
+
+Status Session::DeclareForeignKey(const std::string& from_table,
+                                  const std::vector<std::string>& attrs,
+                                  const std::string& to_table) {
+  try {
+    catalog_.DeclareForeignKey(from_table, attrs, to_table);
+    InvalidatePlans();
+    return Status::Ok();
+  } catch (const std::exception& e) {
+    return Status::Error(e.what());
+  }
+}
+
+Status Session::DeclareDisjoint(const std::string& table1, const std::string& table2,
+                                const std::vector<std::string>& attrs) {
+  try {
+    catalog_.DeclareDisjoint(table1, table2, attrs);
+    InvalidatePlans();
+    return Status::Ok();
+  } catch (const std::exception& e) {
+    return Status::Error(e.what());
+  }
+}
+
+void Session::ClearPlanCache() {
+  cache_lru_.clear();
+  cache_entries_.clear();
+}
+
+Result<Session::Statement> Session::ParseStatement(const std::string& sql) const {
+  Statement statement;
+  std::string_view rest = sql;
+  if (StripWord(&rest, "EXPLAIN")) {
+    statement.explain = true;
+    statement.analyze = StripWord(&rest, "ANALYZE");
+  }
+  // Lex once; the token stream feeds both the parse and the cache key.
+  Result<std::vector<sql::Token>> tokens = sql::Tokenize(std::string(rest));
+  if (!tokens.ok()) return Result<Statement>::Error(tokens.error());
+  statement.normalized = NormalizeSql(tokens.value());
+  Result<std::shared_ptr<sql::SqlQuery>> parsed = sql::ParseTokens(std::move(tokens).value());
+  if (!parsed.ok()) return Result<Statement>::Error(parsed.error());
+  statement.ast = parsed.value();
+  return statement;
+}
+
+Result<Session::CompiledRef> Session::Compile(std::shared_ptr<const sql::SqlQuery> ast,
+                                              const std::string& key) {
+  if (options_.plan_cache_capacity > 0) {
+    auto it = cache_entries_.find(key);
+    if (it != cache_entries_.end()) {
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+      return CompiledRef{it->second->second, /*cache_hit=*/true};
+    }
+  }
+
+  auto compiled = std::make_shared<Compiled>();
+  compiled->ast = std::move(ast);
+  compiled->info.normalized_sql = key;
+  Result<PlanPtr> lowered = sql::LowerQuery(*compiled->ast, catalog_);
+  if (lowered.ok()) {
+    compiled->info.compiled = true;
+    compiled->info.lowered = lowered.value();
+    Optimizer optimizer(catalog_, options_.optimizer);
+    OptimizationReport report = optimizer.Optimize(compiled->info.lowered);
+    compiled->info.optimized = report.chosen;
+    compiled->info.rewrites = std::move(report.steps);
+    compiled->info.lowered_cost = report.original_cost;
+    compiled->info.optimized_cost = report.chosen_cost;
+  } else if (options_.allow_oracle_fallback) {
+    compiled->info.fallback_reason = lowered.error();
+  } else {
+    return Result<CompiledRef>::Error(lowered.error());
+  }
+
+  if (options_.plan_cache_capacity > 0) {
+    cache_lru_.emplace_front(key, compiled);
+    cache_entries_[key] = cache_lru_.begin();
+    while (cache_lru_.size() > options_.plan_cache_capacity) {
+      cache_entries_.erase(cache_lru_.back().first);
+      cache_lru_.pop_back();
+    }
+  }
+  return CompiledRef{std::move(compiled), /*cache_hit=*/false};
+}
+
+Result<Session::BoundStatement> Session::BindPrepared(const PreparedStatement& prepared,
+                                                      const std::vector<Value>& params) {
+  Result<std::shared_ptr<sql::SqlQuery>> bound = sql::BindParameters(*prepared.ast_, params);
+  if (!bound.ok()) return Result<BoundStatement>::Error(bound.error());
+  std::string key = BindingCacheKey(prepared.normalized_, params);
+  Result<CompiledRef> compiled = Compile(bound.value(), key);
+  if (!compiled.ok()) return Result<BoundStatement>::Error(compiled.error());
+  return BoundStatement{
+      Statement{prepared.explain_, prepared.analyze_, bound.value(), key},
+      std::move(compiled).value()};
+}
+
+Result<QueryResult> Session::Run(const Statement& statement, const CompiledRef& compiled) {
+  const Compiled& entry = *compiled.entry;
+  QueryResult out;
+  out.compile = entry.info;
+  out.compile.cache_hit = compiled.cache_hit;
+  size_t result_rows = 0;
+  bool execute = !statement.explain || statement.analyze;
+  if (execute) {
+    if (entry.info.compiled) {
+      out.rows =
+          ExecutePlan(entry.info.optimized, catalog_, options_.optimizer.planner, &out.profile);
+    } else {
+      out.rows = sql::ExecuteQueryOracle(*entry.ast, catalog_);
+      out.profile.explain =
+          "OracleInterpreter (tuple-at-a-time fallback: " + entry.info.fallback_reason + ")\n";
+      out.profile.total_rows = out.rows.size();
+      out.profile.max_rows = out.rows.size();
+    }
+    result_rows = out.rows.size();
+  }
+  out.profile.rewrite_steps = entry.info.rewrites.size();
+  out.profile.plan_cache_hit = compiled.cache_hit;
+  out.profile.fallback_reason = entry.info.fallback_reason;
+  if (statement.explain) {
+    out.rows = RenderExplain(out.compile, statement.analyze, out.profile, result_rows);
+  }
+  return out;
+}
+
+Result<ResultCursor> Session::Open(const Statement& statement, const CompiledRef& compiled) {
+  if (statement.explain) {
+    // EXPLAIN output is tiny; materialize through Run and stream the rows.
+    Result<QueryResult> result = Run(statement, compiled);
+    if (!result.ok()) return Result<ResultCursor>::Error(result.error());
+    CompileInfo info = result.value().compile;
+    auto owned = std::make_shared<const Relation>(std::move(result.value().rows));
+    return ResultCursor(std::make_unique<RelationScan>(owned), owned, std::move(info));
+  }
+  const Compiled& entry = *compiled.entry;
+  CompileInfo info = entry.info;
+  info.cache_hit = compiled.cache_hit;
+  if (entry.info.compiled) {
+    IterPtr root = BuildPhysicalPlan(entry.info.optimized, catalog_, options_.optimizer.planner);
+    return ResultCursor(std::move(root), nullptr, std::move(info));
+  }
+  auto owned = std::make_shared<const Relation>(sql::ExecuteQueryOracle(*entry.ast, catalog_));
+  return ResultCursor(std::make_unique<RelationScan>(owned), owned, std::move(info));
+}
+
+Relation Session::RenderExplain(const CompileInfo& info, bool analyze,
+                                const ExecProfile& profile, size_t result_rows) const {
+  std::vector<std::string> lines;
+  lines.push_back(analyze ? "EXPLAIN ANALYZE" : "EXPLAIN");
+  lines.push_back(std::string("plan cache: ") + (info.cache_hit ? "hit" : "miss"));
+  if (info.compiled) {
+    lines.push_back("path: compiled (lower -> rewrite laws -> parallel pipeline executor)");
+    lines.push_back("rewrites applied: " + std::to_string(info.rewrites.size()));
+    AppendBlock(SummarizeRewrites(info.rewrites), "", &lines);
+    char cost[96];
+    std::snprintf(cost, sizeof(cost), "estimated cost: %.1f -> %.1f", info.lowered_cost,
+                  info.optimized_cost);
+    lines.push_back(cost);
+    lines.push_back("logical plan (lowered):");
+    AppendBlock(info.lowered->ToString(), "  ", &lines);
+    if (!info.rewrites.empty()) {
+      lines.push_back("logical plan (after rewriting):");
+      AppendBlock(info.optimized->ToString(), "  ", &lines);
+    }
+  } else {
+    lines.push_back("path: oracle interpreter (fallback: " + info.fallback_reason + ")");
+  }
+  if (analyze) {
+    lines.push_back("dop=" + std::to_string(profile.max_dop));
+    lines.push_back("result rows: " + std::to_string(result_rows));
+    lines.push_back("operator profile:");
+    AppendBlock(profile.explain, "  ", &lines);
+    if (!profile.pipelines.empty()) {
+      lines.push_back("pipelines:");
+      AppendBlock(profile.pipelines, "  ", &lines);
+    }
+  }
+  std::vector<Tuple> rows;
+  rows.reserve(lines.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    rows.push_back({Value::Int(static_cast<int64_t>(i + 1)), Value::Str(lines[i])});
+  }
+  return Relation(Schema::Parse("line:int, detail:string"), std::move(rows));
+}
+
+Result<Session::BoundStatement> Session::ParseAndCompile(const std::string& sql) {
+  Result<Statement> statement = ParseStatement(sql);
+  if (!statement.ok()) return Result<BoundStatement>::Error(statement.error());
+  if (sql::CountParameters(*statement.value().ast) > 0) {
+    return Result<BoundStatement>::Error(
+        "statement has unbound '?' parameters; use Session::Prepare");
+  }
+  Result<CompiledRef> compiled = Compile(statement.value().ast, statement.value().normalized);
+  if (!compiled.ok()) return Result<BoundStatement>::Error(compiled.error());
+  return BoundStatement{std::move(statement).value(), std::move(compiled).value()};
+}
+
+Result<QueryResult> Session::Execute(const std::string& sql) {
+  try {
+    Result<BoundStatement> bound = ParseAndCompile(sql);
+    if (!bound.ok()) return Result<QueryResult>::Error(bound.error());
+    return Run(bound.value().statement, bound.value().compiled);
+  } catch (const std::exception& e) {
+    return Result<QueryResult>::Error(e.what());
+  }
+}
+
+Result<ResultCursor> Session::Query(const std::string& sql) {
+  try {
+    Result<BoundStatement> bound = ParseAndCompile(sql);
+    if (!bound.ok()) return Result<ResultCursor>::Error(bound.error());
+    return Open(bound.value().statement, bound.value().compiled);
+  } catch (const std::exception& e) {
+    return Result<ResultCursor>::Error(e.what());
+  }
+}
+
+Result<PreparedStatement> Session::Prepare(const std::string& sql) {
+  try {
+    Result<Statement> statement = ParseStatement(sql);
+    if (!statement.ok()) return Result<PreparedStatement>::Error(statement.error());
+    PreparedStatement prepared;
+    prepared.session_ = this;
+    prepared.ast_ = statement.value().ast;
+    prepared.normalized_ = statement.value().normalized;
+    prepared.param_count_ = sql::CountParameters(*statement.value().ast);
+    prepared.explain_ = statement.value().explain;
+    prepared.analyze_ = statement.value().analyze;
+    return prepared;
+  } catch (const std::exception& e) {
+    return Result<PreparedStatement>::Error(e.what());
+  }
+}
+
+}  // namespace quotient

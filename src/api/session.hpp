@@ -1,0 +1,229 @@
+#pragma once
+
+// The engine's front door (docs/api.md): one Session object owns a catalog
+// and compiles every SQL statement through the full stack the paper argues
+// for — parse, lower to a logical plan with first-class division operators
+// (sql/lower.hpp), rewrite by the law-based engine (core/engine.hpp, cost
+// guarded by opt/optimizer.hpp), and execute on the batched/morsel-parallel
+// pipeline executor (exec/pipeline.hpp). Statements the lowering cannot
+// express fall back to the tuple-at-a-time oracle interpreter
+// (sql::ExecuteQueryOracle) with the reason recorded in the profile, so
+// semantics never regress while the fast path grows.
+//
+// The API never throws on bad input: every entry point returns Status or
+// Result<>.
+
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "exec/batch.hpp"
+#include "exec/iterator.hpp"
+#include "opt/optimizer.hpp"
+#include "plan/catalog.hpp"
+#include "sql/ast.hpp"
+#include "util/status.hpp"
+
+namespace quotient {
+
+struct SessionOptions {
+  /// Rule set, cost guard, and physical-algorithm choices.
+  OptimizerOptions optimizer;
+  /// Compiled statements cached by normalized SQL (LRU). 0 disables.
+  size_t plan_cache_capacity = 64;
+  /// When the lowering cannot express a statement, run it on the oracle
+  /// interpreter instead of failing. Disable to surface lowering errors
+  /// (the differential tests do, to prove coverage).
+  bool allow_oracle_fallback = true;
+};
+
+/// The compile story of one statement, attached to results and cursors and
+/// rendered by EXPLAIN.
+struct CompileInfo {
+  bool compiled = false;   // false: the oracle interpreter ran / would run
+  bool cache_hit = false;  // served from the plan cache
+  std::string fallback_reason;  // why the lowering refused (when !compiled)
+  std::string normalized_sql;   // the plan-cache key
+  PlanPtr lowered;              // straight from sql::LowerQuery
+  PlanPtr optimized;            // after the law rewrites (cost guarded)
+  std::vector<RewriteStep> rewrites;  // applied laws, in order
+  double lowered_cost = 0;
+  double optimized_cost = 0;
+};
+
+/// A fully materialized statement result.
+struct QueryResult {
+  Relation rows;
+  ExecProfile profile;  // includes rewrite_steps / plan_cache_hit / fallback
+  CompileInfo compile;
+};
+
+class Session;
+
+/// A pull-based result stream: rows (Next) or whole batches (NextBatch)
+/// without materializing the full relation. Cursors borrow the Session's
+/// catalog — drain or Close() them before the next DDL on the session, and
+/// never outlive the Session. Execution errors surface through status():
+/// Next/NextBatch return false/nullptr and status() carries the message.
+class ResultCursor {
+ public:
+  ResultCursor(ResultCursor&&) noexcept = default;
+  ResultCursor& operator=(ResultCursor&&) noexcept = default;
+  ~ResultCursor();
+
+  const Schema& schema() const;
+  /// Copies the next row into `out`; false at end of stream or on error.
+  bool Next(Tuple* out);
+  /// The next batch of rows (valid until the following NextBatch/Next
+  /// call); nullptr at end of stream or on error. Mixing granularities is
+  /// fine: after some Next() calls, NextBatch() serves the not-yet-returned
+  /// remainder of the current batch via its selection vector.
+  const Batch* NextBatch();
+  /// Drains the remaining rows into a relation and closes the cursor.
+  Relation Drain();
+  /// Releases the underlying plan; idempotent.
+  void Close();
+
+  bool done() const { return exhausted_; }
+  const Status& status() const { return status_; }
+  const CompileInfo& compile() const { return compile_; }
+  /// Row-count/dop profile of what ran so far (complete once done()).
+  ExecProfile Profile() const;
+
+ private:
+  friend class Session;
+  ResultCursor(IterPtr root, std::shared_ptr<const Relation> owned, CompileInfo compile);
+  bool PullBatch();
+
+  IterPtr root_;
+  std::shared_ptr<const Relation> owned_;  // backing rows for oracle results
+  CompileInfo compile_;
+  Batch batch_;
+  size_t next_active_ = 0;  // batch_ rows already served through Next()
+  bool batch_valid_ = false;
+  bool opened_ = false;
+  bool exhausted_ = false;
+  Status status_;
+};
+
+/// A parsed statement with '?' placeholders, compiled per distinct binding
+/// and served from the session's plan cache. Borrow of the Session: must
+/// not outlive it.
+class PreparedStatement {
+ public:
+  size_t parameter_count() const { return param_count_; }
+  const std::string& normalized_sql() const { return normalized_; }
+
+  /// Binds `params` (one Value per '?', left to right) and executes.
+  Result<QueryResult> Execute(const std::vector<Value>& params = {});
+  /// Binds and opens a cursor instead of materializing.
+  Result<ResultCursor> Query(const std::vector<Value>& params = {});
+
+ private:
+  friend class Session;
+  Session* session_ = nullptr;
+  std::shared_ptr<const sql::SqlQuery> ast_;  // unbound template
+  std::string normalized_;
+  size_t param_count_ = 0;
+  bool explain_ = false;
+  bool analyze_ = false;
+};
+
+class Session {
+ public:
+  explicit Session(SessionOptions options = {});
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  // Movable; outstanding PreparedStatements/cursors point at the old
+  // address, so move only before handing any out.
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+
+  // ---- catalog management (DDL clears the plan cache) ----
+  /// Registers (or replaces) a table with the given rows.
+  Status CreateTable(const std::string& name, Relation rows);
+  /// Registers (or replaces) an empty table ("a:int, color:string").
+  Status CreateTable(const std::string& name, const std::string& schema_spec);
+  /// Appends rows to an existing table (set semantics: duplicates merge).
+  Status InsertRows(const std::string& name, const std::vector<Tuple>& rows);
+  /// Registers a table from CSV text / a CSV file (util/csv.hpp format).
+  Status LoadCsv(const std::string& name, const std::string& csv_text);
+  Status LoadCsvFile(const std::string& name, const std::string& path);
+  /// Integrity metadata consulted by the rewrite laws (Laws 2/7/11/12/13).
+  Status DeclareKey(const std::string& table, const std::vector<std::string>& attrs);
+  Status DeclareForeignKey(const std::string& from_table,
+                           const std::vector<std::string>& attrs,
+                           const std::string& to_table);
+  Status DeclareDisjoint(const std::string& table1, const std::string& table2,
+                         const std::vector<std::string>& attrs);
+  const Catalog& catalog() const { return catalog_; }
+
+  // ---- statements ----
+  /// Executes one statement: a SELECT (with DIVIDE BY, subqueries, GROUP
+  /// BY/HAVING), or EXPLAIN [ANALYZE] <select> returning the compile+run
+  /// story as a (line, detail) relation. Never throws.
+  Result<QueryResult> Execute(const std::string& sql);
+  /// Like Execute but returns a pull-based cursor over the result.
+  Result<ResultCursor> Query(const std::string& sql);
+  /// Parses once; execute many times with different '?' bindings.
+  Result<PreparedStatement> Prepare(const std::string& sql);
+
+  // ---- plan cache ----
+  size_t plan_cache_size() const { return cache_entries_.size(); }
+  void ClearPlanCache();
+
+ private:
+  friend class PreparedStatement;
+
+  struct Statement {
+    bool explain = false;
+    bool analyze = false;
+    std::shared_ptr<const sql::SqlQuery> ast;
+    std::string normalized;  // of the SELECT, without the EXPLAIN prefix
+  };
+  /// A compiled statement as cached: either a rewritten plan or the parsed
+  /// AST plus the reason the oracle must run it.
+  struct Compiled {
+    CompileInfo info;
+    std::shared_ptr<const sql::SqlQuery> ast;
+  };
+
+  /// A cache lookup/compile outcome: the shared immutable entry plus
+  /// whether it came from the cache (entries are shared, not copied, on
+  /// the hit path).
+  struct CompiledRef {
+    std::shared_ptr<const Compiled> entry;
+    bool cache_hit = false;
+  };
+  struct BoundStatement {
+    Statement statement;
+    CompiledRef compiled;
+  };
+
+  Result<Statement> ParseStatement(const std::string& sql) const;
+  Result<CompiledRef> Compile(std::shared_ptr<const sql::SqlQuery> ast, const std::string& key);
+  /// Shared parse → unbound-'?' check → compile front half of
+  /// Execute/Query.
+  Result<BoundStatement> ParseAndCompile(const std::string& sql);
+  /// Shared '?'-binding front half of PreparedStatement::Execute/Query.
+  Result<BoundStatement> BindPrepared(const PreparedStatement& prepared,
+                                      const std::vector<Value>& params);
+  Result<QueryResult> Run(const Statement& statement, const CompiledRef& compiled);
+  Result<ResultCursor> Open(const Statement& statement, const CompiledRef& compiled);
+  Relation RenderExplain(const CompileInfo& info, bool analyze, const ExecProfile& profile,
+                         size_t result_rows) const;
+  void InvalidatePlans() { ClearPlanCache(); }
+
+  SessionOptions options_;
+  Catalog catalog_;
+  // LRU plan cache: most recently used at the front; entries shared with
+  // in-flight statements via shared_ptr.
+  using CacheList = std::list<std::pair<std::string, std::shared_ptr<const Compiled>>>;
+  CacheList cache_lru_;
+  std::unordered_map<std::string, CacheList::iterator> cache_entries_;
+};
+
+}  // namespace quotient

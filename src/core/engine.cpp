@@ -48,4 +48,13 @@ PlanPtr RewriteEngine::Rewrite(const PlanPtr& plan, const RewriteContext& contex
   return current;
 }
 
+std::string SummarizeRewrites(const std::vector<RewriteStep>& trace) {
+  if (trace.empty()) return "  (none)\n";
+  std::string out;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    out += "  " + std::to_string(i + 1) + ". " + trace[i].rule + "\n";
+  }
+  return out;
+}
+
 }  // namespace quotient

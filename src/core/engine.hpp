@@ -14,6 +14,10 @@ struct RewriteStep {
   std::string after;
 };
 
+/// One line per applied rule ("  1. law3-selection-pushdown"), for EXPLAIN
+/// output; "  (none)" when the trace is empty.
+std::string SummarizeRewrites(const std::vector<RewriteStep>& trace);
+
 /// A rule-based rewriting driver in the spirit of Starburst/Cascades rule
 /// engines (§1.1): applies its rules to a plan top-down until no rule fires
 /// or the step budget is exhausted.

@@ -30,13 +30,19 @@ IterPtr BuildPhysicalPlan(const PlanPtr& plan, const Catalog& catalog,
                           const PlannerOptions& options = {});
 
 /// Execution profile: per-operator row counts rolled up, plus the pipeline
-/// structure the parallel executor ran (exec/pipeline.hpp).
+/// structure the parallel executor ran (exec/pipeline.hpp). The compile-side
+/// fields (rewrite_steps, plan_cache_hit, fallback_reason) are filled by the
+/// Session front door (api/session.hpp) so EXPLAIN ANALYZE reports the full
+/// compile+run story; ExecutePlan leaves them at their defaults.
 struct ExecProfile {
   size_t total_rows = 0;      // sum of rows produced by every operator
   size_t max_rows = 0;        // largest single operator output
   size_t max_dop = 0;         // largest per-pipeline parallelism recorded
   std::string explain;        // EXPLAIN ANALYZE style tree (rows + dop)
   std::string pipelines;      // pipeline decomposition with per-pipeline dop
+  size_t rewrite_steps = 0;   // law rewrites applied during compilation
+  bool plan_cache_hit = false;    // compiled plan served from the LRU cache
+  std::string fallback_reason;    // nonempty when the oracle interpreter ran
 };
 
 /// Builds, runs, and drains a physical plan; fills `profile` if given.

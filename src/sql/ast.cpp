@@ -9,6 +9,7 @@ std::string SqlExpr::ToString() const {
     case Kind::kLiteral:
       return literal.type() == ValueType::kString ? "'" + literal.ToString() + "'"
                                                   : literal.ToString();
+    case Kind::kParam: return "?";
     case Kind::kCompare:
     case Kind::kArith: return "(" + left->ToString() + " " + op + " " + right->ToString() + ")";
     case Kind::kAnd: return "(" + left->ToString() + " AND " + right->ToString() + ")";
@@ -61,6 +62,94 @@ std::string SqlQuery::ToString() const {
   }
   if (having != nullptr) out += " HAVING " + having->ToString();
   return out;
+}
+
+namespace {
+
+void CountExprParams(const SqlExpr& expr, size_t* count);
+void CountQueryParams(const SqlQuery& query, size_t* count);
+
+void CountExprParams(const SqlExpr& expr, size_t* count) {
+  if (expr.kind == SqlExpr::Kind::kParam) ++*count;
+  if (expr.left != nullptr) CountExprParams(*expr.left, count);
+  if (expr.right != nullptr) CountExprParams(*expr.right, count);
+  if (expr.subquery != nullptr) CountQueryParams(*expr.subquery, count);
+}
+
+void CountTableRefParams(const TableRef& ref, size_t* count) {
+  if (ref.subquery != nullptr) CountQueryParams(*ref.subquery, count);
+  if (ref.divisor != nullptr) CountTableRefParams(*ref.divisor, count);
+  if (ref.on_condition != nullptr) CountExprParams(*ref.on_condition, count);
+}
+
+void CountQueryParams(const SqlQuery& query, size_t* count) {
+  for (const SelectItem& item : query.items) {
+    if (item.expr != nullptr) CountExprParams(*item.expr, count);
+  }
+  for (const TableRef& ref : query.from) CountTableRefParams(ref, count);
+  if (query.where != nullptr) CountExprParams(*query.where, count);
+  for (const SqlExprPtr& g : query.group_by) CountExprParams(*g, count);
+  if (query.having != nullptr) CountExprParams(*query.having, count);
+}
+
+std::shared_ptr<SqlQuery> BindQueryParams(const SqlQuery& query,
+                                          const std::vector<Value>& params);
+
+SqlExprPtr BindExprParams(const SqlExpr& expr, const std::vector<Value>& params) {
+  auto out = std::make_shared<SqlExpr>(expr);
+  if (expr.kind == SqlExpr::Kind::kParam) {
+    out->kind = SqlExpr::Kind::kLiteral;
+    out->literal = params[expr.param_index];
+    return out;
+  }
+  if (expr.left != nullptr) out->left = BindExprParams(*expr.left, params);
+  if (expr.right != nullptr) out->right = BindExprParams(*expr.right, params);
+  if (expr.subquery != nullptr) out->subquery = BindQueryParams(*expr.subquery, params);
+  return out;
+}
+
+TableRef BindTableRefParams(const TableRef& ref, const std::vector<Value>& params) {
+  TableRef out = ref;
+  if (ref.subquery != nullptr) out.subquery = BindQueryParams(*ref.subquery, params);
+  if (ref.divisor != nullptr) {
+    out.divisor = std::make_shared<TableRef>(BindTableRefParams(*ref.divisor, params));
+  }
+  if (ref.on_condition != nullptr) out.on_condition = BindExprParams(*ref.on_condition, params);
+  return out;
+}
+
+std::shared_ptr<SqlQuery> BindQueryParams(const SqlQuery& query,
+                                          const std::vector<Value>& params) {
+  auto out = std::make_shared<SqlQuery>(query);
+  for (SelectItem& item : out->items) {
+    if (item.expr != nullptr) item.expr = BindExprParams(*item.expr, params);
+  }
+  out->from.clear();
+  for (const TableRef& ref : query.from) out->from.push_back(BindTableRefParams(ref, params));
+  if (query.where != nullptr) out->where = BindExprParams(*query.where, params);
+  out->group_by.clear();
+  for (const SqlExprPtr& g : query.group_by) out->group_by.push_back(BindExprParams(*g, params));
+  if (query.having != nullptr) out->having = BindExprParams(*query.having, params);
+  return out;
+}
+
+}  // namespace
+
+size_t CountParameters(const SqlQuery& query) {
+  size_t count = 0;
+  CountQueryParams(query, &count);
+  return count;
+}
+
+Result<std::shared_ptr<SqlQuery>> BindParameters(const SqlQuery& query,
+                                                 const std::vector<Value>& params) {
+  size_t expected = CountParameters(query);
+  if (params.size() != expected) {
+    return Result<std::shared_ptr<SqlQuery>>::Error(
+        "statement takes " + std::to_string(expected) + " parameter(s), got " +
+        std::to_string(params.size()));
+  }
+  return BindQueryParams(query, params);
 }
 
 }  // namespace sql

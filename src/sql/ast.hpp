@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "algebra/value.hpp"
+#include "util/status.hpp"
 
 namespace quotient {
 namespace sql {
@@ -16,6 +17,7 @@ struct SqlExpr {
   enum class Kind {
     kColumn,     // possibly qualified: "s", "s1.p#"
     kLiteral,    // number or string
+    kParam,      // '?' placeholder, bound via BindParameters
     kCompare,    // = <> < <= > >=
     kAnd, kOr, kNot,
     kArith,      // + - * /
@@ -34,6 +36,7 @@ struct SqlExpr {
   std::shared_ptr<SqlQuery> subquery;  // kExists / kInSubquery
   bool negated = false;
   bool count_star = false;  // COUNT(*)
+  size_t param_index = 0;   // kParam: 0-based ordinal of the '?'
 
   std::string ToString() const;
 };
@@ -70,6 +73,15 @@ struct SqlQuery {
 
   std::string ToString() const;
 };
+
+/// Number of '?' placeholders in the query (subqueries included). Parameter
+/// ordinals are assigned left to right by the parser.
+size_t CountParameters(const SqlQuery& query);
+
+/// Deep-copies `query` with every '?' replaced by the matching literal from
+/// `params`. Errors when params.size() != CountParameters(query).
+Result<std::shared_ptr<SqlQuery>> BindParameters(const SqlQuery& query,
+                                                 const std::vector<Value>& params);
 
 }  // namespace sql
 }  // namespace quotient

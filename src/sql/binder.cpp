@@ -68,11 +68,13 @@ ExprPtr TranslateCondition(const SqlExpr& cond, const Schema& schema) {
     }
     case SqlExpr::Kind::kColumn: return Expr::Column(ResolveAgainst(schema, cond));
     case SqlExpr::Kind::kLiteral: return Expr::Literal(cond.literal);
+    case SqlExpr::Kind::kParam:
+      throw SqlError("unbound parameter '?' (bind values via a prepared statement)");
     case SqlExpr::Kind::kExists:
     case SqlExpr::Kind::kInSubquery:
       throw SqlError(
-          "subqueries in WHERE are not plannable; use sql::ExecuteQuery (the paper makes the "
-          "same point about detecting division in NOT EXISTS queries, §4)");
+          "subqueries in WHERE are not plannable; use sql::ExecuteQueryOracle (the paper makes "
+          "the same point about detecting division in NOT EXISTS queries, §4)");
     case SqlExpr::Kind::kAggregate:
       throw SqlError("aggregates are only allowed in the GROUP BY select list / HAVING");
   }
@@ -270,7 +272,7 @@ Result<PlanPtr> BindQuery(const SqlQuery& query, const Catalog& catalog) {
       const SelectItem& item = query.items[i];
       if (item.star) throw SqlError("'*' must be the only select item");
       if (item.expr->kind != SqlExpr::Kind::kColumn) {
-        throw SqlError("computed select items are not plannable; use sql::ExecuteQuery");
+        throw SqlError("computed select items are not plannable; use sql::ExecuteQueryOracle");
       }
       std::string qualified = ResolveAgainst(plan->schema(), *item.expr);
       std::string out_name = item.alias.empty() ? "col" + std::to_string(i + 1) : item.alias;

@@ -123,6 +123,8 @@ Value EvalScalar(const SqlExpr& expr, const Scope& scope, const Catalog& catalog
       return (*scope[r->frame].tuple)[r->index];
     }
     case SqlExpr::Kind::kLiteral: return expr.literal;
+    case SqlExpr::Kind::kParam:
+      throw SqlError("unbound parameter '?' (bind values via a prepared statement)");
     case SqlExpr::Kind::kArith: {
       Value l = EvalScalar(*expr.left, scope, catalog);
       Value r = EvalScalar(*expr.right, scope, catalog);
@@ -397,6 +399,9 @@ Relation ExecuteQueryScoped(const SqlQuery& query, const Catalog& catalog, const
       for (const SqlExprPtr& g : query.group_by) key.push_back(EvalScalar(*g, scope, catalog));
       groups[std::move(key)].push_back(t);
     }
+    // Global aggregates over empty input still produce one row (count = 0,
+    // sum/min/max/avg NULL) — the SQL semantics, matching algebra::GroupBy.
+    if (query.group_by.empty() && groups.empty()) groups[Tuple()] = {};
     for (const auto& [key, group_rows] : groups) {
       if (query.having != nullptr) {
         Value keep = EvalGrouped(*query.having, group_rows, rows.schema(), outer, catalog);
@@ -428,7 +433,7 @@ Relation ExecuteQueryScoped(const SqlQuery& query, const Catalog& catalog, const
 
 }  // namespace
 
-Relation ExecuteQuery(const SqlQuery& query, const Catalog& catalog) {
+Relation ExecuteQueryOracle(const SqlQuery& query, const Catalog& catalog) {
   return ExecuteQueryScoped(query, catalog, {});
 }
 
@@ -436,7 +441,7 @@ Result<Relation> ExecuteSql(const std::string& text, const Catalog& catalog) {
   Result<std::shared_ptr<SqlQuery>> parsed = ParseQuery(text);
   if (!parsed.ok()) return Result<Relation>::Error(parsed.error());
   try {
-    return ExecuteQuery(*parsed.value(), catalog);
+    return ExecuteQueryOracle(*parsed.value(), catalog);
   } catch (const SqlError& error) {
     return Result<Relation>::Error(error.what());
   } catch (const SchemaError& error) {

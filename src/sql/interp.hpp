@@ -17,17 +17,22 @@ class SqlError : public std::runtime_error {
   explicit SqlError(const std::string& message) : std::runtime_error(message) {}
 };
 
-/// Evaluates a parsed query against the catalog with full generality:
-/// correlated (NOT) EXISTS and IN subqueries are evaluated tuple-at-a-time
-/// (the tuple-calculus reading of Q3), DIVIDE BY becomes a great divide
-/// (small divide when the ON clause covers every divisor attribute, §4),
-/// GROUP BY/HAVING/aggregates are supported.
+/// The reference tuple-at-a-time interpreter, kept as the differential
+/// testing ORACLE for the compiled path (api/session.hpp): it evaluates a
+/// parsed query with full generality — correlated (NOT) EXISTS and IN
+/// subqueries tuple-at-a-time (the tuple-calculus reading of Q3), DIVIDE BY
+/// as a great divide (small divide when the ON clause covers every divisor
+/// attribute, §4), GROUP BY/HAVING/aggregates — but never touches the
+/// rewrite engine or the batched/parallel executor. `quotient::Session`
+/// compiles queries onto that fast path and falls back here only for
+/// constructs the lowering (sql/lower.hpp) cannot express.
 ///
 /// Output columns are named by the select-item aliases; '*' keeps source
 /// columns (unqualified when unambiguous).
-Relation ExecuteQuery(const SqlQuery& query, const Catalog& catalog);
+Relation ExecuteQueryOracle(const SqlQuery& query, const Catalog& catalog);
 
-/// Parse + execute; returns parse/semantic errors as Result.
+/// Parse + execute on the oracle interpreter; returns parse/semantic errors
+/// as Result.
 Result<Relation> ExecuteSql(const std::string& text, const Catalog& catalog);
 
 }  // namespace sql

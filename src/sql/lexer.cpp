@@ -83,7 +83,7 @@ Result<std::vector<Token>> Tokenize(const std::string& text) {
           continue;
         }
       }
-      static const std::string kSingles = "(),.*=<>+-/";
+      static const std::string kSingles = "(),.*=<>+-/?";
       if (kSingles.find(c) == std::string::npos) {
         return Result<std::vector<Token>>::Error(std::string("unexpected character '") + c +
                                                  "' at position " + std::to_string(i));

@@ -12,7 +12,7 @@ enum class TokenKind {
   kIdent,    // table/column names; may contain '#' (s#, p#) and '_'
   kNumber,   // integer or decimal literal
   kString,   // '...' literal
-  kSymbol,   // ( ) , . * = <> < <= > >= + - /
+  kSymbol,   // ( ) , . * = <> < <= > >= + - / ?
   kKeyword,  // upper-cased SQL keyword
   kEnd
 };

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "plan/logical.hpp"
+#include "sql/ast.hpp"
+#include "util/status.hpp"
+
+namespace quotient {
+namespace sql {
+
+/// Compiles a parsed query into a logical plan whose execution through the
+/// rewrite engine + physical planner reproduces the oracle interpreter
+/// (sql::ExecuteQueryOracle) bit for bit — schemas, output names, and set
+/// semantics included. This is the Session front door's compiler; the older
+/// BindQuery (sql/binder.hpp) is its conservative ancestor and is kept for
+/// the plannable-§4-subset tests.
+///
+/// Coverage beyond the binder:
+///   * SELECT * (qualifiers stripped exactly like the interpreter),
+///   * uncorrelated IN / NOT IN subqueries as semi-/anti-joins,
+///   * equality-correlated EXISTS / NOT EXISTS as semi-/anti-joins,
+///   * HAVING aggregates that do not appear in the select list.
+///
+/// Anything it cannot express — correlated subqueries beyond one level of
+/// equality correlation (the paper's Q3), computed select items, grouped
+/// EXISTS, non-column GROUP BY — returns an error whose message the Session
+/// records as the oracle-fallback reason.
+Result<PlanPtr> LowerQuery(const SqlQuery& query, const Catalog& catalog);
+
+/// Parse + lower.
+Result<PlanPtr> LowerSql(const std::string& text, const Catalog& catalog);
+
+}  // namespace sql
+}  // namespace quotient

@@ -259,6 +259,12 @@ class Parser {
         return node;
       }
     }
+    if (token.IsSymbol("?")) {
+      Advance();
+      node->kind = SqlExpr::Kind::kParam;
+      node->param_index = next_param_++;
+      return node;
+    }
     if (token.kind == TokenKind::kNumber) {
       Advance();
       node->kind = SqlExpr::Kind::kLiteral;
@@ -293,6 +299,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t position_ = 0;
+  size_t next_param_ = 0;  // '?' ordinals, assigned left to right
 };
 
 }  // namespace
@@ -300,8 +307,12 @@ class Parser {
 Result<std::shared_ptr<SqlQuery>> ParseQuery(const std::string& text) {
   Result<std::vector<Token>> tokens = Tokenize(text);
   if (!tokens.ok()) return Result<std::shared_ptr<SqlQuery>>::Error(tokens.error());
+  return ParseTokens(std::move(tokens).value());
+}
+
+Result<std::shared_ptr<SqlQuery>> ParseTokens(std::vector<Token> tokens) {
   try {
-    Parser parser(std::move(tokens).value());
+    Parser parser(std::move(tokens));
     return parser.ParseQueryToEnd();
   } catch (const ParseError& error) {
     return Result<std::shared_ptr<SqlQuery>>::Error(error.message);

@@ -2,8 +2,10 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sql/ast.hpp"
+#include "sql/lexer.hpp"
 #include "util/status.hpp"
 
 namespace quotient {
@@ -19,8 +21,15 @@ namespace sql {
 ///
 /// Conditions support AND/OR/NOT, the six comparators, (NOT) EXISTS
 /// (subquery), expr (NOT) IN (subquery), and arithmetic with the aggregate
-/// functions COUNT/SUM/MIN/MAX/AVG.
+/// functions COUNT/SUM/MIN/MAX/AVG. '?' parses as a parameter placeholder
+/// (ordinals assigned left to right) for prepared statements
+/// (api/session.hpp); bind values with sql::BindParameters.
 Result<std::shared_ptr<SqlQuery>> ParseQuery(const std::string& text);
+
+/// Parses an already-tokenized statement (the stream must end with a kEnd
+/// token, as Tokenize produces). Lets callers that also need the token
+/// stream — e.g. the Session's SQL normalization — lex only once.
+Result<std::shared_ptr<SqlQuery>> ParseTokens(std::vector<Token> tokens);
 
 }  // namespace sql
 }  // namespace quotient

@@ -1,0 +1,334 @@
+// The Session front door (api/session.hpp): catalog management, compiled
+// execution through the rewrite laws onto the parallel executor, prepared
+// statements with '?' binding, the LRU plan cache, pull-based cursors, the
+// oracle fallback, and EXPLAIN / EXPLAIN ANALYZE.
+
+#include <gtest/gtest.h>
+
+#include "api/session.hpp"
+#include "exec/pipeline.hpp"
+#include "exec/scheduler.hpp"
+#include "paper_fixtures.hpp"
+#include "sql/interp.hpp"
+
+namespace quotient {
+namespace {
+
+const char* kQ1 =
+    "SELECT s#, color FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p#";
+const char* kQ2 =
+    "SELECT s# FROM supplies AS s DIVIDE BY ("
+    "SELECT p# FROM parts WHERE color = 'blue') AS p ON s.p# = p.p#";
+const char* kQ3 =
+    "SELECT DISTINCT s#, color "
+    "FROM supplies AS s1, parts AS p1 "
+    "WHERE NOT EXISTS ("
+    "  SELECT * FROM parts AS p2 "
+    "  WHERE p2.color = p1.color AND NOT EXISTS ("
+    "    SELECT * FROM supplies AS s2 "
+    "    WHERE s2.p# = p2.p# AND s2.s# = s1.s#))";
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(session_.CreateTable("supplies", paper::SuppliesTable()).ok());
+    ASSERT_TRUE(session_.CreateTable("parts", paper::PartsTable()).ok());
+  }
+
+  std::string ExplainText(const Relation& rows) {
+    std::string out;
+    for (const Tuple& t : rows.tuples()) out += t[1].ToString() + "\n";
+    return out;
+  }
+
+  Session session_;
+};
+
+TEST_F(SessionTest, DivideByCompilesThroughRewriteEngineAndExecutor) {
+  Result<QueryResult> result = session_.Execute(kQ1);
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_EQ(result.value().rows, paper::Q1Answer());
+  EXPECT_TRUE(result.value().compile.compiled);
+  EXPECT_TRUE(result.value().compile.fallback_reason.empty());
+  // The lowered plan carries a first-class GreatDivide operator.
+  EXPECT_NE(result.value().compile.lowered->ToString().find("GreatDivide"),
+            std::string::npos);
+  // And the physical engine (not the interpreter) produced the rows.
+  EXPECT_NE(result.value().profile.explain.find("Scan"), std::string::npos);
+}
+
+TEST_F(SessionTest, SmallDivideWithDerivedDivisor) {
+  Result<QueryResult> result = session_.Execute(kQ2);
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_EQ(result.value().rows, paper::Q2Answer());
+  EXPECT_TRUE(result.value().compile.compiled);
+  EXPECT_NE(result.value().compile.lowered->ToString().find("Divide"), std::string::npos);
+}
+
+TEST_F(SessionTest, Q3FallsBackToOracleWithRecordedReason) {
+  Result<QueryResult> result = session_.Execute(kQ3);
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_EQ(result.value().rows, paper::Q1Answer());
+  EXPECT_FALSE(result.value().compile.compiled);
+  EXPECT_FALSE(result.value().compile.fallback_reason.empty());
+  EXPECT_EQ(result.value().profile.fallback_reason,
+            result.value().compile.fallback_reason);
+}
+
+TEST_F(SessionTest, PlanCacheHitsOnNormalizedSql) {
+  Result<QueryResult> first = session_.Execute(kQ1);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.value().profile.plan_cache_hit);
+  // Same query, different whitespace and keyword case.
+  std::string variant =
+      "select   s#, color\nFROM supplies as s divide by parts AS p ON s.p# = p.p#";
+  Result<QueryResult> second = session_.Execute(variant);
+  ASSERT_TRUE(second.ok()) << second.error();
+  EXPECT_TRUE(second.value().profile.plan_cache_hit);
+  EXPECT_EQ(second.value().rows, paper::Q1Answer());
+  EXPECT_EQ(session_.plan_cache_size(), 1u);
+}
+
+TEST_F(SessionTest, DdlInvalidatesThePlanCache) {
+  ASSERT_TRUE(session_.Execute(kQ1).ok());
+  EXPECT_EQ(session_.plan_cache_size(), 1u);
+  // New data must be visible to the "same" statement.
+  ASSERT_TRUE(session_.InsertRows("supplies", {{V(9), V(1)}, {V(9), V(3)}}).ok());
+  EXPECT_EQ(session_.plan_cache_size(), 0u);
+  Result<QueryResult> result = session_.Execute(kQ1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().profile.plan_cache_hit);
+  // Supplier 9 now supplies all blue parts {1, 3}.
+  EXPECT_TRUE(result.value().rows.Contains({V(9), V("blue")}));
+}
+
+TEST_F(SessionTest, LruEvictsOldestBeyondCapacity) {
+  SessionOptions options;
+  options.plan_cache_capacity = 2;
+  Session session(options);
+  ASSERT_TRUE(session.CreateTable("t", Relation::Parse("a, b", "1,10; 2,20")).ok());
+  ASSERT_TRUE(session.Execute("SELECT a FROM t").ok());
+  ASSERT_TRUE(session.Execute("SELECT b FROM t").ok());
+  ASSERT_TRUE(session.Execute("SELECT a, b FROM t").ok());
+  EXPECT_EQ(session.plan_cache_size(), 2u);
+  // The first statement was evicted; re-running misses.
+  Result<QueryResult> again = session.Execute("SELECT a FROM t");
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again.value().profile.plan_cache_hit);
+}
+
+TEST_F(SessionTest, PreparedStatementBindsParameters) {
+  Result<PreparedStatement> prepared = session_.Prepare(
+      "SELECT s# FROM supplies AS s DIVIDE BY ("
+      "SELECT p# FROM parts WHERE color = ?) AS p ON s.p# = p.p#");
+  ASSERT_TRUE(prepared.ok()) << prepared.error();
+  EXPECT_EQ(prepared.value().parameter_count(), 1u);
+
+  Result<QueryResult> blue = prepared.value().Execute({Value::Str("blue")});
+  ASSERT_TRUE(blue.ok()) << blue.error();
+  EXPECT_EQ(blue.value().rows, paper::Q2Answer());
+  EXPECT_TRUE(blue.value().compile.compiled);
+
+  Result<QueryResult> red = prepared.value().Execute({Value::Str("red")});
+  ASSERT_TRUE(red.ok()) << red.error();
+  EXPECT_NE(red.value().rows, blue.value().rows);
+
+  // Same binding again: served from the plan cache.
+  Result<QueryResult> blue_again = prepared.value().Execute({Value::Str("blue")});
+  ASSERT_TRUE(blue_again.ok());
+  EXPECT_TRUE(blue_again.value().profile.plan_cache_hit);
+}
+
+TEST_F(SessionTest, ParameterCountMismatchIsAnError) {
+  Result<PreparedStatement> prepared =
+      session_.Prepare("SELECT s# FROM supplies WHERE p# = ?");
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_FALSE(prepared.value().Execute({}).ok());
+  EXPECT_FALSE(prepared.value().Execute({V(1), V(2)}).ok());
+  EXPECT_TRUE(prepared.value().Execute({V(1)}).ok());
+}
+
+TEST_F(SessionTest, UnboundParameterInExecuteIsAnError) {
+  Result<QueryResult> result = session_.Execute("SELECT s# FROM supplies WHERE p# = ?");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("Prepare"), std::string::npos);
+}
+
+TEST_F(SessionTest, BadInputNeverThrows) {
+  EXPECT_FALSE(session_.Execute("").ok());
+  EXPECT_FALSE(session_.Execute("SELEKT 1").ok());
+  EXPECT_FALSE(session_.Execute("SELECT FROM parts").ok());
+  EXPECT_FALSE(session_.Execute("SELECT x FROM nosuch").ok());
+  EXPECT_FALSE(session_.Execute("SELECT nosuchcol FROM parts").ok());
+  EXPECT_FALSE(session_.Execute(
+      "SELECT s# FROM supplies AS s DIVIDE BY parts AS p ON s.p# < p.p#").ok());
+  EXPECT_FALSE(session_.Query("SELECT (").ok());
+  EXPECT_FALSE(session_.Prepare("EXPLAIN").ok());
+}
+
+TEST_F(SessionTest, CursorRowGranularity) {
+  Result<ResultCursor> cursor = session_.Query(kQ1);
+  ASSERT_TRUE(cursor.ok()) << cursor.error();
+  std::vector<Tuple> rows;
+  Tuple t;
+  while (cursor.value().Next(&t)) rows.push_back(t);
+  EXPECT_TRUE(cursor.value().status().ok()) << cursor.value().status().message();
+  EXPECT_TRUE(cursor.value().done());
+  EXPECT_EQ(Relation(cursor.value().schema(), rows), paper::Q1Answer());
+}
+
+TEST_F(SessionTest, CursorBatchGranularityAndMixedPulls) {
+  ScopedBatchRows batch_rows(2);  // force several batches
+  Result<ResultCursor> cursor = session_.Query("SELECT * FROM supplies");
+  ASSERT_TRUE(cursor.ok()) << cursor.error();
+  // One row first, then batches: no row is lost or duplicated.
+  Tuple first;
+  ASSERT_TRUE(cursor.value().Next(&first));
+  std::vector<Tuple> rows = {first};
+  while (const Batch* batch = cursor.value().NextBatch()) {
+    for (size_t i = 0; i < batch->ActiveRows(); ++i) {
+      Tuple t;
+      batch->ToTuple(batch->RowAt(i), &t);
+      rows.push_back(std::move(t));
+    }
+  }
+  EXPECT_EQ(Relation(cursor.value().schema(), rows), paper::SuppliesTable());
+}
+
+TEST_F(SessionTest, CursorDrainMatchesExecute) {
+  Result<QueryResult> executed = session_.Execute(kQ2);
+  ASSERT_TRUE(executed.ok());
+  Result<ResultCursor> cursor = session_.Query(kQ2);
+  ASSERT_TRUE(cursor.ok());
+  EXPECT_EQ(cursor.value().Drain(), executed.value().rows);
+}
+
+TEST_F(SessionTest, CursorWorksOnOracleFallback) {
+  Result<ResultCursor> cursor = session_.Query(kQ3);
+  ASSERT_TRUE(cursor.ok()) << cursor.error();
+  EXPECT_FALSE(cursor.value().compile().compiled);
+  EXPECT_EQ(cursor.value().Drain(), paper::Q1Answer());
+}
+
+TEST_F(SessionTest, ExplainShowsAppliedLaws) {
+  // σ over a great divide: Laws 14/15 push the selection through.
+  std::string query = std::string(kQ1) + " WHERE color = 'red'";
+  Result<QueryResult> result = session_.Execute("EXPLAIN " + query);
+  ASSERT_TRUE(result.ok()) << result.error();
+  std::string text = ExplainText(result.value().rows);
+  EXPECT_NE(text.find("path: compiled"), std::string::npos) << text;
+  EXPECT_NE(text.find("rewrites applied:"), std::string::npos) << text;
+  EXPECT_NE(text.find("law"), std::string::npos) << text;
+  EXPECT_NE(text.find("logical plan"), std::string::npos) << text;
+  // EXPLAIN does not execute: no operator profile section.
+  EXPECT_EQ(text.find("operator profile:"), std::string::npos) << text;
+}
+
+TEST_F(SessionTest, ExplainAnalyzeShowsTheFullCompileAndRunStory) {
+  ScopedSerialRowThreshold no_serial(0);
+  ScopedExecThreads threads(4);
+  std::string query = std::string(kQ1) + " WHERE color = 'red'";
+  ASSERT_TRUE(session_.Execute(query).ok());  // warm the cache
+  Result<QueryResult> result = session_.Execute("EXPLAIN ANALYZE " + query);
+  ASSERT_TRUE(result.ok()) << result.error();
+  std::string text = ExplainText(result.value().rows);
+  EXPECT_NE(text.find("plan cache: hit"), std::string::npos) << text;
+  EXPECT_NE(text.find("law"), std::string::npos) << text;
+  EXPECT_NE(text.find("dop="), std::string::npos) << text;
+  EXPECT_NE(text.find("operator profile:"), std::string::npos) << text;
+  EXPECT_NE(text.find("pipelines:"), std::string::npos) << text;
+  EXPECT_GT(result.value().profile.rewrite_steps, 0u);
+  EXPECT_TRUE(result.value().profile.plan_cache_hit);
+}
+
+TEST_F(SessionTest, ExplainAnalyzeOnFallbackNamesTheOracle) {
+  Result<QueryResult> result = session_.Execute(std::string("EXPLAIN ANALYZE ") + kQ3);
+  ASSERT_TRUE(result.ok()) << result.error();
+  std::string text = ExplainText(result.value().rows);
+  EXPECT_NE(text.find("oracle interpreter"), std::string::npos) << text;
+  EXPECT_NE(text.find("fallback"), std::string::npos) << text;
+}
+
+TEST_F(SessionTest, CsvRoundTripThroughTheCatalog) {
+  Status status = session_.LoadCsv("colors", "name:string,code:int\nblue,1\nred,2\n");
+  ASSERT_TRUE(status.ok()) << status.message();
+  Result<QueryResult> result = session_.Execute("SELECT name FROM colors WHERE code = 2");
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_EQ(result.value().rows, Relation::FromRows("name:string", {{V("red")}}));
+}
+
+TEST_F(SessionTest, InsertRowsRejectsUnknownTableAndBadTypes) {
+  EXPECT_FALSE(session_.InsertRows("nosuch", {{V(1)}}).ok());
+  EXPECT_FALSE(session_.InsertRows("parts", {{V(1), V(2)}}).ok());  // color must be string
+  EXPECT_FALSE(session_.CreateTable("bad", "a:int, a:int").ok());
+}
+
+TEST_F(SessionTest, DeclaredMetadataReachesTheRewriteRules) {
+  // Law 12 needs a foreign key; just prove the declaration round-trips.
+  ASSERT_TRUE(session_.DeclareKey("parts", {"p#"}).ok());
+  ASSERT_TRUE(session_.DeclareForeignKey("supplies", {"p#"}, "parts").ok());
+  EXPECT_TRUE(session_.catalog().ImpliesKey("parts", {"p#"}));
+  EXPECT_TRUE(session_.catalog().HasForeignKey("supplies", {"p#"}, "parts"));
+}
+
+TEST_F(SessionTest, CompiledMatchesOracleAcrossThreadCounts) {
+  for (size_t threads : {1u, 8u}) {
+    ScopedExecThreads scoped(threads);
+    ScopedSerialRowThreshold no_serial(0);
+    Result<QueryResult> result = session_.Execute(kQ1);
+    ASSERT_TRUE(result.ok()) << result.error();
+    EXPECT_EQ(result.value().rows, paper::Q1Answer()) << "threads " << threads;
+  }
+}
+
+TEST_F(SessionTest, GroupByHavingThroughTheCompiledPath) {
+  Result<QueryResult> result = session_.Execute(
+      "SELECT color, COUNT(p#) AS n FROM parts GROUP BY color HAVING COUNT(p#) >= 2");
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_TRUE(result.value().compile.compiled) << result.value().compile.fallback_reason;
+  EXPECT_EQ(result.value().rows,
+            Relation::FromRows("color:string, n:int", {{V("blue"), V(2)}, {V("red"), V(2)}}));
+}
+
+TEST_F(SessionTest, HavingOnlyAggregateCompiles) {
+  // The HAVING aggregate does not appear in the select list; the lowering
+  // adds a hidden agg$ column and projects it away.
+  Result<QueryResult> result = session_.Execute(
+      "SELECT color FROM parts GROUP BY color HAVING COUNT(p#) >= 2");
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_TRUE(result.value().compile.compiled) << result.value().compile.fallback_reason;
+  EXPECT_EQ(result.value().rows,
+            Relation::FromRows("color:string", {{V("blue")}, {V("red")}}));
+}
+
+TEST_F(SessionTest, InSubqueryCompilesToSemiJoin) {
+  Result<QueryResult> result = session_.Execute(
+      "SELECT DISTINCT s# FROM supplies WHERE p# IN ("
+      "SELECT p# FROM parts WHERE color = 'blue')");
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_TRUE(result.value().compile.compiled) << result.value().compile.fallback_reason;
+  EXPECT_NE(result.value().compile.lowered->ToString().find("SemiJoin"), std::string::npos);
+  EXPECT_EQ(result.value().rows, Relation::Parse("s#", "1; 2; 4"));
+}
+
+TEST_F(SessionTest, CorrelatedExistsCompilesToSemiJoin) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", Relation::Parse("a, b", "1,10; 2,20; 3,30")).ok());
+  ASSERT_TRUE(session.CreateTable("u", Relation::Parse("a, c", "1,100; 3,300")).ok());
+  Result<QueryResult> result = session.Execute(
+      "SELECT a FROM t WHERE EXISTS (SELECT * FROM u WHERE u.a = t.a)");
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_TRUE(result.value().compile.compiled) << result.value().compile.fallback_reason;
+  EXPECT_NE(result.value().compile.lowered->ToString().find("SemiJoin"), std::string::npos);
+  EXPECT_EQ(result.value().rows, Relation::Parse("a", "1; 3"));
+
+  Result<QueryResult> anti = session.Execute(
+      "SELECT a FROM t WHERE NOT EXISTS (SELECT * FROM u WHERE u.a = t.a)");
+  ASSERT_TRUE(anti.ok()) << anti.error();
+  EXPECT_TRUE(anti.value().compile.compiled) << anti.value().compile.fallback_reason;
+  EXPECT_NE(anti.value().compile.lowered->ToString().find("AntiJoin"), std::string::npos);
+  EXPECT_EQ(anti.value().rows, Relation::Parse("a", "2"));
+}
+
+}  // namespace
+}  // namespace quotient
