@@ -1,0 +1,143 @@
+// Multi-session throughput over one shared Database (docs/api.md): each
+// google-benchmark thread runs its OWN Session against one Database, so
+// ->ThreadRange(1, 8) is the concurrent-sessions axis. All sessions share
+// the catalog snapshots, the plan cache, and the process-wide worker pool;
+// scripts/run_benchmarks.sh sweeps QUOTIENT_THREADS (the pool size) across
+// runs and merges the results into bench-results/BENCH_concurrency.json.
+//
+// Three workloads:
+//   * CachedDivide    — the PR 4 division query served warm from the
+//                       shared plan cache (compile amortized to zero);
+//   * PreparedPointQuery — a prepared statement with a DISTINCT binding per
+//                       iteration: the plan-slot binding path, the workload
+//                       that used to recompile per binding;
+//   * DdlChurn        — thread 0 interleaves InsertRows on a side table
+//                       while the rest query an untouched one: the cost of
+//                       snapshot publication under readers.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "api/session.hpp"
+#include "bench_common.hpp"
+
+namespace quotient {
+namespace {
+
+constexpr int64_t kSuppliers = 512;
+constexpr int64_t kParts = 32;
+
+std::shared_ptr<Database> BuildDatabase() {
+  auto db = std::make_shared<Database>();
+  DataGen gen(17);
+  std::vector<Tuple> supply_rows;
+  for (int64_t s = 1; s <= kSuppliers; ++s) {
+    bool full = s % 10 == 0;  // every 10th supplier covers everything
+    for (int64_t p = 1; p <= kParts; ++p) {
+      if (full || gen.Chance(0.3)) supply_rows.push_back({V(s), V(p)});
+    }
+  }
+  static const char* kColors[] = {"blue", "red", "green", "white"};
+  std::vector<Tuple> part_rows;
+  for (int64_t p = 1; p <= kParts; ++p) {
+    part_rows.push_back({V(p), V(kColors[p % 4])});
+  }
+  db->CreateTable("supplies", Relation(Schema::Parse("s#, p#"), std::move(supply_rows)));
+  db->CreateTable("parts", Relation(Schema::Parse("p#:int, color:string"),
+                                    std::move(part_rows)));
+  db->CreateTable("side", Relation::Parse("a, b", "1,1"));
+  return db;
+}
+
+/// One process-wide database per benchmark binary run: the threads of one
+/// benchmark all connect to it, exactly like concurrent serving.
+const std::shared_ptr<Database>& SharedDatabase() {
+  static const std::shared_ptr<Database> db = BuildDatabase();
+  return db;
+}
+
+const char* kDivideSql =
+    "SELECT s#, color FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p# "
+    "WHERE color = 'blue'";
+
+void BM_ConcurrentSessions_CachedDivide(benchmark::State& state) {
+  Session session(SharedDatabase());
+  (void)session.Execute(kDivideSql);  // warm the shared cache
+  for (auto _ : state) {
+    Result<QueryResult> result = session.Execute(kDivideSql);
+    if (!result.ok()) {
+      state.SkipWithError(result.error().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(result.value().rows);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConcurrentSessions_CachedDivide)
+    ->ThreadRange(1, 8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ConcurrentSessions_PreparedPointQuery(benchmark::State& state) {
+  Session session(SharedDatabase());
+  Result<PreparedStatement> prepared =
+      session.Prepare("SELECT s# FROM supplies WHERE p# = ?");
+  if (!prepared.ok()) {
+    state.SkipWithError(prepared.error().c_str());
+    return;
+  }
+  int64_t binding = state.thread_index();  // distinct value per iteration
+  for (auto _ : state) {
+    Result<QueryResult> result = prepared.value().Execute({V(binding++ % 10000)});
+    if (!result.ok()) {
+      state.SkipWithError(result.error().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(result.value().rows);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConcurrentSessions_PreparedPointQuery)
+    ->ThreadRange(1, 8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ConcurrentSessions_DdlChurn(benchmark::State& state) {
+  Session session(SharedDatabase());
+  (void)session.Execute("SELECT color FROM parts GROUP BY color");
+  int64_t i = 0;
+  for (auto _ : state) {
+    if (state.thread_index() == 0 && state.threads() > 1) {
+      // Writer: copy-on-write snapshot publication under live readers.
+      // Recreate periodically so the side table stays small — the subject
+      // is publication cost, not insert cost on a growing relation.
+      Status status = (++i % 256 == 0)
+                          ? session.CreateTable("side", Relation::Parse("a, b", "1,1"))
+                          : session.InsertRows("side", {{V(i), V(i)}});
+      if (!status.ok()) {
+        state.SkipWithError(status.message().c_str());
+        break;
+      }
+    } else {
+      // Readers: a cached plan over tables the writer never touches.
+      Result<QueryResult> result = session.Execute("SELECT color FROM parts GROUP BY color");
+      if (!result.ok()) {
+        state.SkipWithError(result.error().c_str());
+        break;
+      }
+      benchmark::DoNotOptimize(result.value().rows);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConcurrentSessions_DdlChurn)
+    ->ThreadRange(2, 8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace quotient
+
+BENCHMARK_MAIN();

@@ -16,6 +16,10 @@
 #                                door (parse -> rewrite laws -> parallel
 #                                exec; plan-cache hit vs miss vs the oracle
 #                                interpreter; docs/api.md)
+#     BENCH_concurrency.json     N concurrent sessions over one shared
+#                                Database (bench_concurrent_sessions.cpp):
+#                                sessions sweep 1..8 at worker-pool sizes
+#                                {1, N}, with throughput per configuration
 #   Compare runs with benchmark's own tools/compare.py, or just diff the
 #   real_time fields. QUOTIENT_BENCH_THREADS overrides the parallel A/B's
 #   high thread count (default: nproc, min 2).
@@ -28,6 +32,7 @@ build_dir="${repo_root}/build-bench"
 cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${build_dir}" -j "$(nproc)" \
   --target bench_division_algorithms bench_key_codec bench_sql_e2e \
+           bench_concurrent_sessions \
            bench_law10_semijoin bench_law13_partitioned_great_divide >/dev/null
 
 mkdir -p "${out_dir}"
@@ -72,6 +77,13 @@ if [ "${par_threads}" -lt 2 ]; then par_threads=2; fi
 # compile+run on a cold plan cache vs warm cache vs the oracle interpreter
 # baseline, plus prepared-statement re-execution.
 run_bench_threads bench_sql_e2e "${par_threads}" "${out_dir}/BENCH_sql.json"
+
+# Concurrent sessions over one shared Database: the bench binary sweeps the
+# sessions axis (benchmark threads 1..8, one Session each); run it at a
+# worker pool of 1 (pure inter-session concurrency) and of N (sessions
+# compete for the shared morsel pool), then merge into BENCH_concurrency.json.
+run_bench_threads bench_concurrent_sessions 1 "${out_dir}/.conc_pool1.json"
+run_bench_threads bench_concurrent_sessions "${par_threads}" "${out_dir}/.conc_poolN.json"
 
 run_bench_threads bench_division_algorithms 1 "${out_dir}/.div_par1.json"
 run_bench_threads bench_division_algorithms "${par_threads}" "${out_dir}/.div_parN.json"
@@ -148,6 +160,43 @@ for suite, one_file, n_file in par_pairs:
 with open(os.path.join(out_dir, "BENCH_parallel.json"), "w") as f:
     json.dump({"threads_n": threads_n, "comparison": par_comparison}, f, indent=1)
 
+# Concurrent sessions: one row per (workload, sessions, pool size), with
+# aggregate throughput. The bench reports items_per_second across all
+# session threads under UseRealTime, i.e. statements/second for the fleet.
+def session_rows(path, pool):
+    with open(os.path.join(out_dir, path)) as f:
+        doc = json.load(f)
+    rows = []
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        # Names look like "BM_ConcurrentSessions_CachedDivide/real_time/threads:4".
+        name = b["name"]
+        sessions = 1
+        for part in name.split("/"):
+            if part.startswith("threads:"):
+                sessions = int(part.split(":")[1])
+        rows.append({
+            "workload": name.split("/")[0].replace("BM_ConcurrentSessions_", ""),
+            "sessions": sessions,
+            "pool_threads": pool,
+            "statements_per_second": round(b.get("items_per_second", 0.0), 1),
+            "real_time_us": round(b["real_time"], 3),
+        })
+    return rows
+
+concurrency = session_rows(".conc_pool1.json", 1) + \
+    session_rows(".conc_poolN.json", int(threads_n))
+with open(os.path.join(out_dir, "BENCH_concurrency.json"), "w") as f:
+    json.dump({"pool_threads_n": threads_n, "results": concurrency}, f, indent=1)
+
+best = {}
+for row in concurrency:
+    key = (row["workload"], row["pool_threads"])
+    best[key] = max(best.get(key, 0.0), row["statements_per_second"])
+for (workload, pool), qps in sorted(best.items()):
+    print(f"concurrency {workload} (pool={pool}): peak {qps:,.0f} statements/s")
+
 par_speedups = [c["speedup"] for c in par_comparison if c["speedup"] is not None]
 if par_speedups:
     print(f"parallel speedup ({threads_n} threads vs 1): "
@@ -155,8 +204,8 @@ if par_speedups:
           f"median {sorted(par_speedups)[len(par_speedups)//2]:.2f}x / "
           f"max {max(par_speedups):.2f}x")
 PY
-rm -f "${out_dir}"/.law1[03]_*.json "${out_dir}"/.div_par*.json
+rm -f "${out_dir}"/.law1[03]_*.json "${out_dir}"/.div_par*.json "${out_dir}"/.conc_pool*.json
 
 echo "Wrote ${out_dir}/BENCH_division.json, BENCH_division_tuple.json," \
-     "BENCH_key_codec.json, BENCH_batched.json, BENCH_parallel.json" \
-     "and BENCH_sql.json"
+     "BENCH_key_codec.json, BENCH_batched.json, BENCH_parallel.json," \
+     "BENCH_sql.json and BENCH_concurrency.json"

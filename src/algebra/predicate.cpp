@@ -110,6 +110,13 @@ ExprPtr Expr::Literal(Value value) {
   return e;
 }
 
+ExprPtr Expr::Param(size_t index) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kParam;
+  e->param_index_ = index;
+  return e;
+}
+
 ExprPtr Expr::Compare(CmpOp op, ExprPtr left, ExprPtr right) {
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = Kind::kCompare;
@@ -169,6 +176,9 @@ Value Expr::Eval(const Schema& schema, const Tuple& tuple) const {
   switch (kind_) {
     case Kind::kColumn: return tuple[schema.IndexOfOrThrow(name_)];
     case Kind::kLiteral: return value_;
+    case Kind::kParam:
+      throw SchemaError("unbound query parameter ?" + std::to_string(param_index_ + 1) +
+                        " (bind values before evaluating)");
     case Kind::kCompare: {
       int c = ComparePredicateValues(left_->Eval(schema, tuple), right_->Eval(schema, tuple));
       return Value::Int(ApplyCmp(cmp_, c) ? 1 : 0);
@@ -229,6 +239,7 @@ bool Expr::Equals(const Expr& other) const {
   switch (kind_) {
     case Kind::kColumn: return name_ == other.name_;
     case Kind::kLiteral: return value_ == other.value_;
+    case Kind::kParam: return param_index_ == other.param_index_;
     case Kind::kCompare:
       if (cmp_ != other.cmp_) return false;
       break;
@@ -239,6 +250,23 @@ bool Expr::Equals(const Expr& other) const {
   if (left_ && !left_->Equals(*other.left_)) return false;
   if (right_ && !right_->Equals(*other.right_)) return false;
   return true;
+}
+
+ExprPtr Expr::BindParams(const ExprPtr& expr, const std::vector<Value>& params) {
+  if (expr->kind_ == Kind::kParam) {
+    if (expr->param_index_ >= params.size()) {
+      throw SchemaError("parameter ?" + std::to_string(expr->param_index_ + 1) +
+                        " has no bound value");
+    }
+    return Literal(params[expr->param_index_]);
+  }
+  ExprPtr left = expr->left_ ? BindParams(expr->left_, params) : nullptr;
+  ExprPtr right = expr->right_ ? BindParams(expr->right_, params) : nullptr;
+  if (left == expr->left_ && right == expr->right_) return expr;  // unchanged subtree
+  auto e = std::shared_ptr<Expr>(new Expr(*expr));
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
 }
 
 void Expr::SplitConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
@@ -254,6 +282,7 @@ std::string Expr::ToString() const {
   switch (kind_) {
     case Kind::kColumn: return name_;
     case Kind::kLiteral: return value_.ToString();
+    case Kind::kParam: return "?" + std::to_string(param_index_ + 1);
     case Kind::kCompare:
       return "(" + left_->ToString() + " " + CmpOpName(cmp_) + " " + right_->ToString() + ")";
     case Kind::kAnd: return "(" + left_->ToString() + " AND " + right_->ToString() + ")";
@@ -278,6 +307,10 @@ int BoundExpr::Build(const Expr& expr, const Schema& schema) {
       nodes_[index].column = schema.IndexOfOrThrow(expr.column_name());
       break;
     case Expr::Kind::kLiteral: nodes_[index].value = expr.literal(); break;
+    case Expr::Kind::kParam:
+      // A plan carrying parameter slots must be bound (Expr::BindParams)
+      // before physical compilation; fail at bind time, not per tuple.
+      throw SchemaError("cannot execute a plan with unbound '?' parameters");
     case Expr::Kind::kCompare: nodes_[index].cmp = expr.cmp_op(); break;
     default: break;
   }
@@ -297,6 +330,7 @@ Value BoundExpr::EvalNode(int index, const Tuple& tuple) const {
   switch (node.kind) {
     case Expr::Kind::kColumn: return tuple[node.column];
     case Expr::Kind::kLiteral: return node.value;
+    case Expr::Kind::kParam: break;  // unreachable: Build rejects params
     case Expr::Kind::kCompare: {
       int c = ComparePredicateValues(EvalNode(node.left, tuple), EvalNode(node.right, tuple));
       return Value::Int(ApplyCmp(node.cmp, c) ? 1 : 0);

@@ -26,12 +26,20 @@ using ExprPtr = std::shared_ptr<const Expr>;
 /// Boolean results are represented as Int(0)/Int(1). Numeric comparisons
 /// across int/real compare numerically; comparing a string to a number
 /// throws SchemaError.
+///
+/// kParam is a prepared-statement placeholder ('?', 0-based ordinal): it
+/// lets a parameterized statement lower, rewrite, and cost ONCE, with the
+/// values substituted per execution via BindParams. Evaluating an unbound
+/// parameter throws.
 class Expr {
  public:
-  enum class Kind { kColumn, kLiteral, kCompare, kAnd, kOr, kNot, kAdd, kSub, kMul, kDiv };
+  enum class Kind {
+    kColumn, kLiteral, kParam, kCompare, kAnd, kOr, kNot, kAdd, kSub, kMul, kDiv
+  };
 
   static ExprPtr Column(std::string name);
   static ExprPtr Literal(Value value);
+  static ExprPtr Param(size_t index);
   static ExprPtr Compare(CmpOp op, ExprPtr left, ExprPtr right);
   static ExprPtr And(ExprPtr left, ExprPtr right);
   static ExprPtr Or(ExprPtr left, ExprPtr right);
@@ -48,9 +56,15 @@ class Expr {
   Kind kind() const { return kind_; }
   const std::string& column_name() const { return name_; }
   const Value& literal() const { return value_; }
+  size_t param_index() const { return param_index_; }
   CmpOp cmp_op() const { return cmp_; }
   const ExprPtr& left() const { return left_; }
   const ExprPtr& right() const { return right_; }
+
+  /// Substitutes every kParam by the matching literal from `params`,
+  /// sharing unchanged subtrees. Throws SchemaError when a placeholder's
+  /// ordinal is out of range.
+  static ExprPtr BindParams(const ExprPtr& expr, const std::vector<Value>& params);
 
   /// Evaluates against a tuple; column names are resolved via `schema`.
   Value Eval(const Schema& schema, const Tuple& tuple) const;
@@ -78,6 +92,7 @@ class Expr {
   Kind kind_ = Kind::kLiteral;
   std::string name_;        // kColumn
   Value value_;             // kLiteral
+  size_t param_index_ = 0;  // kParam
   CmpOp cmp_ = CmpOp::kEq;  // kCompare
   ExprPtr left_;
   ExprPtr right_;

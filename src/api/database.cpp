@@ -1,0 +1,189 @@
+#include "api/database.hpp"
+
+#include <utility>
+
+#include "util/csv.hpp"
+
+namespace quotient {
+
+Database::Database(DatabaseOptions options) : options_(options) {
+  snapshot_ = std::make_shared<CatalogSnapshot>();
+}
+
+SnapshotPtr Database::snapshot() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return snapshot_;
+}
+
+Status Database::Ddl(const std::vector<std::string>& touched,
+                     const std::function<void(Catalog&)>& mutate) {
+  std::lock_guard<std::mutex> ddl(ddl_mutex_);
+  auto next = std::make_shared<CatalogSnapshot>();
+  try {
+    SnapshotPtr current = snapshot();
+    next->catalog_ = current->catalog();  // O(#tables): storage is shared
+    next->version_ = current->version() + 1;
+    mutate(next->catalog_);
+  } catch (const std::exception& e) {
+    return Status::Error(e.what());
+  }
+  uint64_t version = next->version();
+  // Invalidate by touched table, not by clearing: bump the tables' versions
+  // and sweep their entries eagerly so plans over unrelated tables keep
+  // hitting. This happens BEFORE the snapshot publishes: a statement that
+  // pins the new version can never find an entry over a touched table that
+  // is not yet marked stale (the compile-vs-DDL race the slot versions
+  // close; a compile racing this bump is caught by the staleness re-check
+  // in CacheInsert).
+  {
+    std::lock_guard<std::mutex> cache(cache_mutex_);
+    for (const std::string& table : touched) table_versions_[table] = version;
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      if (SlotIsStale(*it)) {
+        index_.erase(it->key);
+        it = lru_.erase(it);
+        ++stats_.invalidated;
+      } else {
+        ++it;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> state(state_mutex_);
+  snapshot_ = std::move(next);
+  return Status::Ok();
+}
+
+Status Database::CreateTable(const std::string& name, Relation rows) {
+  return Ddl({name}, [&](Catalog& catalog) { catalog.Put(name, std::move(rows)); });
+}
+
+Status Database::CreateTable(const std::string& name, const std::string& schema_spec) {
+  try {
+    return CreateTable(name, Relation(Schema::Parse(schema_spec)));
+  } catch (const std::exception& e) {
+    return Status::Error(e.what());
+  }
+}
+
+Status Database::InsertRows(const std::string& name, const std::vector<Tuple>& rows) {
+  return Ddl({name}, [&](Catalog& catalog) {
+    if (!catalog.Has(name)) {
+      throw SchemaError("unknown table '" + name + "' (CreateTable first)");
+    }
+    Relation updated = catalog.Get(name);  // copy of this one table only
+    for (const Tuple& tuple : rows) updated.Insert(tuple);
+    catalog.Put(name, std::move(updated));
+  });
+}
+
+Status Database::LoadCsv(const std::string& name, const std::string& csv_text) {
+  Result<Relation> parsed = RelationFromCsv(csv_text);
+  if (!parsed.ok()) return Status::Error(parsed.error());
+  return CreateTable(name, std::move(parsed).value());
+}
+
+Status Database::LoadCsvFile(const std::string& name, const std::string& path) {
+  Result<Relation> parsed = ReadCsvFile(path);
+  if (!parsed.ok()) return Status::Error(parsed.error());
+  return CreateTable(name, std::move(parsed).value());
+}
+
+Status Database::DeclareKey(const std::string& table, const std::vector<std::string>& attrs) {
+  return Ddl({table}, [&](Catalog& catalog) { catalog.DeclareKey(table, attrs); });
+}
+
+Status Database::DeclareForeignKey(const std::string& from_table,
+                                   const std::vector<std::string>& attrs,
+                                   const std::string& to_table) {
+  return Ddl({from_table, to_table}, [&](Catalog& catalog) {
+    catalog.DeclareForeignKey(from_table, attrs, to_table);
+  });
+}
+
+Status Database::DeclareDisjoint(const std::string& table1, const std::string& table2,
+                                 const std::vector<std::string>& attrs) {
+  return Ddl({table1, table2}, [&](Catalog& catalog) {
+    catalog.DeclareDisjoint(table1, table2, attrs);
+  });
+}
+
+bool Database::SlotIsStale(const CacheSlot& slot) const {
+  for (const std::string& table : slot.tables) {
+    auto it = table_versions_.find(table);
+    if (it != table_versions_.end() && it->second > slot.version) return true;
+  }
+  return false;
+}
+
+std::shared_ptr<const CompiledStatement> Database::CacheLookup(const std::string& key,
+                                                               uint64_t pinned_version) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (SlotIsStale(*it->second)) {
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.invalidated;
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second->version > pinned_version) {
+    // Compiled against a snapshot this statement has not pinned yet (a
+    // racing DDL + recompile published it between our Pin and this
+    // lookup). The entry is valid for everyone at the newer version, so
+    // keep it; this statement compiles privately against its own snapshot.
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return lru_.front().compiled;
+}
+
+void Database::CacheInsert(const std::string& key,
+                           std::shared_ptr<const CompiledStatement> compiled,
+                           uint64_t version, std::vector<std::string> tables) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  ++stats_.compiles;
+  if (options_.plan_cache_capacity == 0) return;
+  CacheSlot slot{key, std::move(compiled), version, std::move(tables)};
+  // A DDL that raced this compile already bumped its tables' versions;
+  // don't publish an entry that is stale on arrival.
+  if (SlotIsStale(slot)) return;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // A racing session compiled the same statement; keep the fresher entry.
+    if (it->second->version >= version) return;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(std::move(slot));
+  index_[key] = lru_.begin();
+  while (lru_.size() > options_.plan_cache_capacity) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+size_t Database::plan_cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return lru_.size();
+}
+
+PlanCacheStats Database::plan_cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  PlanCacheStats stats = stats_;
+  stats.entries = lru_.size();
+  return stats;
+}
+
+void Database::ClearPlanCache() {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace quotient

@@ -1,0 +1,177 @@
+#pragma once
+
+// Shared database state for concurrent sessions (docs/api.md).
+//
+// A Database owns what N sessions must agree on:
+//
+//   * an immutable, versioned catalog SNAPSHOT, republished copy-on-write
+//     by DDL — readers pin the current snapshot per statement and are never
+//     blocked by (or exposed to a torn view of) a writer. Snapshots share
+//     table storage and cached dictionary encodings (plan/catalog.hpp), so
+//     publication is O(#tables) regardless of data size;
+//   * a shared, mutex-guarded LRU PLAN CACHE keyed on normalized SQL, so
+//     sessions reuse each other's compiled-and-rewritten plans. Entries
+//     record the snapshot version they were compiled against and the base
+//     tables they reference; DDL invalidates by bumping the touched tables'
+//     versions instead of clearing caches other sessions are reading, so a
+//     statement over table B survives DDL on table A.
+//
+// Sessions (api/session.hpp) are cheap single-threaded handles onto one
+// Database; the Database itself is fully thread-safe. All sessions share
+// the process-wide worker pool (exec/scheduler.hpp), which admits one
+// parallel region at a time — concurrent drains queue rather than
+// oversubscribe.
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "plan/catalog.hpp"
+#include "plan/logical.hpp"
+#include "sql/ast.hpp"
+#include "util/status.hpp"
+
+namespace quotient {
+
+struct DatabaseOptions {
+  /// Capacity of the shared plan cache (entries). 0 disables caching.
+  size_t plan_cache_capacity = 64;
+};
+
+/// The compile story of one statement, attached to results and cursors and
+/// rendered by EXPLAIN.
+struct CompileInfo {
+  bool compiled = false;   // false: the oracle interpreter ran / would run
+  bool cache_hit = false;  // served from the plan cache
+  std::string fallback_reason;  // why the lowering refused (when !compiled)
+  std::string normalized_sql;   // the plan-cache key (minus options prefix)
+  PlanPtr lowered;              // straight from sql::LowerQuery
+  PlanPtr optimized;            // after the law rewrites (cost guarded)
+  std::vector<RewriteStep> rewrites;  // applied laws, in order
+  double lowered_cost = 0;
+  double optimized_cost = 0;
+};
+
+/// A compiled statement as the shared plan cache stores it: either a
+/// rewritten plan (info.compiled, possibly carrying '?' parameter slots
+/// bound per execution via BindPlanParameters) or the parsed AST plus the
+/// reason the oracle interpreter must run it. Immutable once published;
+/// any number of sessions execute one entry concurrently.
+struct CompiledStatement {
+  CompileInfo info;
+  std::shared_ptr<const sql::SqlQuery> ast;  // unbound statement template
+  size_t param_count = 0;                    // '?' slots in the statement
+};
+
+/// An immutable catalog state at one version. Sessions pin a snapshot per
+/// statement (and cursors pin it for their lifetime), so DDL publishing a
+/// newer version never pulls storage out from under a running query.
+class CatalogSnapshot {
+ public:
+  const Catalog& catalog() const { return catalog_; }
+  uint64_t version() const { return version_; }
+
+ private:
+  friend class Database;
+  Catalog catalog_;
+  uint64_t version_ = 0;
+};
+
+using SnapshotPtr = std::shared_ptr<const CatalogSnapshot>;
+
+struct PlanCacheStats {
+  size_t hits = 0;         // lookups served from the cache
+  size_t misses = 0;       // lookups that found nothing usable
+  size_t compiles = 0;     // entries built (one full lower→rewrite each)
+  size_t invalidated = 0;  // entries dropped by DDL or staleness checks
+  size_t entries = 0;      // current cache size
+};
+
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // ---- DDL: copy-on-write snapshot publication (thread-safe) ----
+  // Writers serialize on a DDL mutex, build the next snapshot from the
+  // current one, and publish it atomically; concurrent readers keep the
+  // snapshot they pinned. Each returns an error Status instead of throwing.
+  Status CreateTable(const std::string& name, Relation rows);
+  Status CreateTable(const std::string& name, const std::string& schema_spec);
+  Status InsertRows(const std::string& name, const std::vector<Tuple>& rows);
+  Status LoadCsv(const std::string& name, const std::string& csv_text);
+  Status LoadCsvFile(const std::string& name, const std::string& path);
+  Status DeclareKey(const std::string& table, const std::vector<std::string>& attrs);
+  Status DeclareForeignKey(const std::string& from_table,
+                           const std::vector<std::string>& attrs,
+                           const std::string& to_table);
+  Status DeclareDisjoint(const std::string& table1, const std::string& table2,
+                         const std::vector<std::string>& attrs);
+
+  /// The current published snapshot; never null.
+  SnapshotPtr snapshot() const;
+  /// Version of the current snapshot (0 = freshly constructed, empty).
+  uint64_t version() const { return snapshot()->version(); }
+
+  // ---- shared plan cache ----
+  /// Returns the cached entry for `key` as seen from a statement pinned at
+  /// `pinned_version`, or nullptr. An entry is served only while every
+  /// base table it references is unchanged since the snapshot it was
+  /// compiled against (stale entries are dropped here), and never to a
+  /// statement pinned BEFORE the entry's compile snapshot — a plan
+  /// compiled against a newer catalog must not run on an older one.
+  std::shared_ptr<const CompiledStatement> CacheLookup(const std::string& key,
+                                                       uint64_t pinned_version);
+  /// Publishes a compiled statement. `version` is the snapshot version the
+  /// entry was compiled against and `tables` its invalidation domain; an
+  /// entry already stale at insert time (DDL raced the compile) is
+  /// discarded rather than published.
+  void CacheInsert(const std::string& key,
+                   std::shared_ptr<const CompiledStatement> compiled, uint64_t version,
+                   std::vector<std::string> tables);
+
+  size_t plan_cache_size() const;
+  PlanCacheStats plan_cache_stats() const;
+  void ClearPlanCache();
+
+ private:
+  struct CacheSlot {
+    std::string key;
+    std::shared_ptr<const CompiledStatement> compiled;
+    uint64_t version;                  // snapshot version compiled against
+    std::vector<std::string> tables;   // referenced base tables
+  };
+  using CacheList = std::list<CacheSlot>;
+
+  /// Copy-on-write DDL driver: copies the current catalog, applies
+  /// `mutate`, publishes the result as version+1, and invalidates cached
+  /// plans referencing `touched`.
+  Status Ddl(const std::vector<std::string>& touched,
+             const std::function<void(Catalog&)>& mutate);
+  /// True when a referenced table changed after the slot was compiled.
+  /// Caller holds cache_mutex_.
+  bool SlotIsStale(const CacheSlot& slot) const;
+
+  DatabaseOptions options_;
+  std::mutex ddl_mutex_;            // serializes writers
+  mutable std::mutex state_mutex_;  // guards snapshot_ publication
+  SnapshotPtr snapshot_;
+
+  mutable std::mutex cache_mutex_;  // guards everything below
+  CacheList lru_;                   // most recently used at the front
+  std::unordered_map<std::string, CacheList::iterator> index_;
+  // Last DDL version per table. Never pruned, but bounded: there is no
+  // Drop API, so every name ever DDL'd is a live catalog table and this
+  // map stays ⊆ the catalog's name set.
+  std::unordered_map<std::string, uint64_t> table_versions_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace quotient

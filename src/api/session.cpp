@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <set>
 #include <string_view>
 
 #include "exec/exec_basic.hpp"
@@ -10,7 +11,6 @@
 #include "sql/lexer.hpp"
 #include "sql/lower.hpp"
 #include "sql/parser.hpp"
-#include "util/csv.hpp"
 
 namespace quotient {
 
@@ -53,6 +53,27 @@ std::string NormalizeSql(const std::vector<sql::Token>& tokens) {
   return out;
 }
 
+/// The shared plan cache is keyed on (options fingerprint, normalized SQL):
+/// sessions configured identically reuse each other's plans, sessions with
+/// different rule sets / planner algorithms / fallback policy never collide.
+/// The '\n' separator cannot occur in normalized SQL (tokens are joined
+/// with single spaces).
+std::string OptionsFingerprint(const SessionOptions& options) {
+  const OptimizerOptions& opt = options.optimizer;
+  std::string fp;
+  fp += opt.use_rules ? 'R' : 'r';
+  fp += opt.allow_runtime_checks ? 'C' : 'c';
+  fp += options.allow_oracle_fallback ? 'F' : 'f';
+  fp += opt.planner.expand_divide ? 'X' : 'x';
+  fp += std::to_string(static_cast<int>(opt.planner.division));
+  fp += ':';
+  fp += std::to_string(static_cast<int>(opt.planner.great_divide));
+  fp += ':';
+  fp += std::to_string(opt.max_rewrite_steps);
+  fp += '\n';
+  return fp;
+}
+
 void AppendBlock(const std::string& text, const std::string& indent,
                  std::vector<std::string>* lines) {
   size_t start = 0;
@@ -64,32 +85,16 @@ void AppendBlock(const std::string& text, const std::string& indent,
   }
 }
 
-/// The plan-cache key of one '?' binding: the normalized SQL plus each
-/// value as "|<type>:<length>:<text>". The length prefix keeps the
-/// encoding injective — a '|' inside a string parameter cannot collide
-/// with the separator (and '|' never occurs in normalized SQL; the lexer
-/// rejects it).
-std::string BindingCacheKey(const std::string& normalized, const std::vector<Value>& params) {
-  std::string key = normalized;
-  for (const Value& v : params) {
-    std::string text = v.ToString();
-    key += '|';
-    key += std::to_string(static_cast<int>(v.type()));
-    key += ':';
-    key += std::to_string(text.size());
-    key += ':';
-    key += text;
-  }
-  return key;
-}
-
 }  // namespace
 
 // ------------------------------------------------------------ ResultCursor
 
 ResultCursor::ResultCursor(IterPtr root, std::shared_ptr<const Relation> owned,
-                           CompileInfo compile)
-    : root_(std::move(root)), owned_(std::move(owned)), compile_(std::move(compile)) {}
+                           CompileInfo compile, SnapshotPtr snapshot)
+    : root_(std::move(root)),
+      owned_(std::move(owned)),
+      compile_(std::move(compile)),
+      snapshot_(std::move(snapshot)) {}
 
 ResultCursor::~ResultCursor() { Close(); }
 
@@ -101,11 +106,19 @@ void ResultCursor::Close() {
       root_->Close();
     } catch (const std::exception& e) {
       if (status_.ok()) status_ = Status::Error(e.what());
+    } catch (...) {
+      if (status_.ok()) status_ = Status::Error("unknown error closing cursor");
     }
     opened_ = false;
   }
   exhausted_ = true;
   batch_valid_ = false;
+}
+
+void ResultCursor::Fail(std::string message) {
+  if (status_.ok()) status_ = Status::Error(std::move(message));
+  batch_valid_ = false;
+  Close();
 }
 
 bool ResultCursor::PullBatch() {
@@ -120,9 +133,14 @@ bool ResultCursor::PullBatch() {
     if (!batch_valid_) Close();
     return batch_valid_;
   } catch (const std::exception& e) {
-    status_ = Status::Error(e.what());
-    batch_valid_ = false;
-    Close();
+    // Executor errors can surface on any pull — a predicate failing on a
+    // late tuple, a worker-pool drain rethrown mid-stream. The cursor ends
+    // the stream deterministically: status() carries the message, done()
+    // flips, further pulls report end of stream.
+    Fail(e.what());
+    return false;
+  } catch (...) {
+    Fail("unknown execution error");
     return false;
   }
 }
@@ -187,7 +205,7 @@ Result<QueryResult> PreparedStatement::Execute(const std::vector<Value>& params)
   try {
     Result<Session::BoundStatement> bound = session_->BindPrepared(*this, params);
     if (!bound.ok()) return Result<QueryResult>::Error(bound.error());
-    return session_->Run(bound.value().statement, bound.value().compiled);
+    return session_->Run(bound.value());
   } catch (const std::exception& e) {
     return Result<QueryResult>::Error(e.what());
   }
@@ -198,7 +216,7 @@ Result<ResultCursor> PreparedStatement::Query(const std::vector<Value>& params) 
   try {
     Result<Session::BoundStatement> bound = session_->BindPrepared(*this, params);
     if (!bound.ok()) return Result<ResultCursor>::Error(bound.error());
-    return session_->Open(bound.value().statement, bound.value().compiled);
+    return session_->Open(bound.value());
   } catch (const std::exception& e) {
     return Result<ResultCursor>::Error(e.what());
   }
@@ -206,89 +224,65 @@ Result<ResultCursor> PreparedStatement::Query(const std::vector<Value>& params) 
 
 // ---------------------------------------------------------------- Session
 
-Session::Session(SessionOptions options) : options_(std::move(options)) {}
+Session::Session(SessionOptions options)
+    : Session(std::make_shared<Database>(DatabaseOptions{options.plan_cache_capacity}),
+              options) {}
+
+Session::Session(std::shared_ptr<Database> database, SessionOptions options)
+    : database_(std::move(database)),
+      options_(std::move(options)),
+      cache_key_prefix_(OptionsFingerprint(options_)),
+      snapshot_(database_->snapshot()) {}
 
 Status Session::CreateTable(const std::string& name, Relation rows) {
-  try {
-    catalog_.Put(name, std::move(rows));
-    InvalidatePlans();
-    return Status::Ok();
-  } catch (const std::exception& e) {
-    return Status::Error(e.what());
-  }
+  Status status = database_->CreateTable(name, std::move(rows));
+  Pin();
+  return status;
 }
 
 Status Session::CreateTable(const std::string& name, const std::string& schema_spec) {
-  try {
-    return CreateTable(name, Relation(Schema::Parse(schema_spec)));
-  } catch (const std::exception& e) {
-    return Status::Error(e.what());
-  }
+  Status status = database_->CreateTable(name, schema_spec);
+  Pin();
+  return status;
 }
 
 Status Session::InsertRows(const std::string& name, const std::vector<Tuple>& rows) {
-  try {
-    if (!catalog_.Has(name)) {
-      return Status::Error("unknown table '" + name + "' (CreateTable first)");
-    }
-    Relation updated = catalog_.Get(name);
-    for (const Tuple& tuple : rows) updated.Insert(tuple);
-    catalog_.Put(name, std::move(updated));
-    InvalidatePlans();
-    return Status::Ok();
-  } catch (const std::exception& e) {
-    return Status::Error(e.what());
-  }
+  Status status = database_->InsertRows(name, rows);
+  Pin();
+  return status;
 }
 
 Status Session::LoadCsv(const std::string& name, const std::string& csv_text) {
-  Result<Relation> parsed = RelationFromCsv(csv_text);
-  if (!parsed.ok()) return Status::Error(parsed.error());
-  return CreateTable(name, std::move(parsed).value());
+  Status status = database_->LoadCsv(name, csv_text);
+  Pin();
+  return status;
 }
 
 Status Session::LoadCsvFile(const std::string& name, const std::string& path) {
-  Result<Relation> parsed = ReadCsvFile(path);
-  if (!parsed.ok()) return Status::Error(parsed.error());
-  return CreateTable(name, std::move(parsed).value());
+  Status status = database_->LoadCsvFile(name, path);
+  Pin();
+  return status;
 }
 
 Status Session::DeclareKey(const std::string& table, const std::vector<std::string>& attrs) {
-  try {
-    catalog_.DeclareKey(table, attrs);
-    InvalidatePlans();
-    return Status::Ok();
-  } catch (const std::exception& e) {
-    return Status::Error(e.what());
-  }
+  Status status = database_->DeclareKey(table, attrs);
+  Pin();
+  return status;
 }
 
 Status Session::DeclareForeignKey(const std::string& from_table,
                                   const std::vector<std::string>& attrs,
                                   const std::string& to_table) {
-  try {
-    catalog_.DeclareForeignKey(from_table, attrs, to_table);
-    InvalidatePlans();
-    return Status::Ok();
-  } catch (const std::exception& e) {
-    return Status::Error(e.what());
-  }
+  Status status = database_->DeclareForeignKey(from_table, attrs, to_table);
+  Pin();
+  return status;
 }
 
 Status Session::DeclareDisjoint(const std::string& table1, const std::string& table2,
                                 const std::vector<std::string>& attrs) {
-  try {
-    catalog_.DeclareDisjoint(table1, table2, attrs);
-    InvalidatePlans();
-    return Status::Ok();
-  } catch (const std::exception& e) {
-    return Status::Error(e.what());
-  }
-}
-
-void Session::ClearPlanCache() {
-  cache_lru_.clear();
-  cache_entries_.clear();
+  Status status = database_->DeclareDisjoint(table1, table2, attrs);
+  Pin();
+  return status;
 }
 
 Result<Session::Statement> Session::ParseStatement(const std::string& sql) const {
@@ -308,71 +302,127 @@ Result<Session::Statement> Session::ParseStatement(const std::string& sql) const
   return statement;
 }
 
-Result<Session::CompiledRef> Session::Compile(std::shared_ptr<const sql::SqlQuery> ast,
-                                              const std::string& key) {
-  if (options_.plan_cache_capacity > 0) {
-    auto it = cache_entries_.find(key);
-    if (it != cache_entries_.end()) {
-      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
-      return CompiledRef{it->second->second, /*cache_hit=*/true};
+Result<Session::CompiledRef> Session::Compile(const CatalogSnapshot& snapshot,
+                                              std::shared_ptr<const sql::SqlQuery> ast,
+                                              const std::string& normalized,
+                                              size_t param_count) {
+  const bool use_cache = options_.plan_cache_capacity > 0;
+  std::string key = cache_key_prefix_ + normalized;
+  if (use_cache) {
+    if (std::shared_ptr<const CompiledStatement> entry =
+            database_->CacheLookup(key, snapshot.version())) {
+      return CompiledRef{std::move(entry), /*cache_hit=*/true};
     }
   }
 
-  auto compiled = std::make_shared<Compiled>();
+  auto compiled = std::make_shared<CompiledStatement>();
   compiled->ast = std::move(ast);
-  compiled->info.normalized_sql = key;
-  Result<PlanPtr> lowered = sql::LowerQuery(*compiled->ast, catalog_);
+  compiled->param_count = param_count;
+  compiled->info.normalized_sql = normalized;
+  std::set<std::string> tables;
+  Result<PlanPtr> lowered = sql::LowerQuery(*compiled->ast, snapshot.catalog());
   if (lowered.ok()) {
     compiled->info.compiled = true;
     compiled->info.lowered = lowered.value();
-    Optimizer optimizer(catalog_, options_.optimizer);
+    OptimizerOptions optimizer_options = options_.optimizer;
+    // Data-dependent runtime checks would have to evaluate subplans whose
+    // predicates still carry '?' slots; compile parameterized statements
+    // with the cheap declared-metadata preconditions only.
+    if (param_count > 0) optimizer_options.allow_runtime_checks = false;
+    Optimizer optimizer(snapshot.catalog(), optimizer_options);
     OptimizationReport report = optimizer.Optimize(compiled->info.lowered);
     compiled->info.optimized = report.chosen;
     compiled->info.rewrites = std::move(report.steps);
     compiled->info.lowered_cost = report.original_cost;
     compiled->info.optimized_cost = report.chosen_cost;
+    CollectScanTables(compiled->info.optimized, &tables);
+    CollectScanTables(compiled->info.lowered, &tables);
   } else if (options_.allow_oracle_fallback) {
     compiled->info.fallback_reason = lowered.error();
+    // No plan to walk on the oracle path: the AST's table references are
+    // the invalidation domain (including not-yet-created tables, so a
+    // later CreateTable retires a cached "unknown table" outcome).
+    sql::CollectTables(*compiled->ast, &tables);
   } else {
     return Result<CompiledRef>::Error(lowered.error());
   }
 
-  if (options_.plan_cache_capacity > 0) {
-    cache_lru_.emplace_front(key, compiled);
-    cache_entries_[key] = cache_lru_.begin();
-    while (cache_lru_.size() > options_.plan_cache_capacity) {
-      cache_entries_.erase(cache_lru_.back().first);
-      cache_lru_.pop_back();
-    }
+  if (use_cache) {
+    database_->CacheInsert(key, compiled, snapshot.version(),
+                           std::vector<std::string>(tables.begin(), tables.end()));
   }
   return CompiledRef{std::move(compiled), /*cache_hit=*/false};
 }
 
-Result<Session::BoundStatement> Session::BindPrepared(const PreparedStatement& prepared,
-                                                      const std::vector<Value>& params) {
-  Result<std::shared_ptr<sql::SqlQuery>> bound = sql::BindParameters(*prepared.ast_, params);
-  if (!bound.ok()) return Result<BoundStatement>::Error(bound.error());
-  std::string key = BindingCacheKey(prepared.normalized_, params);
-  Result<CompiledRef> compiled = Compile(bound.value(), key);
+Result<Session::BoundStatement> Session::ParseAndCompile(const std::string& sql) {
+  Result<Statement> statement = ParseStatement(sql);
+  if (!statement.ok()) return Result<BoundStatement>::Error(statement.error());
+  if (sql::CountParameters(*statement.value().ast) > 0) {
+    return Result<BoundStatement>::Error(
+        "statement has unbound '?' parameters; use Session::Prepare");
+  }
+  BoundStatement bound;
+  bound.snapshot = Pin();
+  Result<CompiledRef> compiled =
+      Compile(*bound.snapshot, statement.value().ast, statement.value().normalized, 0);
   if (!compiled.ok()) return Result<BoundStatement>::Error(compiled.error());
-  return BoundStatement{
-      Statement{prepared.explain_, prepared.analyze_, bound.value(), key},
-      std::move(compiled).value()};
+  bound.statement = std::move(statement).value();
+  bound.compiled = std::move(compiled).value();
+  bound.plan = bound.compiled.entry->info.optimized;
+  bound.ast = bound.compiled.entry->ast;
+  return bound;
 }
 
-Result<QueryResult> Session::Run(const Statement& statement, const CompiledRef& compiled) {
-  const Compiled& entry = *compiled.entry;
+Result<Session::BoundStatement> Session::BindPrepared(const PreparedStatement& prepared,
+                                                      const std::vector<Value>& params) {
+  if (params.size() != prepared.param_count_) {
+    return Result<BoundStatement>::Error(
+        "statement takes " + std::to_string(prepared.param_count_) + " parameter(s), got " +
+        std::to_string(params.size()));
+  }
+  BoundStatement bound;
+  bound.snapshot = Pin();
+  // Compile-or-hit on the UNBOUND statement: one cache entry per prepared
+  // statement, every binding a hit. (After DDL on a referenced table the
+  // entry is stale and this recompiles against the new snapshot — prepared
+  // statements survive DDL.)
+  Result<CompiledRef> compiled =
+      Compile(*bound.snapshot, prepared.ast_, prepared.normalized_, prepared.param_count_);
+  if (!compiled.ok()) return Result<BoundStatement>::Error(compiled.error());
+  bound.statement =
+      Statement{prepared.explain_, prepared.analyze_, prepared.ast_, prepared.normalized_};
+  bound.compiled = std::move(compiled).value();
+  const CompiledStatement& entry = *bound.compiled.entry;
+  if (entry.info.compiled) {
+    // Bind the values into the cached optimized plan: a path copy touching
+    // only the nodes whose predicates carry '?' slots.
+    bound.plan = params.empty() ? entry.info.optimized
+                                : BindPlanParameters(entry.info.optimized, params);
+  } else {
+    if (params.empty()) {
+      bound.ast = entry.ast;
+    } else {
+      Result<std::shared_ptr<sql::SqlQuery>> ast = sql::BindParameters(*entry.ast, params);
+      if (!ast.ok()) return Result<BoundStatement>::Error(ast.error());
+      bound.ast = std::move(ast).value();
+    }
+  }
+  return bound;
+}
+
+Result<QueryResult> Session::Run(const BoundStatement& bound) {
+  const CompiledStatement& entry = *bound.compiled.entry;
+  const Catalog& catalog = bound.snapshot->catalog();
   QueryResult out;
   out.compile = entry.info;
-  out.compile.cache_hit = compiled.cache_hit;
+  out.compile.cache_hit = bound.compiled.cache_hit;
   size_t result_rows = 0;
-  bool execute = !statement.explain || statement.analyze;
+  bool execute = !bound.statement.explain || bound.statement.analyze;
   if (execute) {
     if (entry.info.compiled) {
-      out.rows =
-          ExecutePlan(entry.info.optimized, catalog_, options_.optimizer.planner, &out.profile);
+      out.rows = ExecutePlan(bound.plan, catalog, options_.optimizer.planner, &out.profile);
     } else {
-      out.rows = sql::ExecuteQueryOracle(*entry.ast, catalog_);
+      out.rows = sql::ExecuteQueryOracle(*bound.ast, catalog);
       out.profile.explain =
           "OracleInterpreter (tuple-at-a-time fallback: " + entry.info.fallback_reason + ")\n";
       out.profile.total_rows = out.rows.size();
@@ -381,32 +431,36 @@ Result<QueryResult> Session::Run(const Statement& statement, const CompiledRef& 
     result_rows = out.rows.size();
   }
   out.profile.rewrite_steps = entry.info.rewrites.size();
-  out.profile.plan_cache_hit = compiled.cache_hit;
+  out.profile.plan_cache_hit = bound.compiled.cache_hit;
   out.profile.fallback_reason = entry.info.fallback_reason;
-  if (statement.explain) {
-    out.rows = RenderExplain(out.compile, statement.analyze, out.profile, result_rows);
+  if (bound.statement.explain) {
+    out.rows = RenderExplain(out.compile, bound.statement.analyze, out.profile, result_rows);
   }
   return out;
 }
 
-Result<ResultCursor> Session::Open(const Statement& statement, const CompiledRef& compiled) {
-  if (statement.explain) {
+Result<ResultCursor> Session::Open(const BoundStatement& bound) {
+  if (bound.statement.explain) {
     // EXPLAIN output is tiny; materialize through Run and stream the rows.
-    Result<QueryResult> result = Run(statement, compiled);
+    Result<QueryResult> result = Run(bound);
     if (!result.ok()) return Result<ResultCursor>::Error(result.error());
     CompileInfo info = result.value().compile;
     auto owned = std::make_shared<const Relation>(std::move(result.value().rows));
-    return ResultCursor(std::make_unique<RelationScan>(owned), owned, std::move(info));
+    return ResultCursor(std::make_unique<RelationScan>(owned), owned, std::move(info),
+                        bound.snapshot);
   }
-  const Compiled& entry = *compiled.entry;
+  const CompiledStatement& entry = *bound.compiled.entry;
   CompileInfo info = entry.info;
-  info.cache_hit = compiled.cache_hit;
+  info.cache_hit = bound.compiled.cache_hit;
   if (entry.info.compiled) {
-    IterPtr root = BuildPhysicalPlan(entry.info.optimized, catalog_, options_.optimizer.planner);
-    return ResultCursor(std::move(root), nullptr, std::move(info));
+    IterPtr root =
+        BuildPhysicalPlan(bound.plan, bound.snapshot->catalog(), options_.optimizer.planner);
+    return ResultCursor(std::move(root), nullptr, std::move(info), bound.snapshot);
   }
-  auto owned = std::make_shared<const Relation>(sql::ExecuteQueryOracle(*entry.ast, catalog_));
-  return ResultCursor(std::make_unique<RelationScan>(owned), owned, std::move(info));
+  auto owned = std::make_shared<const Relation>(
+      sql::ExecuteQueryOracle(*bound.ast, bound.snapshot->catalog()));
+  return ResultCursor(std::make_unique<RelationScan>(owned), owned, std::move(info),
+                      bound.snapshot);
 }
 
 Relation Session::RenderExplain(const CompileInfo& info, bool analyze,
@@ -449,23 +503,11 @@ Relation Session::RenderExplain(const CompileInfo& info, bool analyze,
   return Relation(Schema::Parse("line:int, detail:string"), std::move(rows));
 }
 
-Result<Session::BoundStatement> Session::ParseAndCompile(const std::string& sql) {
-  Result<Statement> statement = ParseStatement(sql);
-  if (!statement.ok()) return Result<BoundStatement>::Error(statement.error());
-  if (sql::CountParameters(*statement.value().ast) > 0) {
-    return Result<BoundStatement>::Error(
-        "statement has unbound '?' parameters; use Session::Prepare");
-  }
-  Result<CompiledRef> compiled = Compile(statement.value().ast, statement.value().normalized);
-  if (!compiled.ok()) return Result<BoundStatement>::Error(compiled.error());
-  return BoundStatement{std::move(statement).value(), std::move(compiled).value()};
-}
-
 Result<QueryResult> Session::Execute(const std::string& sql) {
   try {
     Result<BoundStatement> bound = ParseAndCompile(sql);
     if (!bound.ok()) return Result<QueryResult>::Error(bound.error());
-    return Run(bound.value().statement, bound.value().compiled);
+    return Run(bound.value());
   } catch (const std::exception& e) {
     return Result<QueryResult>::Error(e.what());
   }
@@ -475,7 +517,7 @@ Result<ResultCursor> Session::Query(const std::string& sql) {
   try {
     Result<BoundStatement> bound = ParseAndCompile(sql);
     if (!bound.ok()) return Result<ResultCursor>::Error(bound.error());
-    return Open(bound.value().statement, bound.value().compiled);
+    return Open(bound.value());
   } catch (const std::exception& e) {
     return Result<ResultCursor>::Error(e.what());
   }
@@ -492,6 +534,15 @@ Result<PreparedStatement> Session::Prepare(const std::string& sql) {
     prepared.param_count_ = sql::CountParameters(*statement.value().ast);
     prepared.explain_ = statement.value().explain;
     prepared.analyze_ = statement.value().analyze;
+    // Warm the shared cache now: the statement compiles (lower → rewrite)
+    // exactly once here; every Execute/Query binding is then a cache hit.
+    // Compile errors (possible only with the oracle fallback disabled) are
+    // surfaced by Execute/Query, preserving the Prepare-never-compiles
+    // error contract. With caching disabled the result could not be kept,
+    // so don't compile a throwaway.
+    if (options_.plan_cache_capacity > 0) {
+      (void)Compile(*Pin(), prepared.ast_, prepared.normalized_, prepared.param_count_);
+    }
     return prepared;
   } catch (const std::exception& e) {
     return Result<PreparedStatement>::Error(e.what());

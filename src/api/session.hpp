@@ -1,25 +1,36 @@
 #pragma once
 
-// The engine's front door (docs/api.md): one Session object owns a catalog
-// and compiles every SQL statement through the full stack the paper argues
-// for — parse, lower to a logical plan with first-class division operators
-// (sql/lower.hpp), rewrite by the law-based engine (core/engine.hpp, cost
-// guarded by opt/optimizer.hpp), and execute on the batched/morsel-parallel
-// pipeline executor (exec/pipeline.hpp). Statements the lowering cannot
-// express fall back to the tuple-at-a-time oracle interpreter
-// (sql::ExecuteQueryOracle) with the reason recorded in the profile, so
-// semantics never regress while the fast path grows.
+// The engine's front door (docs/api.md): a Session compiles every SQL
+// statement through the full stack the paper argues for — parse, lower to a
+// logical plan with first-class division operators (sql/lower.hpp), rewrite
+// by the law-based engine (core/engine.hpp, cost guarded by
+// opt/optimizer.hpp), and execute on the batched/morsel-parallel pipeline
+// executor (exec/pipeline.hpp). Statements the lowering cannot express fall
+// back to the tuple-at-a-time oracle interpreter (sql::ExecuteQueryOracle)
+// with the reason recorded in the profile, so semantics never regress while
+// the fast path grows.
+//
+// Threading contract: a Session is a cheap, single-threaded handle onto a
+// thread-safe Database (api/database.hpp). To serve N concurrent query
+// streams, give each thread its own Session over one shared Database —
+// they share the catalog snapshots, the plan cache, and the process-wide
+// worker pool. A Session constructed without a Database owns a private one.
+//
+// Each statement pins the current catalog snapshot: it sees the data and
+// metadata as of its start, and DDL from other sessions never tears a
+// running query. Cursors and prepared statements keep working across DDL —
+// cursors pin their snapshot for their whole lifetime, and prepared
+// statements transparently recompile against the newest snapshot.
 //
 // The API never throws on bad input: every entry point returns Status or
 // Result<>.
 
-#include <list>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "api/database.hpp"
 #include "exec/batch.hpp"
 #include "exec/iterator.hpp"
 #include "opt/optimizer.hpp"
@@ -30,28 +41,18 @@
 namespace quotient {
 
 struct SessionOptions {
-  /// Rule set, cost guard, and physical-algorithm choices.
+  /// Rule set, cost guard, and physical-algorithm choices. Part of the plan
+  /// cache key: sessions with different optimizer options never share
+  /// cached plans.
   OptimizerOptions optimizer;
-  /// Compiled statements cached by normalized SQL (LRU). 0 disables.
+  /// Plan-cache capacity for a session-private Database (ignored when
+  /// connecting to an existing Database, whose own capacity rules).
+  /// 0 additionally opts this session out of the shared cache entirely.
   size_t plan_cache_capacity = 64;
   /// When the lowering cannot express a statement, run it on the oracle
   /// interpreter instead of failing. Disable to surface lowering errors
   /// (the differential tests do, to prove coverage).
   bool allow_oracle_fallback = true;
-};
-
-/// The compile story of one statement, attached to results and cursors and
-/// rendered by EXPLAIN.
-struct CompileInfo {
-  bool compiled = false;   // false: the oracle interpreter ran / would run
-  bool cache_hit = false;  // served from the plan cache
-  std::string fallback_reason;  // why the lowering refused (when !compiled)
-  std::string normalized_sql;   // the plan-cache key
-  PlanPtr lowered;              // straight from sql::LowerQuery
-  PlanPtr optimized;            // after the law rewrites (cost guarded)
-  std::vector<RewriteStep> rewrites;  // applied laws, in order
-  double lowered_cost = 0;
-  double optimized_cost = 0;
 };
 
 /// A fully materialized statement result.
@@ -64,10 +65,13 @@ struct QueryResult {
 class Session;
 
 /// A pull-based result stream: rows (Next) or whole batches (NextBatch)
-/// without materializing the full relation. Cursors borrow the Session's
-/// catalog — drain or Close() them before the next DDL on the session, and
-/// never outlive the Session. Execution errors surface through status():
-/// Next/NextBatch return false/nullptr and status() carries the message.
+/// without materializing the full relation. A cursor pins the catalog
+/// snapshot it was opened against, so it stays valid across later DDL (it
+/// streams the data as of its open). Execution errors — including failures
+/// surfacing mid-stream from the shared-pool executor — never throw:
+/// Next/NextBatch return false/nullptr, status() carries the message, and
+/// the cursor closes deterministically (done() is true, further pulls
+/// return end-of-stream).
 class ResultCursor {
  public:
   ResultCursor(ResultCursor&&) noexcept = default;
@@ -82,7 +86,9 @@ class ResultCursor {
   /// fine: after some Next() calls, NextBatch() serves the not-yet-returned
   /// remainder of the current batch via its selection vector.
   const Batch* NextBatch();
-  /// Drains the remaining rows into a relation and closes the cursor.
+  /// Drains the remaining rows into a relation and closes the cursor. On a
+  /// mid-stream error the rows produced before the failure are returned
+  /// and status() carries the error.
   Relation Drain();
   /// Releases the underlying plan; idempotent.
   void Close();
@@ -95,12 +101,16 @@ class ResultCursor {
 
  private:
   friend class Session;
-  ResultCursor(IterPtr root, std::shared_ptr<const Relation> owned, CompileInfo compile);
+  ResultCursor(IterPtr root, std::shared_ptr<const Relation> owned, CompileInfo compile,
+               SnapshotPtr snapshot);
   bool PullBatch();
+  /// Records the first error, invalidates the current batch, and closes.
+  void Fail(std::string message);
 
   IterPtr root_;
   std::shared_ptr<const Relation> owned_;  // backing rows for oracle results
   CompileInfo compile_;
+  SnapshotPtr snapshot_;  // pinned catalog state backing the plan
   Batch batch_;
   size_t next_active_ = 0;  // batch_ rows already served through Next()
   bool batch_valid_ = false;
@@ -109,9 +119,11 @@ class ResultCursor {
   Status status_;
 };
 
-/// A parsed statement with '?' placeholders, compiled per distinct binding
-/// and served from the session's plan cache. Borrow of the Session: must
-/// not outlive it.
+/// A parsed statement with '?' placeholders. The statement compiles (parse
+/// → lower → rewrite) ONCE per catalog version — the cached plan carries
+/// parameter slots and each Execute/Query binds the values into it, so a
+/// stream of distinct bindings is a stream of plan-cache hits. Borrow of
+/// the Session: must not outlive it.
 class PreparedStatement {
  public:
   size_t parameter_count() const { return param_count_; }
@@ -134,7 +146,11 @@ class PreparedStatement {
 
 class Session {
  public:
+  /// A standalone session over its own private Database.
   explicit Session(SessionOptions options = {});
+  /// A session over a shared Database: the intended shape for concurrent
+  /// serving — one Database, one Session per thread.
+  explicit Session(std::shared_ptr<Database> database, SessionOptions options = {});
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
   // Movable; outstanding PreparedStatements/cursors point at the old
@@ -142,7 +158,10 @@ class Session {
   Session(Session&&) = default;
   Session& operator=(Session&&) = default;
 
-  // ---- catalog management (DDL clears the plan cache) ----
+  // ---- catalog management ----
+  // DDL forwards to the Database: it publishes a new catalog snapshot
+  // (copy-on-write) and invalidates cached plans referencing the touched
+  // tables — other sessions' cached plans over other tables survive.
   /// Registers (or replaces) a table with the given rows.
   Status CreateTable(const std::string& name, Relation rows);
   /// Registers (or replaces) an empty table ("a:int, color:string").
@@ -159,7 +178,11 @@ class Session {
                            const std::string& to_table);
   Status DeclareDisjoint(const std::string& table1, const std::string& table2,
                          const std::vector<std::string>& attrs);
-  const Catalog& catalog() const { return catalog_; }
+  /// The catalog as of this session's last statement or DDL (a pinned
+  /// snapshot; other sessions' later DDL shows up at the next statement).
+  const Catalog& catalog() const { return snapshot_->catalog(); }
+  /// The shared database this session serves.
+  const std::shared_ptr<Database>& database() const { return database_; }
 
   // ---- statements ----
   /// Executes one statement: a SELECT (with DIVIDE BY, subqueries, GROUP
@@ -168,12 +191,14 @@ class Session {
   Result<QueryResult> Execute(const std::string& sql);
   /// Like Execute but returns a pull-based cursor over the result.
   Result<ResultCursor> Query(const std::string& sql);
-  /// Parses once; execute many times with different '?' bindings.
+  /// Parses and compiles once; execute many times with different '?'
+  /// bindings without recompiling.
   Result<PreparedStatement> Prepare(const std::string& sql);
 
-  // ---- plan cache ----
-  size_t plan_cache_size() const { return cache_entries_.size(); }
-  void ClearPlanCache();
+  // ---- plan cache (shared; forwards to the Database) ----
+  size_t plan_cache_size() const { return database_->plan_cache_size(); }
+  PlanCacheStats plan_cache_stats() const { return database_->plan_cache_stats(); }
+  void ClearPlanCache() { database_->ClearPlanCache(); }
 
  private:
   friend class PreparedStatement;
@@ -184,46 +209,48 @@ class Session {
     std::shared_ptr<const sql::SqlQuery> ast;
     std::string normalized;  // of the SELECT, without the EXPLAIN prefix
   };
-  /// A compiled statement as cached: either a rewritten plan or the parsed
-  /// AST plus the reason the oracle must run it.
-  struct Compiled {
-    CompileInfo info;
-    std::shared_ptr<const sql::SqlQuery> ast;
-  };
-
   /// A cache lookup/compile outcome: the shared immutable entry plus
   /// whether it came from the cache (entries are shared, not copied, on
   /// the hit path).
   struct CompiledRef {
-    std::shared_ptr<const Compiled> entry;
+    std::shared_ptr<const CompiledStatement> entry;
     bool cache_hit = false;
   };
+  /// Everything one statement execution needs: the pinned snapshot, the
+  /// shared compiled entry, and the parameter-bound plan/AST to run.
   struct BoundStatement {
+    SnapshotPtr snapshot;
     Statement statement;
     CompiledRef compiled;
+    PlanPtr plan;  // param-bound optimized plan (compiled path)
+    std::shared_ptr<const sql::SqlQuery> ast;  // param-bound AST (oracle path)
   };
 
+  /// Pins the database's current snapshot as this session's view.
+  const SnapshotPtr& Pin() { return snapshot_ = database_->snapshot(); }
   Result<Statement> ParseStatement(const std::string& sql) const;
-  Result<CompiledRef> Compile(std::shared_ptr<const sql::SqlQuery> ast, const std::string& key);
+  /// Shared-cache lookup, or a full lower → rewrite → cost compile against
+  /// `snapshot` published back to the cache.
+  Result<CompiledRef> Compile(const CatalogSnapshot& snapshot,
+                              std::shared_ptr<const sql::SqlQuery> ast,
+                              const std::string& normalized, size_t param_count);
   /// Shared parse → unbound-'?' check → compile front half of
   /// Execute/Query.
   Result<BoundStatement> ParseAndCompile(const std::string& sql);
-  /// Shared '?'-binding front half of PreparedStatement::Execute/Query.
+  /// Shared '?'-binding front half of PreparedStatement::Execute/Query:
+  /// compile-or-hit, then bind the values into the cached plan (or the AST
+  /// on the oracle path).
   Result<BoundStatement> BindPrepared(const PreparedStatement& prepared,
                                       const std::vector<Value>& params);
-  Result<QueryResult> Run(const Statement& statement, const CompiledRef& compiled);
-  Result<ResultCursor> Open(const Statement& statement, const CompiledRef& compiled);
+  Result<QueryResult> Run(const BoundStatement& bound);
+  Result<ResultCursor> Open(const BoundStatement& bound);
   Relation RenderExplain(const CompileInfo& info, bool analyze, const ExecProfile& profile,
                          size_t result_rows) const;
-  void InvalidatePlans() { ClearPlanCache(); }
 
+  std::shared_ptr<Database> database_;
   SessionOptions options_;
-  Catalog catalog_;
-  // LRU plan cache: most recently used at the front; entries shared with
-  // in-flight statements via shared_ptr.
-  using CacheList = std::list<std::pair<std::string, std::shared_ptr<const Compiled>>>;
-  CacheList cache_lru_;
-  std::unordered_map<std::string, CacheList::iterator> cache_entries_;
+  std::string cache_key_prefix_;  // options fingerprint (see session.cpp)
+  SnapshotPtr snapshot_;          // this session's pinned catalog view
 };
 
 }  // namespace quotient

@@ -95,9 +95,11 @@ IterPtr Build(const PlanPtr& plan, const Catalog& catalog, const PlannerOptions&
       // Batched and parallel plans scan through the catalog's cached
       // per-table dictionary encoding, so repeated queries share encode
       // work across Open()s and morsel workers share one immutable table
-      // encoding.
+      // encoding. The scan holds an OWNING handle to the relation, so a
+      // plan built against one catalog snapshot stays valid after DDL
+      // publishes a newer one (api/database.hpp).
       return std::make_unique<RelationScan>(
-          std::shared_ptr<const Relation>(&catalog.Get(op.table()), [](const Relation*) {}),
+          catalog.GetShared(op.table()),
           GetExecMode() != ExecMode::kTuple ? catalog.Encoding(op.table()) : nullptr);
     case LogicalOp::Kind::kValues:
       return std::make_unique<RelationScan>(

@@ -45,7 +45,7 @@ Catalog& Catalog::operator=(Catalog&& other) noexcept {
 }
 
 void Catalog::Put(const std::string& name, Relation relation) {
-  relations_.insert_or_assign(name, std::move(relation));
+  relations_.insert_or_assign(name, std::make_shared<const Relation>(std::move(relation)));
   std::lock_guard<std::mutex> lock(encodings_mutex_);
   encodings_.erase(name);  // replaced data invalidates the cached encoding
 }
@@ -53,6 +53,12 @@ void Catalog::Put(const std::string& name, Relation relation) {
 bool Catalog::Has(const std::string& name) const { return relations_.count(name) > 0; }
 
 const Relation& Catalog::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) throw SchemaError("unknown relation '" + name + "'");
+  return *it->second;
+}
+
+std::shared_ptr<const Relation> Catalog::GetShared(const std::string& name) const {
   auto it = relations_.find(name);
   if (it == relations_.end()) throw SchemaError("unknown relation '" + name + "'");
   return it->second;

@@ -30,6 +30,13 @@ namespace quotient {
 /// the metadata queries) concurrently, including the pipeline executor's
 /// morsel workers. Put() and the Declare* mutators require external
 /// exclusivity (no concurrent readers), like DDL against a live table.
+///
+/// Relations are stored behind shared_ptr, so copying a catalog is O(#
+/// tables) regardless of data size and copies SHARE table storage and
+/// cached encodings with the original — this is what makes the Database's
+/// copy-on-write snapshot publication (api/database.hpp) cheap. A copy
+/// followed by Put() replaces one entry without disturbing readers of the
+/// original.
 class Catalog {
  public:
   Catalog() = default;
@@ -46,6 +53,9 @@ class Catalog {
   bool Has(const std::string& name) const;
   /// Throws SchemaError if absent.
   const Relation& Get(const std::string& name) const;
+  /// Owning handle to the stored relation: scans hold this so open cursors
+  /// keep their storage alive even after DDL publishes a newer snapshot.
+  std::shared_ptr<const Relation> GetShared(const std::string& name) const;
   std::vector<std::string> Names() const;
 
   /// The table's column-dictionary encoding (see exec/batch.hpp), built on
@@ -88,7 +98,7 @@ class Catalog {
  private:
   static std::string KeyOf(const std::string& table, const std::vector<std::string>& attrs);
 
-  std::map<std::string, Relation> relations_;
+  std::map<std::string, std::shared_ptr<const Relation>> relations_;
   std::set<std::string> keys_;          // "table|a,b"
   std::set<std::string> foreign_keys_;  // "from|a,b|to"
   std::set<std::string> disjoint_;      // "t1|t2|a,b" (stored both ways)

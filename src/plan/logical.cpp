@@ -327,4 +327,49 @@ std::string LogicalOp::ToString() const {
   return out;
 }
 
+namespace {
+
+void CountExprParams(const Expr& expr, size_t* count) {
+  if (expr.kind() == Expr::Kind::kParam) ++*count;
+  if (expr.left() != nullptr) CountExprParams(*expr.left(), count);
+  if (expr.right() != nullptr) CountExprParams(*expr.right(), count);
+}
+
+}  // namespace
+
+size_t CountPlanParameters(const PlanPtr& plan) {
+  size_t count = 0;
+  if (plan->predicate() != nullptr) CountExprParams(*plan->predicate(), &count);
+  for (const PlanPtr& child : plan->children()) count += CountPlanParameters(child);
+  return count;
+}
+
+PlanPtr BindPlanParameters(const PlanPtr& plan, const std::vector<Value>& params) {
+  std::vector<PlanPtr> children;
+  children.reserve(plan->children().size());
+  bool changed = false;
+  for (const PlanPtr& child : plan->children()) {
+    children.push_back(BindPlanParameters(child, params));
+    changed = changed || children.back() != child;
+  }
+  ExprPtr predicate = plan->predicate();
+  if (predicate != nullptr) {
+    ExprPtr bound = Expr::BindParams(predicate, params);
+    changed = changed || bound != predicate;
+    predicate = std::move(bound);
+  }
+  if (!changed) return plan;
+  switch (plan->kind()) {
+    case LogicalOp::Kind::kSelect: return LogicalOp::Select(children[0], predicate);
+    case LogicalOp::Kind::kThetaJoin:
+      return LogicalOp::ThetaJoin(children[0], children[1], predicate);
+    default: return plan->WithChildren(std::move(children));
+  }
+}
+
+void CollectScanTables(const PlanPtr& plan, std::set<std::string>* out) {
+  if (plan->kind() == LogicalOp::Kind::kScan) out->insert(plan->table());
+  for (const PlanPtr& child : plan->children()) CollectScanTables(child, out);
+}
+
 }  // namespace quotient

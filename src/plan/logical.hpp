@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -113,5 +114,24 @@ class LogicalOp {
   std::vector<std::string> group_names_;       // kGroupBy
   std::vector<AggSpec> aggs_;                  // kGroupBy
 };
+
+// ---- prepared-statement parameter slots --------------------------------
+// A parameterized statement lowers once into a plan whose predicates carry
+// Expr::Kind::kParam placeholders; each execution substitutes the bound
+// values into a path-copied plan (shared, already-validated subtrees are
+// reused). This is what lets the plan cache hold ONE entry per prepared
+// statement instead of one per distinct binding.
+
+/// Number of '?' placeholder occurrences in the plan's predicates.
+size_t CountPlanParameters(const PlanPtr& plan);
+
+/// Substitutes every kParam placeholder by the matching value from
+/// `params` (0-based ordinals). Returns `plan` itself when it carries no
+/// parameters. Throws SchemaError on an out-of-range ordinal.
+PlanPtr BindPlanParameters(const PlanPtr& plan, const std::vector<Value>& params);
+
+/// Inserts the name of every base table the plan scans into `out` — the
+/// invalidation domain of a cached plan (api/database.hpp).
+void CollectScanTables(const PlanPtr& plan, std::set<std::string>* out);
 
 }  // namespace quotient

@@ -141,6 +141,32 @@ size_t CountParameters(const SqlQuery& query) {
   return count;
 }
 
+namespace {
+
+void CollectExprTables(const SqlExpr& expr, std::set<std::string>* out) {
+  if (expr.subquery != nullptr) CollectTables(*expr.subquery, out);
+  if (expr.left != nullptr) CollectExprTables(*expr.left, out);
+  if (expr.right != nullptr) CollectExprTables(*expr.right, out);
+}
+
+void CollectTableRefTables(const TableRef& ref, std::set<std::string>* out) {
+  if (!ref.table.empty()) out->insert(ref.table);
+  if (ref.subquery != nullptr) CollectTables(*ref.subquery, out);
+  if (ref.divisor != nullptr) CollectTableRefTables(*ref.divisor, out);
+}
+
+}  // namespace
+
+void CollectTables(const SqlQuery& query, std::set<std::string>* out) {
+  for (const SelectItem& item : query.items) {
+    if (item.expr != nullptr) CollectExprTables(*item.expr, out);
+  }
+  for (const TableRef& ref : query.from) CollectTableRefTables(ref, out);
+  if (query.where != nullptr) CollectExprTables(*query.where, out);
+  for (const SqlExprPtr& g : query.group_by) CollectExprTables(*g, out);
+  if (query.having != nullptr) CollectExprTables(*query.having, out);
+}
+
 Result<std::shared_ptr<SqlQuery>> BindParameters(const SqlQuery& query,
                                                  const std::vector<Value>& params) {
   size_t expected = CountParameters(query);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -82,6 +83,12 @@ size_t CountParameters(const SqlQuery& query);
 /// `params`. Errors when params.size() != CountParameters(query).
 Result<std::shared_ptr<SqlQuery>> BindParameters(const SqlQuery& query,
                                                  const std::vector<Value>& params);
+
+/// Inserts every base-table name the query references (FROM clauses,
+/// DIVIDE BY divisors, and all subqueries) into `out`. This is the
+/// invalidation domain of a cached statement that runs on the oracle
+/// interpreter (api/database.hpp), where no lowered plan exists to walk.
+void CollectTables(const SqlQuery& query, std::set<std::string>* out);
 
 }  // namespace sql
 }  // namespace quotient

@@ -109,7 +109,10 @@ ExprPtr TranslateScalar(const SqlExpr& cond, const Schema& schema) {
     case SqlExpr::Kind::kColumn: return Expr::Column(ResolveAgainst(schema, cond));
     case SqlExpr::Kind::kLiteral: return Expr::Literal(cond.literal);
     case SqlExpr::Kind::kParam:
-      throw SqlError("unbound parameter '?' (bind values via a prepared statement)");
+      // Prepared-statement placeholder: lowers to a plan-level parameter
+      // slot so the statement compiles once and binds values per execution
+      // (plan/logical.hpp BindPlanParameters).
+      return Expr::Param(cond.param_index);
     case SqlExpr::Kind::kExists:
     case SqlExpr::Kind::kInSubquery:
       Unsupported("subquery nested under OR/NOT/arithmetic in WHERE");

@@ -117,6 +117,174 @@ TEST_F(SessionTest, LruEvictsOldestBeyondCapacity) {
   EXPECT_FALSE(again.value().profile.plan_cache_hit);
 }
 
+TEST_F(SessionTest, PreparedStatementCompilesOnceAcrossDistinctBindings) {
+  // The regression this guards: the plan cache used to key on (normalized
+  // SQL + parameter values), so every distinct binding re-ran parse →
+  // lower → RewriteEngine and flooded the LRU. The statement must compile
+  // exactly once, with every binding a cache hit on that one entry.
+  ASSERT_TRUE(session_.Execute(kQ1).ok());  // an unrelated hot plan
+  size_t baseline_compiles = session_.plan_cache_stats().compiles;
+
+  Result<PreparedStatement> prepared =
+      session_.Prepare("SELECT s# FROM supplies WHERE p# = ?");
+  ASSERT_TRUE(prepared.ok()) << prepared.error();
+  size_t cache_size = session_.plan_cache_size();
+  for (int64_t i = 0; i < 10000; ++i) {
+    Result<QueryResult> result = prepared.value().Execute({V(i)});
+    ASSERT_TRUE(result.ok()) << result.error();
+    EXPECT_TRUE(result.value().profile.plan_cache_hit) << "binding " << i;
+    EXPECT_TRUE(result.value().compile.compiled);
+  }
+  // 10k distinct bindings: one compile (at Prepare), no LRU flooding.
+  EXPECT_EQ(session_.plan_cache_stats().compiles, baseline_compiles + 1);
+  EXPECT_EQ(session_.plan_cache_size(), cache_size);
+
+  // ... and the binding storm did not evict the unrelated hot plan.
+  Result<QueryResult> hot = session_.Execute(kQ1);
+  ASSERT_TRUE(hot.ok());
+  EXPECT_TRUE(hot.value().profile.plan_cache_hit);
+}
+
+TEST_F(SessionTest, PreparedBindingsProduceBindingSpecificResults) {
+  // Sharing one cached plan across bindings must not leak one binding's
+  // values into another's results (the plan carries '?' slots; each
+  // execution binds its own).
+  Result<PreparedStatement> prepared =
+      session_.Prepare("SELECT s# FROM supplies WHERE p# = ?");
+  ASSERT_TRUE(prepared.ok()) << prepared.error();
+  for (int round = 0; round < 2; ++round) {
+    for (int64_t p = 1; p <= 4; ++p) {
+      Result<QueryResult> got = prepared.value().Execute({V(p)});
+      ASSERT_TRUE(got.ok()) << got.error();
+      Result<Relation> oracle = sql::ExecuteSql(
+          "SELECT s# FROM supplies WHERE p# = " + std::to_string(p), session_.catalog());
+      ASSERT_TRUE(oracle.ok());
+      EXPECT_EQ(got.value().rows, oracle.value()) << "p# = " << p;
+      // The cached plans carry the statement's '?' as a first-class
+      // parameter slot (this is what makes compile-once possible); the
+      // executed plan is fully bound.
+      EXPECT_EQ(CountPlanParameters(got.value().compile.lowered), 1u);
+      EXPECT_EQ(CountPlanParameters(got.value().compile.optimized), 1u);
+    }
+  }
+}
+
+TEST_F(SessionTest, PreparedStatementSurvivesDdl) {
+  Result<PreparedStatement> prepared =
+      session_.Prepare("SELECT s# FROM supplies WHERE p# = ?");
+  ASSERT_TRUE(prepared.ok()) << prepared.error();
+  Result<QueryResult> before = prepared.value().Execute({V(9)});
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.value().rows.size(), 0u);
+  // DDL on the referenced table: the next execution recompiles against the
+  // new snapshot (once) instead of serving the stale plan or failing.
+  ASSERT_TRUE(session_.InsertRows("supplies", {{V(7), V(9)}}).ok());
+  Result<QueryResult> after = prepared.value().Execute({V(9)});
+  ASSERT_TRUE(after.ok()) << after.error();
+  EXPECT_EQ(after.value().rows, Relation::FromRows("s#", {{V(7)}}));
+  EXPECT_FALSE(after.value().profile.plan_cache_hit);  // recompiled once
+  Result<QueryResult> again = prepared.value().Execute({V(9)});
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.value().profile.plan_cache_hit);
+}
+
+TEST_F(SessionTest, DdlInvalidatesOnlyPlansTouchingTheTable) {
+  ASSERT_TRUE(session_.CreateTable("other", Relation::Parse("a, b", "1,10; 2,20")).ok());
+  ASSERT_TRUE(session_.Execute(kQ1).ok());                    // supplies + parts
+  ASSERT_TRUE(session_.Execute("SELECT a FROM other").ok());  // other only
+  EXPECT_EQ(session_.plan_cache_size(), 2u);
+
+  // DDL on `supplies` must evict the division plan but keep `other`'s.
+  ASSERT_TRUE(session_.InsertRows("supplies", {{V(9), V(1)}}).ok());
+  Result<QueryResult> unrelated = session_.Execute("SELECT a FROM other");
+  ASSERT_TRUE(unrelated.ok());
+  EXPECT_TRUE(unrelated.value().profile.plan_cache_hit);
+  Result<QueryResult> touched = session_.Execute(kQ1);
+  ASSERT_TRUE(touched.ok());
+  EXPECT_FALSE(touched.value().profile.plan_cache_hit);
+
+  // Metadata DDL invalidates the declared tables' plans, too: key/FK
+  // declarations feed Laws 11/12, so plans over those tables must recompile.
+  ASSERT_TRUE(session_.Execute(kQ1).ok());
+  ASSERT_TRUE(session_.DeclareKey("parts", {"p#"}).ok());
+  Result<QueryResult> redeclared = session_.Execute(kQ1);
+  ASSERT_TRUE(redeclared.ok());
+  EXPECT_FALSE(redeclared.value().profile.plan_cache_hit);
+  Result<QueryResult> still_cached = session_.Execute("SELECT a FROM other");
+  ASSERT_TRUE(still_cached.ok());
+  EXPECT_TRUE(still_cached.value().profile.plan_cache_hit);
+}
+
+TEST_F(SessionTest, CursorPinsItsSnapshotAcrossDdl) {
+  ScopedBatchRows batch_rows(2);
+  Result<ResultCursor> cursor = session_.Query("SELECT * FROM supplies");
+  ASSERT_TRUE(cursor.ok()) << cursor.error();
+  Tuple first;
+  ASSERT_TRUE(cursor.value().Next(&first));
+  // Replace the table mid-stream: the cursor pinned its snapshot and keeps
+  // streaming the data as of its open; the next statement sees the new data.
+  ASSERT_TRUE(session_.CreateTable("supplies", Relation::Parse("s#, p#", "77,1")).ok());
+  std::vector<Tuple> rows = {first};
+  Tuple t;
+  while (cursor.value().Next(&t)) rows.push_back(t);
+  EXPECT_TRUE(cursor.value().status().ok()) << cursor.value().status().message();
+  EXPECT_EQ(Relation(cursor.value().schema(), rows), paper::SuppliesTable());
+  Result<QueryResult> fresh = session_.Execute("SELECT * FROM supplies");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh.value().rows, Relation::Parse("s#, p#", "77,1"));
+}
+
+TEST_F(SessionTest, CursorMidStreamErrorSetsStatusAndClosesDeterministically) {
+  // Fault injection: the predicate divides by zero on the row a=3, after
+  // two rows have already streamed out. The error must surface through
+  // status() — never an exception — and the cursor must close for good.
+  ASSERT_TRUE(session_.CreateTable("f", Relation::Parse("a, b", "1,10; 2,20; 3,30")).ok());
+  ScopedBatchRows batch_rows(1);  // one row per batch: the failure is mid-stream
+  Result<ResultCursor> cursor = session_.Query("SELECT a, b FROM f WHERE b / (a - 3) <= 0");
+  ASSERT_TRUE(cursor.ok()) << cursor.error();
+  EXPECT_TRUE(cursor.value().compile().compiled);
+
+  Tuple t;
+  size_t produced = 0;
+  while (cursor.value().Next(&t)) ++produced;
+  EXPECT_EQ(produced, 2u);  // a=1 and a=2 stream before the poison row
+  EXPECT_FALSE(cursor.value().status().ok());
+  EXPECT_NE(cursor.value().status().message().find("division by zero"), std::string::npos)
+      << cursor.value().status().message();
+  EXPECT_TRUE(cursor.value().done());
+  // The cursor is closed: every further pull reports end of stream and the
+  // first error sticks.
+  EXPECT_FALSE(cursor.value().Next(&t));
+  EXPECT_EQ(cursor.value().NextBatch(), nullptr);
+  EXPECT_NE(cursor.value().status().message().find("division by zero"), std::string::npos);
+
+  // Drain() on a failing cursor returns the rows before the failure and
+  // reports the error through status().
+  Result<ResultCursor> draining =
+      session_.Query("SELECT a, b FROM f WHERE b / (a - 3) <= 0");
+  ASSERT_TRUE(draining.ok());
+  Relation partial = draining.value().Drain();
+  EXPECT_EQ(partial.size(), 2u);
+  EXPECT_FALSE(draining.value().status().ok());
+}
+
+TEST_F(SessionTest, SessionsOverOneDatabaseShareCacheAndSnapshots) {
+  auto db = std::make_shared<Database>();
+  Session first(db);
+  Session second(db);
+  ASSERT_TRUE(first.CreateTable("nums", Relation::Parse("a, b", "1,10; 2,20")).ok());
+  // DDL from one session is visible to the other at its next statement.
+  Result<QueryResult> seen = second.Execute("SELECT a FROM nums");
+  ASSERT_TRUE(seen.ok()) << seen.error();
+  EXPECT_FALSE(seen.value().profile.plan_cache_hit);
+  // ... and the compiled plan is shared: the first session hits on it.
+  Result<QueryResult> shared = first.Execute("SELECT a FROM nums");
+  ASSERT_TRUE(shared.ok());
+  EXPECT_TRUE(shared.value().profile.plan_cache_hit);
+  EXPECT_EQ(db->plan_cache_size(), 1u);
+  EXPECT_EQ(db->version(), 1u);
+}
+
 TEST_F(SessionTest, PreparedStatementBindsParameters) {
   Result<PreparedStatement> prepared = session_.Prepare(
       "SELECT s# FROM supplies AS s DIVIDE BY ("
