@@ -20,6 +20,11 @@
 #                                Database (bench_concurrent_sessions.cpp):
 #                                sessions sweep 1..8 at worker-pool sizes
 #                                {1, N}, with throughput per configuration
+#     BENCH_robustness.json      query-lifecycle governor (docs/
+#                                robustness.md): governed vs ungoverned
+#                                HashDivision/1024/16 overhead plus
+#                                Session::Cancel latency on an in-flight
+#                                parallel DIVIDE BY
 #   Compare runs with benchmark's own tools/compare.py, or just diff the
 #   real_time fields. QUOTIENT_BENCH_THREADS overrides the parallel A/B's
 #   high thread count (default: nproc, min 2).
@@ -32,7 +37,7 @@ build_dir="${repo_root}/build-bench"
 cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${build_dir}" -j "$(nproc)" \
   --target bench_division_algorithms bench_key_codec bench_sql_e2e \
-           bench_concurrent_sessions \
+           bench_concurrent_sessions bench_cancellation \
            bench_law10_semijoin bench_law13_partitioned_great_divide >/dev/null
 
 mkdir -p "${out_dir}"
@@ -84,6 +89,11 @@ run_bench_threads bench_sql_e2e "${par_threads}" "${out_dir}/BENCH_sql.json"
 # compete for the shared morsel pool), then merge into BENCH_concurrency.json.
 run_bench_threads bench_concurrent_sessions 1 "${out_dir}/.conc_pool1.json"
 run_bench_threads bench_concurrent_sessions "${par_threads}" "${out_dir}/.conc_poolN.json"
+
+# Governor robustness: governed-vs-ungoverned overhead on the canonical
+# HashDivision/1024/16 point (acceptance bar: within 3%), plus the latency
+# from Session::Cancel() to the in-flight statement unwinding.
+run_bench_threads bench_cancellation "${par_threads}" "${out_dir}/.robustness_raw.json"
 
 run_bench_threads bench_division_algorithms 1 "${out_dir}/.div_par1.json"
 run_bench_threads bench_division_algorithms "${par_threads}" "${out_dir}/.div_parN.json"
@@ -197,6 +207,36 @@ for row in concurrency:
 for (workload, pool), qps in sorted(best.items()):
     print(f"concurrency {workload} (pool={pool}): peak {qps:,.0f} statements/s")
 
+# Governor robustness: overhead of the installed QueryContext on the
+# canonical HashDivision point, plus cancel latency (manual-timed from
+# Session::Cancel() to statement unwind).
+rob = times(".robustness_raw.json")
+
+def first_time(prefix):
+    for name, t in sorted(rob.items()):
+        if name.startswith(prefix):
+            return t
+    return None
+
+ungoverned = first_time("BM_HashDivision/ungoverned")
+governed = first_time("BM_HashDivision/governed")
+cancel_latency = first_time("BM_CancelLatency")
+robustness = {
+    "hash_division_1024_16": {
+        "ungoverned_us": round(ungoverned, 3) if ungoverned else None,
+        "governed_us": round(governed, 3) if governed else None,
+        "overhead_pct": round((governed / ungoverned - 1.0) * 100, 2)
+                        if governed and ungoverned else None,
+    },
+    "cancel_latency_us": round(cancel_latency, 3) if cancel_latency else None,
+}
+with open(os.path.join(out_dir, "BENCH_robustness.json"), "w") as f:
+    json.dump(robustness, f, indent=1)
+if robustness["hash_division_1024_16"]["overhead_pct"] is not None:
+    print(f"governor overhead on HashDivision/1024/16: "
+          f"{robustness['hash_division_1024_16']['overhead_pct']:+.2f}%"
+          f" | cancel latency: {robustness['cancel_latency_us']:.1f} us")
+
 par_speedups = [c["speedup"] for c in par_comparison if c["speedup"] is not None]
 if par_speedups:
     print(f"parallel speedup ({threads_n} threads vs 1): "
@@ -204,8 +244,9 @@ if par_speedups:
           f"median {sorted(par_speedups)[len(par_speedups)//2]:.2f}x / "
           f"max {max(par_speedups):.2f}x")
 PY
-rm -f "${out_dir}"/.law1[03]_*.json "${out_dir}"/.div_par*.json "${out_dir}"/.conc_pool*.json
+rm -f "${out_dir}"/.law1[03]_*.json "${out_dir}"/.div_par*.json "${out_dir}"/.conc_pool*.json \
+      "${out_dir}"/.robustness_raw.json
 
 echo "Wrote ${out_dir}/BENCH_division.json, BENCH_division_tuple.json," \
      "BENCH_key_codec.json, BENCH_batched.json, BENCH_parallel.json," \
-     "BENCH_sql.json and BENCH_concurrency.json"
+     "BENCH_sql.json, BENCH_concurrency.json and BENCH_robustness.json"

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "exec/query_context.hpp"
 #include "util/csv.hpp"
 
 namespace quotient {
@@ -24,6 +25,11 @@ Status Database::Ddl(const std::vector<std::string>& touched,
     next->catalog_ = current->catalog();  // O(#tables): storage is shared
     next->version_ = current->version() + 1;
     mutate(next->catalog_);
+    // Fault site: a DDL failing here leaves the previous snapshot published
+    // and the cache untouched — the sweep test proves publication is atomic.
+    GovernorFaultPoint("snapshot.publish");
+  } catch (const QueryAbort& e) {
+    return e.status();
   } catch (const std::exception& e) {
     return Status::Error(e.what());
   }
@@ -78,13 +84,13 @@ Status Database::InsertRows(const std::string& name, const std::vector<Tuple>& r
 
 Status Database::LoadCsv(const std::string& name, const std::string& csv_text) {
   Result<Relation> parsed = RelationFromCsv(csv_text);
-  if (!parsed.ok()) return Status::Error(parsed.error());
+  if (!parsed.ok()) return parsed.status();
   return CreateTable(name, std::move(parsed).value());
 }
 
 Status Database::LoadCsvFile(const std::string& name, const std::string& path) {
   Result<Relation> parsed = ReadCsvFile(path);
-  if (!parsed.ok()) return Status::Error(parsed.error());
+  if (!parsed.ok()) return parsed.status();
   return CreateTable(name, std::move(parsed).value());
 }
 

@@ -1,5 +1,6 @@
 #include "api/session.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <set>
@@ -90,40 +91,55 @@ void AppendBlock(const std::string& text, const std::string& indent,
 // ------------------------------------------------------------ ResultCursor
 
 ResultCursor::ResultCursor(IterPtr root, std::shared_ptr<const Relation> owned,
-                           CompileInfo compile, SnapshotPtr snapshot)
+                           CompileInfo compile, SnapshotPtr snapshot,
+                           std::shared_ptr<QueryContext> context)
     : root_(std::move(root)),
       owned_(std::move(owned)),
       compile_(std::move(compile)),
-      snapshot_(std::move(snapshot)) {}
+      snapshot_(std::move(snapshot)),
+      ctx_(std::move(context)),
+      schema_(root_->schema()) {}
 
 ResultCursor::~ResultCursor() { Close(); }
 
-const Schema& ResultCursor::schema() const { return root_->schema(); }
+const Schema& ResultCursor::schema() const { return schema_; }
 
 void ResultCursor::Close() {
-  if (root_ != nullptr && opened_) {
-    try {
-      root_->Close();
-    } catch (const std::exception& e) {
-      if (status_.ok()) status_ = Status::Error(e.what());
-    } catch (...) {
-      if (status_.ok()) status_ = Status::Error("unknown error closing cursor");
+  if (root_ != nullptr) {
+    final_profile_ = Profile();  // captured while the iterator tree is alive
+    if (opened_) {
+      try {
+        root_->Close();
+      } catch (const std::exception& e) {
+        if (status_.ok()) status_ = Status::Error(e.what());
+      } catch (...) {
+        if (status_.ok()) status_ = Status::Error("unknown error closing cursor");
+      }
+      opened_ = false;
     }
-    opened_ = false;
+    // Terminal: release the plan, its backing rows, and the pinned catalog
+    // snapshot — a finished (or cancelled) cursor stops holding catalog
+    // state. root_ goes first; its scans borrow the snapshot's relations.
+    root_.reset();
+    owned_.reset();
+    snapshot_.reset();
   }
   exhausted_ = true;
   batch_valid_ = false;
 }
 
-void ResultCursor::Fail(std::string message) {
-  if (status_.ok()) status_ = Status::Error(std::move(message));
+void ResultCursor::Fail(Status status) {
+  if (status_.ok()) status_ = std::move(status);
   batch_valid_ = false;
   Close();
 }
 
 bool ResultCursor::PullBatch() {
   if (exhausted_ || root_ == nullptr) return false;
+  ScopedQueryContext scope(ctx_.get());  // pulls may run on any user thread
   try {
+    GovernorPoll();
+    GovernorFaultPoint("cursor.pull");
     if (!opened_) {
       root_->Open();
       opened_ = true;
@@ -132,15 +148,21 @@ bool ResultCursor::PullBatch() {
     next_active_ = 0;
     if (!batch_valid_) Close();
     return batch_valid_;
+  } catch (const QueryAbort& e) {
+    // A governor trip (cancel, deadline, budget) or an injected fault: the
+    // cursor ends with the typed terminal status. Rows already served stay
+    // served; Drain() returns the pre-failure rows.
+    Fail(e.status());
+    return false;
   } catch (const std::exception& e) {
     // Executor errors can surface on any pull — a predicate failing on a
     // late tuple, a worker-pool drain rethrown mid-stream. The cursor ends
     // the stream deterministically: status() carries the message, done()
     // flips, further pulls report end of stream.
-    Fail(e.what());
+    Fail(Status::Error(e.what()));
     return false;
   } catch (...) {
-    Fail("unknown execution error");
+    Fail(Status::Error("unknown execution error"));
     return false;
   }
 }
@@ -184,17 +206,21 @@ Relation ResultCursor::Drain() {
 }
 
 ExecProfile ResultCursor::Profile() const {
+  if (root_ == nullptr) return final_profile_;  // closed: serve the capture
   ExecProfile profile;
-  if (root_ != nullptr) {
-    profile.total_rows = TotalRowsProduced(*root_);
-    profile.max_rows = MaxRowsProduced(*root_);
-    profile.max_dop = MaxPipelineDop(*root_);
-    profile.explain = ExplainTree(*root_);
-    profile.pipelines = DescribePipelines(*root_);
-  }
+  profile.total_rows = TotalRowsProduced(*root_);
+  profile.max_rows = MaxRowsProduced(*root_);
+  profile.max_dop = MaxPipelineDop(*root_);
+  profile.explain = ExplainTree(*root_);
+  profile.pipelines = DescribePipelines(*root_);
   profile.rewrite_steps = compile_.rewrites.size();
   profile.plan_cache_hit = compile_.cache_hit;
   profile.fallback_reason = compile_.fallback_reason;
+  if (ctx_ != nullptr) {
+    profile.rows_charged_bytes = ctx_->charged_bytes();
+    profile.cancelled = ctx_->cancelled();
+    profile.fault_site = ctx_->fault_site();
+  }
   return profile;
 }
 
@@ -206,6 +232,8 @@ Result<QueryResult> PreparedStatement::Execute(const std::vector<Value>& params)
     Result<Session::BoundStatement> bound = session_->BindPrepared(*this, params);
     if (!bound.ok()) return Result<QueryResult>::Error(bound.error());
     return session_->Run(bound.value());
+  } catch (const QueryAbort& e) {
+    return Result<QueryResult>::Error(e.status());
   } catch (const std::exception& e) {
     return Result<QueryResult>::Error(e.what());
   }
@@ -217,6 +245,8 @@ Result<ResultCursor> PreparedStatement::Query(const std::vector<Value>& params) 
     Result<Session::BoundStatement> bound = session_->BindPrepared(*this, params);
     if (!bound.ok()) return Result<ResultCursor>::Error(bound.error());
     return session_->Open(bound.value());
+  } catch (const QueryAbort& e) {
+    return Result<ResultCursor>::Error(e.status());
   } catch (const std::exception& e) {
     return Result<ResultCursor>::Error(e.what());
   }
@@ -232,7 +262,31 @@ Session::Session(std::shared_ptr<Database> database, SessionOptions options)
     : database_(std::move(database)),
       options_(std::move(options)),
       cache_key_prefix_(OptionsFingerprint(options_)),
-      snapshot_(database_->snapshot()) {}
+      snapshot_(database_->snapshot()),
+      cancels_(std::make_unique<CancelRegistry>()) {}
+
+std::shared_ptr<QueryContext> Session::MakeContext() {
+  std::chrono::steady_clock::time_point deadline{};
+  if (options_.deadline.count() > 0) {
+    deadline = std::chrono::steady_clock::now() + options_.deadline;
+  }
+  auto context = std::make_shared<QueryContext>(deadline, options_.memory_budget_bytes,
+                                                options_.fault_injector);
+  std::lock_guard<std::mutex> lock(cancels_->mutex);
+  // Prune finished statements' expired slots so the registry stays O(live).
+  auto dead = std::remove_if(cancels_->active.begin(), cancels_->active.end(),
+                             [](const std::weak_ptr<QueryContext>& w) { return w.expired(); });
+  cancels_->active.erase(dead, cancels_->active.end());
+  cancels_->active.push_back(context);
+  return context;
+}
+
+void Session::Cancel() {
+  std::lock_guard<std::mutex> lock(cancels_->mutex);
+  for (const std::weak_ptr<QueryContext>& weak : cancels_->active) {
+    if (std::shared_ptr<QueryContext> ctx = weak.lock()) ctx->Cancel();
+  }
+}
 
 Status Session::CreateTable(const std::string& name, Relation rows) {
   Status status = database_->CreateTable(name, std::move(rows));
@@ -419,14 +473,28 @@ Result<QueryResult> Session::Run(const BoundStatement& bound) {
   size_t result_rows = 0;
   bool execute = !bound.statement.explain || bound.statement.analyze;
   if (execute) {
-    if (entry.info.compiled) {
-      out.rows = ExecutePlan(bound.plan, catalog, options_.optimizer.planner, &out.profile);
-    } else {
-      out.rows = sql::ExecuteQueryOracle(*bound.ast, catalog);
-      out.profile.explain =
-          "OracleInterpreter (tuple-at-a-time fallback: " + entry.info.fallback_reason + ")\n";
-      out.profile.total_rows = out.rows.size();
-      out.profile.max_rows = out.rows.size();
+    // One governor per statement execution; registered so Cancel() from
+    // another thread reaches it. A trip unwinds here as QueryAbort and
+    // leaves through the typed-Status door — never as partial results.
+    std::shared_ptr<QueryContext> context = MakeContext();
+    try {
+      if (entry.info.compiled) {
+        out.rows =
+            ExecutePlan(bound.plan, catalog, options_.optimizer.planner, &out.profile,
+                        context.get());
+      } else {
+        ScopedQueryContext scope(context.get());
+        out.rows = sql::ExecuteQueryOracle(*bound.ast, catalog);
+        out.profile.explain =
+            "OracleInterpreter (tuple-at-a-time fallback: " + entry.info.fallback_reason + ")\n";
+        out.profile.total_rows = out.rows.size();
+        out.profile.max_rows = out.rows.size();
+        out.profile.rows_charged_bytes = context->charged_bytes();
+        out.profile.cancelled = context->cancelled();
+        out.profile.fault_site = context->fault_site();
+      }
+    } catch (const QueryAbort& e) {
+      return Result<QueryResult>::Error(e.status());
     }
     result_rows = out.rows.size();
   }
@@ -443,24 +511,30 @@ Result<ResultCursor> Session::Open(const BoundStatement& bound) {
   if (bound.statement.explain) {
     // EXPLAIN output is tiny; materialize through Run and stream the rows.
     Result<QueryResult> result = Run(bound);
-    if (!result.ok()) return Result<ResultCursor>::Error(result.error());
+    if (!result.ok()) return Result<ResultCursor>::Error(result.status());
     CompileInfo info = result.value().compile;
     auto owned = std::make_shared<const Relation>(std::move(result.value().rows));
     return ResultCursor(std::make_unique<RelationScan>(owned), owned, std::move(info),
-                        bound.snapshot);
+                        bound.snapshot, MakeContext());
   }
   const CompiledStatement& entry = *bound.compiled.entry;
   CompileInfo info = entry.info;
   info.cache_hit = bound.compiled.cache_hit;
+  // The cursor shares the governor: Cancel() reaches it for as long as the
+  // cursor is alive, and every pull polls it.
+  std::shared_ptr<QueryContext> context = MakeContext();
   if (entry.info.compiled) {
     IterPtr root =
         BuildPhysicalPlan(bound.plan, bound.snapshot->catalog(), options_.optimizer.planner);
-    return ResultCursor(std::move(root), nullptr, std::move(info), bound.snapshot);
+    return ResultCursor(std::move(root), nullptr, std::move(info), bound.snapshot,
+                        std::move(context));
   }
+  // The oracle path materializes during Open; govern that burst too.
+  ScopedQueryContext scope(context.get());
   auto owned = std::make_shared<const Relation>(
       sql::ExecuteQueryOracle(*bound.ast, bound.snapshot->catalog()));
   return ResultCursor(std::make_unique<RelationScan>(owned), owned, std::move(info),
-                      bound.snapshot);
+                      bound.snapshot, std::move(context));
 }
 
 Relation Session::RenderExplain(const CompileInfo& info, bool analyze,
@@ -487,6 +561,11 @@ Relation Session::RenderExplain(const CompileInfo& info, bool analyze,
   }
   if (analyze) {
     lines.push_back("dop=" + std::to_string(profile.max_dop));
+    std::string governor =
+        "governor: charged=" + std::to_string(profile.rows_charged_bytes) + " bytes";
+    if (profile.cancelled) governor += ", cancelled";
+    if (!profile.fault_site.empty()) governor += ", fault=" + profile.fault_site;
+    lines.push_back(governor);
     lines.push_back("result rows: " + std::to_string(result_rows));
     lines.push_back("operator profile:");
     AppendBlock(profile.explain, "  ", &lines);
@@ -508,6 +587,8 @@ Result<QueryResult> Session::Execute(const std::string& sql) {
     Result<BoundStatement> bound = ParseAndCompile(sql);
     if (!bound.ok()) return Result<QueryResult>::Error(bound.error());
     return Run(bound.value());
+  } catch (const QueryAbort& e) {
+    return Result<QueryResult>::Error(e.status());
   } catch (const std::exception& e) {
     return Result<QueryResult>::Error(e.what());
   }
@@ -518,6 +599,8 @@ Result<ResultCursor> Session::Query(const std::string& sql) {
     Result<BoundStatement> bound = ParseAndCompile(sql);
     if (!bound.ok()) return Result<ResultCursor>::Error(bound.error());
     return Open(bound.value());
+  } catch (const QueryAbort& e) {
+    return Result<ResultCursor>::Error(e.status());
   } catch (const std::exception& e) {
     return Result<ResultCursor>::Error(e.what());
   }

@@ -25,7 +25,9 @@
 // The API never throws on bad input: every entry point returns Status or
 // Result<>.
 
+#include <chrono>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -33,6 +35,7 @@
 #include "api/database.hpp"
 #include "exec/batch.hpp"
 #include "exec/iterator.hpp"
+#include "exec/query_context.hpp"
 #include "opt/optimizer.hpp"
 #include "plan/catalog.hpp"
 #include "sql/ast.hpp"
@@ -53,6 +56,21 @@ struct SessionOptions {
   /// interpreter instead of failing. Disable to surface lowering errors
   /// (the differential tests do, to prove coverage).
   bool allow_oracle_fallback = true;
+
+  // ---- query lifecycle governor (exec/query_context.hpp) ----
+  // These configure the per-statement QueryContext and are deliberately NOT
+  // part of the plan-cache fingerprint: they govern execution, not plans.
+  /// Per-statement wall-clock deadline, measured on the monotonic clock
+  /// from each statement's start. Zero = none. A statement exceeding it
+  /// unwinds with StatusCode::kDeadlineExceeded.
+  std::chrono::milliseconds deadline{0};
+  /// Per-statement budget for build-state allocations (approximate; see
+  /// docs/robustness.md). Zero = unlimited. Exceeding it unwinds with
+  /// StatusCode::kResourceExhausted.
+  size_t memory_budget_bytes = 0;
+  /// Deterministic fault injection for tests (nullptr = the process-global
+  /// injector, which arms itself from QUOTIENT_FAULT=<site>:<nth>).
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// A fully materialized statement result.
@@ -68,10 +86,12 @@ class Session;
 /// without materializing the full relation. A cursor pins the catalog
 /// snapshot it was opened against, so it stays valid across later DDL (it
 /// streams the data as of its open). Execution errors — including failures
-/// surfacing mid-stream from the shared-pool executor — never throw:
-/// Next/NextBatch return false/nullptr, status() carries the message, and
-/// the cursor closes deterministically (done() is true, further pulls
-/// return end-of-stream).
+/// surfacing mid-stream from the shared-pool executor, and governor trips
+/// (Session::Cancel, deadlines, memory budgets) — never throw:
+/// Next/NextBatch return false/nullptr, status() carries the typed Status,
+/// and the cursor closes deterministically (done() is true, further pulls
+/// return end-of-stream, and the pinned snapshot is released so a
+/// cancelled cursor stops holding catalog state).
 class ResultCursor {
  public:
   ResultCursor(ResultCursor&&) noexcept = default;
@@ -102,15 +122,18 @@ class ResultCursor {
  private:
   friend class Session;
   ResultCursor(IterPtr root, std::shared_ptr<const Relation> owned, CompileInfo compile,
-               SnapshotPtr snapshot);
+               SnapshotPtr snapshot, std::shared_ptr<QueryContext> context);
   bool PullBatch();
   /// Records the first error, invalidates the current batch, and closes.
-  void Fail(std::string message);
+  void Fail(Status status);
 
   IterPtr root_;
   std::shared_ptr<const Relation> owned_;  // backing rows for oracle results
   CompileInfo compile_;
   SnapshotPtr snapshot_;  // pinned catalog state backing the plan
+  std::shared_ptr<QueryContext> ctx_;  // governor shared with Session::Cancel
+  Schema schema_;         // cached: survives teardown of root_
+  ExecProfile final_profile_;  // captured at close, served once root_ is gone
   Batch batch_;
   size_t next_active_ = 0;  // batch_ rows already served through Next()
   bool batch_valid_ = false;
@@ -195,6 +218,15 @@ class Session {
   /// bindings without recompiling.
   Result<PreparedStatement> Prepare(const std::string& sql);
 
+  /// Cancels every statement of this session currently in flight —
+  /// materializing Execute()s on other threads and open cursors alike.
+  /// Callable from ANY thread (the one concession to the Session's
+  /// single-threaded contract). In-flight statements unwind to
+  /// StatusCode::kCancelled within one morsel batch of poll latency; the
+  /// worker pool stops admitting their morsels and stays reusable.
+  /// Statements started after this call are unaffected.
+  void Cancel();
+
   // ---- plan cache (shared; forwards to the Database) ----
   size_t plan_cache_size() const { return database_->plan_cache_size(); }
   PlanCacheStats plan_cache_stats() const { return database_->plan_cache_stats(); }
@@ -247,10 +279,24 @@ class Session {
   Relation RenderExplain(const CompileInfo& info, bool analyze, const ExecProfile& profile,
                          size_t result_rows) const;
 
+  /// Creates this statement's governor from the session options and
+  /// registers it with the cancel registry (weak: a finished statement's
+  /// context expires on its own).
+  std::shared_ptr<QueryContext> MakeContext();
+
+  /// Live statements' governors, targeted by Cancel() from other threads.
+  /// Behind a unique_ptr so the mutex doesn't pin the Session (stays
+  /// movable while no statements are outstanding).
+  struct CancelRegistry {
+    std::mutex mutex;
+    std::vector<std::weak_ptr<QueryContext>> active;
+  };
+
   std::shared_ptr<Database> database_;
   SessionOptions options_;
   std::string cache_key_prefix_;  // options fingerprint (see session.cpp)
   SnapshotPtr snapshot_;          // this session's pinned catalog view
+  std::unique_ptr<CancelRegistry> cancels_;
 };
 
 }  // namespace quotient

@@ -2,6 +2,7 @@
 
 #include "exec/batch.hpp"
 #include "exec/pipeline.hpp"
+#include "exec/query_context.hpp"
 
 namespace quotient {
 
@@ -61,6 +62,8 @@ class AggregateSink : public PipelineSink {
   bool AllowParallel() const override { return exact_; }
 
   void ConsumeSerial(const Batch& batch) override {
+    GovernorFaultPoint("sink.aggregate");
+    GovernorCharge(batch.ActiveRows() * (group_indices_->size() + aggs_->size()) * 8);
     serial_keyer_.Keys(batch, group_indices_, &keys64_, &keys_spill_);
     FoldBatch(batch, keys64_, keys_spill_, *aggs_, *arg_indices_, target_);
   }
@@ -70,6 +73,8 @@ class AggregateSink : public PipelineSink {
   }
 
   void Consume(SinkChunk& chunk, const Batch& batch) override {
+    GovernorFaultPoint("sink.aggregate");
+    GovernorCharge(batch.ActiveRows() * (group_indices_->size() + aggs_->size()) * 8);
     Chunk& c = static_cast<Chunk&>(chunk);
     c.keyer.Keys(batch, group_indices_, &c.keys64, &c.keys_spill);
     FoldBatch(batch, c.keys64, c.keys_spill, *aggs_, *arg_indices_, &c.part);

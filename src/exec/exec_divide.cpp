@@ -5,6 +5,7 @@
 
 #include "exec/exec_basic.hpp"
 #include "exec/pipeline.hpp"
+#include "exec/query_context.hpp"
 #include "util/bitmap.hpp"
 #include "util/status.hpp"
 
@@ -39,9 +40,13 @@ void EmitDistinctCandidates(const AView& aview, Numbering& candidates, size_t ro
 template <typename AView, typename Numbering>
 void RunHash(const AView& aview, Numbering& candidates, const std::vector<uint32_t>& row_b,
              size_t rows, size_t n, std::vector<Tuple>* results) {
+  GovernorFaultPoint("divide.bitmap_fill");
+  GovernorCharge(candidates.size() * ((n + 7) / 8));  // the seen-bitmap matrix
   BitmapMatrix seen(n);
   seen.Reserve(candidates.size());
+  GovernorTicker ticker;
   for (size_t i = 0; i < rows; ++i) {
+    ticker.Tick();
     if (row_b[i] == kMissB) continue;  // b not in divisor: cannot help
     uint32_t cand = candidates.Intern(aview.RowKey(i));
     while (cand >= seen.rows()) seen.AddRow();
@@ -60,11 +65,19 @@ template <typename AView, typename Numbering>
 void RunHashTransposed(const AView& aview, Numbering& candidates,
                        const std::vector<uint32_t>& row_b, size_t rows, size_t n,
                        std::vector<Tuple>* results) {
+  GovernorCharge(rows * sizeof(uint32_t));
   std::vector<uint32_t> row_cand(rows);
-  for (size_t i = 0; i < rows; ++i) row_cand[i] = candidates.Intern(aview.RowKey(i));
+  GovernorTicker ticker;
+  for (size_t i = 0; i < rows; ++i) {
+    ticker.Tick();
+    row_cand[i] = candidates.Intern(aview.RowKey(i));
+  }
 
+  GovernorFaultPoint("divide.bitmap_fill");
+  GovernorCharge(n * ((candidates.size() + 7) / 8));  // per-divisor bitmaps
   BitmapMatrix divisor_bitmaps(candidates.size(), n);
   for (size_t i = 0; i < rows; ++i) {
+    ticker.Tick();
     if (row_b[i] == kMissB) continue;
     divisor_bitmaps.Set(row_b[i], row_cand[i]);
   }
@@ -123,9 +136,12 @@ void RunMergeSort(const AView& aview, const std::vector<uint32_t>& row_b, size_t
 template <typename AView, typename Numbering>
 void RunHashCount(const AView& aview, Numbering& candidates, const std::vector<uint32_t>& row_b,
                   size_t rows, size_t n, std::vector<Tuple>* results) {
+  GovernorCharge(candidates.size() * sizeof(uint32_t));
   std::vector<uint32_t> counts;
   counts.reserve(candidates.size());
+  GovernorTicker ticker;
   for (size_t i = 0; i < rows; ++i) {
+    ticker.Tick();
     if (row_b[i] == kMissB) continue;
     uint32_t cand = candidates.Intern(aview.RowKey(i));
     if (cand >= counts.size()) counts.resize(cand + 1, 0);
@@ -231,7 +247,11 @@ void DivisionIterator::Open() {
   b_codec_ = KeyCodec(divisor_idx_.size());
   b_codec_.Reserve(divisor_->EstimatedRows());
   if (UseTupleDrain(*divisor_)) {
-    while (const Tuple* t = divisor_->NextRef()) b_codec_.Add(*t, divisor_idx_);
+    GovernorTicker ticker;
+    while (const Tuple* t = divisor_->NextRef()) {
+      ticker.Tick();
+      b_codec_.Add(*t, divisor_idx_);
+    }
   } else {
     CodecAppendSink sink(&b_codec_, &divisor_idx_);
     RecordPipelineDop(RunPipeline(*divisor_, sink).dop);
@@ -251,7 +271,9 @@ void DivisionIterator::Open() {
   row_b_.clear();
   row_b_.reserve(expected);
   if (UseTupleDrain(*dividend_)) {
+    GovernorTicker ticker;
     while (const Tuple* row = dividend_->NextRef()) {
+      ticker.Tick();
       a_codec_.Add(*row, a_idx_);
       row_b_.push_back(divisor_numbers.Probe(*row, b_idx_));  // kNotFound == kMissB
     }

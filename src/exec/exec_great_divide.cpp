@@ -5,6 +5,7 @@
 
 #include "exec/exec_basic.hpp"
 #include "exec/pipeline.hpp"
+#include "exec/query_context.hpp"
 #include "exec/scheduler.hpp"
 #include "util/status.hpp"
 
@@ -122,8 +123,12 @@ void GreatDivideIterator::RunHash(const Encoded& enc) {
   size_t k = enc.c.count();
   size_t candidates = enc.a.count();
   if (k == 0) return;  // empty divisor: no C groups, empty result
+  GovernorFaultPoint("divide.bitmap_fill");
+  GovernorCharge(candidates * k * sizeof(uint32_t));  // the match-count matrix
   std::vector<uint32_t> counts(candidates * k, 0);
+  GovernorTicker ticker;
   for (size_t i = 0; i < enc.row_b.size(); ++i) {
+    ticker.Tick();
     uint32_t b = enc.row_b[i];
     if (b == KeyNumbering::kNotFound) continue;
     uint32_t* row = &counts[size_t{enc.a.row_ids()[i]} * k];
@@ -153,13 +158,16 @@ void GreatDivideIterator::RunGroupAtATime(const Encoded& enc) {
     for (uint32_t gid : enc.member_of[b]) group_members[gid].push_back(b);
   }
 
+  GovernorCharge((enc.b.count() + 2 * enc.a.count()) * sizeof(uint32_t));
   std::vector<uint32_t> b_stamp(enc.b.count(), kNoStamp);
   std::vector<uint32_t> cand_stamp(enc.a.count(), kNoStamp);
   std::vector<uint32_t> cand_count(enc.a.count(), 0);
+  GovernorTicker ticker;
   for (uint32_t gid = 0; gid < k; ++gid) {
     for (uint32_t b : group_members[gid]) b_stamp[b] = gid;
     uint32_t group_size = static_cast<uint32_t>(group_members[gid].size());
     for (size_t i = 0; i < enc.row_b.size(); ++i) {  // full dividend re-scan per group
+      ticker.Tick();
       uint32_t b = enc.row_b[i];
       if (b == KeyNumbering::kNotFound || b_stamp[b] != gid) continue;
       uint32_t cand = enc.a.row_ids()[i];

@@ -1,5 +1,7 @@
 #include "exec/iterator.hpp"
 
+#include "exec/query_context.hpp"
+
 namespace quotient {
 
 bool Iterator::NextBatch(Batch* out) {
@@ -21,6 +23,7 @@ Relation ExecuteToRelation(Iterator& it) {
     Batch batch;
     Tuple t;
     while (it.NextBatch(&batch)) {
+      GovernorPoll();
       for (size_t i = 0; i < batch.ActiveRows(); ++i) {
         batch.ToTuple(batch.RowAt(i), &t);
         tuples.push_back(std::move(t));
@@ -28,7 +31,11 @@ Relation ExecuteToRelation(Iterator& it) {
     }
   } else {
     Tuple t;
-    while (it.Next(&t)) tuples.push_back(t);
+    GovernorTicker ticker;
+    while (it.Next(&t)) {
+      ticker.Tick();
+      tuples.push_back(t);
+    }
   }
   it.Close();
   return Relation(it.schema(), std::move(tuples));

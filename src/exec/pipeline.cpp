@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "exec/exec_basic.hpp"
+#include "exec/query_context.hpp"
 #include "exec/scheduler.hpp"
 
 namespace quotient {
@@ -24,10 +25,20 @@ std::atomic<size_t>& SerialThresholdFlag() {
   return rows;
 }
 
+/// Approximate payload of a batch for memory-budget charging: 8 bytes per
+/// active cell for columnar batches, a flat 16 per row for row views (the
+/// governor's accounting is deliberately coarse — see docs/robustness.md).
+size_t ApproxBatchBytes(const Batch& batch) {
+  size_t rows = batch.ActiveRows();
+  return batch.row_mode() ? rows * 16 : rows * batch.num_columns() * 8;
+}
+
 PipelineStats DrainSerial(Iterator& child, PipelineSink& sink) {
   PipelineStats stats;
   Batch batch;
   while (child.NextBatch(&batch)) {
+    GovernorPoll();
+    GovernorFaultPoint("pipeline.drain");
     stats.rows += batch.ActiveRows();
     sink.ConsumeSerial(batch);
   }
@@ -116,11 +127,17 @@ PipelineStats RunPipeline(Iterator& child, PipelineSink& sink) {
       size_t end = std::min(rows, begin + chunk_rows);
       Batch batch;
       for (size_t at = begin; at < end; at += batch_rows) {
+        GovernorPoll();
+        GovernorFaultPoint("pipeline.morsel");
         scan->FillSpan(at, std::min(batch_rows, end - at), &batch);
         sink.Consume(*states[ci], batch);
       }
     });
-    for (std::unique_ptr<SinkChunk>& state : states) sink.Merge(*state);
+    for (std::unique_ptr<SinkChunk>& state : states) {
+      GovernorPoll();
+      GovernorFaultPoint("pipeline.merge");
+      sink.Merge(*state);
+    }
     // The span reads bypassed the chain's NextBatch methods; credit every
     // bypassed operator with the rows it forwarded so EXPLAIN totals match
     // the serial disciplines exactly.
@@ -144,6 +161,11 @@ PipelineStats RunPipeline(Iterator& child, PipelineSink& sink) {
   {
     Batch batch;
     while (child.NextBatch(&batch)) {
+      GovernorPoll();
+      GovernorFaultPoint("pipeline.drain");
+      // Buffering is the one place the executor materializes a whole input
+      // stream; charge it so runaway intermediate results trip the budget.
+      GovernorCharge(ApproxBatchBytes(batch));
       total += batch.ActiveRows();
       buffered.push_back(std::move(batch));
       batch = Batch();
@@ -176,10 +198,16 @@ PipelineStats RunPipeline(Iterator& child, PipelineSink& sink) {
   for (size_t i = 0; i < groups.size(); ++i) states.push_back(sink.MakeChunk());
   ParallelFor(groups.size(), [&](size_t ci) {
     for (size_t i = groups[ci].first; i < groups[ci].second; ++i) {
+      GovernorPoll();
+      GovernorFaultPoint("pipeline.morsel");
       sink.Consume(*states[ci], buffered[i]);
     }
   });
-  for (std::unique_ptr<SinkChunk>& state : states) sink.Merge(*state);
+  for (std::unique_ptr<SinkChunk>& state : states) {
+    GovernorPoll();
+    GovernorFaultPoint("pipeline.merge");
+    sink.Merge(*state);
+  }
   stats.chunks = groups.size();
   stats.dop = std::min(threads, groups.size());
   return stats;
@@ -199,6 +227,10 @@ void CodecAppendSink::AddTarget(KeyCodec* target, const std::vector<size_t>* ind
 }
 
 void CodecAppendSink::ConsumeSerial(const Batch& batch) {
+  GovernorFaultPoint("sink.codec_append");
+  size_t cols = 0;
+  for (const std::vector<size_t>* indices : indices_) cols += indices->size();
+  GovernorCharge(batch.ActiveRows() * cols * 8);
   for (BatchCodecAppender& appender : serial_) appender.Append(batch);
 }
 
@@ -214,6 +246,10 @@ std::unique_ptr<SinkChunk> CodecAppendSink::MakeChunk() {
 }
 
 void CodecAppendSink::Consume(SinkChunk& chunk, const Batch& batch) {
+  GovernorFaultPoint("sink.codec_append");
+  size_t cols = 0;
+  for (const std::vector<size_t>* indices : indices_) cols += indices->size();
+  GovernorCharge(batch.ActiveRows() * cols * 8);
   for (BatchCodecAppender& appender : static_cast<Chunk&>(chunk).appenders) {
     appender.Append(batch);
   }
@@ -251,6 +287,8 @@ ProbeAppendSink::ProbeAppendSink(KeyCodec* a_codec, const std::vector<size_t>* a
 }
 
 void ProbeAppendSink::ConsumeSerial(const Batch& batch) {
+  GovernorFaultPoint("sink.probe_append");
+  GovernorCharge(batch.ActiveRows() * (a_indices_->size() * 8 + sizeof(uint32_t)));
   serial_append_.Append(batch);
   serial_probe_.Resolve(batch, row_b_);
 }
@@ -261,6 +299,8 @@ std::unique_ptr<SinkChunk> ProbeAppendSink::MakeChunk() {
 }
 
 void ProbeAppendSink::Consume(SinkChunk& chunk, const Batch& batch) {
+  GovernorFaultPoint("sink.probe_append");
+  GovernorCharge(batch.ActiveRows() * (a_indices_->size() * 8 + sizeof(uint32_t)));
   Chunk& c = static_cast<Chunk&>(chunk);
   c.appender.Append(batch);
   c.probe.Resolve(batch, &c.row_b);
@@ -309,6 +349,9 @@ JoinBuildSink::JoinBuildSink(KeyCodec* codec, const std::vector<size_t>* key_ind
       serial_(codec, key_indices) {}
 
 void JoinBuildSink::ConsumeSerial(const Batch& batch) {
+  GovernorFaultPoint("sink.join_build");
+  size_t row_cols = proj_ != nullptr ? proj_->size() : batch.num_columns();
+  GovernorCharge(batch.ActiveRows() * (key_indices_->size() + row_cols + 2) * 8);
   serial_.Append(batch);
   MaterializeRows(batch, proj_, rows_);
 }
@@ -318,6 +361,9 @@ std::unique_ptr<SinkChunk> JoinBuildSink::MakeChunk() {
 }
 
 void JoinBuildSink::Consume(SinkChunk& chunk, const Batch& batch) {
+  GovernorFaultPoint("sink.join_build");
+  size_t row_cols = proj_ != nullptr ? proj_->size() : batch.num_columns();
+  GovernorCharge(batch.ActiveRows() * (key_indices_->size() + row_cols + 2) * 8);
   Chunk& c = static_cast<Chunk&>(chunk);
   c.appender.Append(batch);
   MaterializeRows(batch, proj_, &c.rows);

@@ -50,9 +50,15 @@ void SetMorselRows(size_t rows);
 size_t GetSerialRowThreshold();
 void SetSerialRowThreshold(size_t rows);
 
+/// RAII guards for the two knobs above. Like ScopedExecThreads they restore
+/// on any unwind (a faulted or cancelled test must not poison the process
+/// globals for the rest of the suite) and are non-copyable so an accidental
+/// copy cannot restore twice.
 struct ScopedMorselRows {
   explicit ScopedMorselRows(size_t rows) : saved(GetMorselRows()) { SetMorselRows(rows); }
   ~ScopedMorselRows() { SetMorselRows(saved); }
+  ScopedMorselRows(const ScopedMorselRows&) = delete;
+  ScopedMorselRows& operator=(const ScopedMorselRows&) = delete;
   size_t saved;
 };
 struct ScopedSerialRowThreshold {
@@ -60,6 +66,8 @@ struct ScopedSerialRowThreshold {
     SetSerialRowThreshold(rows);
   }
   ~ScopedSerialRowThreshold() { SetSerialRowThreshold(saved); }
+  ScopedSerialRowThreshold(const ScopedSerialRowThreshold&) = delete;
+  ScopedSerialRowThreshold& operator=(const ScopedSerialRowThreshold&) = delete;
   size_t saved;
 };
 

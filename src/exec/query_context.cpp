@@ -1,0 +1,138 @@
+#include "exec/query_context.hpp"
+
+#include <cstdlib>
+
+namespace quotient {
+
+namespace {
+
+thread_local QueryContext* tls_query_context = nullptr;
+
+/// The fault-site registry. Keep docs/robustness.md and the sweep test in
+/// tests/test_governor.cpp in step with this list.
+const std::vector<std::string> kKnownSites = {
+    "scheduler.task",       // worker-pool task admission (exec/scheduler.cpp)
+    "pipeline.drain",       // serial pipeline drain, per batch (exec/pipeline.cpp)
+    "pipeline.morsel",      // parallel morsel read, per batch (exec/pipeline.cpp)
+    "pipeline.merge",       // chunk-ordered sink merge (exec/pipeline.cpp)
+    "sink.codec_append",    // divisor/build codec appends (exec/pipeline.cpp)
+    "sink.probe_append",    // dividend probe drains (exec/pipeline.cpp)
+    "sink.join_build",      // hash-join build drains (exec/pipeline.cpp)
+    "sink.aggregate",       // grouping drains (exec/exec_agg.cpp)
+    "divide.bitmap_fill",   // hash-division bitmap fills (exec/exec_divide.cpp)
+    "catalog.encoding",     // dictionary-encoding builds (plan/catalog.cpp)
+    "snapshot.publish",     // DDL snapshot publication (api/database.cpp)
+    "cursor.pull",          // ResultCursor batch pulls (api/session.cpp)
+};
+
+}  // namespace
+
+void FaultInjector::Arm(const std::string& site, uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_[site] = Armed{nth == 0 ? 1 : nth, 0};
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+  armed_.store(false, std::memory_order_release);
+}
+
+bool FaultInjector::Hit(const char* site) {
+  if (!armed_.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  return ++it->second.hits == it->second.nth;
+}
+
+FaultInjector* FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* inj = new FaultInjector();  // leaked: process lifetime
+    if (const char* env = std::getenv("QUOTIENT_FAULT")) {
+      std::string spec(env);
+      size_t colon = spec.rfind(':');
+      uint64_t nth = 1;
+      std::string site = spec;
+      if (colon != std::string::npos) {
+        site = spec.substr(0, colon);
+        char* end = nullptr;
+        long parsed = std::strtol(spec.c_str() + colon + 1, &end, 10);
+        if (end != spec.c_str() + colon + 1 && parsed > 0) {
+          nth = static_cast<uint64_t>(parsed);
+        }
+      }
+      if (!site.empty()) inj->Arm(site, nth);
+    }
+    return inj;
+  }();
+  return injector;
+}
+
+const std::vector<std::string>& FaultInjector::KnownSites() { return kKnownSites; }
+
+void QueryContext::Trip(StatusCode code, const std::string& message) {
+  int expected = 0;
+  if (tripped_.compare_exchange_strong(expected, static_cast<int>(code),
+                                       std::memory_order_acq_rel)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    trip_message_ = message;
+  }
+}
+
+Status QueryContext::TripStatus() const {
+  StatusCode code = static_cast<StatusCode>(tripped_.load(std::memory_order_acquire));
+  if (code == StatusCode::kOk) return Status::Ok();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Status::Make(code, trip_message_);
+}
+
+void QueryContext::Poll() {
+  if (!Aborted() && has_deadline() && std::chrono::steady_clock::now() >= deadline_) {
+    Trip(StatusCode::kDeadlineExceeded, "query deadline exceeded");
+  }
+  if (Aborted()) throw QueryAbort(TripStatus());
+}
+
+void QueryContext::Charge(size_t bytes) {
+  size_t total = charged_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (budget_bytes_ != 0 && total > budget_bytes_) {
+    Trip(StatusCode::kResourceExhausted,
+         "query memory budget exceeded (" + std::to_string(total) + " > " +
+             std::to_string(budget_bytes_) + " bytes)");
+    throw QueryAbort(TripStatus());
+  }
+  if (Aborted()) throw QueryAbort(TripStatus());
+}
+
+std::string QueryContext::fault_site() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fault_site_;
+}
+
+void QueryContext::RecordFaultSite(const char* site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fault_site_.empty()) fault_site_ = site;
+}
+
+QueryContext* CurrentQueryContext() { return tls_query_context; }
+
+ScopedQueryContext::ScopedQueryContext(QueryContext* context) : saved_(tls_query_context) {
+  tls_query_context = context;
+}
+
+ScopedQueryContext::~ScopedQueryContext() { tls_query_context = saved_; }
+
+void GovernorFaultPoint(const char* site) {
+  QueryContext* ctx = tls_query_context;
+  FaultInjector* injector =
+      (ctx != nullptr && ctx->faults() != nullptr) ? ctx->faults() : FaultInjector::Global();
+  if (!injector->Hit(site)) return;
+  if (ctx != nullptr) ctx->RecordFaultSite(site);
+  // Deterministic message: identical at every thread count, so differential
+  // sweeps can assert terminal-status equality.
+  throw QueryAbort(Status::Error(std::string("injected fault at ") + site));
+}
+
+}  // namespace quotient

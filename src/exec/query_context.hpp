@@ -1,0 +1,223 @@
+#pragma once
+
+// Query lifecycle governor (docs/robustness.md).
+//
+// A QueryContext is created per statement execution by the Session front
+// door (api/session.hpp) and installed as the CURRENT context for the
+// executing thread; ParallelFor (exec/scheduler.hpp) re-installs it on every
+// pool worker draining that region's tasks, so the whole morsel-parallel
+// execution of one statement shares one governor. Execution code never
+// threads a pointer through operator constructors — it calls the free
+// GovernorPoll / GovernorCharge / GovernorFaultPoint helpers, which are
+// no-ops when no context is installed (benches and direct executor use pay
+// one thread-local load).
+//
+// The governor owns four concerns:
+//
+//   * CANCELLATION  — Cancel() is callable from any thread; every pipeline
+//                     drain polls at batch granularity and unwinds with
+//                     StatusCode::kCancelled.
+//   * DEADLINE      — a monotonic (steady_clock) deadline checked by the
+//                     same polls; trips as kDeadlineExceeded.
+//   * MEMORY BUDGET — blocking builds charge their allocations against an
+//                     atomic byte counter; exceeding the budget trips as
+//                     kResourceExhausted. Charges are approximate (key
+//                     bytes, bitmap words, buffered batch payloads) and
+//                     accumulate for the statement's lifetime, so the
+//                     counter reads as "bytes this query ever allocated
+//                     for build state", reported as rows_charged_bytes.
+//   * FAULTS        — a deterministic FaultInjector consulted at named
+//                     sites; the nth hit of an armed site throws, so tests
+//                     can prove every trip point unwinds cleanly.
+//
+// Trips surface as QueryAbort, an exception carrying a typed Status. The
+// executor's existing unwinding (ParallelFor error propagation, cursor
+// catch blocks, Session catch blocks) carries it to the API boundary, where
+// it becomes a Status/Result — the public API never throws and never
+// returns partial results.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace quotient {
+
+/// Thrown inside the executor when the governor trips; converted to the
+/// carried Status at the API boundary. Derives runtime_error so pre-governor
+/// catch sites (which catch std::exception) degrade to a plain error message
+/// instead of losing the failure.
+class QueryAbort : public std::runtime_error {
+ public:
+  explicit QueryAbort(Status status)
+      : std::runtime_error(status.message()), status_(std::move(status)) {}
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Deterministic fault injection: Arm(site, nth) makes the nth hit of that
+/// site (1-based, counted per injector) fail. Sites are consulted through
+/// GovernorFaultPoint at the registry below; unarmed injectors cost one
+/// relaxed atomic load per hit. The process-global injector additionally
+/// arms itself from QUOTIENT_FAULT=<site>:<nth> on first use.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// Arms `site` to fail on its `nth` hit (nth >= 1). Replaces any previous
+  /// arming of the same site and resets its hit counter.
+  void Arm(const std::string& site, uint64_t nth);
+  /// Clears all armed sites and hit counters.
+  void Disarm();
+
+  /// Counts a hit of `site`; true when this hit must fail. Thread-safe;
+  /// exactly one concurrent hit observes the trip.
+  bool Hit(const char* site);
+
+  /// The process-global injector (armed from the QUOTIENT_FAULT env var on
+  /// first access). Contexts without an explicit injector use this one.
+  static FaultInjector* Global();
+
+  /// Every registered fault site, for sweep tests and docs. A site string
+  /// passed to GovernorFaultPoint that is not in this list is a bug caught
+  /// by the fault-injection sweep.
+  static const std::vector<std::string>& KnownSites();
+
+ private:
+  struct Armed {
+    uint64_t nth = 0;
+    uint64_t hits = 0;
+  };
+  std::atomic<bool> armed_{false};
+  std::mutex mutex_;
+  std::unordered_map<std::string, Armed> sites_;
+};
+
+/// Per-statement lifecycle governor. Created by the Session, shared with the
+/// statement's cursor, installed per executing thread via
+/// ScopedQueryContext. All methods are thread-safe.
+class QueryContext {
+ public:
+  QueryContext() = default;
+  QueryContext(std::chrono::steady_clock::time_point deadline, size_t memory_budget_bytes,
+               FaultInjector* faults)
+      : deadline_(deadline), budget_bytes_(memory_budget_bytes), faults_(faults) {}
+
+  /// Requests cancellation; the first trip (of any kind) wins. Callable
+  /// from any thread — this is what Session::Cancel() forwards to.
+  void Cancel() { Trip(StatusCode::kCancelled, "query cancelled"); }
+
+  /// Records a trip with an explicit code/message (first trip wins).
+  void Trip(StatusCode code, const std::string& message);
+
+  /// True once any trip (cancel, deadline, budget) was recorded. Cheap:
+  /// one relaxed atomic load — safe inside per-row loops.
+  bool Aborted() const { return tripped_.load(std::memory_order_relaxed) != 0; }
+
+  /// The terminal status of the first trip; Ok when never tripped.
+  Status TripStatus() const;
+
+  /// Poll point: checks the deadline, then throws QueryAbort if any trip
+  /// was recorded. Called at batch/morsel granularity.
+  void Poll();
+
+  /// Charges `bytes` against the memory budget; trips kResourceExhausted
+  /// (and throws) when the budget is exceeded. Zero budget = unlimited
+  /// (still accounted, for rows_charged_bytes reporting).
+  void Charge(size_t bytes);
+
+  /// Total bytes charged so far (the ExecProfile::rows_charged_bytes value).
+  size_t charged_bytes() const { return charged_.load(std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return static_cast<StatusCode>(tripped_.load(std::memory_order_acquire)) ==
+           StatusCode::kCancelled;
+  }
+
+  /// The fault site that fired on this query ("" when none); recorded by
+  /// GovernorFaultPoint for ExecProfile::fault_site.
+  std::string fault_site() const;
+  void RecordFaultSite(const char* site);
+
+  FaultInjector* faults() const { return faults_; }
+  bool has_deadline() const {
+    return deadline_ != std::chrono::steady_clock::time_point{};
+  }
+  std::chrono::steady_clock::time_point deadline() const { return deadline_; }
+  size_t memory_budget_bytes() const { return budget_bytes_; }
+
+ private:
+  std::chrono::steady_clock::time_point deadline_{};  // zero = none
+  size_t budget_bytes_ = 0;                           // 0 = unlimited
+  FaultInjector* faults_ = nullptr;                   // nullptr = Global()
+
+  std::atomic<int> tripped_{0};  // StatusCode of the first trip, 0 = none
+  std::atomic<size_t> charged_{0};
+  mutable std::mutex mutex_;  // guards trip_message_ / fault_site_
+  std::string trip_message_;
+  std::string fault_site_;
+};
+
+/// The executing thread's current governor (nullptr outside a governed
+/// statement). ParallelFor propagates it to pool workers for the duration
+/// of a region's tasks.
+QueryContext* CurrentQueryContext();
+
+/// Installs `context` as current for this thread's scope (restores the
+/// previous one on unwind, so nested governed executions compose).
+class ScopedQueryContext {
+ public:
+  explicit ScopedQueryContext(QueryContext* context);
+  ~ScopedQueryContext();
+  ScopedQueryContext(const ScopedQueryContext&) = delete;
+  ScopedQueryContext& operator=(const ScopedQueryContext&) = delete;
+
+ private:
+  QueryContext* saved_;
+};
+
+/// Poll point for execution loops: checks cancellation/deadline of the
+/// current context (no-op without one). Throws QueryAbort on a trip.
+inline void GovernorPoll() {
+  if (QueryContext* ctx = CurrentQueryContext()) ctx->Poll();
+}
+
+/// Charges bytes against the current context's budget (no-op without one).
+/// Throws QueryAbort (kResourceExhausted) when the budget trips.
+inline void GovernorCharge(size_t bytes) {
+  if (QueryContext* ctx = CurrentQueryContext()) ctx->Charge(bytes);
+}
+
+/// Named fault site (see FaultInjector::KnownSites). Consults the current
+/// context's injector — or the global one outside a governed statement, so
+/// sites like snapshot publication stay testable — and throws QueryAbort
+/// with a deterministic message when the armed hit fires.
+void GovernorFaultPoint(const char* site);
+
+/// Batch-granularity poll helper for row-at-a-time loops: ticks a local
+/// counter and polls the governor every `stride` rows, so per-row costs
+/// stay at one increment + compare.
+class GovernorTicker {
+ public:
+  explicit GovernorTicker(size_t stride = 1024) : stride_(stride) {}
+  void Tick() {
+    if (++count_ >= stride_) {
+      count_ = 0;
+      GovernorPoll();
+    }
+  }
+
+ private:
+  size_t stride_;
+  size_t count_ = 0;
+};
+
+}  // namespace quotient

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "exec/query_context.hpp"
+
 namespace quotient {
 
 namespace {
@@ -57,27 +59,37 @@ struct Pool {
   uint64_t generation = 0;  // guarded by m
   const std::function<void(size_t)>* fn = nullptr;
   size_t count = 0;
+  QueryContext* context = nullptr;  // region owner's governor, if any
   std::atomic<size_t> next{0};
   std::atomic<size_t> done{0};
+  std::atomic<bool> failed{false};  // a task threw: stop admitting tasks
   size_t active_workers = 0;  // workers inside DrainTasks, guarded by m
   std::exception_ptr error;   // first task error, guarded by m
 
   void RunTask(const std::function<void(size_t)>& f, size_t index) {
     try {
+      GovernorFaultPoint("scheduler.task");
       f(index);
     } catch (...) {
+      failed.store(true, std::memory_order_release);
       std::lock_guard<std::mutex> lock(m);
       if (!error) error = std::current_exception();
     }
   }
 
   /// Claims and runs tasks until the counter is exhausted; signals the
-  /// owner when the last task finishes.
-  void DrainTasks(const std::function<void(size_t)>& f, size_t task_count) {
+  /// owner when the last task finishes. Once a task fails — or the region's
+  /// governor trips — remaining tasks are claimed but skipped: a cancelled
+  /// region stops admitting morsels while in-flight ones run to completion,
+  /// and the pool is immediately reusable.
+  void DrainTasks(const std::function<void(size_t)>& f, size_t task_count,
+                  QueryContext* ctx) {
+    ScopedQueryContext scope(ctx);
     while (true) {
       size_t index = next.fetch_add(1, std::memory_order_relaxed);
       if (index >= task_count) break;
-      RunTask(f, index);
+      bool skip = failed.load(std::memory_order_acquire) || (ctx != nullptr && ctx->Aborted());
+      if (!skip) RunTask(f, index);
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == task_count) {
         std::lock_guard<std::mutex> lock(m);
         done_cv.notify_all();
@@ -98,6 +110,7 @@ struct Pool {
     while (true) {
       const std::function<void(size_t)>* f = nullptr;
       size_t task_count = 0;
+      QueryContext* ctx = nullptr;
       {
         std::unique_lock<std::mutex> lock(m);
         work_cv.wait(lock, [&] { return stop || generation != seen; });
@@ -109,9 +122,10 @@ struct Pool {
         if (fn == nullptr) continue;
         f = fn;
         task_count = count;
+        ctx = context;
         ++active_workers;
       }
-      DrainTasks(*f, task_count);
+      DrainTasks(*f, task_count, ctx);
       {
         // The owner must not recycle the job slots (fn, count, the atomic
         // counters) while any worker can still touch them: it waits for
@@ -165,6 +179,8 @@ void ParallelFor(size_t tasks, const std::function<void(size_t)>& fn) {
     return;
   }
 
+  QueryContext* ctx = CurrentQueryContext();
+
   Pool& pool = ThePool();
   std::lock_guard<std::mutex> region(pool.region_mutex);
   pool.EnsureWorkers(threads - 1);  // the owner participates below
@@ -172,15 +188,17 @@ void ParallelFor(size_t tasks, const std::function<void(size_t)>& fn) {
     std::lock_guard<std::mutex> lock(pool.m);
     pool.fn = &fn;
     pool.count = tasks;
+    pool.context = ctx;
     pool.next.store(0, std::memory_order_relaxed);
     pool.done.store(0, std::memory_order_relaxed);
+    pool.failed.store(false, std::memory_order_relaxed);
     pool.error = nullptr;
     ++pool.generation;
   }
   pool.work_cv.notify_all();
   {
     ScopedWorkerMark mark;  // nested ParallelFor from owner-run tasks inlines
-    pool.DrainTasks(fn, tasks);
+    pool.DrainTasks(fn, tasks, ctx);
   }
 
   std::unique_lock<std::mutex> lock(pool.m);
@@ -192,6 +210,7 @@ void ParallelFor(size_t tasks, const std::function<void(size_t)>& fn) {
   // find nothing to run (see WorkerLoop).
   pool.fn = nullptr;
   pool.count = 0;
+  pool.context = nullptr;
   if (pool.error) {
     std::exception_ptr error = pool.error;
     pool.error = nullptr;

@@ -23,11 +23,16 @@ size_t GetExecThreads();
 void SetExecThreads(size_t threads);
 
 /// RAII helper so tests can sweep thread counts without leaking state.
+/// Restores on any unwind (including exceptions), so a faulted test cannot
+/// poison the thread-count global for the rest of the suite; non-copyable
+/// so an accidental copy can't restore twice.
 struct ScopedExecThreads {
   explicit ScopedExecThreads(size_t threads) : saved(GetExecThreads()) {
     SetExecThreads(threads);
   }
   ~ScopedExecThreads() { SetExecThreads(saved); }
+  ScopedExecThreads(const ScopedExecThreads&) = delete;
+  ScopedExecThreads& operator=(const ScopedExecThreads&) = delete;
   size_t saved;
 };
 
@@ -45,6 +50,13 @@ bool OnWorkerThread();
 /// Runs everything inline when tasks <= 1, GetExecThreads() == 1, or the
 /// caller is itself a pool worker. The first exception thrown by any task is
 /// rethrown on the calling thread after all tasks drain.
+///
+/// Lifecycle governance (exec/query_context.hpp): the region owner's
+/// current QueryContext is re-installed on every worker for the region's
+/// duration, so morsel tasks poll the owning statement's governor. Once a
+/// task fails — or the governor trips — remaining not-yet-started tasks are
+/// skipped (admission stops); in-flight tasks finish, and the pool stays
+/// reusable for the next region.
 void ParallelFor(size_t tasks, const std::function<void(size_t)>& fn);
 
 }  // namespace quotient

@@ -4,6 +4,7 @@
 #include "exec/exec_basic.hpp"
 #include "exec/exec_join.hpp"
 #include "exec/pipeline.hpp"
+#include "exec/query_context.hpp"
 #include "util/status.hpp"
 
 namespace quotient {
@@ -183,7 +184,8 @@ IterPtr BuildPhysicalPlan(const PlanPtr& plan, const Catalog& catalog,
 }
 
 Relation ExecutePlan(const PlanPtr& plan, const Catalog& catalog, const PlannerOptions& options,
-                     ExecProfile* profile) {
+                     ExecProfile* profile, QueryContext* context) {
+  ScopedQueryContext scope(context != nullptr ? context : CurrentQueryContext());
   IterPtr root = BuildPhysicalPlan(plan, catalog, options);
   Relation result = ExecuteToRelation(*root);
   if (profile != nullptr) {
@@ -192,6 +194,11 @@ Relation ExecutePlan(const PlanPtr& plan, const Catalog& catalog, const PlannerO
     profile->max_dop = MaxPipelineDop(*root);
     profile->explain = ExplainTree(*root);
     profile->pipelines = DescribePipelines(*root);
+    if (QueryContext* ctx = CurrentQueryContext()) {
+      profile->rows_charged_bytes = ctx->charged_bytes();
+      profile->cancelled = ctx->cancelled();
+      profile->fault_site = ctx->fault_site();
+    }
   }
   return result;
 }

@@ -43,10 +43,21 @@ struct ExecProfile {
   size_t rewrite_steps = 0;   // law rewrites applied during compilation
   bool plan_cache_hit = false;    // compiled plan served from the LRU cache
   std::string fallback_reason;    // nonempty when the oracle interpreter ran
+  // Governor accounting (exec/query_context.hpp), filled by the Session:
+  size_t rows_charged_bytes = 0;  // approximate build-state bytes charged
+  bool cancelled = false;         // the statement tripped kCancelled
+  std::string fault_site;         // injected fault that fired ("" = none)
 };
 
+class QueryContext;
+
 /// Builds, runs, and drains a physical plan; fills `profile` if given.
+/// When `context` is set it is installed as the current query governor for
+/// the drain (exec/query_context.hpp): morsel loops and blocking builds
+/// poll it, and a trip unwinds as QueryAbort — callers own converting that
+/// to a Status. Governor accounting fields of `profile` are filled from it.
 Relation ExecutePlan(const PlanPtr& plan, const Catalog& catalog,
-                     const PlannerOptions& options = {}, ExecProfile* profile = nullptr);
+                     const PlannerOptions& options = {}, ExecProfile* profile = nullptr,
+                     QueryContext* context = nullptr);
 
 }  // namespace quotient

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "algebra/ops.hpp"
+#include "exec/query_context.hpp"
 #include "util/status.hpp"
 #include "util/strings.hpp"
 
@@ -83,6 +84,13 @@ TableEncodingPtr Catalog::Encoding(const std::string& name) const {
     // not serialized, and threads racing on this table block on the future
     // below instead of duplicating the dictionary construction.
     try {
+      // Governed only BEFORE the build starts: the future is shared with
+      // other queries, so one query's cancellation must not poison it
+      // mid-build (an injected fault here fails every sharer — acceptable,
+      // since the cache entry is dropped and the next request retries).
+      GovernorPoll();
+      GovernorFaultPoint("catalog.encoding");
+      GovernorCharge(relation.size() * relation.schema().size() * 8);
       promise.set_value(TableEncoding::Build(relation));
     } catch (...) {
       // Don't poison the cache with a failed build: drop the entry so the

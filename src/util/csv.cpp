@@ -1,5 +1,7 @@
 #include "util/csv.hpp"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -127,15 +129,23 @@ Result<Relation> RelationFromCsv(const std::string& text) {
 }
 
 Status WriteCsvFile(const Relation& relation, const std::string& path) {
+  errno = 0;
   std::ofstream out(path);
-  if (!out) return Status::Error("cannot open '" + path + "' for writing");
+  if (!out) {
+    return Status::Error("cannot open '" + path + "' for writing: " + std::strerror(errno));
+  }
   out << RelationToCsv(relation);
   return out.good() ? Status::Ok() : Status::Error("write to '" + path + "' failed");
 }
 
 Result<Relation> ReadCsvFile(const std::string& path) {
+  errno = 0;
   std::ifstream in(path);
-  if (!in) return Result<Relation>::Error("cannot open '" + path + "'");
+  if (!in) {
+    // The failing path and the OS reason, so a bad data-load points at the
+    // exact file instead of a bare "cannot open".
+    return Result<Relation>::Error("cannot open '" + path + "': " + std::strerror(errno));
+  }
   std::stringstream buffer;
   buffer << in.rdbuf();
   return RelationFromCsv(buffer.str());

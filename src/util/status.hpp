@@ -14,15 +14,56 @@ class SchemaError : public std::runtime_error {
   explicit SchemaError(const std::string& message) : std::runtime_error(message) {}
 };
 
-/// A success-or-message status for fallible user-facing operations (parsing).
+/// Status-code taxonomy (docs/robustness.md). Generic failures stay kError;
+/// the query lifecycle governor (exec/query_context.hpp) trips with the
+/// three dedicated codes so callers can distinguish "the query was wrong"
+/// from "the query was stopped".
+enum class StatusCode {
+  kOk = 0,
+  kError,              // parse/plan/execution failure
+  kCancelled,          // Session::Cancel() (or QueryContext::Cancel) fired
+  kDeadlineExceeded,   // SessionOptions::deadline elapsed mid-execution
+  kResourceExhausted,  // SessionOptions::memory_budget_bytes exceeded
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kError: return "error";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kDeadlineExceeded: return "deadline exceeded";
+    case StatusCode::kResourceExhausted: return "resource exhausted";
+  }
+  return "?";
+}
+
+/// A success-or-message status for fallible user-facing operations. Carries
+/// a StatusCode so governor trips (cancellation, deadlines, memory budgets)
+/// are distinguishable from ordinary errors without parsing the message.
 class Status {
  public:
   Status() = default;
 
   static Status Ok() { return Status(); }
-  static Status Error(std::string message) { return Status(std::move(message)); }
+  static Status Error(std::string message) {
+    return Status(StatusCode::kError, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Make(StatusCode code, std::string message) {
+    if (code == StatusCode::kOk) return Status();
+    return Status(code, std::move(message));
+  }
 
   bool ok() const { return !message_.has_value(); }
+  StatusCode code() const { return message_ ? code_ : StatusCode::kOk; }
   /// Message text; empty string when ok.
   const std::string& message() const {
     static const std::string kEmpty;
@@ -30,20 +71,27 @@ class Status {
   }
 
  private:
-  explicit Status(std::string message) : message_(std::move(message)) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+  StatusCode code_ = StatusCode::kOk;
   std::optional<std::string> message_;
 };
 
 /// A value-or-error result used by the SQL front end. Either holds a T or an
-/// error message; checked access throws std::logic_error on misuse.
+/// error Status; checked access throws std::logic_error on misuse.
 template <typename T>
 class Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
-  static Result Error(std::string message) { return Result(Tag{}, std::move(message)); }
+  static Result Error(std::string message) {
+    return Result(Tag{}, Status::Error(std::move(message)));
+  }
+  static Result Error(Status status) { return Result(Tag{}, std::move(status)); }
 
   bool ok() const { return value_.has_value(); }
-  const std::string& error() const { return error_; }
+  const std::string& error() const { return status_.message(); }
+  /// Full error status (code + message); ok() status when the value is set.
+  const Status& status() const { return status_; }
 
   const T& value() const& {
     Require();
@@ -60,13 +108,13 @@ class Result {
 
  private:
   struct Tag {};
-  Result(Tag, std::string message) : error_(std::move(message)) {}
+  Result(Tag, Status status) : status_(std::move(status)) {}
   void Require() const {
-    if (!value_) throw std::logic_error("Result::value() on error: " + error_);
+    if (!value_) throw std::logic_error("Result::value() on error: " + status_.message());
   }
 
   std::optional<T> value_;
-  std::string error_;
+  Status status_;
 };
 
 }  // namespace quotient
