@@ -24,7 +24,9 @@
 #                                robustness.md): governed vs ungoverned
 #                                HashDivision/1024/16 overhead plus
 #                                Session::Cancel latency on an in-flight
-#                                parallel DIVIDE BY
+#                                parallel DIVIDE BY, spill-forced vs
+#                                in-memory execution of the same point, and
+#                                admission-controller latencies
 #   Compare runs with benchmark's own tools/compare.py, or just diff the
 #   real_time fields. QUOTIENT_BENCH_THREADS overrides the parallel A/B's
 #   high thread count (default: nproc, min 2).
@@ -37,7 +39,7 @@ build_dir="${repo_root}/build-bench"
 cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${build_dir}" -j "$(nproc)" \
   --target bench_division_algorithms bench_key_codec bench_sql_e2e \
-           bench_concurrent_sessions bench_cancellation \
+           bench_concurrent_sessions bench_cancellation bench_spill \
            bench_law10_semijoin bench_law13_partitioned_great_divide >/dev/null
 
 mkdir -p "${out_dir}"
@@ -94,6 +96,11 @@ run_bench_threads bench_concurrent_sessions "${par_threads}" "${out_dir}/.conc_p
 # HashDivision/1024/16 point (acceptance bar: within 3%), plus the latency
 # from Session::Cancel() to the in-flight statement unwinding.
 run_bench_threads bench_cancellation "${par_threads}" "${out_dir}/.robustness_raw.json"
+
+# Graceful degradation: the same HashDivision point in memory vs with the
+# spill watermark forcing every store to disk, plus admission-controller
+# fast-path and queued-handoff latencies.
+run_bench_threads bench_spill "${par_threads}" "${out_dir}/.spill_raw.json"
 
 run_bench_threads bench_division_algorithms 1 "${out_dir}/.div_par1.json"
 run_bench_threads bench_division_algorithms "${par_threads}" "${out_dir}/.div_parN.json"
@@ -221,6 +228,21 @@ def first_time(prefix):
 ungoverned = first_time("BM_HashDivision/ungoverned")
 governed = first_time("BM_HashDivision/governed")
 cancel_latency = first_time("BM_CancelLatency")
+
+# Spill + admission (bench_spill): in-memory vs spill-forced on the same
+# HashDivision point, admission fast path, queued-grant handoff latency.
+spill = times(".spill_raw.json")
+
+def first_spill(prefix):
+    for name, t in sorted(spill.items()):
+        if name.startswith(prefix):
+            return t
+    return None
+
+in_memory = first_spill("BM_HashDivision/in_memory")
+spill_forced = first_spill("BM_HashDivision/spill_forced")
+admission_fast = first_spill("BM_AdmissionUncontended")
+admission_handoff = first_spill("BM_AdmissionQueuedHandoff")
 robustness = {
     "hash_division_1024_16": {
         "ungoverned_us": round(ungoverned, 3) if ungoverned else None,
@@ -229,6 +251,15 @@ robustness = {
                         if governed and ungoverned else None,
     },
     "cancel_latency_us": round(cancel_latency, 3) if cancel_latency else None,
+    "spill_hash_division_1024_16": {
+        "in_memory_us": round(in_memory, 3) if in_memory else None,
+        "spill_forced_us": round(spill_forced, 3) if spill_forced else None,
+        "slowdown": round(spill_forced / in_memory, 3)
+                    if spill_forced and in_memory else None,
+    },
+    "admission_uncontended_us": round(admission_fast, 3) if admission_fast else None,
+    "admission_queued_handoff_us": round(admission_handoff, 3)
+                                   if admission_handoff else None,
 }
 with open(os.path.join(out_dir, "BENCH_robustness.json"), "w") as f:
     json.dump(robustness, f, indent=1)
@@ -236,6 +267,10 @@ if robustness["hash_division_1024_16"]["overhead_pct"] is not None:
     print(f"governor overhead on HashDivision/1024/16: "
           f"{robustness['hash_division_1024_16']['overhead_pct']:+.2f}%"
           f" | cancel latency: {robustness['cancel_latency_us']:.1f} us")
+if robustness["spill_hash_division_1024_16"]["slowdown"] is not None:
+    print(f"spill-forced HashDivision/1024/16: "
+          f"{robustness['spill_hash_division_1024_16']['slowdown']:.2f}x in-memory"
+          f" | admission handoff: {robustness['admission_queued_handoff_us']:.1f} us")
 
 par_speedups = [c["speedup"] for c in par_comparison if c["speedup"] is not None]
 if par_speedups:
@@ -245,7 +280,7 @@ if par_speedups:
           f"max {max(par_speedups):.2f}x")
 PY
 rm -f "${out_dir}"/.law1[03]_*.json "${out_dir}"/.div_par*.json "${out_dir}"/.conc_pool*.json \
-      "${out_dir}"/.robustness_raw.json
+      "${out_dir}"/.robustness_raw.json "${out_dir}"/.spill_raw.json
 
 echo "Wrote ${out_dir}/BENCH_division.json, BENCH_division_tuple.json," \
      "BENCH_key_codec.json, BENCH_batched.json, BENCH_parallel.json," \

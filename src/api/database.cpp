@@ -1,5 +1,8 @@
 #include "api/database.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <string>
 #include <utility>
 
 #include "exec/query_context.hpp"
@@ -190,6 +193,86 @@ void Database::ClearPlanCache() {
   std::lock_guard<std::mutex> lock(cache_mutex_);
   lru_.clear();
   index_.clear();
+}
+
+Status Database::AdmitQuery(size_t bytes, QueryContext* ctx) {
+  const size_t total = options_.admission_memory_bytes;
+  if (total == 0 || bytes == 0) return Status::Ok();
+  if (bytes > total) {
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    ++admission_stats_.rejected;
+    return Status::ResourceExhausted(
+        "statement memory budget (" + std::to_string(bytes) +
+        " bytes) exceeds the database admission budget (" + std::to_string(total) +
+        " bytes)");
+  }
+  std::unique_lock<std::mutex> lock(admission_mutex_);
+  // Fast path: fits and nobody queued ahead of us.
+  if (admission_queue_.empty() && admission_in_use_ + bytes <= total) {
+    admission_in_use_ += bytes;
+    ++admission_stats_.admitted;
+    admission_stats_.in_use_bytes = admission_in_use_;
+    return Status::Ok();
+  }
+  if (admission_queue_.size() >= options_.admission_max_queue) {
+    ++admission_stats_.rejected;
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(options_.admission_max_queue) +
+        " statements waiting)");
+  }
+  const uint64_t ticket = admission_next_ticket_++;
+  admission_queue_.insert(ticket);
+  ++admission_stats_.queued;
+  admission_stats_.waiting = admission_queue_.size();
+  // Wait in ticket order, polling so a queued statement still honors its
+  // governor: Cancel() and the deadline must reach a statement that has
+  // not started executing yet. The erase-on-exit discipline (every path
+  // below removes `ticket`) keeps an abandoned turn from wedging later
+  // waiters.
+  while (true) {
+    const bool my_turn = *admission_queue_.begin() == ticket;
+    if (my_turn && admission_in_use_ + bytes <= total) {
+      admission_queue_.erase(ticket);
+      admission_in_use_ += bytes;
+      ++admission_stats_.admitted;
+      admission_stats_.in_use_bytes = admission_in_use_;
+      admission_stats_.waiting = admission_queue_.size();
+      admission_cv_.notify_all();  // the next ticket may also fit
+      return Status::Ok();
+    }
+    if (ctx != nullptr && ctx->Aborted()) {
+      admission_queue_.erase(ticket);
+      ++admission_stats_.timed_out;
+      admission_stats_.waiting = admission_queue_.size();
+      admission_cv_.notify_all();
+      return ctx->TripStatus();
+    }
+    if (ctx != nullptr && ctx->has_deadline() &&
+        std::chrono::steady_clock::now() >= ctx->deadline()) {
+      admission_queue_.erase(ticket);
+      ++admission_stats_.timed_out;
+      admission_stats_.waiting = admission_queue_.size();
+      admission_cv_.notify_all();
+      return Status::ResourceExhausted("admission queued, timed out waiting for " +
+                                       std::to_string(bytes) + " bytes");
+    }
+    // Bounded wait: cancellation has no hook into this condvar, so poll.
+    admission_cv_.wait_for(lock, std::chrono::milliseconds(5));
+  }
+}
+
+void Database::ReleaseAdmission(size_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    admission_in_use_ -= std::min(bytes, admission_in_use_);
+    admission_stats_.in_use_bytes = admission_in_use_;
+  }
+  admission_cv_.notify_all();
+}
+
+AdmissionStats Database::admission_stats() const {
+  std::lock_guard<std::mutex> lock(admission_mutex_);
+  return admission_stats_;
 }
 
 }  // namespace quotient

@@ -14,7 +14,12 @@
 //     record the snapshot version they were compiled against and the base
 //     tables they reference; DDL invalidates by bumping the touched tables'
 //     versions instead of clearing caches other sessions are reading, so a
-//     statement over table B survives DDL on table A.
+//     statement over table B survives DDL on table A;
+//   * an ADMISSION CONTROLLER metering the sum of per-statement memory
+//     budgets: when admission_memory_bytes is set, a statement whose
+//     budget does not fit next to the running ones waits in a bounded
+//     FIFO queue (still honoring its cancel/deadline) instead of pushing
+//     the process past the configured memory.
 //
 // Sessions (api/session.hpp) are cheap single-threaded handles onto one
 // Database; the Database itself is fully thread-safe. All sessions share
@@ -22,11 +27,13 @@
 // parallel region at a time — concurrent drains queue rather than
 // oversubscribe.
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -39,9 +46,31 @@
 
 namespace quotient {
 
+class QueryContext;
+
 struct DatabaseOptions {
   /// Capacity of the shared plan cache (entries). 0 disables caching.
   size_t plan_cache_capacity = 64;
+  /// Database-wide admission budget: the sum of per-statement memory
+  /// budgets (SessionOptions::memory_budget_bytes) running at once. An
+  /// over-budget statement WAITS in a bounded FIFO queue until running
+  /// statements release their grants, instead of failing outright.
+  /// 0 disables admission control. Statements without a memory budget
+  /// bypass the controller (they are invisible to it).
+  size_t admission_memory_bytes = 0;
+  /// Statements allowed to wait for admission at once; one more is
+  /// rejected with kResourceExhausted ("admission queue full").
+  size_t admission_max_queue = 16;
+};
+
+/// Counters of the database-wide admission controller.
+struct AdmissionStats {
+  size_t admitted = 0;      // grants handed out (immediate or after a wait)
+  size_t queued = 0;        // statements that had to wait
+  size_t rejected = 0;      // queue full, or a grant larger than the budget
+  size_t timed_out = 0;     // deadline expired / cancelled while waiting
+  size_t in_use_bytes = 0;  // currently granted bytes
+  size_t waiting = 0;       // statements waiting right now
 };
 
 /// The compile story of one statement, attached to results and cursors and
@@ -99,6 +128,8 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
+  const DatabaseOptions& options() const { return options_; }
+
   // ---- DDL: copy-on-write snapshot publication (thread-safe) ----
   // Writers serialize on a DDL mutex, build the next snapshot from the
   // current one, and publish it atomically; concurrent readers keep the
@@ -141,6 +172,21 @@ class Database {
   PlanCacheStats plan_cache_stats() const;
   void ClearPlanCache();
 
+  // ---- admission control ----
+  /// Claims `bytes` of the database-wide admission budget for one
+  /// statement. Returns immediately when the budget is disabled, `bytes`
+  /// is zero, or the grant fits; otherwise waits in FIFO ticket order,
+  /// polling `ctx` so a queued statement still honors Cancel() and its
+  /// deadline. Errors (never partial grants): kResourceExhausted when
+  /// `bytes` exceeds the whole budget, when the wait queue is full, or
+  /// when the deadline expires while queued ("queued, timed out");
+  /// the context's own trip status when cancelled while queued.
+  Status AdmitQuery(size_t bytes, QueryContext* ctx);
+  /// Returns a grant taken by AdmitQuery and wakes waiters. Called by the
+  /// statement's QueryContext destructor via SetAdmissionRelease.
+  void ReleaseAdmission(size_t bytes);
+  AdmissionStats admission_stats() const;
+
  private:
   struct CacheSlot {
     std::string key;
@@ -172,6 +218,16 @@ class Database {
   // map stays ⊆ the catalog's name set.
   std::unordered_map<std::string, uint64_t> table_versions_;
   PlanCacheStats stats_;
+
+  mutable std::mutex admission_mutex_;  // guards everything below
+  std::condition_variable admission_cv_;
+  size_t admission_in_use_ = 0;         // granted bytes
+  uint64_t admission_next_ticket_ = 1;  // FIFO order of waiters
+  // Waiting tickets, ordered; the smallest ticket has the next turn. A
+  // waiter that gives up (cancel/deadline/queue rejection) erases its
+  // ticket, so an abandoned turn can never wedge the queue.
+  std::set<uint64_t> admission_queue_;
+  AdmissionStats admission_stats_;
 };
 
 }  // namespace quotient

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <set>
 #include <string_view>
 
@@ -75,6 +76,19 @@ std::string OptionsFingerprint(const SessionOptions& options) {
   return fp;
 }
 
+/// CI override (.github/workflows/ci.yml, spill-forced-sanitizer job):
+/// QUOTIENT_SPILL_WATERMARK=<bytes> arms a spill watermark on every session
+/// that doesn't configure one, so the whole test suite can re-run with
+/// every blocking build flushing through the spill file.
+size_t EnvSpillWatermark() {
+  static const size_t value = [] {
+    const char* env = std::getenv("QUOTIENT_SPILL_WATERMARK");
+    return env != nullptr ? static_cast<size_t>(std::strtoull(env, nullptr, 10))
+                          : size_t{0};
+  }();
+  return value;
+}
+
 void AppendBlock(const std::string& text, const std::string& indent,
                  std::vector<std::string>* lines) {
   size_t start = 0;
@@ -123,6 +137,10 @@ void ResultCursor::Close() {
     root_.reset();
     owned_.reset();
     snapshot_.reset();
+    // Drop the governor too: its destructor closes the spill file and
+    // returns the statement's admission grant, so a closed cursor stops
+    // counting against the database-wide memory budget.
+    ctx_.reset();
   }
   exhausted_ = true;
   batch_valid_ = false;
@@ -220,6 +238,8 @@ ExecProfile ResultCursor::Profile() const {
     profile.rows_charged_bytes = ctx_->charged_bytes();
     profile.cancelled = ctx_->cancelled();
     profile.fault_site = ctx_->fault_site();
+    profile.spill_partitions = ctx_->spill_partitions();
+    profile.spill_bytes_written = ctx_->spill_bytes_written();
   }
   return profile;
 }
@@ -272,12 +292,31 @@ std::shared_ptr<QueryContext> Session::MakeContext() {
   }
   auto context = std::make_shared<QueryContext>(deadline, options_.memory_budget_bytes,
                                                 options_.fault_injector);
-  std::lock_guard<std::mutex> lock(cancels_->mutex);
-  // Prune finished statements' expired slots so the registry stays O(live).
-  auto dead = std::remove_if(cancels_->active.begin(), cancels_->active.end(),
-                             [](const std::weak_ptr<QueryContext>& w) { return w.expired(); });
-  cancels_->active.erase(dead, cancels_->active.end());
-  cancels_->active.push_back(context);
+  size_t watermark = options_.spill_watermark_bytes;
+  if (watermark == 0) watermark = EnvSpillWatermark();
+  if (watermark > 0) context->EnableSpill(watermark, options_.spill_dir);
+  {
+    std::lock_guard<std::mutex> lock(cancels_->mutex);
+    // Prune finished statements' expired slots so the registry stays O(live).
+    auto dead = std::remove_if(cancels_->active.begin(), cancels_->active.end(),
+                               [](const std::weak_ptr<QueryContext>& w) { return w.expired(); });
+    cancels_->active.erase(dead, cancels_->active.end());
+    cancels_->active.push_back(context);
+  }
+  // Admission AFTER registration (and outside the registry lock): Cancel()
+  // must reach a statement still waiting in the admission queue, and the
+  // wait must not hold the lock Cancel() needs.
+  Status admitted = database_->AdmitQuery(options_.memory_budget_bytes, context.get());
+  if (!admitted.ok()) throw QueryAbort(std::move(admitted));
+  if (database_->options().admission_memory_bytes > 0 &&
+      options_.memory_budget_bytes > 0) {
+    // The grant returns when the statement's governor dies — cursors hold
+    // theirs until Close(). The hook keeps the Database alive.
+    context->SetAdmissionRelease(
+        [database = database_, bytes = options_.memory_budget_bytes]() {
+          database->ReleaseAdmission(bytes);
+        });
+  }
   return context;
 }
 
@@ -492,6 +531,8 @@ Result<QueryResult> Session::Run(const BoundStatement& bound) {
         out.profile.rows_charged_bytes = context->charged_bytes();
         out.profile.cancelled = context->cancelled();
         out.profile.fault_site = context->fault_site();
+        out.profile.spill_partitions = context->spill_partitions();
+        out.profile.spill_bytes_written = context->spill_bytes_written();
       }
     } catch (const QueryAbort& e) {
       return Result<QueryResult>::Error(e.status());
@@ -563,6 +604,10 @@ Relation Session::RenderExplain(const CompileInfo& info, bool analyze,
     lines.push_back("dop=" + std::to_string(profile.max_dop));
     std::string governor =
         "governor: charged=" + std::to_string(profile.rows_charged_bytes) + " bytes";
+    if (profile.spill_partitions > 0) {
+      governor += ", spill=" + std::to_string(profile.spill_partitions) + " partitions/" +
+                  std::to_string(profile.spill_bytes_written) + " bytes";
+    }
     if (profile.cancelled) governor += ", cancelled";
     if (!profile.fault_site.empty()) governor += ", fault=" + profile.fault_site;
     lines.push_back(governor);

@@ -66,8 +66,18 @@ struct SessionOptions {
   std::chrono::milliseconds deadline{0};
   /// Per-statement budget for build-state allocations (approximate; see
   /// docs/robustness.md). Zero = unlimited. Exceeding it unwinds with
-  /// StatusCode::kResourceExhausted.
+  /// StatusCode::kResourceExhausted. When the Database configures
+  /// admission_memory_bytes, this is also the statement's admission grant.
   size_t memory_budget_bytes = 0;
+  /// Soft spill watermark (exec/spill.hpp): when the statement's
+  /// outstanding build-state account crosses it, the id-column stores
+  /// flush to a per-query temp file instead of growing, so the statement
+  /// degrades to out-of-core instead of tripping the hard budget. Zero =
+  /// never spill. Results are bit-identical to the in-memory path.
+  size_t spill_watermark_bytes = 0;
+  /// Directory for spill temp files (empty = $TMPDIR or /tmp). Files are
+  /// unlinked at creation; nothing survives the statement.
+  std::string spill_dir;
   /// Deterministic fault injection for tests (nullptr = the process-global
   /// injector, which arms itself from QUOTIENT_FAULT=<site>:<nth>).
   FaultInjector* fault_injector = nullptr;

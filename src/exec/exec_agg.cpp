@@ -63,9 +63,15 @@ class AggregateSink : public PipelineSink {
 
   void ConsumeSerial(const Batch& batch) override {
     GovernorFaultPoint("sink.aggregate");
-    GovernorCharge(batch.ActiveRows() * (group_indices_->size() + aggs_->size()) * 8);
+    const size_t width = (group_indices_->size() + aggs_->size()) * 8;
+    // The per-batch key scratch is transient; only group-state growth is
+    // retained, so only that delta stays charged after the fold.
+    ScopedCharge transient;
+    transient.Add(batch.ActiveRows() * width);
     serial_keyer_.Keys(batch, group_indices_, &keys64_, &keys_spill_);
+    size_t before = target_->num_groups();
     FoldBatch(batch, keys64_, keys_spill_, *aggs_, *arg_indices_, target_);
+    GovernorCharge((target_->num_groups() - before) * width);
   }
 
   std::unique_ptr<SinkChunk> MakeChunk() override {
@@ -74,10 +80,16 @@ class AggregateSink : public PipelineSink {
 
   void Consume(SinkChunk& chunk, const Batch& batch) override {
     GovernorFaultPoint("sink.aggregate");
-    GovernorCharge(batch.ActiveRows() * (group_indices_->size() + aggs_->size()) * 8);
     Chunk& c = static_cast<Chunk&>(chunk);
+    const size_t width = (group_indices_->size() + aggs_->size()) * 8;
+    ScopedCharge transient;
+    transient.Add(batch.ActiveRows() * width);
     c.keyer.Keys(batch, group_indices_, &c.keys64, &c.keys_spill);
+    size_t before = c.part.num_groups();
     FoldBatch(batch, c.keys64, c.keys_spill, *aggs_, *arg_indices_, &c.part);
+    // Chunk-local partials live until Merge folds them into the target;
+    // their charge is scoped to the chunk and released there.
+    c.part_charge.Add((c.part.num_groups() - before) * width);
   }
 
   void Merge(SinkChunk& chunk) override {
@@ -98,6 +110,7 @@ class AggregateSink : public PipelineSink {
     }
     std::vector<uint32_t> ids(nc);
     SmallByteKey spill;
+    size_t target_before = target_->num_groups();
     for (uint32_t gid = 0; gid < local_groups; ++gid) {
       for (size_t col = 0; col < nc; ++col) {
         uint32_t local_id =
@@ -124,6 +137,8 @@ class AggregateSink : public PipelineSink {
                  &target_->states[size_t{global} * na + j]);
       }
     }
+    GovernorCharge((target_->num_groups() - target_before) * (nc + na) * 8);
+    c.part_charge.ReleaseNow();
   }
 
  private:
@@ -133,6 +148,7 @@ class AggregateSink : public PipelineSink {
     BatchIncrementalKeyer keyer;
     std::vector<uint64_t> keys64;
     std::vector<SmallByteKey> keys_spill;
+    ScopedCharge part_charge;
   };
 
   GroupState* target_;

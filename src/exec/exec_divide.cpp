@@ -38,7 +38,7 @@ void EmitDistinctCandidates(const AView& aview, Numbering& candidates, size_t ro
 // numbered densely (identity when A is a single dictionary column, interned
 // otherwise), so the bitmaps live in one contiguous matrix.
 template <typename AView, typename Numbering>
-void RunHash(const AView& aview, Numbering& candidates, const std::vector<uint32_t>& row_b,
+void RunHash(const AView& aview, Numbering& candidates, const SpilledU32Store& row_b,
              size_t rows, size_t n, std::vector<Tuple>* results) {
   GovernorFaultPoint("divide.bitmap_fill");
   GovernorCharge(candidates.size() * ((n + 7) / 8));  // the seen-bitmap matrix
@@ -47,10 +47,10 @@ void RunHash(const AView& aview, Numbering& candidates, const std::vector<uint32
   GovernorTicker ticker;
   for (size_t i = 0; i < rows; ++i) {
     ticker.Tick();
-    if (row_b[i] == kMissB) continue;  // b not in divisor: cannot help
+    if (row_b.At(i) == kMissB) continue;  // b not in divisor: cannot help
     uint32_t cand = candidates.Intern(aview.RowKey(i));
     while (cand >= seen.rows()) seen.AddRow();
-    seen.Set(cand, row_b[i]);
+    seen.Set(cand, row_b.At(i));
   }
   for (uint32_t id = 0; id < seen.rows(); ++id) {
     if (seen.RowAll(id)) results->push_back(aview.codec->DecodeTuple(candidates.At(id)));
@@ -63,7 +63,7 @@ void RunHash(const AView& aview, Numbering& candidates, const std::vector<uint32
 // bitmap.
 template <typename AView, typename Numbering>
 void RunHashTransposed(const AView& aview, Numbering& candidates,
-                       const std::vector<uint32_t>& row_b, size_t rows, size_t n,
+                       const SpilledU32Store& row_b, size_t rows, size_t n,
                        std::vector<Tuple>* results) {
   GovernorCharge(rows * sizeof(uint32_t));
   std::vector<uint32_t> row_cand(rows);
@@ -78,8 +78,8 @@ void RunHashTransposed(const AView& aview, Numbering& candidates,
   BitmapMatrix divisor_bitmaps(candidates.size(), n);
   for (size_t i = 0; i < rows; ++i) {
     ticker.Tick();
-    if (row_b[i] == kMissB) continue;
-    divisor_bitmaps.Set(row_b[i], row_cand[i]);
+    if (row_b.At(i) == kMissB) continue;
+    divisor_bitmaps.Set(row_b.At(i), row_cand[i]);
   }
 
   for (uint32_t id = 0; id < candidates.size(); ++id) {
@@ -98,12 +98,12 @@ void RunHashTransposed(const AView& aview, Numbering& candidates,
 // sort last — then merge each A-group's numbers against the ascending
 // divisor numbers 0..n-1.
 template <typename AView>
-void RunMergeSort(const AView& aview, const std::vector<uint32_t>& row_b, size_t rows, size_t n,
+void RunMergeSort(const AView& aview, const SpilledU32Store& row_b, size_t rows, size_t n,
                   std::vector<Tuple>* results) {
   using K = typename AView::Key;
   std::vector<std::pair<K, uint32_t>> sorted;
   sorted.reserve(rows);
-  for (size_t i = 0; i < rows; ++i) sorted.emplace_back(aview.RowKey(i), row_b[i]);
+  for (size_t i = 0; i < rows; ++i) sorted.emplace_back(aview.RowKey(i), row_b.At(i));
   std::sort(sorted.begin(), sorted.end(), [](const auto& x, const auto& y) {
     if (x.first != y.first) return x.first < y.first;
     return x.second < y.second;
@@ -134,7 +134,7 @@ void RunMergeSort(const AView& aview, const std::vector<uint32_t>& row_b, size_t
 // candidate (inputs are sets, so counts are distinct counts) and compare
 // with n.
 template <typename AView, typename Numbering>
-void RunHashCount(const AView& aview, Numbering& candidates, const std::vector<uint32_t>& row_b,
+void RunHashCount(const AView& aview, Numbering& candidates, const SpilledU32Store& row_b,
                   size_t rows, size_t n, std::vector<Tuple>* results) {
   GovernorCharge(candidates.size() * sizeof(uint32_t));
   std::vector<uint32_t> counts;
@@ -142,7 +142,7 @@ void RunHashCount(const AView& aview, Numbering& candidates, const std::vector<u
   GovernorTicker ticker;
   for (size_t i = 0; i < rows; ++i) {
     ticker.Tick();
-    if (row_b[i] == kMissB) continue;
+    if (row_b.At(i) == kMissB) continue;
     uint32_t cand = candidates.Intern(aview.RowKey(i));
     if (cand >= counts.size()) counts.resize(cand + 1, 0);
     counts[cand] += 1;
@@ -155,13 +155,13 @@ void RunHashCount(const AView& aview, Numbering& candidates, const std::vector<u
 // Sort-based aggregate division: keep matching rows' A keys, sort, count run
 // lengths.
 template <typename AView>
-void RunSortCount(const AView& aview, const std::vector<uint32_t>& row_b, size_t rows, size_t n,
+void RunSortCount(const AView& aview, const SpilledU32Store& row_b, size_t rows, size_t n,
                   std::vector<Tuple>* results) {
   using K = typename AView::Key;
   std::vector<K> matched;
   matched.reserve(rows);
   for (size_t i = 0; i < rows; ++i) {
-    if (row_b[i] != kMissB) matched.push_back(aview.RowKey(i));
+    if (row_b.At(i) != kMissB) matched.push_back(aview.RowKey(i));
   }
   std::sort(matched.begin(), matched.end());
   size_t i = 0;
@@ -177,14 +177,14 @@ void RunSortCount(const AView& aview, const std::vector<uint32_t>& row_b, size_t
 // number: O(|r1| · |r2|) comparisons — the baseline the fast algorithms are
 // measured against.
 template <typename AView, typename Numbering>
-void RunNestedLoop(const AView& aview, Numbering& candidates, const std::vector<uint32_t>& row_b,
+void RunNestedLoop(const AView& aview, Numbering& candidates, const SpilledU32Store& row_b,
                    size_t rows, size_t n, std::vector<Tuple>* results) {
   std::vector<std::vector<uint32_t>> groups;
   groups.reserve(candidates.size());
   for (size_t i = 0; i < rows; ++i) {
     uint32_t cand = candidates.Intern(aview.RowKey(i));
     if (cand >= groups.size()) groups.resize(cand + 1);
-    if (row_b[i] != kMissB) groups[cand].push_back(row_b[i]);
+    if (row_b.At(i) != kMissB) groups[cand].push_back(row_b.At(i));
   }
   for (uint32_t id = 0; id < groups.size(); ++id) {
     bool all = true;
@@ -268,14 +268,14 @@ void DivisionIterator::Open() {
   a_codec_ = KeyCodec(a_idx_.size());
   size_t expected = dividend_->EstimatedRows();
   a_codec_.Reserve(expected);
-  row_b_.clear();
-  row_b_.reserve(expected);
+  row_b_ = SpilledU32Store(1);
+  row_b_.Reserve(expected);
   if (UseTupleDrain(*dividend_)) {
     GovernorTicker ticker;
     while (const Tuple* row = dividend_->NextRef()) {
       ticker.Tick();
       a_codec_.Add(*row, a_idx_);
-      row_b_.push_back(divisor_numbers.Probe(*row, b_idx_));  // kNotFound == kMissB
+      row_b_.PushBack(divisor_numbers.Probe(*row, b_idx_));  // kNotFound == kMissB
     }
   } else {
     ProbeAppendSink sink(&a_codec_, &a_idx_, &divisor_numbers, &b_codec_, &b_idx_, &row_b_);
@@ -341,7 +341,7 @@ void DivisionIterator::Close() {
   results_.clear();
   a_codec_ = KeyCodec();
   b_codec_ = KeyCodec();
-  row_b_.clear();
+  row_b_ = SpilledU32Store();
 }
 
 Relation ExecDivide(const Relation& dividend, const Relation& divisor,

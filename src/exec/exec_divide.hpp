@@ -85,7 +85,7 @@ class DivisionIterator : public Iterator {
   // Scratch (valid between Open and Close): the key-encoded dividend.
   KeyCodec a_codec_;               // per-row A keys of the dividend
   KeyCodec b_codec_;               // divisor B dictionary (probe target)
-  std::vector<uint32_t> row_b_;    // per-row divisor number, or miss
+  SpilledU32Store row_b_;          // per-row divisor number, or miss
   size_t divisor_count_ = 0;       // n = |distinct divisor B tuples|
 };
 

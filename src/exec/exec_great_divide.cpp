@@ -98,11 +98,11 @@ void GreatDivideIterator::Open() {
   a_codec_ = KeyCodec(a_idx_.size());
   size_t expected = dividend_->EstimatedRows();
   a_codec_.Reserve(expected);
-  enc.row_b.reserve(expected);
+  enc.row_b.Reserve(expected);
   if (UseTupleDrain(*dividend_)) {
     while (const Tuple* row = dividend_->NextRef()) {
       a_codec_.Add(*row, a_idx_);
-      enc.row_b.push_back(enc.b.Probe(*row, b_idx_));
+      enc.row_b.PushBack(enc.b.Probe(*row, b_idx_));
     }
   } else {
     ProbeAppendSink sink(&a_codec_, &a_idx_, &enc.b, &b_codec_, &b_idx_, &enc.row_b);
@@ -127,9 +127,9 @@ void GreatDivideIterator::RunHash(const Encoded& enc) {
   GovernorCharge(candidates * k * sizeof(uint32_t));  // the match-count matrix
   std::vector<uint32_t> counts(candidates * k, 0);
   GovernorTicker ticker;
-  for (size_t i = 0; i < enc.row_b.size(); ++i) {
+  for (size_t i = 0; i < enc.row_b.rows(); ++i) {
     ticker.Tick();
-    uint32_t b = enc.row_b[i];
+    uint32_t b = enc.row_b.At(i);
     if (b == KeyNumbering::kNotFound) continue;
     uint32_t* row = &counts[size_t{enc.a.row_ids()[i]} * k];
     for (uint32_t gid : enc.member_of[b]) row[gid] += 1;
@@ -166,9 +166,9 @@ void GreatDivideIterator::RunGroupAtATime(const Encoded& enc) {
   for (uint32_t gid = 0; gid < k; ++gid) {
     for (uint32_t b : group_members[gid]) b_stamp[b] = gid;
     uint32_t group_size = static_cast<uint32_t>(group_members[gid].size());
-    for (size_t i = 0; i < enc.row_b.size(); ++i) {  // full dividend re-scan per group
+    for (size_t i = 0; i < enc.row_b.rows(); ++i) {  // full dividend re-scan per group
       ticker.Tick();
-      uint32_t b = enc.row_b[i];
+      uint32_t b = enc.row_b.At(i);
       if (b == KeyNumbering::kNotFound || b_stamp[b] != gid) continue;
       uint32_t cand = enc.a.row_ids()[i];
       if (cand_stamp[cand] != gid) {

@@ -41,7 +41,7 @@ class GreatDivideIterator : public Iterator {
     KeyNumbering a;                               // dividend A candidates
     std::vector<uint32_t> group_sizes;            // per C group: |B values|
     std::vector<std::vector<uint32_t>> member_of; // B number -> C groups
-    std::vector<uint32_t> row_b;                  // dividend row -> B number or miss
+    SpilledU32Store row_b{1};                     // dividend row -> B number or miss
   };
 
   void RunHash(const Encoded& enc);

@@ -37,14 +37,15 @@ void KeyCodec::AppendTranslated(const KeyCodec& part) {
   // translated id is always a real dense id, so it can never collide.
   std::vector<std::vector<uint32_t>> xlat(nc);
   for (size_t c = 0; c < nc; ++c) xlat[c].assign(part.dicts_[c].size(), ValueDict::kNotFound);
-  row_ids_.reserve(row_ids_.size() + part.row_ids_.size());
-  const uint32_t* src = part.row_ids_.data();
-  for (size_t r = 0; r < part.num_rows_; ++r, src += nc) {
+  scratch_.resize(nc);
+  for (size_t r = 0; r < part.num_rows_; ++r) {
+    const uint32_t* src = part.ids_.Row(r);
     for (size_t c = 0; c < nc; ++c) {
       uint32_t& slot = xlat[c][src[c]];
       if (slot == ValueDict::kNotFound) slot = dicts_[c].GetOrAdd(part.dicts_[c].At(src[c]));
-      row_ids_.push_back(slot);
+      scratch_[c] = slot;
     }
+    ids_.Append(scratch_.data(), 1);
   }
   num_rows_ += part.num_rows_;
 }

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "algebra/tuple.hpp"
+#include "exec/spill.hpp"
 
 namespace quotient {
 
@@ -246,7 +247,7 @@ class ValueDict {
 class KeyCodec {
  public:
   KeyCodec() = default;
-  explicit KeyCodec(size_t num_cols) : dicts_(num_cols) {}
+  explicit KeyCodec(size_t num_cols) : dicts_(num_cols), ids_(num_cols) {}
 
   size_t num_cols() const { return dicts_.size(); }
   size_t rows() const { return num_rows_; }
@@ -259,19 +260,23 @@ class KeyCodec {
   /// index arrays by key directly instead of interning.
   bool keys_are_dense_ids() const { return dicts_.size() == 1 && !spilled_; }
 
-  void Reserve(size_t expected_rows) { row_ids_.reserve(expected_rows * dicts_.size()); }
+  void Reserve(size_t expected_rows) { ids_.Reserve(expected_rows); }
 
   /// Ingests the key columns of `t` selected by `indices` (build phase).
   void Add(const Tuple& t, const std::vector<size_t>& indices) {
+    scratch_.clear();
     for (size_t c = 0; c < dicts_.size(); ++c) {
-      row_ids_.push_back(dicts_[c].GetOrAdd(t[indices[c]]));
+      scratch_.push_back(dicts_[c].GetOrAdd(t[indices[c]]));
     }
+    ids_.Append(scratch_.data(), 1);
     ++num_rows_;
   }
 
   /// Ingests an already-projected key tuple (all positions, in order).
   void AddKey(const Tuple& key) {
-    for (size_t c = 0; c < dicts_.size(); ++c) row_ids_.push_back(dicts_[c].GetOrAdd(key[c]));
+    scratch_.clear();
+    for (size_t c = 0; c < dicts_.size(); ++c) scratch_.push_back(dicts_[c].GetOrAdd(key[c]));
+    ids_.Append(scratch_.data(), 1);
     ++num_rows_;
   }
 
@@ -287,9 +292,13 @@ class KeyCodec {
   /// Appends `nrows` build rows of pre-resolved ids, row-major
   /// (nrows * num_cols() ids).
   void AppendRows(const uint32_t* ids, size_t nrows) {
-    row_ids_.insert(row_ids_.end(), ids, ids + nrows * dicts_.size());
+    ids_.Append(ids, nrows);
     num_rows_ += nrows;
   }
+
+  /// Returns the row store's outstanding governor charge — for transient
+  /// chunk-local codecs whose rows were merged into another codec.
+  void ReleaseRowCharges() { ids_.ReleaseCharges(); }
 
   /// Merge phase of parallel pipeline drains: appends every build row of
   /// `part` (an unsealed chunk-local codec over the same key columns) into
@@ -318,7 +327,7 @@ class KeyCodec {
 
   /// Packed key of build row `i`. Valid after Seal() when !spilled().
   uint64_t PackedKey(size_t i) const {
-    const uint32_t* ids = row_ids_.data() + i * dicts_.size();
+    const uint32_t* ids = ids_.Row(i);
     uint64_t key = 0;
     for (size_t c = 0; c < dicts_.size(); ++c) key |= uint64_t{ids[c]} << shifts_[c];
     return key;
@@ -326,7 +335,7 @@ class KeyCodec {
 
   /// Spill key of build row `i`. Valid after Seal() when spilled().
   SmallByteKey SpillKey(size_t i) const {
-    const uint32_t* ids = row_ids_.data() + i * dicts_.size();
+    const uint32_t* ids = ids_.Row(i);
     SmallByteKey key;
     for (size_t c = 0; c < dicts_.size(); ++c) key.PushId(ids[c]);
     return key;
@@ -376,7 +385,10 @@ class KeyCodec {
 
  private:
   std::vector<ValueDict> dicts_;
-  std::vector<uint32_t> row_ids_;  // row-major: num_cols() ids per build row
+  // Row-major build-row ids (num_cols() per row) in a store that flushes to
+  // the current query's spill file past the governor's soft watermark.
+  SpilledU32Store ids_;
+  std::vector<uint32_t> scratch_;  // one row of ids, assembled before Append
   std::vector<uint32_t> shifts_;   // per-column bit offset in the packed key
   std::vector<uint64_t> masks_;    // per-column id mask in the packed key
   size_t num_rows_ = 0;

@@ -157,15 +157,18 @@ PipelineStats RunPipeline(Iterator& child, PipelineSink& sink) {
   // duration; this engine's inputs are in-memory relations, so the
   // transient copy is bounded by the input itself.
   std::vector<Batch> buffered;
+  // Buffering is the one place the executor materializes a whole input
+  // stream; charge it — transiently, released when the buffered copy dies
+  // with this drain — so runaway intermediate results trip the budget
+  // without permanently inflating the statement's account.
+  ScopedCharge buffered_charge;
   size_t total = 0;
   {
     Batch batch;
     while (child.NextBatch(&batch)) {
       GovernorPoll();
       GovernorFaultPoint("pipeline.drain");
-      // Buffering is the one place the executor materializes a whole input
-      // stream; charge it so runaway intermediate results trip the budget.
-      GovernorCharge(ApproxBatchBytes(batch));
+      buffered_charge.Add(ApproxBatchBytes(batch));
       total += batch.ActiveRows();
       buffered.push_back(std::move(batch));
       batch = Batch();
@@ -228,9 +231,7 @@ void CodecAppendSink::AddTarget(KeyCodec* target, const std::vector<size_t>* ind
 
 void CodecAppendSink::ConsumeSerial(const Batch& batch) {
   GovernorFaultPoint("sink.codec_append");
-  size_t cols = 0;
-  for (const std::vector<size_t>* indices : indices_) cols += indices->size();
-  GovernorCharge(batch.ActiveRows() * cols * 8);
+  // The target codecs' row stores charge (and spill) their own bytes.
   for (BatchCodecAppender& appender : serial_) appender.Append(batch);
 }
 
@@ -247,9 +248,6 @@ std::unique_ptr<SinkChunk> CodecAppendSink::MakeChunk() {
 
 void CodecAppendSink::Consume(SinkChunk& chunk, const Batch& batch) {
   GovernorFaultPoint("sink.codec_append");
-  size_t cols = 0;
-  for (const std::vector<size_t>* indices : indices_) cols += indices->size();
-  GovernorCharge(batch.ActiveRows() * cols * 8);
   for (BatchCodecAppender& appender : static_cast<Chunk&>(chunk).appenders) {
     appender.Append(batch);
   }
@@ -257,7 +255,12 @@ void CodecAppendSink::Consume(SinkChunk& chunk, const Batch& batch) {
 
 void CodecAppendSink::Merge(SinkChunk& chunk) {
   Chunk& c = static_cast<Chunk&>(chunk);
-  for (size_t i = 0; i < targets_.size(); ++i) targets_[i]->AppendTranslated(c.parts[i]);
+  for (size_t i = 0; i < targets_.size(); ++i) {
+    targets_[i]->AppendTranslated(c.parts[i]);
+    // The chunk-local rows now live (charged) in the target codec; stop
+    // double-counting the transient copy.
+    c.parts[i].ReleaseRowCharges();
+  }
 }
 
 struct ProbeAppendSink::Chunk : SinkChunk {
@@ -270,12 +273,13 @@ struct ProbeAppendSink::Chunk : SinkChunk {
   BatchCodecAppender appender;
   BatchKeyProbe probe;
   std::vector<uint32_t> row_b;
+  ScopedCharge row_b_charge;  // transient: released when the chunk merges
 };
 
 ProbeAppendSink::ProbeAppendSink(KeyCodec* a_codec, const std::vector<size_t>* a_indices,
                                  const KeyNumbering* numbering, const KeyCodec* b_codec,
                                  const std::vector<size_t>* b_indices,
-                                 std::vector<uint32_t>* row_b)
+                                 SpilledU32Store* row_b)
     : a_codec_(a_codec),
       a_indices_(a_indices),
       numbering_(numbering),
@@ -288,9 +292,11 @@ ProbeAppendSink::ProbeAppendSink(KeyCodec* a_codec, const std::vector<size_t>* a
 
 void ProbeAppendSink::ConsumeSerial(const Batch& batch) {
   GovernorFaultPoint("sink.probe_append");
-  GovernorCharge(batch.ActiveRows() * (a_indices_->size() * 8 + sizeof(uint32_t)));
+  // The a-codec's store and row_b_ itself charge (and spill) their bytes.
   serial_append_.Append(batch);
-  serial_probe_.Resolve(batch, row_b_);
+  scratch_.clear();
+  serial_probe_.Resolve(batch, &scratch_);
+  row_b_->Append(scratch_.data(), scratch_.size());
 }
 
 std::unique_ptr<SinkChunk> ProbeAppendSink::MakeChunk() {
@@ -300,16 +306,20 @@ std::unique_ptr<SinkChunk> ProbeAppendSink::MakeChunk() {
 
 void ProbeAppendSink::Consume(SinkChunk& chunk, const Batch& batch) {
   GovernorFaultPoint("sink.probe_append");
-  GovernorCharge(batch.ActiveRows() * (a_indices_->size() * 8 + sizeof(uint32_t)));
   Chunk& c = static_cast<Chunk&>(chunk);
   c.appender.Append(batch);
+  c.row_b_charge.Add(batch.ActiveRows() * sizeof(uint32_t));
   c.probe.Resolve(batch, &c.row_b);
 }
 
 void ProbeAppendSink::Merge(SinkChunk& chunk) {
   Chunk& c = static_cast<Chunk&>(chunk);
   a_codec_->AppendTranslated(c.a_part);
-  row_b_->insert(row_b_->end(), c.row_b.begin(), c.row_b.end());
+  c.a_part.ReleaseRowCharges();
+  row_b_->Append(c.row_b.data(), c.row_b.size());
+  c.row_b.clear();
+  c.row_b.shrink_to_fit();
+  c.row_b_charge.ReleaseNow();
 }
 
 namespace {
@@ -350,8 +360,10 @@ JoinBuildSink::JoinBuildSink(KeyCodec* codec, const std::vector<size_t>* key_ind
 
 void JoinBuildSink::ConsumeSerial(const Batch& batch) {
   GovernorFaultPoint("sink.join_build");
+  // Key bytes are charged by the codec's row store; charge the materialized
+  // build tuples here (retained for the statement's lifetime).
   size_t row_cols = proj_ != nullptr ? proj_->size() : batch.num_columns();
-  GovernorCharge(batch.ActiveRows() * (key_indices_->size() + row_cols + 2) * 8);
+  GovernorCharge(batch.ActiveRows() * (row_cols + 2) * 8);
   serial_.Append(batch);
   MaterializeRows(batch, proj_, rows_);
 }
@@ -363,7 +375,7 @@ std::unique_ptr<SinkChunk> JoinBuildSink::MakeChunk() {
 void JoinBuildSink::Consume(SinkChunk& chunk, const Batch& batch) {
   GovernorFaultPoint("sink.join_build");
   size_t row_cols = proj_ != nullptr ? proj_->size() : batch.num_columns();
-  GovernorCharge(batch.ActiveRows() * (key_indices_->size() + row_cols + 2) * 8);
+  GovernorCharge(batch.ActiveRows() * (row_cols + 2) * 8);
   Chunk& c = static_cast<Chunk&>(chunk);
   c.appender.Append(batch);
   MaterializeRows(batch, proj_, &c.rows);
@@ -372,6 +384,7 @@ void JoinBuildSink::Consume(SinkChunk& chunk, const Batch& batch) {
 void JoinBuildSink::Merge(SinkChunk& chunk) {
   Chunk& c = static_cast<Chunk&>(chunk);
   codec_->AppendTranslated(c.part);
+  c.part.ReleaseRowCharges();
   rows_->reserve(rows_->size() + c.rows.size());
   for (Tuple& t : c.rows) rows_->push_back(std::move(t));
 }

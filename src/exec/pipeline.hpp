@@ -152,12 +152,13 @@ class CodecAppendSink : public PipelineSink {
 /// The probe-side drain of ÷ and ÷*: appends the dividend's A columns into
 /// `a_codec` and resolves each row's B columns against a sealed divisor
 /// numbering into `row_b` (KeyNumbering::kNotFound = miss), both in row
-/// order.
+/// order. `row_b` is a stride-1 SpilledU32Store, so huge probe columns
+/// flush to disk past the governor's spill watermark.
 class ProbeAppendSink : public PipelineSink {
  public:
   ProbeAppendSink(KeyCodec* a_codec, const std::vector<size_t>* a_indices,
                   const KeyNumbering* numbering, const KeyCodec* b_codec,
-                  const std::vector<size_t>* b_indices, std::vector<uint32_t>* row_b);
+                  const std::vector<size_t>* b_indices, SpilledU32Store* row_b);
 
   void ConsumeSerial(const Batch& batch) override;
   std::unique_ptr<SinkChunk> MakeChunk() override;
@@ -171,7 +172,8 @@ class ProbeAppendSink : public PipelineSink {
   const KeyNumbering* numbering_;
   const KeyCodec* b_codec_;
   const std::vector<size_t>* b_indices_;
-  std::vector<uint32_t>* row_b_;
+  SpilledU32Store* row_b_;
+  std::vector<uint32_t> scratch_;  // per-batch resolved ids before Append
   BatchCodecAppender serial_append_;
   BatchKeyProbe serial_probe_;
 };

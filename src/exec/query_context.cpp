@@ -1,6 +1,11 @@
 #include "exec/query_context.hpp"
 
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+
+#include "exec/spill.hpp"
 
 namespace quotient {
 
@@ -23,6 +28,10 @@ const std::vector<std::string> kKnownSites = {
     "catalog.encoding",     // dictionary-encoding builds (plan/catalog.cpp)
     "snapshot.publish",     // DDL snapshot publication (api/database.cpp)
     "cursor.pull",          // ResultCursor batch pulls (api/session.cpp)
+    "spill.open",           // first spill-file open of a statement (exec/spill.cpp)
+    "spill.write",          // each spill-partition write (exec/spill.cpp)
+    "spill.disk_full",      // simulated out-of-disk, per partition write (exec/spill.cpp)
+    "spill.read",           // each spilled-run read (exec/spill.cpp)
 };
 
 }  // namespace
@@ -51,26 +60,75 @@ FaultInjector* FaultInjector::Global() {
   static FaultInjector* injector = [] {
     auto* inj = new FaultInjector();  // leaked: process lifetime
     if (const char* env = std::getenv("QUOTIENT_FAULT")) {
-      std::string spec(env);
-      size_t colon = spec.rfind(':');
-      uint64_t nth = 1;
-      std::string site = spec;
-      if (colon != std::string::npos) {
-        site = spec.substr(0, colon);
-        char* end = nullptr;
-        long parsed = std::strtol(spec.c_str() + colon + 1, &end, 10);
-        if (end != spec.c_str() + colon + 1 && parsed > 0) {
-          nth = static_cast<uint64_t>(parsed);
-        }
-      }
-      if (!site.empty()) inj->Arm(site, nth);
+      ArmFromSpec(inj, env);
     }
     return inj;
   }();
   return injector;
 }
 
+bool FaultInjector::ArmFromSpec(FaultInjector* injector, const std::string& spec) {
+  size_t colon = spec.rfind(':');
+  std::string site = spec;
+  uint64_t nth = 1;
+  if (colon != std::string::npos) {
+    site = spec.substr(0, colon);
+    std::string nth_text = spec.substr(colon + 1);
+    char* end = nullptr;
+    errno = 0;
+    long parsed = std::strtol(nth_text.c_str(), &end, 10);
+    if (nth_text.empty() || end != nth_text.c_str() + nth_text.size() || parsed <= 0 ||
+        errno == ERANGE) {
+      std::fprintf(stderr,
+                   "QUOTIENT_FAULT: bad nth '%s' in spec '%s' "
+                   "(want <site>:<positive integer>); not arming\n",
+                   nth_text.c_str(), spec.c_str());
+      return false;
+    }
+    nth = static_cast<uint64_t>(parsed);
+  }
+  if (site.empty()) {
+    std::fprintf(stderr, "QUOTIENT_FAULT: empty site in spec '%s'; not arming\n",
+                 spec.c_str());
+    return false;
+  }
+  const std::vector<std::string>& known = KnownSites();
+  if (std::find(known.begin(), known.end(), site) == known.end()) {
+    std::fprintf(stderr,
+                 "QUOTIENT_FAULT: unknown site '%s' in spec '%s' "
+                 "(see FaultInjector::KnownSites()); not arming\n",
+                 site.c_str(), spec.c_str());
+    return false;
+  }
+  injector->Arm(site, nth);
+  return true;
+}
+
 const std::vector<std::string>& FaultInjector::KnownSites() { return kKnownSites; }
+
+QueryContext::QueryContext() = default;
+
+QueryContext::QueryContext(std::chrono::steady_clock::time_point deadline,
+                           size_t memory_budget_bytes, FaultInjector* faults)
+    : deadline_(deadline), budget_bytes_(memory_budget_bytes), faults_(faults) {}
+
+QueryContext::~QueryContext() {
+  spill_.reset();  // close the temp file before the grant returns
+  if (admission_release_) admission_release_();
+}
+
+void QueryContext::EnableSpill(size_t watermark_bytes, std::string dir) {
+  spill_watermark_ = watermark_bytes;
+  if (watermark_bytes != 0) spill_ = std::make_unique<SpillManager>(std::move(dir));
+}
+
+size_t QueryContext::spill_partitions() const {
+  return spill_ != nullptr ? spill_->partitions() : 0;
+}
+
+size_t QueryContext::spill_bytes_written() const {
+  return spill_ != nullptr ? spill_->bytes_written() : 0;
+}
 
 void QueryContext::Trip(StatusCode code, const std::string& message) {
   int expected = 0;
@@ -96,7 +154,11 @@ void QueryContext::Poll() {
 }
 
 void QueryContext::Charge(size_t bytes) {
-  size_t total = charged_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  size_t total = outstanding_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  size_t peak = peak_.load(std::memory_order_relaxed);
+  while (peak < total &&
+         !peak_.compare_exchange_weak(peak, total, std::memory_order_relaxed)) {
+  }
   if (budget_bytes_ != 0 && total > budget_bytes_) {
     Trip(StatusCode::kResourceExhausted,
          "query memory budget exceeded (" + std::to_string(total) + " > " +
@@ -104,6 +166,10 @@ void QueryContext::Charge(size_t bytes) {
     throw QueryAbort(TripStatus());
   }
   if (Aborted()) throw QueryAbort(TripStatus());
+}
+
+void QueryContext::Release(size_t bytes) {
+  outstanding_.fetch_sub(bytes, std::memory_order_relaxed);
 }
 
 std::string QueryContext::fault_site() const {

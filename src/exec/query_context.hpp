@@ -20,12 +20,17 @@
 //   * DEADLINE      — a monotonic (steady_clock) deadline checked by the
 //                     same polls; trips as kDeadlineExceeded.
 //   * MEMORY BUDGET — blocking builds charge their allocations against an
-//                     atomic byte counter; exceeding the budget trips as
-//                     kResourceExhausted. Charges are approximate (key
-//                     bytes, bitmap words, buffered batch payloads) and
-//                     accumulate for the statement's lifetime, so the
-//                     counter reads as "bytes this query ever allocated
-//                     for build state", reported as rows_charged_bytes.
+//                     atomic OUTSTANDING byte account (Charge/Release);
+//                     exceeding the budget trips as kResourceExhausted.
+//                     Charges are approximate (key bytes, bitmap words,
+//                     buffered batch payloads); transient state releases
+//                     when retired (ScopedCharge), retained build state
+//                     stays charged for the statement's lifetime. The
+//                     high-water mark is reported as rows_charged_bytes.
+//                     Below the hard budget, a soft SPILL WATERMARK
+//                     (EnableSpill) makes the id-column stores flush to a
+//                     per-query temp file instead of growing —
+//                     exec/spill.hpp.
 //   * FAULTS        — a deterministic FaultInjector consulted at named
 //                     sites; the nth hit of an armed site throws, so tests
 //                     can prove every trip point unwinds cleanly.
@@ -39,6 +44,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -48,6 +55,8 @@
 #include "util/status.hpp"
 
 namespace quotient {
+
+class SpillManager;
 
 /// Thrown inside the executor when the governor trips; converted to the
 /// carried Status at the API boundary. Derives runtime_error so pre-governor
@@ -86,6 +95,13 @@ class FaultInjector {
   /// first access). Contexts without an explicit injector use this one.
   static FaultInjector* Global();
 
+  /// Parses a "<site>[:<nth>]" spec (the QUOTIENT_FAULT format) and arms
+  /// `injector`. A malformed spec — empty site, a site not in KnownSites(),
+  /// or a non-positive / non-numeric nth — is reported on stderr and NOT
+  /// armed (a silently dropped spec would make a fault test pass vacuously).
+  /// Returns whether the injector was armed.
+  static bool ArmFromSpec(FaultInjector* injector, const std::string& spec);
+
   /// Every registered fault site, for sweep tests and docs. A site string
   /// passed to GovernorFaultPoint that is not in this list is a bug caught
   /// by the fault-injection sweep.
@@ -106,10 +122,15 @@ class FaultInjector {
 /// ScopedQueryContext. All methods are thread-safe.
 class QueryContext {
  public:
-  QueryContext() = default;
+  QueryContext();
   QueryContext(std::chrono::steady_clock::time_point deadline, size_t memory_budget_bytes,
-               FaultInjector* faults)
-      : deadline_(deadline), budget_bytes_(memory_budget_bytes), faults_(faults) {}
+               FaultInjector* faults);
+  /// Out of line: destroys the SpillManager (closing the temp file) and
+  /// runs the admission-release hook, returning this statement's memory
+  /// grant to the Database's admission controller.
+  ~QueryContext();
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
 
   /// Requests cancellation; the first trip (of any kind) wins. Callable
   /// from any thread — this is what Session::Cancel() forwards to.
@@ -130,12 +151,53 @@ class QueryContext {
   void Poll();
 
   /// Charges `bytes` against the memory budget; trips kResourceExhausted
-  /// (and throws) when the budget is exceeded. Zero budget = unlimited
-  /// (still accounted, for rows_charged_bytes reporting).
+  /// (and throws) when the OUTSTANDING total (charges minus releases)
+  /// exceeds the budget. Zero budget = unlimited (still accounted, for
+  /// rows_charged_bytes reporting and the spill watermark).
   void Charge(size_t bytes);
 
-  /// Total bytes charged so far (the ExecProfile::rows_charged_bytes value).
-  size_t charged_bytes() const { return charged_.load(std::memory_order_relaxed); }
+  /// Returns `bytes` of a previous Charge, so transient per-batch state
+  /// (buffered batches, chunk-local codecs, spilled rows) stops counting
+  /// against the budget once retired. Never throws.
+  void Release(size_t bytes);
+
+  /// High-water mark of the outstanding account — the
+  /// ExecProfile::rows_charged_bytes value.
+  size_t charged_bytes() const { return peak_.load(std::memory_order_relaxed); }
+
+  /// Bytes currently charged and not released.
+  size_t outstanding_bytes() const {
+    return outstanding_.load(std::memory_order_relaxed);
+  }
+
+  // --- spill (exec/spill.hpp) ---
+
+  /// Arms spill-to-disk: build state flushes to a temp file in `dir` (empty
+  /// = $TMPDIR or /tmp) whenever the outstanding account crosses
+  /// `watermark_bytes`. Call once, before execution starts.
+  void EnableSpill(size_t watermark_bytes, std::string dir);
+
+  /// The statement's spill file, nullptr when spilling is not enabled.
+  SpillManager* spill() const { return spill_.get(); }
+
+  /// True when spilling is enabled and the outstanding account is past the
+  /// watermark — SpilledU32Store checks this after every append.
+  bool ShouldSpill() const {
+    return spill_watermark_ != 0 &&
+           outstanding_.load(std::memory_order_relaxed) > spill_watermark_;
+  }
+
+  size_t spill_watermark_bytes() const { return spill_watermark_; }
+  size_t spill_partitions() const;
+  size_t spill_bytes_written() const;
+
+  // --- admission (api/database.hpp) ---
+
+  /// Installs the hook that returns this statement's admission grant; run
+  /// exactly once, by the destructor.
+  void SetAdmissionRelease(std::function<void()> release) {
+    admission_release_ = std::move(release);
+  }
 
   bool cancelled() const {
     return static_cast<StatusCode>(tripped_.load(std::memory_order_acquire)) ==
@@ -160,7 +222,11 @@ class QueryContext {
   FaultInjector* faults_ = nullptr;                   // nullptr = Global()
 
   std::atomic<int> tripped_{0};  // StatusCode of the first trip, 0 = none
-  std::atomic<size_t> charged_{0};
+  std::atomic<size_t> outstanding_{0};  // charges minus releases
+  std::atomic<size_t> peak_{0};         // high-water mark of outstanding_
+  size_t spill_watermark_ = 0;          // 0 = spilling disabled
+  std::unique_ptr<SpillManager> spill_;
+  std::function<void()> admission_release_;
   mutable std::mutex mutex_;  // guards trip_message_ / fault_site_
   std::string trip_message_;
   std::string fault_site_;
@@ -195,6 +261,56 @@ inline void GovernorPoll() {
 inline void GovernorCharge(size_t bytes) {
   if (QueryContext* ctx = CurrentQueryContext()) ctx->Charge(bytes);
 }
+
+/// Returns bytes of a previous GovernorCharge (no-op without a context).
+inline void GovernorRelease(size_t bytes) {
+  if (QueryContext* ctx = CurrentQueryContext()) ctx->Release(bytes);
+}
+
+/// RAII transient charge: Add() charges the CURRENT context (captured at
+/// the first Add), the destructor releases everything charged. Bytes are
+/// recorded before Charge() runs, so a budget trip mid-Add still releases
+/// the full amount when the owner unwinds. Movable (for chunk state held
+/// in vectors); release may run on a different thread than the charges —
+/// the governor's accounting is atomic.
+class ScopedCharge {
+ public:
+  ScopedCharge() = default;
+  ~ScopedCharge() { ReleaseNow(); }
+  ScopedCharge(ScopedCharge&& other) noexcept
+      : ctx_(other.ctx_), bytes_(other.bytes_) {
+    other.ctx_ = nullptr;
+    other.bytes_ = 0;
+  }
+  ScopedCharge& operator=(ScopedCharge&& other) noexcept {
+    if (this != &other) {
+      ReleaseNow();
+      ctx_ = other.ctx_;
+      bytes_ = other.bytes_;
+      other.ctx_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+
+  void Add(size_t bytes) {
+    if (ctx_ == nullptr) ctx_ = CurrentQueryContext();
+    if (ctx_ == nullptr) return;
+    bytes_ += bytes;
+    ctx_->Charge(bytes);
+  }
+
+  void ReleaseNow() {
+    if (ctx_ != nullptr && bytes_ > 0) ctx_->Release(bytes_);
+    bytes_ = 0;
+  }
+
+ private:
+  QueryContext* ctx_ = nullptr;
+  size_t bytes_ = 0;
+};
 
 /// Named fault site (see FaultInjector::KnownSites). Consults the current
 /// context's injector — or the global one outside a governed statement, so

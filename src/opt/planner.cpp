@@ -198,6 +198,8 @@ Relation ExecutePlan(const PlanPtr& plan, const Catalog& catalog, const PlannerO
       profile->rows_charged_bytes = ctx->charged_bytes();
       profile->cancelled = ctx->cancelled();
       profile->fault_site = ctx->fault_site();
+      profile->spill_partitions = ctx->spill_partitions();
+      profile->spill_bytes_written = ctx->spill_bytes_written();
     }
   }
   return result;

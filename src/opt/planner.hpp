@@ -47,6 +47,10 @@ struct ExecProfile {
   size_t rows_charged_bytes = 0;  // approximate build-state bytes charged
   bool cancelled = false;         // the statement tripped kCancelled
   std::string fault_site;         // injected fault that fired ("" = none)
+  // Spill accounting (exec/spill.hpp): flushes of build state to the
+  // statement's temp file. Zero when the watermark was never crossed.
+  size_t spill_partitions = 0;
+  size_t spill_bytes_written = 0;
 };
 
 class QueryContext;
