@@ -27,6 +27,11 @@
 #                                parallel DIVIDE BY, spill-forced vs
 #                                in-memory execution of the same point, and
 #                                admission-controller latencies
+#     BENCH_recycler.json        cross-query artifact recycler (docs/
+#                                recycler.md): recycling-off vs warm-hit vs
+#                                cold-publish per workload, with the
+#                                warm-vs-off speedup (bar: >= 2x on the
+#                                build-dominated workloads)
 #   Compare runs with benchmark's own tools/compare.py, or just diff the
 #   real_time fields. QUOTIENT_BENCH_THREADS overrides the parallel A/B's
 #   high thread count (default: nproc, min 2).
@@ -40,7 +45,8 @@ cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${build_dir}" -j "$(nproc)" \
   --target bench_division_algorithms bench_key_codec bench_sql_e2e \
            bench_concurrent_sessions bench_cancellation bench_spill \
-           bench_law10_semijoin bench_law13_partitioned_great_divide >/dev/null
+           bench_law10_semijoin bench_law13_partitioned_great_divide \
+           bench_recycler >/dev/null
 
 mkdir -p "${out_dir}"
 
@@ -101,6 +107,9 @@ run_bench_threads bench_cancellation "${par_threads}" "${out_dir}/.robustness_ra
 # spill watermark forcing every store to disk, plus admission-controller
 # fast-path and queued-handoff latencies.
 run_bench_threads bench_spill "${par_threads}" "${out_dir}/.spill_raw.json"
+
+# Artifact recycler: recycling-off vs warm-hit vs cold-publish per workload.
+run_bench_threads bench_recycler "${par_threads}" "${out_dir}/.recycler_raw.json"
 
 run_bench_threads bench_division_algorithms 1 "${out_dir}/.div_par1.json"
 run_bench_threads bench_division_algorithms "${par_threads}" "${out_dir}/.div_parN.json"
@@ -272,6 +281,35 @@ if robustness["spill_hash_division_1024_16"]["slowdown"] is not None:
           f"{robustness['spill_hash_division_1024_16']['slowdown']:.2f}x in-memory"
           f" | admission handoff: {robustness['admission_queued_handoff_us']:.1f} us")
 
+# Artifact recycler: off vs warm vs cold per workload, warm-vs-off speedup.
+rec = times(".recycler_raw.json")
+
+def recycler_time(workload, variant):
+    for name, t in sorted(rec.items()):
+        if name.startswith(f"BM_Recycler_{workload}_{variant}"):
+            return t
+    return None
+
+recycler = []
+for workload in ("Divide", "GroupBy", "SemiJoin"):
+    off_t = recycler_time(workload, "off")
+    warm = recycler_time(workload, "warm")
+    cold = recycler_time(workload, "cold")
+    if off_t is None or warm is None:
+        continue
+    recycler.append({
+        "workload": workload,
+        "off_us": round(off_t, 3),
+        "warm_us": round(warm, 3),
+        "cold_us": round(cold, 3) if cold is not None else None,
+        "warm_speedup": round(off_t / warm, 3) if warm > 0 else None,
+    })
+with open(os.path.join(out_dir, "BENCH_recycler.json"), "w") as f:
+    json.dump({"results": recycler}, f, indent=1)
+for row in recycler:
+    print(f"recycler {row['workload']}: warm {row['warm_speedup']:.2f}x off "
+          f"({row['off_us']:.0f} us -> {row['warm_us']:.0f} us)")
+
 par_speedups = [c["speedup"] for c in par_comparison if c["speedup"] is not None]
 if par_speedups:
     print(f"parallel speedup ({threads_n} threads vs 1): "
@@ -280,8 +318,10 @@ if par_speedups:
           f"max {max(par_speedups):.2f}x")
 PY
 rm -f "${out_dir}"/.law1[03]_*.json "${out_dir}"/.div_par*.json "${out_dir}"/.conc_pool*.json \
-      "${out_dir}"/.robustness_raw.json "${out_dir}"/.spill_raw.json
+      "${out_dir}"/.robustness_raw.json "${out_dir}"/.spill_raw.json \
+      "${out_dir}"/.recycler_raw.json
 
 echo "Wrote ${out_dir}/BENCH_division.json, BENCH_division_tuple.json," \
      "BENCH_key_codec.json, BENCH_batched.json, BENCH_parallel.json," \
-     "BENCH_sql.json, BENCH_concurrency.json and BENCH_robustness.json"
+     "BENCH_sql.json, BENCH_concurrency.json, BENCH_robustness.json" \
+     "and BENCH_recycler.json"

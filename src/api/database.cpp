@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -10,8 +12,25 @@
 
 namespace quotient {
 
+namespace {
+
+/// CI/bench override: QUOTIENT_RECYCLER=<bytes> replaces the configured
+/// recycler budget for every Database constructed in the process ("0"
+/// disables recycling), mirroring QUOTIENT_SPILL_WATERMARK (session.cpp).
+size_t RecyclerBudget(size_t configured) {
+  static const char* env = std::getenv("QUOTIENT_RECYCLER");
+  if (env == nullptr) return configured;
+  return static_cast<size_t>(std::strtoull(env, nullptr, 10));
+}
+
+}  // namespace
+
 Database::Database(DatabaseOptions options) : options_(options) {
   snapshot_ = std::make_shared<CatalogSnapshot>();
+  options_.recycler_memory_bytes = RecyclerBudget(options_.recycler_memory_bytes);
+  if (options_.recycler_memory_bytes > 0) {
+    recycler_ = std::make_shared<ArtifactRecycler>(options_.recycler_memory_bytes);
+  }
 }
 
 SnapshotPtr Database::snapshot() const {
@@ -45,18 +64,26 @@ Status Database::Ddl(const std::vector<std::string>& touched,
   // close; a compile racing this bump is caught by the staleness re-check
   // in CacheInsert).
   {
-    std::lock_guard<std::mutex> cache(cache_mutex_);
+    std::lock_guard<std::mutex> versions(versions_mutex_);
     for (const std::string& table : touched) table_versions_[table] = version;
-    for (auto it = lru_.begin(); it != lru_.end();) {
+  }
+  for (CacheShard& shard : cache_shards_) {
+    std::unique_lock<std::mutex> lock = LockShard(shard);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
       if (SlotIsStale(*it)) {
-        index_.erase(it->key);
-        it = lru_.erase(it);
-        ++stats_.invalidated;
+        shard.index.erase(it->key);
+        it = shard.lru.erase(it);
+        ++shard.stats.invalidated;
+        cache_entries_.fetch_sub(1, std::memory_order_relaxed);
       } else {
         ++it;
       }
     }
   }
+  // Recycler entries key on table data versions, so stale artifacts stop
+  // being addressable the moment the new snapshot publishes; this sweep
+  // just reclaims their memory promptly.
+  if (recycler_) recycler_->InvalidateTables(touched);
   std::lock_guard<std::mutex> state(state_mutex_);
   snapshot_ = std::move(next);
   return Status::Ok();
@@ -117,6 +144,7 @@ Status Database::DeclareDisjoint(const std::string& table1, const std::string& t
 }
 
 bool Database::SlotIsStale(const CacheSlot& slot) const {
+  std::lock_guard<std::mutex> lock(versions_mutex_);
   for (const std::string& table : slot.tables) {
     auto it = table_versions_.find(table);
     if (it != table_versions_.end() && it->second > slot.version) return true;
@@ -124,19 +152,30 @@ bool Database::SlotIsStale(const CacheSlot& slot) const {
   return false;
 }
 
+std::unique_lock<std::mutex> Database::LockShard(CacheShard& shard) const {
+  std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    cache_contended_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  return lock;
+}
+
 std::shared_ptr<const CompiledStatement> Database::CacheLookup(const std::string& key,
                                                                uint64_t pinned_version) {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++stats_.misses;
+  CacheShard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock = LockShard(shard);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
     return nullptr;
   }
   if (SlotIsStale(*it->second)) {
-    lru_.erase(it->second);
-    index_.erase(it);
-    ++stats_.invalidated;
-    ++stats_.misses;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    ++shard.stats.invalidated;
+    ++shard.stats.misses;
+    cache_entries_.fetch_sub(1, std::memory_order_relaxed);
     return nullptr;
   }
   if (it->second->version > pinned_version) {
@@ -144,55 +183,109 @@ std::shared_ptr<const CompiledStatement> Database::CacheLookup(const std::string
     // racing DDL + recompile published it between our Pin and this
     // lookup). The entry is valid for everyone at the newer version, so
     // keep it; this statement compiles privately against its own snapshot.
-    ++stats_.misses;
+    ++shard.stats.misses;
     return nullptr;
   }
-  lru_.splice(lru_.begin(), lru_, it->second);
-  ++stats_.hits;
-  return lru_.front().compiled;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  shard.lru.front().stamp = cache_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  ++shard.stats.hits;
+  return shard.lru.front().compiled;
 }
 
 void Database::CacheInsert(const std::string& key,
                            std::shared_ptr<const CompiledStatement> compiled,
                            uint64_t version, std::vector<std::string> tables) {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  ++stats_.compiles;
-  if (options_.plan_cache_capacity == 0) return;
-  CacheSlot slot{key, std::move(compiled), version, std::move(tables)};
-  // A DDL that raced this compile already bumped its tables' versions;
-  // don't publish an entry that is stale on arrival.
-  if (SlotIsStale(slot)) return;
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    // A racing session compiled the same statement; keep the fresher entry.
-    if (it->second->version >= version) return;
-    lru_.erase(it->second);
-    index_.erase(it);
+  CacheShard& shard = ShardFor(key);
+  bool inserted = false;
+  {
+    std::unique_lock<std::mutex> lock = LockShard(shard);
+    ++shard.stats.compiles;
+    if (options_.plan_cache_capacity == 0) return;
+    CacheSlot slot{key, std::move(compiled), version, std::move(tables),
+                   cache_clock_.fetch_add(1, std::memory_order_relaxed) + 1};
+    // A DDL that raced this compile already bumped its tables' versions;
+    // don't publish an entry that is stale on arrival.
+    if (SlotIsStale(slot)) return;
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // A racing session compiled the same statement; keep the fresher
+      // entry.
+      if (it->second->version >= version) return;
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+      cache_entries_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    shard.lru.push_front(std::move(slot));
+    shard.index[key] = shard.lru.begin();
+    cache_entries_.fetch_add(1, std::memory_order_relaxed);
+    inserted = true;
   }
-  lru_.push_front(std::move(slot));
-  index_[key] = lru_.begin();
-  while (lru_.size() > options_.plan_cache_capacity) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
+  // Enforce the GLOBAL capacity outside the shard lock: the victim may
+  // live in any shard, and eviction locks shards one at a time.
+  if (inserted) EnforceCacheCapacity();
+}
+
+void Database::EnforceCacheCapacity() {
+  const size_t capacity = options_.plan_cache_capacity;
+  while (cache_entries_.load(std::memory_order_relaxed) > capacity) {
+    // Pass 1: find the globally oldest stamp. Each shard's list is in
+    // recency order, so its back is that shard's candidate.
+    uint64_t oldest = std::numeric_limits<uint64_t>::max();
+    size_t victim = kCacheShards;
+    for (size_t i = 0; i < kCacheShards; ++i) {
+      std::lock_guard<std::mutex> lock(cache_shards_[i].mutex);
+      if (!cache_shards_[i].lru.empty() && cache_shards_[i].lru.back().stamp < oldest) {
+        oldest = cache_shards_[i].lru.back().stamp;
+        victim = i;
+      }
+    }
+    if (victim == kCacheShards) return;  // raced to empty
+    // Pass 2: re-lock the victim shard and evict its back if it is still
+    // the slot we found (a racing hit may have promoted it — then retry).
+    CacheShard& shard = cache_shards_[victim];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.lru.empty() || shard.lru.back().stamp != oldest) continue;
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    cache_entries_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 size_t Database::plan_cache_size() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  return lru_.size();
+  return cache_entries_.load(std::memory_order_relaxed);
 }
 
 PlanCacheStats Database::plan_cache_stats() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  PlanCacheStats stats = stats_;
-  stats.entries = lru_.size();
+  PlanCacheStats stats;
+  for (CacheShard& shard : cache_shards_) {
+    std::unique_lock<std::mutex> lock = LockShard(shard);
+    stats.hits += shard.stats.hits;
+    stats.misses += shard.stats.misses;
+    stats.compiles += shard.stats.compiles;
+    stats.invalidated += shard.stats.invalidated;
+  }
+  stats.entries = cache_entries_.load(std::memory_order_relaxed);
+  stats.shards = kCacheShards;
+  stats.contended = cache_contended_.load(std::memory_order_relaxed);
   return stats;
 }
 
 void Database::ClearPlanCache() {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  lru_.clear();
-  index_.clear();
+  for (CacheShard& shard : cache_shards_) {
+    std::unique_lock<std::mutex> lock = LockShard(shard);
+    cache_entries_.fetch_sub(shard.lru.size(), std::memory_order_relaxed);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+RecyclerStats Database::recycler_stats() const {
+  if (!recycler_) return RecyclerStats{};
+  return recycler_->stats();
+}
+
+void Database::ClearRecycler() {
+  if (recycler_) recycler_->Clear();
 }
 
 Status Database::AdmitQuery(size_t bytes, QueryContext* ctx) {

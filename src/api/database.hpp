@@ -9,12 +9,21 @@
 //     blocked by (or exposed to a torn view of) a writer. Snapshots share
 //     table storage and cached dictionary encodings (plan/catalog.hpp), so
 //     publication is O(#tables) regardless of data size;
-//   * a shared, mutex-guarded LRU PLAN CACHE keyed on normalized SQL, so
-//     sessions reuse each other's compiled-and-rewritten plans. Entries
-//     record the snapshot version they were compiled against and the base
-//     tables they reference; DDL invalidates by bumping the touched tables'
-//     versions instead of clearing caches other sessions are reading, so a
-//     statement over table B survives DDL on table A;
+//   * a shared LRU PLAN CACHE keyed on normalized SQL, so sessions reuse
+//     each other's compiled-and-rewritten plans. The cache is sharded by
+//     key hash — each shard has its own mutex, list, and index, so 64
+//     sessions hitting distinct statements do not serialize on one lock —
+//     while capacity and eviction order stay GLOBAL via a logical-clock
+//     stamp per entry (the globally least-recently-used entry is evicted,
+//     whichever shard holds it). Entries record the snapshot version they
+//     were compiled against and the base tables they reference; DDL
+//     invalidates by bumping the touched tables' versions instead of
+//     clearing caches other sessions are reading, so a statement over
+//     table B survives DDL on table A;
+//   * an ARTIFACT RECYCLER (exec/recycler.hpp) caching immutable build
+//     state — divisor tables, join build sides, grouping results — keyed
+//     on plan-fragment fingerprints plus table data versions, so repeated
+//     executions skip the dominant build cost, not just compilation;
 //   * an ADMISSION CONTROLLER metering the sum of per-statement memory
 //     budgets: when admission_memory_bytes is set, a statement whose
 //     budget does not fit next to the running ones waits in a bounded
@@ -27,6 +36,8 @@
 // parallel region at a time — concurrent drains queue rather than
 // oversubscribe.
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -39,6 +50,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "exec/recycler.hpp"
 #include "plan/catalog.hpp"
 #include "plan/logical.hpp"
 #include "sql/ast.hpp"
@@ -61,6 +73,12 @@ struct DatabaseOptions {
   /// Statements allowed to wait for admission at once; one more is
   /// rejected with kResourceExhausted ("admission queue full").
   size_t admission_max_queue = 16;
+  /// Byte budget of the cross-query artifact recycler (exec/recycler.hpp):
+  /// cached divisor/join/grouping build state shared across executions and
+  /// sessions. 0 disables recycling entirely (no recycler is created).
+  /// Overridable at construction by the QUOTIENT_RECYCLER environment
+  /// variable (a byte count; "0" disables).
+  size_t recycler_memory_bytes = 64ull << 20;
 };
 
 /// Counters of the database-wide admission controller.
@@ -120,6 +138,8 @@ struct PlanCacheStats {
   size_t compiles = 0;     // entries built (one full lower→rewrite each)
   size_t invalidated = 0;  // entries dropped by DDL or staleness checks
   size_t entries = 0;      // current cache size
+  size_t shards = 0;       // shard count the cache is split across
+  size_t contended = 0;    // shard-lock acquisitions that had to block
 };
 
 class Database {
@@ -172,6 +192,16 @@ class Database {
   PlanCacheStats plan_cache_stats() const;
   void ClearPlanCache();
 
+  // ---- artifact recycler ----
+  /// The shared build-state cache; null when recycler_memory_bytes is 0.
+  /// The planner threads this into PlannerOptions so blocking sinks can
+  /// adopt cached builds (exec/recycler.hpp).
+  const std::shared_ptr<ArtifactRecycler>& recycler() const { return recycler_; }
+  /// Aggregate recycler counters (all zero when recycling is disabled).
+  RecyclerStats recycler_stats() const;
+  /// Drops every cached artifact (benchmarks' cold-start reset).
+  void ClearRecycler();
+
   // ---- admission control ----
   /// Claims `bytes` of the database-wide admission budget for one
   /// statement. Returns immediately when the budget is disabled, `bytes`
@@ -193,8 +223,21 @@ class Database {
     std::shared_ptr<const CompiledStatement> compiled;
     uint64_t version;                  // snapshot version compiled against
     std::vector<std::string> tables;   // referenced base tables
+    uint64_t stamp = 0;                // global LRU clock at last use
   };
   using CacheList = std::list<CacheSlot>;
+  /// One lock's worth of the plan cache. Keys hash-partition across
+  /// shards; each shard keeps its own recency list (front = most recent),
+  /// and the global eviction order falls out of the per-slot stamps.
+  struct CacheShard {
+    mutable std::mutex mutex;
+    CacheList lru;
+    std::unordered_map<std::string, CacheList::iterator> index;
+    // Per-shard tallies, summed by plan_cache_stats(). The entries /
+    // shards / contended fields of this embedded struct are unused.
+    PlanCacheStats stats;
+  };
+  static constexpr size_t kCacheShards = 8;
 
   /// Copy-on-write DDL driver: copies the current catalog, applies
   /// `mutate`, publishes the result as version+1, and invalidates cached
@@ -202,22 +245,35 @@ class Database {
   Status Ddl(const std::vector<std::string>& touched,
              const std::function<void(Catalog&)>& mutate);
   /// True when a referenced table changed after the slot was compiled.
-  /// Caller holds cache_mutex_.
+  /// Takes versions_mutex_ internally; callers may hold a shard mutex
+  /// (lock order: shard before versions, never the reverse).
   bool SlotIsStale(const CacheSlot& slot) const;
+  CacheShard& ShardFor(const std::string& key) const {
+    return cache_shards_[std::hash<std::string>{}(key) % kCacheShards];
+  }
+  /// Locks a shard, counting the acquisition as contended when it blocks.
+  std::unique_lock<std::mutex> LockShard(CacheShard& shard) const;
+  /// Evicts globally least-recently-used slots (by stamp, across shards,
+  /// one lock at a time) until the entry total fits the capacity.
+  void EnforceCacheCapacity();
 
   DatabaseOptions options_;
   std::mutex ddl_mutex_;            // serializes writers
   mutable std::mutex state_mutex_;  // guards snapshot_ publication
   SnapshotPtr snapshot_;
 
-  mutable std::mutex cache_mutex_;  // guards everything below
-  CacheList lru_;                   // most recently used at the front
-  std::unordered_map<std::string, CacheList::iterator> index_;
+  mutable std::array<CacheShard, kCacheShards> cache_shards_;
+  std::atomic<uint64_t> cache_clock_{0};     // global LRU recency stamps
+  std::atomic<size_t> cache_entries_{0};     // slots across all shards
+  mutable std::atomic<size_t> cache_contended_{0};
+
+  mutable std::mutex versions_mutex_;  // guards table_versions_
   // Last DDL version per table. Never pruned, but bounded: there is no
   // Drop API, so every name ever DDL'd is a live catalog table and this
-  // map stays ⊆ the catalog's name set.
+  // map stays ⊆ the catalog's name set. Shared by all cache shards.
   std::unordered_map<std::string, uint64_t> table_versions_;
-  PlanCacheStats stats_;
+
+  std::shared_ptr<ArtifactRecycler> recycler_;  // null = disabled
 
   mutable std::mutex admission_mutex_;  // guards everything below
   std::condition_variable admission_cv_;

@@ -240,6 +240,8 @@ ExecProfile ResultCursor::Profile() const {
     profile.fault_site = ctx_->fault_site();
     profile.spill_partitions = ctx_->spill_partitions();
     profile.spill_bytes_written = ctx_->spill_bytes_written();
+    profile.recycler_hits = ctx_->recycler_hits();
+    profile.recycler_misses = ctx_->recycler_misses();
   }
   return profile;
 }
@@ -283,7 +285,12 @@ Session::Session(std::shared_ptr<Database> database, SessionOptions options)
       options_(std::move(options)),
       cache_key_prefix_(OptionsFingerprint(options_)),
       snapshot_(database_->snapshot()),
-      cancels_(std::make_unique<CancelRegistry>()) {}
+      cancels_(std::make_unique<CancelRegistry>()) {
+  // Thread the database's artifact recycler into the planner so blocking
+  // sinks can adopt cached build state. Deliberately NOT part of the
+  // options fingerprint: recycling governs execution, not plan shape.
+  options_.optimizer.planner.recycler = database_->recycler();
+}
 
 std::shared_ptr<QueryContext> Session::MakeContext() {
   std::chrono::steady_clock::time_point deadline{};
@@ -607,6 +614,10 @@ Relation Session::RenderExplain(const CompileInfo& info, bool analyze,
     if (profile.spill_partitions > 0) {
       governor += ", spill=" + std::to_string(profile.spill_partitions) + " partitions/" +
                   std::to_string(profile.spill_bytes_written) + " bytes";
+    }
+    if (profile.recycler_hits + profile.recycler_misses > 0) {
+      governor += ", recycler=" + std::to_string(profile.recycler_hits) + " hits/" +
+                  std::to_string(profile.recycler_misses) + " misses";
     }
     if (profile.cancelled) governor += ", cancelled";
     if (!profile.fault_site.empty()) governor += ", fault=" + profile.fault_site;

@@ -175,11 +175,9 @@ HashAggregateIterator::HashAggregateIterator(IterPtr child, std::vector<std::str
   arg_indices_ = AggArgIndices(child_->schema(), aggs_);
 }
 
-void HashAggregateIterator::Open() {
-  ResetCount();
+std::shared_ptr<GroupingArtifact> HashAggregateIterator::BuildArtifact() {
+  auto art = std::make_shared<GroupingArtifact>();
   child_->Open();
-  results_.clear();
-  position_ = 0;
 
   // Online hash aggregation: group keys are incrementally dictionary-encoded
   // and interned to dense group numbers; per-group aggregate states live in
@@ -188,6 +186,7 @@ void HashAggregateIterator::Open() {
   // same encoder id space, so grouping is identical across modes.
   GroupState groups(group_indices_.size());
   const size_t na = aggs_.size();
+  bool pipelined = false;
 
   if (UseTupleDrain(*child_)) {
     SmallByteKey spill;
@@ -214,18 +213,24 @@ void HashAggregateIterator::Open() {
     }
     AggregateSink sink(&groups, &aggs_, &group_indices_, &arg_indices_, exact);
     RecordPipelineDop(RunPipeline(*child_, sink).dop);
+    pipelined = true;
   }
 
   size_t num_groups = groups.num_groups();
+  if (pipelined) {
+    // Mirror the sink's retained group-state charge so publication can hand
+    // it from the building query to the recycler's budget.
+    art->extra_charge = num_groups * (group_indices_.size() + na) * 8;
+  }
   if (group_names_.empty() && num_groups == 0) {
     // GγF with no group attributes produces one global row even for empty
     // input (count = 0, sum/min/max/avg NULL).
     Tuple global;
     for (size_t j = 0; j < na; ++j) global.push_back(AggFinish(aggs_[j], AggState{}));
-    results_.push_back(std::move(global));
-    return;
+    art->rows.push_back(std::move(global));
+    return art;
   }
-  results_.reserve(num_groups);
+  art->rows.reserve(num_groups);
   for (uint32_t gid = 0; gid < num_groups; ++gid) {
     Tuple t;
     t.reserve(group_indices_.size() + na);
@@ -237,26 +242,42 @@ void HashAggregateIterator::Open() {
     for (size_t j = 0; j < na; ++j) {
       t.push_back(AggFinish(aggs_[j], groups.states[size_t{gid} * na + j]));
     }
-    results_.push_back(std::move(t));
+    art->rows.push_back(std::move(t));
   }
+  return art;
+}
+
+void HashAggregateIterator::Open() {
+  ResetCount();
+  position_ = 0;
+  grouping_.reset();
+  // Adopt-or-build; a hit skips the child entirely (it is never opened —
+  // Close() on an unopened child is a no-op in every iterator).
+  if (recycle_.recycler && !recycle_.build_key.empty()) {
+    ArtifactPtr cached = recycle_.recycler->GetOrBuild(
+        recycle_.build_key, recycle_.tables,
+        [&]() -> std::shared_ptr<RecycledArtifact> { return BuildArtifact(); });
+    if (cached) grouping_ = std::static_pointer_cast<const GroupingArtifact>(cached);
+  }
+  if (!grouping_) grouping_ = BuildArtifact();
 }
 
 bool HashAggregateIterator::Next(Tuple* out) {
-  if (position_ >= results_.size()) return false;
-  *out = results_[position_++];
+  if (position_ >= grouping_->rows.size()) return false;
+  *out = grouping_->rows[position_++];
   CountRow();
   return true;
 }
 
 bool HashAggregateIterator::NextBatch(Batch* out) {
-  if (!EmitResultBatch(results_, &position_, out)) return false;
+  if (!EmitResultBatch(grouping_->rows, &position_, out)) return false;
   CountRows(out->ActiveRows());
   return true;
 }
 
 void HashAggregateIterator::Close() {
   child_->Close();
-  results_.clear();
+  grouping_.reset();
 }
 
 }  // namespace quotient

@@ -232,60 +232,94 @@ DivisionIterator::DivisionIterator(IterPtr dividend, IterPtr divisor,
 
 const char* DivisionIterator::name() const { return DivisionAlgorithmName(algorithm_); }
 
+std::shared_ptr<DivisionBuildArtifact> DivisionIterator::BuildDivisorArtifact() {
+  // Build pipeline: dictionary-encode the divisor's B tuples. Each drain
+  // picks its discipline per pipeline (exec/pipeline.hpp): tuple-at-a-time
+  // for tiny inputs and ExecMode::kTuple, serial batches in kBatch, and
+  // morsel-parallel chunk states merged in chunk order in kParallel.
+  auto art = std::make_shared<DivisionBuildArtifact>();
+  divisor_->Open();
+  art->codec = KeyCodec(divisor_idx_.size());
+  art->codec.Reserve(divisor_->EstimatedRows());
+  if (UseTupleDrain(*divisor_)) {
+    GovernorTicker ticker;
+    while (const Tuple* t = divisor_->NextRef()) {
+      ticker.Tick();
+      art->codec.Add(*t, divisor_idx_);
+    }
+  } else {
+    CodecAppendSink sink(&art->codec, &divisor_idx_);
+    RecordPipelineDop(RunPipeline(*divisor_, sink).dop);
+  }
+  art->codec.Seal();
+  art->numbers.Build(art->codec);
+  return art;
+}
+
+std::shared_ptr<const DivisionBuildArtifact> DivisionIterator::GetDivisorArtifact() {
+  if (recycle_.recycler && !recycle_.build_key.empty()) {
+    ArtifactPtr cached = recycle_.recycler->GetOrBuild(
+        recycle_.build_key, recycle_.tables,
+        [&]() -> std::shared_ptr<RecycledArtifact> { return BuildDivisorArtifact(); });
+    if (cached) return std::static_pointer_cast<const DivisionBuildArtifact>(cached);
+  }
+  return BuildDivisorArtifact();
+}
+
+std::shared_ptr<DivisionProbeArtifact> DivisionIterator::BuildProbeArtifact(
+    const DivisionBuildArtifact& build) {
+  // Probe pipeline: drain the dividend once, interning A keys and
+  // resolving each row's B columns to a divisor number (kMissB when any
+  // value never occurs in the divisor).
+  auto art = std::make_shared<DivisionProbeArtifact>();
+  dividend_->Open();
+  art->a_codec = KeyCodec(a_idx_.size());
+  size_t expected = dividend_->EstimatedRows();
+  art->a_codec.Reserve(expected);
+  art->row_b.Reserve(expected);
+  if (UseTupleDrain(*dividend_)) {
+    GovernorTicker ticker;
+    while (const Tuple* row = dividend_->NextRef()) {
+      ticker.Tick();
+      art->a_codec.Add(*row, a_idx_);
+      art->row_b.PushBack(build.numbers.Probe(*row, b_idx_));  // kNotFound == kMissB
+    }
+  } else {
+    ProbeAppendSink sink(&art->a_codec, &a_idx_, &build.numbers, &build.codec, &b_idx_,
+                         &art->row_b);
+    RecordPipelineDop(RunPipeline(*dividend_, sink).dop);
+  }
+  art->a_codec.Seal();
+  art->divisor_count = build.numbers.count();
+  return art;
+}
+
 void DivisionIterator::Open() {
   ResetCount();
   results_.clear();
   position_ = 0;
 
-  dividend_->Open();
-  divisor_->Open();
-
-  // Build pipeline: dictionary-encode the divisor's B tuples. Each drain
-  // picks its discipline per pipeline (exec/pipeline.hpp): tuple-at-a-time
-  // for tiny inputs and ExecMode::kTuple, serial batches in kBatch, and
-  // morsel-parallel chunk states merged in chunk order in kParallel.
-  b_codec_ = KeyCodec(divisor_idx_.size());
-  b_codec_.Reserve(divisor_->EstimatedRows());
-  if (UseTupleDrain(*divisor_)) {
-    GovernorTicker ticker;
-    while (const Tuple* t = divisor_->NextRef()) {
-      ticker.Tick();
-      b_codec_.Add(*t, divisor_idx_);
-    }
+  // Adopt-or-build both encoded phases. A probe-artifact hit skips BOTH
+  // child drains (the children are never opened; Close() on an unopened
+  // child is a no-op in every iterator). A build hit still drains the
+  // dividend, probing against the shared divisor table.
+  if (recycle_.recycler && !recycle_.probe_key.empty()) {
+    ArtifactPtr cached = recycle_.recycler->GetOrBuild(
+        recycle_.probe_key, recycle_.tables,
+        [&]() -> std::shared_ptr<RecycledArtifact> {
+          return BuildProbeArtifact(*GetDivisorArtifact());
+        });
+    probe_ = cached ? std::static_pointer_cast<const DivisionProbeArtifact>(cached)
+                    : BuildProbeArtifact(*GetDivisorArtifact());
   } else {
-    CodecAppendSink sink(&b_codec_, &divisor_idx_);
-    RecordPipelineDop(RunPipeline(*divisor_, sink).dop);
+    probe_ = BuildProbeArtifact(*GetDivisorArtifact());
   }
-  b_codec_.Seal();
 
-  KeyNumbering divisor_numbers;
-  divisor_numbers.Build(b_codec_);
-  divisor_count_ = divisor_numbers.count();
-
-  // Probe pipeline: drain the dividend once, interning A keys and
-  // resolving each row's B columns to a divisor number (kMissB when any
-  // value never occurs in the divisor).
-  a_codec_ = KeyCodec(a_idx_.size());
-  size_t expected = dividend_->EstimatedRows();
-  a_codec_.Reserve(expected);
-  row_b_ = SpilledU32Store(1);
-  row_b_.Reserve(expected);
-  if (UseTupleDrain(*dividend_)) {
-    GovernorTicker ticker;
-    while (const Tuple* row = dividend_->NextRef()) {
-      ticker.Tick();
-      a_codec_.Add(*row, a_idx_);
-      row_b_.PushBack(divisor_numbers.Probe(*row, b_idx_));  // kNotFound == kMissB
-    }
-  } else {
-    ProbeAppendSink sink(&a_codec_, &a_idx_, &divisor_numbers, &b_codec_, &b_idx_, &row_b_);
-    RecordPipelineDop(RunPipeline(*dividend_, sink).dop);
-  }
-  a_codec_.Seal();
-
-  size_t rows = a_codec_.rows();
-  size_t n = divisor_count_;
-  WithKeyView(a_codec_, [&](auto aview) {
+  const KeyCodec& a_codec = probe_->a_codec;
+  const SpilledU32Store& row_b = probe_->row_b;
+  size_t rows = a_codec.rows();
+  size_t n = probe_->divisor_count;
+  WithKeyView(a_codec, [&](auto aview) {
     using K = typename decltype(aview)::Key;
     auto run = [&](auto& candidates) {
       if (n == 0) {
@@ -295,24 +329,24 @@ void DivisionIterator::Open() {
       }
       switch (algorithm_) {
         case DivisionAlgorithm::kHash:
-          RunHash(aview, candidates, row_b_, rows, n, &results_);
+          RunHash(aview, candidates, row_b, rows, n, &results_);
           break;
         case DivisionAlgorithm::kHashTransposed:
-          RunHashTransposed(aview, candidates, row_b_, rows, n, &results_);
+          RunHashTransposed(aview, candidates, row_b, rows, n, &results_);
           break;
-        case DivisionAlgorithm::kMergeSort: RunMergeSort(aview, row_b_, rows, n, &results_); break;
+        case DivisionAlgorithm::kMergeSort: RunMergeSort(aview, row_b, rows, n, &results_); break;
         case DivisionAlgorithm::kHashCount:
-          RunHashCount(aview, candidates, row_b_, rows, n, &results_);
+          RunHashCount(aview, candidates, row_b, rows, n, &results_);
           break;
-        case DivisionAlgorithm::kSortCount: RunSortCount(aview, row_b_, rows, n, &results_); break;
+        case DivisionAlgorithm::kSortCount: RunSortCount(aview, row_b, rows, n, &results_); break;
         case DivisionAlgorithm::kNestedLoop:
-          RunNestedLoop(aview, candidates, row_b_, rows, n, &results_);
+          RunNestedLoop(aview, candidates, row_b, rows, n, &results_);
           break;
       }
     };
     if constexpr (std::is_same_v<K, uint64_t>) {
-      if (a_codec_.keys_are_dense_ids()) {
-        DenseNumbering candidates{a_codec_.dict(0).size()};
+      if (a_codec.keys_are_dense_ids()) {
+        DenseNumbering candidates{a_codec.dict(0).size()};
         run(candidates);
         return;
       }
@@ -339,9 +373,7 @@ void DivisionIterator::Close() {
   dividend_->Close();
   divisor_->Close();
   results_.clear();
-  a_codec_ = KeyCodec();
-  b_codec_ = KeyCodec();
-  row_b_ = SpilledU32Store();
+  probe_.reset();
 }
 
 Relation ExecDivide(const Relation& dividend, const Relation& divisor,

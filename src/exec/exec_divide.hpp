@@ -1,8 +1,11 @@
 #pragma once
 
+#include <memory>
+
 #include "algebra/divide.hpp"
 #include "exec/iterator.hpp"
 #include "exec/key_codec.hpp"
+#include "exec/recycler.hpp"
 
 namespace quotient {
 
@@ -71,7 +74,19 @@ class DivisionIterator : public Iterator {
   }
   std::vector<size_t> BlockingInputs() override { return {0, 1}; }
 
+  /// Attaches the planner-composed recycling directive (exec/recycler.hpp):
+  /// Open() then adopts cached divisor/probe state instead of draining the
+  /// children, or publishes what it builds. The keys omit the algorithm —
+  /// every division algorithm runs over the same encoded state.
+  void SetRecycle(RecycleSpec spec) { recycle_ = std::move(spec); }
+
  private:
+  std::shared_ptr<DivisionBuildArtifact> BuildDivisorArtifact();
+  std::shared_ptr<DivisionProbeArtifact> BuildProbeArtifact(
+      const DivisionBuildArtifact& build);
+  /// Adopt-or-build for the divisor side (consults the recycler when keyed).
+  std::shared_ptr<const DivisionBuildArtifact> GetDivisorArtifact();
+
   IterPtr dividend_;
   IterPtr divisor_;
   DivisionAlgorithm algorithm_;
@@ -79,14 +94,14 @@ class DivisionIterator : public Iterator {
   std::vector<size_t> a_idx_;        // A positions in the dividend
   std::vector<size_t> b_idx_;        // B positions in the dividend
   std::vector<size_t> divisor_idx_;  // B positions in the divisor
+  RecycleSpec recycle_;
 
   std::vector<Tuple> results_;
   size_t position_ = 0;
-  // Scratch (valid between Open and Close): the key-encoded dividend.
-  KeyCodec a_codec_;               // per-row A keys of the dividend
-  KeyCodec b_codec_;               // divisor B dictionary (probe target)
-  SpilledU32Store row_b_;          // per-row divisor number, or miss
-  size_t divisor_count_ = 0;       // n = |distinct divisor B tuples|
+  // Encoded state (valid between Open and Close), possibly shared with
+  // concurrent executions through the recycler: the dividend's per-row A
+  // keys + divisor numbers, and the divisor build table behind them.
+  std::shared_ptr<const DivisionProbeArtifact> probe_;
 };
 
 /// Convenience: run one algorithm on materialized relations. Optional

@@ -53,133 +53,169 @@ GreatDivideIterator::GreatDivideIterator(IterPtr dividend, IterPtr divisor,
   divisor_c_idx_ = IndicesOf(divisor_->schema(), attrs.c);
 }
 
+std::shared_ptr<GreatDivideBuildArtifact> GreatDivideIterator::BuildDivisorArtifact() {
+  // Build pipeline: dictionary-encode the divisor's B and C columns (one
+  // pass feeding both codecs) and number both key spaces densely. Drain
+  // discipline per pipeline: see exec/pipeline.hpp.
+  auto art = std::make_shared<GreatDivideBuildArtifact>();
+  divisor_->Open();
+  art->b_codec = KeyCodec(divisor_b_idx_.size());
+  art->c_codec = KeyCodec(divisor_c_idx_.size());
+  size_t divisor_expected = divisor_->EstimatedRows();
+  art->b_codec.Reserve(divisor_expected);
+  art->c_codec.Reserve(divisor_expected);
+  if (UseTupleDrain(*divisor_)) {
+    while (const Tuple* t = divisor_->NextRef()) {
+      art->b_codec.Add(*t, divisor_b_idx_);
+      art->c_codec.Add(*t, divisor_c_idx_);
+    }
+  } else {
+    CodecAppendSink sink(&art->b_codec, &divisor_b_idx_);
+    sink.AddTarget(&art->c_codec, &divisor_c_idx_);
+    RecordPipelineDop(RunPipeline(*divisor_, sink).dop);
+  }
+  art->b_codec.Seal();
+  art->c_codec.Seal();
+
+  art->b.Build(art->b_codec);
+  art->c.Build(art->c_codec);
+  art->group_sizes.assign(art->c.count(), 0);
+  art->member_of.assign(art->b.count(), {});
+  for (size_t i = 0; i < art->b_codec.rows(); ++i) {
+    uint32_t gid = art->c.row_ids()[i];
+    art->group_sizes[gid] += 1;
+    art->member_of[art->b.row_ids()[i]].push_back(gid);
+  }
+  return art;
+}
+
+std::shared_ptr<GreatDivideProbeArtifact> GreatDivideIterator::BuildProbeArtifact() {
+  auto art = std::make_shared<GreatDivideProbeArtifact>();
+
+  // Divisor side first: adopt a cached build artifact or build (and keep)
+  // a private one — both algorithms read it, so the probe artifact pins it.
+  if (recycle_.recycler && !recycle_.build_key.empty()) {
+    ArtifactPtr cached = recycle_.recycler->GetOrBuild(
+        recycle_.build_key, recycle_.tables,
+        [&]() -> std::shared_ptr<RecycledArtifact> { return BuildDivisorArtifact(); });
+    if (cached) art->build = std::static_pointer_cast<const GreatDivideBuildArtifact>(cached);
+  }
+  if (!art->build) {
+    art->owned_build = BuildDivisorArtifact();
+    art->build = art->owned_build;
+  }
+
+  // Probe pipeline: drain the dividend once, interning A keys and
+  // resolving each row's B columns to a divisor B number (or a miss).
+  dividend_->Open();
+  art->a_codec = KeyCodec(a_idx_.size());
+  size_t expected = dividend_->EstimatedRows();
+  art->a_codec.Reserve(expected);
+  art->row_b.Reserve(expected);
+  if (UseTupleDrain(*dividend_)) {
+    while (const Tuple* row = dividend_->NextRef()) {
+      art->a_codec.Add(*row, a_idx_);
+      art->row_b.PushBack(art->build->b.Probe(*row, b_idx_));
+    }
+  } else {
+    ProbeAppendSink sink(&art->a_codec, &a_idx_, &art->build->b, &art->build->b_codec, &b_idx_,
+                         &art->row_b);
+    RecordPipelineDop(RunPipeline(*dividend_, sink).dop);
+  }
+  art->a_codec.Seal();
+  art->a.Build(art->a_codec);
+  return art;
+}
+
 void GreatDivideIterator::Open() {
   ResetCount();
   results_.clear();
   position_ = 0;
 
-  dividend_->Open();
-  divisor_->Open();
-
-  // Build pipeline: dictionary-encode the divisor's B and C columns (one
-  // pass feeding both codecs) and number both key spaces densely. Drain
-  // discipline per pipeline: see exec/pipeline.hpp.
-  b_codec_ = KeyCodec(divisor_b_idx_.size());
-  c_codec_ = KeyCodec(divisor_c_idx_.size());
-  size_t divisor_expected = divisor_->EstimatedRows();
-  b_codec_.Reserve(divisor_expected);
-  c_codec_.Reserve(divisor_expected);
-  if (UseTupleDrain(*divisor_)) {
-    while (const Tuple* t = divisor_->NextRef()) {
-      b_codec_.Add(*t, divisor_b_idx_);
-      c_codec_.Add(*t, divisor_c_idx_);
-    }
+  // Adopt-or-build the full encoded probe state; a probe hit skips both
+  // child drains (the children are never opened — Close() on an unopened
+  // child is a no-op in every iterator).
+  if (recycle_.recycler && !recycle_.probe_key.empty()) {
+    ArtifactPtr cached = recycle_.recycler->GetOrBuild(
+        recycle_.probe_key, recycle_.tables,
+        [&]() -> std::shared_ptr<RecycledArtifact> { return BuildProbeArtifact(); });
+    probe_ = cached ? std::static_pointer_cast<const GreatDivideProbeArtifact>(cached)
+                    : BuildProbeArtifact();
   } else {
-    CodecAppendSink sink(&b_codec_, &divisor_b_idx_);
-    sink.AddTarget(&c_codec_, &divisor_c_idx_);
-    RecordPipelineDop(RunPipeline(*divisor_, sink).dop);
+    probe_ = BuildProbeArtifact();
   }
-  b_codec_.Seal();
-  c_codec_.Seal();
-
-  Encoded enc;
-  enc.b.Build(b_codec_);
-  enc.c.Build(c_codec_);
-  enc.group_sizes.assign(enc.c.count(), 0);
-  enc.member_of.assign(enc.b.count(), {});
-  for (size_t i = 0; i < b_codec_.rows(); ++i) {
-    uint32_t gid = enc.c.row_ids()[i];
-    enc.group_sizes[gid] += 1;
-    enc.member_of[enc.b.row_ids()[i]].push_back(gid);
-  }
-
-  // Probe pipeline: drain the dividend once, interning A keys and
-  // resolving each row's B columns to a divisor B number (or a miss).
-  a_codec_ = KeyCodec(a_idx_.size());
-  size_t expected = dividend_->EstimatedRows();
-  a_codec_.Reserve(expected);
-  enc.row_b.Reserve(expected);
-  if (UseTupleDrain(*dividend_)) {
-    while (const Tuple* row = dividend_->NextRef()) {
-      a_codec_.Add(*row, a_idx_);
-      enc.row_b.PushBack(enc.b.Probe(*row, b_idx_));
-    }
-  } else {
-    ProbeAppendSink sink(&a_codec_, &a_idx_, &enc.b, &b_codec_, &b_idx_, &enc.row_b);
-    RecordPipelineDop(RunPipeline(*dividend_, sink).dop);
-  }
-  a_codec_.Seal();
-  enc.a.Build(a_codec_);
 
   switch (algorithm_) {
-    case GreatDivideAlgorithm::kHash: RunHash(enc); break;
-    case GreatDivideAlgorithm::kGroup: RunGroupAtATime(enc); break;
+    case GreatDivideAlgorithm::kHash: RunHash(*probe_->build, *probe_); break;
+    case GreatDivideAlgorithm::kGroup: RunGroupAtATime(*probe_->build, *probe_); break;
   }
 }
 
-void GreatDivideIterator::RunHash(const Encoded& enc) {
+void GreatDivideIterator::RunHash(const GreatDivideBuildArtifact& build,
+                                  const GreatDivideProbeArtifact& probe) {
   // One pass over the dividend maintaining a (candidate × group) match-count
   // matrix; each divisor B number knows which C groups it belongs to.
-  size_t k = enc.c.count();
-  size_t candidates = enc.a.count();
+  size_t k = build.c.count();
+  size_t candidates = probe.a.count();
   if (k == 0) return;  // empty divisor: no C groups, empty result
   GovernorFaultPoint("divide.bitmap_fill");
   GovernorCharge(candidates * k * sizeof(uint32_t));  // the match-count matrix
   std::vector<uint32_t> counts(candidates * k, 0);
   GovernorTicker ticker;
-  for (size_t i = 0; i < enc.row_b.rows(); ++i) {
+  for (size_t i = 0; i < probe.row_b.rows(); ++i) {
     ticker.Tick();
-    uint32_t b = enc.row_b.At(i);
+    uint32_t b = probe.row_b.At(i);
     if (b == KeyNumbering::kNotFound) continue;
-    uint32_t* row = &counts[size_t{enc.a.row_ids()[i]} * k];
-    for (uint32_t gid : enc.member_of[b]) row[gid] += 1;
+    uint32_t* row = &counts[size_t{probe.a.row_ids()[i]} * k];
+    for (uint32_t gid : build.member_of[b]) row[gid] += 1;
   }
   for (uint32_t cand = 0; cand < candidates; ++cand) {
     const uint32_t* row = &counts[size_t{cand} * k];
     Tuple a_tuple;  // decoded lazily: most candidates qualify for no group
     for (size_t gid = 0; gid < k; ++gid) {
-      if (row[gid] != enc.group_sizes[gid]) continue;
-      if (a_tuple.empty()) a_tuple = enc.a.KeyTuple(cand);
-      results_.push_back(ConcatTuples(a_tuple, enc.c.KeyTuple(static_cast<uint32_t>(gid))));
+      if (row[gid] != build.group_sizes[gid]) continue;
+      if (a_tuple.empty()) a_tuple = probe.a.KeyTuple(cand);
+      results_.push_back(ConcatTuples(a_tuple, build.c.KeyTuple(static_cast<uint32_t>(gid))));
     }
   }
 }
 
-void GreatDivideIterator::RunGroupAtATime(const Encoded& enc) {
+void GreatDivideIterator::RunGroupAtATime(const GreatDivideBuildArtifact& build,
+                                          const GreatDivideProbeArtifact& probe) {
   // Definition 4 executed literally: one small (counting) divide per divisor
   // C group, re-scanning the encoded dividend per group. Group-stamped
   // scratch arrays avoid re-zeroing between groups.
   constexpr uint32_t kNoStamp = UINT32_MAX;
-  size_t k = enc.c.count();
+  size_t k = build.c.count();
 
   // Invert member_of: per group, its B numbers.
   std::vector<std::vector<uint32_t>> group_members(k);
-  for (uint32_t b = 0; b < enc.member_of.size(); ++b) {
-    for (uint32_t gid : enc.member_of[b]) group_members[gid].push_back(b);
+  for (uint32_t b = 0; b < build.member_of.size(); ++b) {
+    for (uint32_t gid : build.member_of[b]) group_members[gid].push_back(b);
   }
 
-  GovernorCharge((enc.b.count() + 2 * enc.a.count()) * sizeof(uint32_t));
-  std::vector<uint32_t> b_stamp(enc.b.count(), kNoStamp);
-  std::vector<uint32_t> cand_stamp(enc.a.count(), kNoStamp);
-  std::vector<uint32_t> cand_count(enc.a.count(), 0);
+  GovernorCharge((build.b.count() + 2 * probe.a.count()) * sizeof(uint32_t));
+  std::vector<uint32_t> b_stamp(build.b.count(), kNoStamp);
+  std::vector<uint32_t> cand_stamp(probe.a.count(), kNoStamp);
+  std::vector<uint32_t> cand_count(probe.a.count(), 0);
   GovernorTicker ticker;
   for (uint32_t gid = 0; gid < k; ++gid) {
     for (uint32_t b : group_members[gid]) b_stamp[b] = gid;
     uint32_t group_size = static_cast<uint32_t>(group_members[gid].size());
-    for (size_t i = 0; i < enc.row_b.rows(); ++i) {  // full dividend re-scan per group
+    for (size_t i = 0; i < probe.row_b.rows(); ++i) {  // full dividend re-scan per group
       ticker.Tick();
-      uint32_t b = enc.row_b.At(i);
+      uint32_t b = probe.row_b.At(i);
       if (b == KeyNumbering::kNotFound || b_stamp[b] != gid) continue;
-      uint32_t cand = enc.a.row_ids()[i];
+      uint32_t cand = probe.a.row_ids()[i];
       if (cand_stamp[cand] != gid) {
         cand_stamp[cand] = gid;
         cand_count[cand] = 0;
       }
       cand_count[cand] += 1;
     }
-    for (uint32_t cand = 0; cand < enc.a.count(); ++cand) {
+    for (uint32_t cand = 0; cand < probe.a.count(); ++cand) {
       if (cand_stamp[cand] == gid && cand_count[cand] == group_size) {
-        results_.push_back(ConcatTuples(enc.a.KeyTuple(cand), enc.c.KeyTuple(gid)));
+        results_.push_back(ConcatTuples(probe.a.KeyTuple(cand), build.c.KeyTuple(gid)));
       }
     }
   }
@@ -202,9 +238,7 @@ void GreatDivideIterator::Close() {
   dividend_->Close();
   divisor_->Close();
   results_.clear();
-  a_codec_ = KeyCodec();
-  b_codec_ = KeyCodec();
-  c_codec_ = KeyCodec();
+  probe_.reset();
 }
 
 Relation ExecGreatDivide(const Relation& dividend, const Relation& divisor,

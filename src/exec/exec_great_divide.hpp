@@ -1,8 +1,11 @@
 #pragma once
 
+#include <memory>
+
 #include "algebra/divide.hpp"
 #include "exec/iterator.hpp"
 #include "exec/key_codec.hpp"
+#include "exec/recycler.hpp"
 
 namespace quotient {
 
@@ -31,21 +34,21 @@ class GreatDivideIterator : public Iterator {
   }
   std::vector<size_t> BlockingInputs() override { return {0, 1}; }
 
- private:
-  /// Key-encoded inputs, built once per Open() and shared by both
-  /// algorithms: divisor B values and C groups are numbered densely, every
-  /// dividend row carries its candidate number and divisor-B number.
-  struct Encoded {
-    KeyNumbering b;                               // divisor B values
-    KeyNumbering c;                               // divisor C groups
-    KeyNumbering a;                               // dividend A candidates
-    std::vector<uint32_t> group_sizes;            // per C group: |B values|
-    std::vector<std::vector<uint32_t>> member_of; // B number -> C groups
-    SpilledU32Store row_b{1};                     // dividend row -> B number or miss
-  };
+  /// Attaches the planner-composed recycling directive (exec/recycler.hpp).
+  void SetRecycle(RecycleSpec spec) { recycle_ = std::move(spec); }
 
-  void RunHash(const Encoded& enc);
-  void RunGroupAtATime(const Encoded& enc);
+ private:
+  // The key-encoded inputs both algorithms run over live in the artifact
+  // types (exec/recycler.hpp): divisor B values and C groups numbered
+  // densely (GreatDivideBuildArtifact), every dividend row carrying its
+  // candidate number and divisor-B number (GreatDivideProbeArtifact).
+  std::shared_ptr<GreatDivideBuildArtifact> BuildDivisorArtifact();
+  std::shared_ptr<GreatDivideProbeArtifact> BuildProbeArtifact();
+
+  void RunHash(const GreatDivideBuildArtifact& build,
+               const GreatDivideProbeArtifact& probe);
+  void RunGroupAtATime(const GreatDivideBuildArtifact& build,
+                       const GreatDivideProbeArtifact& probe);
 
   IterPtr dividend_;
   IterPtr divisor_;
@@ -55,10 +58,9 @@ class GreatDivideIterator : public Iterator {
   std::vector<size_t> b_idx_;
   std::vector<size_t> divisor_b_idx_;
   std::vector<size_t> divisor_c_idx_;
+  RecycleSpec recycle_;
 
-  KeyCodec a_codec_;
-  KeyCodec b_codec_;
-  KeyCodec c_codec_;
+  std::shared_ptr<const GreatDivideProbeArtifact> probe_;
   std::vector<Tuple> results_;
   size_t position_ = 0;
 };

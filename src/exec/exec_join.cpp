@@ -92,34 +92,53 @@ HashJoinIterator::HashJoinIterator(IterPtr left, IterPtr right)
   right_rest_ = IndicesOf(right_->schema(), right_only);
 }
 
-void HashJoinIterator::Open() {
-  ResetCount();
-  left_->Open();
+std::shared_ptr<JoinBuildArtifact> HashJoinIterator::BuildArtifact() {
+  auto art = std::make_shared<JoinBuildArtifact>();
   right_->Open();
-  codec_ = KeyCodec(right_key_.size());
-  codec_.Reserve(right_->EstimatedRows());
+  art->codec = KeyCodec(right_key_.size());
+  art->codec.Reserve(right_->EstimatedRows());
   std::vector<Tuple> rest_rows;
   rest_rows.reserve(right_->EstimatedRows());
   // Build pipeline: key columns into the codec plus the projected rest of
   // each build row, drained per exec/pipeline.hpp's discipline choice.
   if (UseTupleDrain(*right_)) {
     while (const Tuple* t = right_->NextRef()) {
-      codec_.Add(*t, right_key_);
+      art->codec.Add(*t, right_key_);
       rest_rows.push_back(ProjectTuple(*t, right_rest_));
     }
   } else {
-    JoinBuildSink sink(&codec_, &right_key_, &right_rest_, &rest_rows);
-    RecordPipelineDop(RunPipeline(*right_, sink).dop);
+    JoinBuildSink sink(&art->codec, &right_key_, &right_rest_, &rest_rows);
+    PipelineStats stats = RunPipeline(*right_, sink);
+    RecordPipelineDop(stats.dop);
+    // Mirror the sink's materialized-tuple charge so publication can hand
+    // it from the building query to the recycler's budget.
+    art->extra_charge = stats.rows * (right_rest_.size() + 2) * 8;
   }
-  codec_.Seal();
-  numbering_.Build(codec_);
-  buckets_.assign(numbering_.count(), {});
+  art->codec.Seal();
+  art->numbering.Build(art->codec);
+  art->buckets.assign(art->numbering.count(), {});
   for (size_t i = 0; i < rest_rows.size(); ++i) {
-    buckets_[numbering_.row_ids()[i]].push_back(std::move(rest_rows[i]));
+    art->buckets[art->numbering.row_ids()[i]].push_back(std::move(rest_rows[i]));
   }
+  return art;
+}
+
+void HashJoinIterator::Open() {
+  ResetCount();
+  left_->Open();
+  build_.reset();
+  // Adopt-or-build the right side; a hit skips the right child entirely
+  // (it is never opened — Close() on an unopened child is a no-op).
+  if (recycle_.recycler && !recycle_.build_key.empty()) {
+    ArtifactPtr cached = recycle_.recycler->GetOrBuild(
+        recycle_.build_key, recycle_.tables,
+        [&]() -> std::shared_ptr<RecycledArtifact> { return BuildArtifact(); });
+    if (cached) build_ = std::static_pointer_cast<const JoinBuildArtifact>(cached);
+  }
+  if (!build_) build_ = BuildArtifact();
   matches_ = nullptr;
   match_pos_ = 0;
-  probe_.Bind(&numbering_, &codec_, &left_key_);
+  probe_.Bind(&build_->numbering, &build_->codec, &left_key_);
   state_.Reset();
 }
 
@@ -132,17 +151,17 @@ bool HashJoinIterator::Next(Tuple* out) {
     }
     matches_ = nullptr;
     if (!left_->Next(&current_left_)) return false;
-    uint32_t id = numbering_.Probe(current_left_, left_key_);
+    uint32_t id = build_->numbering.Probe(current_left_, left_key_);
     if (id != KeyNumbering::kNotFound) {
-      matches_ = &buckets_[id];
+      matches_ = &build_->buckets[id];
       match_pos_ = 0;
     }
   }
 }
 
 bool HashJoinIterator::NextBatch(Batch* out) {
-  size_t emitted = JoinEmitBatch(*left_, probe_, state_, buckets_, left_->schema().size(),
-                                 right_rest_.size(), out);
+  size_t emitted = JoinEmitBatch(*left_, probe_, state_, build_->buckets,
+                                 left_->schema().size(), right_rest_.size(), out);
   if (emitted == 0) return false;
   CountRows(emitted);
   return true;
@@ -151,8 +170,7 @@ bool HashJoinIterator::NextBatch(Batch* out) {
 void HashJoinIterator::Close() {
   left_->Close();
   right_->Close();
-  buckets_.clear();
-  codec_ = KeyCodec();
+  build_.reset();
 }
 
 NestedLoopJoinIterator::NestedLoopJoinIterator(IterPtr left, IterPtr right, ExprPtr condition)
@@ -208,33 +226,48 @@ EquiJoinIterator::EquiJoinIterator(IterPtr left, IterPtr right,
       left_key_(IndicesOf(left_->schema(), left_keys)),
       right_key_(IndicesOf(right_->schema(), right_keys)) {}
 
-void EquiJoinIterator::Open() {
-  ResetCount();
-  left_->Open();
+std::shared_ptr<JoinBuildArtifact> EquiJoinIterator::BuildArtifact() {
+  auto art = std::make_shared<JoinBuildArtifact>();
   right_->Open();
-  codec_ = KeyCodec(right_key_.size());
-  codec_.Reserve(right_->EstimatedRows());
+  art->codec = KeyCodec(right_key_.size());
+  art->codec.Reserve(right_->EstimatedRows());
   std::vector<Tuple> right_rows;
   right_rows.reserve(right_->EstimatedRows());
   // Build pipeline: key columns into the codec plus whole build rows.
   if (UseTupleDrain(*right_)) {
     while (const Tuple* t = right_->NextRef()) {
-      codec_.Add(*t, right_key_);
+      art->codec.Add(*t, right_key_);
       right_rows.push_back(*t);
     }
   } else {
-    JoinBuildSink sink(&codec_, &right_key_, /*proj=*/nullptr, &right_rows);
-    RecordPipelineDop(RunPipeline(*right_, sink).dop);
+    JoinBuildSink sink(&art->codec, &right_key_, /*proj=*/nullptr, &right_rows);
+    PipelineStats stats = RunPipeline(*right_, sink);
+    RecordPipelineDop(stats.dop);
+    art->extra_charge = stats.rows * (right_->schema().size() + 2) * 8;
   }
-  codec_.Seal();
-  numbering_.Build(codec_);
-  buckets_.assign(numbering_.count(), {});
+  art->codec.Seal();
+  art->numbering.Build(art->codec);
+  art->buckets.assign(art->numbering.count(), {});
   for (size_t i = 0; i < right_rows.size(); ++i) {
-    buckets_[numbering_.row_ids()[i]].push_back(std::move(right_rows[i]));
+    art->buckets[art->numbering.row_ids()[i]].push_back(std::move(right_rows[i]));
   }
+  return art;
+}
+
+void EquiJoinIterator::Open() {
+  ResetCount();
+  left_->Open();
+  build_.reset();
+  if (recycle_.recycler && !recycle_.build_key.empty()) {
+    ArtifactPtr cached = recycle_.recycler->GetOrBuild(
+        recycle_.build_key, recycle_.tables,
+        [&]() -> std::shared_ptr<RecycledArtifact> { return BuildArtifact(); });
+    if (cached) build_ = std::static_pointer_cast<const JoinBuildArtifact>(cached);
+  }
+  if (!build_) build_ = BuildArtifact();
   matches_ = nullptr;
   match_pos_ = 0;
-  probe_.Bind(&numbering_, &codec_, &left_key_);
+  probe_.Bind(&build_->numbering, &build_->codec, &left_key_);
   state_.Reset();
 }
 
@@ -247,17 +280,17 @@ bool EquiJoinIterator::Next(Tuple* out) {
     }
     matches_ = nullptr;
     if (!left_->Next(&current_left_)) return false;
-    uint32_t id = numbering_.Probe(current_left_, left_key_);
+    uint32_t id = build_->numbering.Probe(current_left_, left_key_);
     if (id != KeyNumbering::kNotFound) {
-      matches_ = &buckets_[id];
+      matches_ = &build_->buckets[id];
       match_pos_ = 0;
     }
   }
 }
 
 bool EquiJoinIterator::NextBatch(Batch* out) {
-  size_t emitted = JoinEmitBatch(*left_, probe_, state_, buckets_, left_->schema().size(),
-                                 right_->schema().size(), out);
+  size_t emitted = JoinEmitBatch(*left_, probe_, state_, build_->buckets,
+                                 left_->schema().size(), right_->schema().size(), out);
   if (emitted == 0) return false;
   CountRows(emitted);
   return true;
@@ -266,8 +299,7 @@ bool EquiJoinIterator::NextBatch(Batch* out) {
 void EquiJoinIterator::Close() {
   left_->Close();
   right_->Close();
-  buckets_.clear();
-  codec_ = KeyCodec();
+  build_.reset();
 }
 
 HashSemiJoinIterator::HashSemiJoinIterator(IterPtr left, IterPtr right, bool anti)
@@ -277,35 +309,48 @@ HashSemiJoinIterator::HashSemiJoinIterator(IterPtr left, IterPtr right, bool ant
   right_key_ = IndicesOf(right_->schema(), common);
 }
 
-void HashSemiJoinIterator::Open() {
-  ResetCount();
-  left_->Open();
+std::shared_ptr<JoinBuildArtifact> HashSemiJoinIterator::BuildArtifact() {
+  auto art = std::make_shared<JoinBuildArtifact>();
   right_->Open();
-  codec_ = KeyCodec(right_key_.size());
-  codec_.Reserve(right_->EstimatedRows());
-  right_empty_ = true;
+  art->codec = KeyCodec(right_key_.size());
+  art->codec.Reserve(right_->EstimatedRows());
+  art->right_empty = true;
   // Build pipeline: the key codec doubles as the membership set.
   if (UseTupleDrain(*right_)) {
     while (const Tuple* t = right_->NextRef()) {
-      right_empty_ = false;
-      codec_.Add(*t, right_key_);
+      art->right_empty = false;
+      art->codec.Add(*t, right_key_);
     }
   } else {
-    CodecAppendSink sink(&codec_, &right_key_);
+    CodecAppendSink sink(&art->codec, &right_key_);
     PipelineStats stats = RunPipeline(*right_, sink);
     RecordPipelineDop(stats.dop);
-    right_empty_ = stats.rows == 0;
+    art->right_empty = stats.rows == 0;
   }
-  codec_.Seal();
-  numbering_.Build(codec_);
-  probe_.Bind(&numbering_, &codec_, &left_key_);
+  art->codec.Seal();
+  art->numbering.Build(art->codec);
+  return art;
+}
+
+void HashSemiJoinIterator::Open() {
+  ResetCount();
+  left_->Open();
+  build_.reset();
+  if (recycle_.recycler && !recycle_.build_key.empty()) {
+    ArtifactPtr cached = recycle_.recycler->GetOrBuild(
+        recycle_.build_key, recycle_.tables,
+        [&]() -> std::shared_ptr<RecycledArtifact> { return BuildArtifact(); });
+    if (cached) build_ = std::static_pointer_cast<const JoinBuildArtifact>(cached);
+  }
+  if (!build_) build_ = BuildArtifact();
+  probe_.Bind(&build_->numbering, &build_->codec, &left_key_);
 }
 
 bool HashSemiJoinIterator::Next(Tuple* out) {
   while (left_->Next(out)) {
     bool matched = left_key_.empty()
-                       ? !right_empty_
-                       : numbering_.Probe(*out, left_key_) != KeyNumbering::kNotFound;
+                       ? !build_->right_empty
+                       : build_->numbering.Probe(*out, left_key_) != KeyNumbering::kNotFound;
     if (matched != anti_) {
       CountRow();
       return true;
@@ -321,7 +366,7 @@ bool HashSemiJoinIterator::NextBatch(Batch* out) {
     if (left_key_.empty()) {
       // Appendix A degenerate form: keep everything iff the right side is
       // nonempty (flipped for the anti join).
-      bool keep = !right_empty_ != anti_;
+      bool keep = !build_->right_empty != anti_;
       if (keep) {
         sel.reserve(n);
         for (size_t i = 0; i < n; ++i) sel.push_back(out->RowAt(i));
@@ -346,7 +391,7 @@ bool HashSemiJoinIterator::NextBatch(Batch* out) {
 void HashSemiJoinIterator::Close() {
   left_->Close();
   right_->Close();
-  codec_ = KeyCodec();
+  build_.reset();
 }
 
 }  // namespace quotient

@@ -1,9 +1,12 @@
 #pragma once
 
+#include <memory>
+
 #include "algebra/predicate.hpp"
 #include "exec/batch.hpp"
 #include "exec/iterator.hpp"
 #include "exec/key_codec.hpp"
+#include "exec/recycler.hpp"
 
 namespace quotient {
 
@@ -48,18 +51,26 @@ class HashJoinIterator : public Iterator {
   std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
   std::vector<size_t> BlockingInputs() override { return {1}; }
 
+  /// Attaches the planner-composed recycling directive (exec/recycler.hpp):
+  /// Open() then adopts the cached build side — the codec, numbering, and
+  /// per-key buckets of right_rest projections — instead of draining the
+  /// right child.
+  void SetRecycle(RecycleSpec spec) { recycle_ = std::move(spec); }
+
  private:
+  std::shared_ptr<JoinBuildArtifact> BuildArtifact();
+
   IterPtr left_;
   IterPtr right_;
   Schema schema_;
   std::vector<size_t> left_key_;
   std::vector<size_t> right_key_;
   std::vector<size_t> right_rest_;
-  KeyCodec codec_;
-  KeyNumbering numbering_;
-  // Per right-key number: the matching rows' right_rest projections
-  // (projected once at build, not per emitted row).
-  std::vector<std::vector<Tuple>> buckets_;
+  RecycleSpec recycle_;
+  // The build side: codec, numbering, and per right-key number the matching
+  // rows' right_rest projections (projected once at build, not per emitted
+  // row). Possibly shared with concurrent executions through the recycler.
+  std::shared_ptr<const JoinBuildArtifact> build_;
 
   Tuple current_left_;
   const std::vector<Tuple>* matches_ = nullptr;
@@ -113,15 +124,20 @@ class EquiJoinIterator : public Iterator {
   std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
   std::vector<size_t> BlockingInputs() override { return {1}; }
 
+  /// Attaches the planner-composed recycling directive (exec/recycler.hpp).
+  void SetRecycle(RecycleSpec spec) { recycle_ = std::move(spec); }
+
  private:
+  std::shared_ptr<JoinBuildArtifact> BuildArtifact();
+
   IterPtr left_;
   IterPtr right_;
   Schema schema_;
   std::vector<size_t> left_key_;
   std::vector<size_t> right_key_;
-  KeyCodec codec_;
-  KeyNumbering numbering_;
-  std::vector<std::vector<Tuple>> buckets_;  // per right-key number: full right rows
+  RecycleSpec recycle_;
+  // Build side; buckets hold full right rows (theta-join semantics).
+  std::shared_ptr<const JoinBuildArtifact> build_;
   Tuple current_left_;
   const std::vector<Tuple>* matches_ = nullptr;
   size_t match_pos_ = 0;
@@ -146,17 +162,23 @@ class HashSemiJoinIterator : public Iterator {
   std::vector<Iterator*> InputIterators() override { return {left_.get(), right_.get()}; }
   std::vector<size_t> BlockingInputs() override { return {1}; }
 
+  /// Attaches the planner-composed recycling directive (exec/recycler.hpp).
+  /// Semi and anti joins share one build key: the membership set is
+  /// identical, only the probe's keep-test differs.
+  void SetRecycle(RecycleSpec spec) { recycle_ = std::move(spec); }
+
  private:
+  std::shared_ptr<JoinBuildArtifact> BuildArtifact();
+
   IterPtr left_;
   IterPtr right_;
   bool anti_;
   std::vector<size_t> left_key_;
   std::vector<size_t> right_key_;
-  bool right_empty_ = true;
+  RecycleSpec recycle_;
   // The key numbering doubles as the membership set: a probe hit means the
-  // left key equals some right key.
-  KeyCodec codec_;
-  KeyNumbering numbering_;
+  // left key equals some right key. Buckets stay empty for semi joins.
+  std::shared_ptr<const JoinBuildArtifact> build_;
   // Batch path.
   BatchKeyProbe probe_;
   std::vector<uint32_t> batch_keys_;

@@ -300,6 +300,24 @@ class KeyCodec {
   /// chunk-local codecs whose rows were merged into another codec.
   void ReleaseRowCharges() { ids_.ReleaseCharges(); }
 
+  /// True when some build rows were flushed to the query's spill file; such
+  /// a codec reads through a per-query temp file and cannot be shared.
+  bool rows_on_disk() const { return ids_.on_disk(); }
+
+  /// Releases the row store's charge and detaches it from the building
+  /// query's governor, so the codec can be cached beyond the query
+  /// (exec/recycler.hpp). Only valid when !rows_on_disk().
+  void DetachRowCharges() { ids_.DetachCharges(); }
+
+  /// Coarse resident-size estimate for recycler LRU accounting: 8 bytes per
+  /// stored id (matching the governor's charge formula) plus a per-distinct-
+  /// value allowance for the dictionaries.
+  size_t ApproxBytes() const {
+    size_t bytes = num_rows_ * dicts_.size() * 8;
+    for (const ValueDict& d : dicts_) bytes += d.size() * 32;
+    return bytes;
+  }
+
   /// Merge phase of parallel pipeline drains: appends every build row of
   /// `part` (an unsealed chunk-local codec over the same key columns) into
   /// this codec, translating part-local dictionary ids into this codec's

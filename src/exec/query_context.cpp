@@ -32,6 +32,8 @@ const std::vector<std::string> kKnownSites = {
     "spill.write",          // each spill-partition write (exec/spill.cpp)
     "spill.disk_full",      // simulated out-of-disk, per partition write (exec/spill.cpp)
     "spill.read",           // each spilled-run read (exec/spill.cpp)
+    "recycler.lookup",      // artifact-recycler lookups (exec/recycler.cpp)
+    "recycler.publish",     // artifact publication after a build (exec/recycler.cpp)
 };
 
 }  // namespace

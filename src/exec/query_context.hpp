@@ -204,6 +204,18 @@ class QueryContext {
            StatusCode::kCancelled;
   }
 
+  // --- artifact recycler (exec/recycler.hpp) ---
+
+  /// Counts one recycler lookup outcome for this statement, for
+  /// ExecProfile::recycler_hits / recycler_misses.
+  void RecordRecycler(bool hit) {
+    (hit ? recycler_hits_ : recycler_misses_).fetch_add(1, std::memory_order_relaxed);
+  }
+  size_t recycler_hits() const { return recycler_hits_.load(std::memory_order_relaxed); }
+  size_t recycler_misses() const {
+    return recycler_misses_.load(std::memory_order_relaxed);
+  }
+
   /// The fault site that fired on this query ("" when none); recorded by
   /// GovernorFaultPoint for ExecProfile::fault_site.
   std::string fault_site() const;
@@ -222,6 +234,8 @@ class QueryContext {
   FaultInjector* faults_ = nullptr;                   // nullptr = Global()
 
   std::atomic<int> tripped_{0};  // StatusCode of the first trip, 0 = none
+  std::atomic<size_t> recycler_hits_{0};
+  std::atomic<size_t> recycler_misses_{0};
   std::atomic<size_t> outstanding_{0};  // charges minus releases
   std::atomic<size_t> peak_{0};         // high-water mark of outstanding_
   size_t spill_watermark_ = 0;          // 0 = spilling disabled

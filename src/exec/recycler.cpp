@@ -1,0 +1,192 @@
+#include "exec/recycler.hpp"
+
+#include <chrono>
+
+#include "exec/query_context.hpp"
+
+namespace quotient {
+
+namespace {
+
+/// Per-query hit/miss accounting for EXPLAIN ANALYZE (no-op outside a
+/// governed statement).
+void NoteRecyclerOutcome(bool hit) {
+  if (QueryContext* ctx = CurrentQueryContext()) ctx->RecordRecycler(hit);
+}
+
+}  // namespace
+
+void JoinBuildArtifact::DetachBuildCharges() {
+  codec.DetachRowCharges();
+  GovernorRelease(extra_charge);
+}
+
+void GroupingArtifact::DetachBuildCharges() { GovernorRelease(extra_charge); }
+
+ArtifactRecycler::ArtifactRecycler(size_t memory_budget_bytes)
+    : budget_(memory_budget_bytes) {}
+
+ArtifactPtr ArtifactRecycler::GetOrBuild(const std::string& key,
+                                         const std::vector<std::string>& tables,
+                                         const Builder& builder) {
+  GovernorFaultPoint("recycler.lookup");
+  Shard& shard = shards_[ShardIndex(key)];
+  std::promise<ArtifactPtr> promise;
+  std::shared_future<ArtifactPtr> future;
+  bool is_builder = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      NoteRecyclerOutcome(/*hit=*/true);
+      return it->second->artifact;
+    }
+    auto in_flight = shard.building.find(key);
+    if (in_flight != shard.building.end()) {
+      future = in_flight->second;
+    } else {
+      future = promise.get_future().share();
+      shard.building.emplace(key, future);
+      is_builder = true;
+    }
+  }
+
+  if (!is_builder) {
+    // Adopt the concurrent build, staying cancellable: the wait polls this
+    // query's own governor, so Cancel/deadline trips land while another
+    // session builds.
+    while (future.wait_for(std::chrono::milliseconds(2)) !=
+           std::future_status::ready) {
+      GovernorPoll();
+    }
+    ArtifactPtr ready = future.get();  // builders publish nullptr on failure
+    if (ready != nullptr) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      NoteRecyclerOutcome(/*hit=*/true);
+      return ready;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    NoteRecyclerOutcome(/*hit=*/false);
+    return nullptr;  // caller builds privately
+  }
+
+  // Builder path. A build failure (governor trip, injected fault, executor
+  // error) erases the in-flight entry and publishes nullptr, so waiters
+  // fall back to private builds and the NEXT request retries a shared
+  // build — the cache is never poisoned.
+  std::shared_ptr<RecycledArtifact> built;
+  try {
+    built = builder();
+    // Publication is itself a fault site: a trip here fails THIS query but
+    // must leave the cache clean, exactly like a build failure.
+    GovernorFaultPoint("recycler.publish");
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.building.erase(key);
+    }
+    promise.set_value(nullptr);
+    throw;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  NoteRecyclerOutcome(/*hit=*/false);
+
+  const size_t bytes = built->ApproxBytes();
+  if (built->SpilledToDisk() || budget_ == 0 || bytes > budget_) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.building.erase(key);
+    }
+    promise.set_value(nullptr);
+    // The builder still uses its own result; its charges stay the query's.
+    return ArtifactPtr(std::move(built));
+  }
+
+  built->DetachBuildCharges();
+  ArtifactPtr shared(std::move(built));
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.building.erase(key);
+    shard.lru.push_front(Entry{key, shared, bytes, tables});
+    shard.index[key] = shard.lru.begin();
+  }
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  published_.fetch_add(1, std::memory_order_relaxed);
+  promise.set_value(shared);
+  EnforceBudget(ShardIndex(key), key);
+  return shared;
+}
+
+void ArtifactRecycler::EnforceBudget(size_t start_shard, const std::string& protect) {
+  for (size_t i = 0; i < kShards; ++i) {
+    if (bytes_.load(std::memory_order_relaxed) <= budget_) return;
+    Shard& shard = shards_[(start_shard + i) % kShards];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    while (bytes_.load(std::memory_order_relaxed) > budget_ && !shard.lru.empty() &&
+           shard.lru.back().key != protect) {
+      Entry& victim = shard.lru.back();
+      bytes_.fetch_sub(victim.bytes, std::memory_order_relaxed);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      shard.index.erase(victim.key);
+      shard.lru.pop_back();
+    }
+  }
+}
+
+void ArtifactRecycler::InvalidateTables(const std::vector<std::string>& tables) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      bool stale = false;
+      for (const std::string& table : tables) {
+        for (const std::string& ref : it->tables) {
+          if (ref == table) {
+            stale = true;
+            break;
+          }
+        }
+        if (stale) break;
+      }
+      if (stale) {
+        bytes_.fetch_sub(it->bytes, std::memory_order_relaxed);
+        invalidated_.fetch_add(1, std::memory_order_relaxed);
+        shard.index.erase(it->key);
+        it = shard.lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void ArtifactRecycler::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const Entry& entry : shard.lru) {
+      bytes_.fetch_sub(entry.bytes, std::memory_order_relaxed);
+    }
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+RecyclerStats ArtifactRecycler::stats() const {
+  RecyclerStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.published = published_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.invalidated = invalidated_.load(std::memory_order_relaxed);
+  stats.bytes = bytes_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.entries += shard.lru.size();
+  }
+  return stats;
+}
+
+}  // namespace quotient

@@ -223,4 +223,10 @@ void SpilledU32Store::ReleaseCharges() {
   }
 }
 
+void SpilledU32Store::DetachCharges() {
+  ReleaseCharges();
+  charge_ctx_ = nullptr;
+  spill_ = nullptr;  // per-query file; a detached store must never read it
+}
+
 }  // namespace quotient

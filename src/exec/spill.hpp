@@ -134,6 +134,18 @@ class SpilledU32Store {
   /// the charging QueryContext is alive — i.e. from executor code.
   void ReleaseCharges();
 
+  /// Releases the outstanding charge AND forgets the charging context and
+  /// spill file, so the store can outlive the query that built it (recycled
+  /// build state, exec/recycler.hpp). Only valid for stores that never
+  /// spilled (!on_disk()): a spilled store reads through the per-query temp
+  /// file. Only call while the charging QueryContext is alive.
+  void DetachCharges();
+
+  /// True when some rows were flushed to the spill file. Reads of such rows
+  /// go through a mutable page cache and a per-query file — an on-disk
+  /// store is single-reader and must never be shared across queries.
+  bool on_disk() const { return !runs_.empty(); }
+
  private:
   struct Run {
     uint64_t offset;    // file offset of the run

@@ -1,5 +1,9 @@
 #include "opt/planner.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
 #include "exec/exec_agg.hpp"
 #include "exec/exec_basic.hpp"
 #include "exec/exec_join.hpp"
@@ -49,6 +53,215 @@ PlanPtr HealyExpansion(const PlanPtr& dividend, const PlanPtr& divisor) {
   PlanPtr spoilers = LogicalOp::Project(
       LogicalOp::Difference(LogicalOp::Product(pa, divisor), dividend), attrs.a);
   return LogicalOp::Difference(pa, spoilers);
+}
+
+// ---------------------------------------------------------------------------
+// Plan-fragment fingerprints for the artifact recycler (exec/recycler.hpp).
+//
+// A fingerprint is a type-tagged serialization of the logical subtree that
+// feeds a blocking sink. It must be INJECTIVE over recyclable fragments: two
+// fragments share a fingerprint only if they build identical state against
+// identical catalogs. ToString() renderings are NOT injective (Int(1) and
+// Str("1") both print "1"), so literals carry a type tag and strings a
+// length prefix. Fragments containing VALUES leaves or unbound '?' slots
+// are not fingerprintable — their content is invisible to the key.
+// ---------------------------------------------------------------------------
+
+void FingerprintValue(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case ValueType::kNull: *out += 'n'; return;
+    case ValueType::kInt:
+      *out += 'i';
+      *out += std::to_string(v.as_int());
+      return;
+    case ValueType::kReal: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "r%.17g", v.as_real());
+      *out += buf;
+      return;
+    }
+    case ValueType::kString:
+      *out += 's';
+      *out += std::to_string(v.as_str().size());
+      *out += ':';
+      *out += v.as_str();
+      return;
+    case ValueType::kSet: {
+      *out += "{";
+      for (const Value& e : v.as_set()) {
+        FingerprintValue(e, out);
+        *out += ',';
+      }
+      *out += '}';
+      return;
+    }
+  }
+  *out += '?';
+}
+
+/// Returns false when the expression contains a '?' parameter slot.
+bool FingerprintExpr(const ExprPtr& e, std::string* out) {
+  if (e == nullptr) {
+    *out += '_';
+    return true;
+  }
+  switch (e->kind()) {
+    case Expr::Kind::kColumn:
+      *out += 'c';
+      *out += std::to_string(e->column_name().size());
+      *out += ':';
+      *out += e->column_name();
+      return true;
+    case Expr::Kind::kLiteral:
+      FingerprintValue(e->literal(), out);
+      return true;
+    case Expr::Kind::kParam: return false;
+    case Expr::Kind::kCompare:
+      *out += '(';
+      if (!FingerprintExpr(e->left(), out)) return false;
+      *out += CmpOpName(e->cmp_op());
+      if (!FingerprintExpr(e->right(), out)) return false;
+      *out += ')';
+      return true;
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr:
+    case Expr::Kind::kNot:
+    case Expr::Kind::kAdd:
+    case Expr::Kind::kSub:
+    case Expr::Kind::kMul:
+    case Expr::Kind::kDiv: {
+      *out += '(';
+      *out += std::to_string(static_cast<int>(e->kind()));
+      *out += ':';
+      if (!FingerprintExpr(e->left(), out)) return false;
+      if (e->right() != nullptr) {
+        *out += ',';
+        if (!FingerprintExpr(e->right(), out)) return false;
+      }
+      *out += ')';
+      return true;
+    }
+  }
+  return false;
+}
+
+void FingerprintNames(const std::vector<std::string>& names, std::string* out) {
+  for (const std::string& name : names) {
+    *out += std::to_string(name.size());
+    *out += ':';
+    *out += name;
+    *out += ',';
+  }
+}
+
+/// Returns false when the subtree contains a VALUES leaf or a '?' slot.
+bool FingerprintPlan(const PlanPtr& plan, std::string* out) {
+  const LogicalOp& op = *plan;
+  switch (op.kind()) {
+    case LogicalOp::Kind::kScan:
+      *out += "scan[";
+      *out += op.table();
+      *out += ']';
+      return true;
+    case LogicalOp::Kind::kValues: return false;
+    default: break;
+  }
+  *out += std::to_string(static_cast<int>(op.kind()));
+  *out += '[';
+  if (op.predicate() != nullptr && !FingerprintExpr(op.predicate(), out)) return false;
+  switch (op.kind()) {
+    case LogicalOp::Kind::kProject: FingerprintNames(op.columns(), out); break;
+    case LogicalOp::Kind::kRename:
+      for (const auto& [from, to] : op.renames()) {
+        FingerprintNames({from, to}, out);
+        *out += ';';
+      }
+      break;
+    case LogicalOp::Kind::kGroupBy:
+      FingerprintNames(op.group_names(), out);
+      *out += '/';
+      for (const AggSpec& agg : op.aggs()) {
+        *out += std::to_string(static_cast<int>(agg.fn));
+        *out += ':';
+        FingerprintNames({agg.arg, agg.out}, out);
+        *out += ';';
+      }
+      break;
+    default: break;
+  }
+  for (const PlanPtr& child : op.children()) {
+    *out += '(';
+    if (!FingerprintPlan(child, out)) return false;
+    *out += ')';
+  }
+  *out += ']';
+  return true;
+}
+
+/// Fingerprints `plan` and appends the per-table data version of every base
+/// table it scans (from the pinned snapshot catalog), making stale artifacts
+/// unaddressable after DDL. Returns "" when the subtree is not recyclable;
+/// otherwise also merges the scanned tables into `tables` (the cache entry's
+/// invalidation domain).
+std::string VersionedFingerprint(const PlanPtr& plan, const Catalog& catalog,
+                                 std::vector<std::string>* tables) {
+  std::string fp;
+  if (!FingerprintPlan(plan, &fp)) return "";
+  std::set<std::string> scans;
+  CollectScanTables(plan, &scans);
+  for (const std::string& t : scans) {
+    fp += '|';
+    fp += t;
+    fp += '=';
+    fp += std::to_string(catalog.DataVersion(t));
+    if (std::find(tables->begin(), tables->end(), t) == tables->end()) tables->push_back(t);
+  }
+  return fp;
+}
+
+/// Composes the divisions' RecycleSpec: build_key addresses the divisor-side
+/// artifact, probe_key the full probe state that additionally captures the
+/// dividend drain. The physical algorithm is deliberately absent from both
+/// keys — every division algorithm runs over the same encoded state — and so
+/// is the execution mode (chunk-ordered merges make build state bit-identical
+/// across modes and thread counts, docs/parallel_execution.md). The tag
+/// ("div"/"gd") selects the artifact type the adopting iterator casts to, so
+/// it must differ wherever the concrete artifact struct differs.
+RecycleSpec DivideRecycleSpec(const std::string& tag, const LogicalOp& op,
+                              const Catalog& catalog, const PlannerOptions& options) {
+  RecycleSpec spec;
+  if (options.recycler == nullptr) return spec;
+  std::string divisor_fp = VersionedFingerprint(op.child(1), catalog, &spec.tables);
+  if (divisor_fp.empty()) return spec;
+  spec.recycler = options.recycler;
+  spec.build_key = tag + ".build|" + divisor_fp;
+  std::string dividend_fp = VersionedFingerprint(op.child(0), catalog, &spec.tables);
+  if (!dividend_fp.empty()) {
+    spec.probe_key = tag + ".probe|" + dividend_fp + "|" + divisor_fp;
+  }
+  return spec;
+}
+
+/// Composes a build-side-only RecycleSpec (joins, grouping). `context`
+/// captures everything outside the build subtree that shapes the artifact:
+/// the probe-side schema names for natural/semi joins (they pick the key
+/// columns and bucket projections) and the key columns for equi joins.
+RecycleSpec BuildSideRecycleSpec(const std::string& tag, const PlanPtr& build_side,
+                                 const std::string& context, const Catalog& catalog,
+                                 const PlannerOptions& options) {
+  RecycleSpec spec;
+  if (options.recycler == nullptr) return spec;
+  std::string fp = VersionedFingerprint(build_side, catalog, &spec.tables);
+  if (fp.empty()) return spec;
+  spec.recycler = options.recycler;
+  spec.build_key = tag + "|" + context + "|" + fp;
+  return spec;
+}
+
+std::string SchemaNamesContext(const Schema& schema) {
+  std::string context;
+  FingerprintNames(schema.Names(), &context);
+  return context;
 }
 
 /// Common-subexpression materialization: rewrite rules deliberately share
@@ -127,46 +340,78 @@ IterPtr Build(const PlanPtr& plan, const Catalog& catalog, const PlannerOptions&
       std::vector<std::string> left_keys, right_keys;
       if (IsEquiJoinCondition(op.predicate(), op.child(0)->schema(), op.child(1)->schema(),
                               &left_keys, &right_keys)) {
-        return std::make_unique<EquiJoinIterator>(child(0),
-                                                  child(1),
-                                                  std::move(left_keys), std::move(right_keys));
+        std::string key_context = "keys=";
+        FingerprintNames(left_keys, &key_context);
+        key_context += '/';
+        FingerprintNames(right_keys, &key_context);
+        auto join = std::make_unique<EquiJoinIterator>(child(0),
+                                                       child(1),
+                                                       std::move(left_keys),
+                                                       std::move(right_keys));
+        join->SetRecycle(
+            BuildSideRecycleSpec("join.equi", op.child(1), key_context, catalog, options));
+        return join;
       }
       return std::make_unique<NestedLoopJoinIterator>(child(0),
                                                       child(1),
                                                       op.predicate());
     }
-    case LogicalOp::Kind::kNaturalJoin:
-      return std::make_unique<HashJoinIterator>(child(0),
-                                                child(1));
+    case LogicalOp::Kind::kNaturalJoin: {
+      auto join = std::make_unique<HashJoinIterator>(child(0),
+                                                     child(1));
+      join->SetRecycle(BuildSideRecycleSpec("join.natural", op.child(1),
+                                            SchemaNamesContext(op.child(0)->schema()),
+                                            catalog, options));
+      return join;
+    }
     case LogicalOp::Kind::kSemiJoin:
-      return std::make_unique<HashSemiJoinIterator>(child(0),
-                                                    child(1),
-                                                    /*anti=*/false);
-    case LogicalOp::Kind::kAntiJoin:
-      return std::make_unique<HashSemiJoinIterator>(child(0),
-                                                    child(1),
-                                                    /*anti=*/true);
-    case LogicalOp::Kind::kDivide:
+    case LogicalOp::Kind::kAntiJoin: {
+      // Semi and anti joins share one build key: the membership set is
+      // identical, only the probe's keep-test differs.
+      auto join = std::make_unique<HashSemiJoinIterator>(
+          child(0), child(1), /*anti=*/op.kind() == LogicalOp::Kind::kAntiJoin);
+      join->SetRecycle(BuildSideRecycleSpec("join.semi", op.child(1),
+                                            SchemaNamesContext(op.child(0)->schema()),
+                                            catalog, options));
+      return join;
+    }
+    case LogicalOp::Kind::kDivide: {
       if (options.expand_divide) {
         return Build(HealyExpansion(op.child(0), op.child(1)), catalog, options, context);
       }
-      return std::make_unique<DivisionIterator>(child(0),
-                                                child(1),
-                                                options.division);
+      auto div = std::make_unique<DivisionIterator>(child(0),
+                                                    child(1),
+                                                    options.division);
+      div->SetRecycle(DivideRecycleSpec("div", op, catalog, options));
+      return div;
+    }
     case LogicalOp::Kind::kGreatDivide: {
       DivisionAttributes attrs = op.division_attributes();
       if (attrs.c.empty()) {
-        return std::make_unique<DivisionIterator>(child(0),
-                                                  child(1),
-                                                  options.division);
+        // Lowered to the same small-divide iterator — and the same "div"
+        // keys: with identical children the encoded state is identical, so
+        // ÷ and a C-free ÷* share artifacts.
+        auto div = std::make_unique<DivisionIterator>(child(0),
+                                                      child(1),
+                                                      options.division);
+        div->SetRecycle(DivideRecycleSpec("div", op, catalog, options));
+        return div;
       }
-      return std::make_unique<GreatDivideIterator>(child(0),
-                                                   child(1),
-                                                   options.great_divide);
+      auto gd = std::make_unique<GreatDivideIterator>(child(0),
+                                                      child(1),
+                                                      options.great_divide);
+      gd->SetRecycle(DivideRecycleSpec("gd", op, catalog, options));
+      return gd;
     }
-    case LogicalOp::Kind::kGroupBy:
-      return std::make_unique<HashAggregateIterator>(child(0),
-                                                     op.group_names(), op.aggs());
+    case LogicalOp::Kind::kGroupBy: {
+      auto agg = std::make_unique<HashAggregateIterator>(child(0),
+                                                         op.group_names(), op.aggs());
+      // Fingerprint the GroupBy node itself: the grouping columns and
+      // aggregate specs are part of the node's serialization, so no extra
+      // context string is needed.
+      agg->SetRecycle(BuildSideRecycleSpec("agg", plan, "", catalog, options));
+      return agg;
+    }
     case LogicalOp::Kind::kRename:
       return std::make_unique<RenameIterator>(child(0),
                                               op.renames());
@@ -200,6 +445,8 @@ Relation ExecutePlan(const PlanPtr& plan, const Catalog& catalog, const PlannerO
       profile->fault_site = ctx->fault_site();
       profile->spill_partitions = ctx->spill_partitions();
       profile->spill_bytes_written = ctx->spill_bytes_written();
+      profile->recycler_hits = ctx->recycler_hits();
+      profile->recycler_misses = ctx->recycler_misses();
     }
   }
   return result;

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "exec/exec_divide.hpp"
 #include "exec/exec_great_divide.hpp"
 #include "exec/iterator.hpp"
+#include "exec/recycler.hpp"
 #include "plan/evaluate.hpp"
 #include "plan/logical.hpp"
 
@@ -20,6 +22,12 @@ struct PlannerOptions {
   /// πA(r1) − πA((πA(r1) × r2) − r1) instead of a first-class operator —
   /// the baseline that exhibits quadratic intermediate results ([25], §6).
   bool expand_divide = false;
+  /// Cross-query artifact recycler (exec/recycler.hpp). When set, the
+  /// planner attaches RecycleSpecs — plan-fragment fingerprints plus table
+  /// data versions — to every blocking sink whose build side is a
+  /// deterministic function of base tables, so repeated executions adopt
+  /// cached divisor/join/grouping build state. Null disables recycling.
+  std::shared_ptr<ArtifactRecycler> recycler;
 };
 
 /// Lowers a logical plan to a Volcano iterator tree over `catalog`.
@@ -51,6 +59,11 @@ struct ExecProfile {
   // statement's temp file. Zero when the watermark was never crossed.
   size_t spill_partitions = 0;
   size_t spill_bytes_written = 0;
+  // Artifact recycler accounting (exec/recycler.hpp): build-state lookups
+  // this statement made against the shared cache. A hit means a blocking
+  // sink adopted a cached build instead of draining its input.
+  size_t recycler_hits = 0;
+  size_t recycler_misses = 0;
 };
 
 class QueryContext;

@@ -24,6 +24,7 @@ Catalog::Catalog(const Catalog& other) { *this = other; }
 Catalog& Catalog::operator=(const Catalog& other) {
   if (this == &other) return *this;
   relations_ = other.relations_;
+  data_versions_ = other.data_versions_;
   keys_ = other.keys_;
   foreign_keys_ = other.foreign_keys_;
   disjoint_ = other.disjoint_;
@@ -37,6 +38,7 @@ Catalog::Catalog(Catalog&& other) noexcept { *this = std::move(other); }
 Catalog& Catalog::operator=(Catalog&& other) noexcept {
   if (this == &other) return *this;
   relations_ = std::move(other.relations_);
+  data_versions_ = std::move(other.data_versions_);
   keys_ = std::move(other.keys_);
   foreign_keys_ = std::move(other.foreign_keys_);
   disjoint_ = std::move(other.disjoint_);
@@ -47,8 +49,14 @@ Catalog& Catalog::operator=(Catalog&& other) noexcept {
 
 void Catalog::Put(const std::string& name, Relation relation) {
   relations_.insert_or_assign(name, std::make_shared<const Relation>(std::move(relation)));
+  ++data_versions_[name];
   std::lock_guard<std::mutex> lock(encodings_mutex_);
   encodings_.erase(name);  // replaced data invalidates the cached encoding
+}
+
+uint64_t Catalog::DataVersion(const std::string& name) const {
+  auto it = data_versions_.find(name);
+  return it != data_versions_.end() ? it->second : 0;
 }
 
 bool Catalog::Has(const std::string& name) const { return relations_.count(name) > 0; }

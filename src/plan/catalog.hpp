@@ -50,6 +50,13 @@ class Catalog {
   /// Registers (or replaces) a base relation.
   void Put(const std::string& name, Relation relation);
 
+  /// Monotonic per-table data version: bumped by every Put() of the table.
+  /// Copies carry versions over, and the Database serializes DDL, so within
+  /// one Database lineage two catalogs agree on a table's version iff they
+  /// hold the same data for it. Zero for unknown tables. This is what keys
+  /// recycled build artifacts (exec/recycler.hpp) to table contents.
+  uint64_t DataVersion(const std::string& name) const;
+
   bool Has(const std::string& name) const;
   /// Throws SchemaError if absent.
   const Relation& Get(const std::string& name) const;
@@ -99,6 +106,7 @@ class Catalog {
   static std::string KeyOf(const std::string& table, const std::vector<std::string>& attrs);
 
   std::map<std::string, std::shared_ptr<const Relation>> relations_;
+  std::map<std::string, uint64_t> data_versions_;  // Put() count per table
   std::set<std::string> keys_;          // "table|a,b"
   std::set<std::string> foreign_keys_;  // "from|a,b|to"
   std::set<std::string> disjoint_;      // "t1|t2|a,b" (stored both ways)
