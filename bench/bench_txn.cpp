@@ -1,0 +1,139 @@
+// Transaction subsystem (api/txn.hpp, docs/transactions.md): the cost of
+// the BEGIN/COMMIT statement machinery, of a write-set commit's validate +
+// publish under the DDL writer mutex, of the autocommit DML retry loop, and
+// of reading through a dirty transaction's private overlay (which bypasses
+// the shared plan cache and the artifact recycler by design).
+//
+// scripts/run_benchmarks.sh writes these as BENCH_txn.json.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "api/session.hpp"
+#include "bench_common.hpp"
+
+namespace quotient {
+namespace {
+
+std::shared_ptr<Database> MakeDb() {
+  auto db = std::make_shared<Database>();
+  db->CreateTable("t", "a:int");
+  return db;
+}
+
+/// Keeps table growth bounded so per-iteration cost stays comparable:
+/// resets t every `kResetEvery` committed rows, outside the timed region.
+constexpr int64_t kResetEvery = 4096;
+
+void ResetIfDue(benchmark::State& state, Session& session, int64_t count) {
+  if (count % kResetEvery != 0) return;
+  state.PauseTiming();
+  Result<QueryResult> cleared = session.Execute("DELETE FROM t");
+  if (!cleared.ok()) state.SkipWithError(cleared.error().c_str());
+  state.ResumeTiming();
+}
+
+/// Control-statement machinery alone: a read-only transaction commits
+/// without taking the DDL writer mutex (empty write set).
+void BM_TxnBeginCommitReadOnly(benchmark::State& state) {
+  Session session(MakeDb());
+  for (auto _ : state) {
+    Result<QueryResult> begin = session.Execute("BEGIN");
+    Result<QueryResult> commit = session.Execute("COMMIT");
+    if (!begin.ok() || !commit.ok()) state.SkipWithError("control statement failed");
+  }
+}
+BENCHMARK(BM_TxnBeginCommitReadOnly);
+
+/// The full write path: BEGIN, one buffered INSERT (overlay creation +
+/// canonicalizing merge), COMMIT (validate + snapshot publish + plan-cache /
+/// recycler invalidation).
+void BM_TxnInsertCommit(benchmark::State& state) {
+  Session session(MakeDb());
+  int64_t next = 0;
+  for (auto _ : state) {
+    session.Execute("BEGIN");
+    session.Execute("INSERT INTO t VALUES (" + std::to_string(next++) + ")");
+    Result<QueryResult> commit = session.Execute("COMMIT");
+    if (!commit.ok()) state.SkipWithError(commit.error().c_str());
+    ResetIfDue(state, session, next);
+  }
+}
+BENCHMARK(BM_TxnInsertCommit);
+
+/// The same write as a single autocommit statement (the bounded
+/// first-committer-wins retry loop, uncontended: one attempt).
+void BM_AutocommitInsert(benchmark::State& state) {
+  Session session(MakeDb());
+  int64_t next = 0;
+  for (auto _ : state) {
+    Result<QueryResult> insert =
+        session.Execute("INSERT INTO t VALUES (" + std::to_string(next++) + ")");
+    if (!insert.ok()) state.SkipWithError(insert.error().c_str());
+    ResetIfDue(state, session, next);
+  }
+}
+BENCHMARK(BM_AutocommitInsert);
+
+/// A commit that loses the first-committer-wins race every time: another
+/// session autocommits into the written table between BEGIN and COMMIT, so
+/// validation fails and rolls back. Measures the abort path end to end.
+void BM_TxnConflictAbort(benchmark::State& state) {
+  auto db = MakeDb();
+  Session loser(db);
+  Session winner(db);
+  int64_t next = 0;
+  for (auto _ : state) {
+    loser.Execute("BEGIN");
+    loser.Execute("INSERT INTO t VALUES (-1)");
+    winner.Execute("INSERT INTO t VALUES (" + std::to_string(next++) + ")");
+    Result<QueryResult> commit = loser.Execute("COMMIT");
+    if (commit.ok() || commit.status().code() != StatusCode::kConflict) {
+      state.SkipWithError("expected a conflict");
+    }
+    ResetIfDue(state, winner, next);
+  }
+}
+BENCHMARK(BM_TxnConflictAbort);
+
+/// SELECT against a dirty transaction's overlay: compiles privately (no
+/// shared plan cache, no recycler) against snapshot + buffered writes.
+/// Paired with the same SELECT outside a transaction (cache-hit path) to
+/// show the isolation premium.
+void BM_TxnOverlayRead(benchmark::State& state) {
+  bench::DivisionWorkload workload = bench::MakeDivisionWorkload(1024, 64, 16);
+  auto db = std::make_shared<Database>();
+  db->CreateTable("r1", workload.dividend);
+  db->CreateTable("r2", workload.divisor);
+  Session session(db);
+  const char* sql = "SELECT a FROM r1 AS x DIVIDE BY r2 AS y ON x.b = y.b";
+  session.Execute("BEGIN");
+  session.Execute("INSERT INTO r1 VALUES (0, 0)");  // dirty: overlay active
+  for (auto _ : state) {
+    Result<QueryResult> result = session.Execute(sql);
+    if (!result.ok()) state.SkipWithError(result.error().c_str());
+  }
+  session.Execute("ROLLBACK");
+}
+BENCHMARK(BM_TxnOverlayRead);
+
+void BM_SnapshotRead(benchmark::State& state) {
+  bench::DivisionWorkload workload = bench::MakeDivisionWorkload(1024, 64, 16);
+  auto db = std::make_shared<Database>();
+  db->CreateTable("r1", workload.dividend);
+  db->CreateTable("r2", workload.divisor);
+  Session session(db);
+  const char* sql = "SELECT a FROM r1 AS x DIVIDE BY r2 AS y ON x.b = y.b";
+  for (auto _ : state) {
+    Result<QueryResult> result = session.Execute(sql);
+    if (!result.ok()) state.SkipWithError(result.error().c_str());
+  }
+}
+BENCHMARK(BM_SnapshotRead);
+
+}  // namespace
+}  // namespace quotient
+
+BENCHMARK_MAIN();

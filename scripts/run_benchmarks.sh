@@ -32,6 +32,11 @@
 #                                cold-publish per workload, with the
 #                                warm-vs-off speedup (bar: >= 2x on the
 #                                build-dominated workloads)
+#     BENCH_txn.json             transaction subsystem (docs/
+#                                transactions.md): BEGIN/COMMIT machinery,
+#                                write-set validate+publish, autocommit DML,
+#                                the conflict-abort path, and dirty-overlay
+#                                reads vs cached snapshot reads
 #   Compare runs with benchmark's own tools/compare.py, or just diff the
 #   real_time fields. QUOTIENT_BENCH_THREADS overrides the parallel A/B's
 #   high thread count (default: nproc, min 2).
@@ -46,7 +51,7 @@ cmake --build "${build_dir}" -j "$(nproc)" \
   --target bench_division_algorithms bench_key_codec bench_sql_e2e \
            bench_concurrent_sessions bench_cancellation bench_spill \
            bench_law10_semijoin bench_law13_partitioned_great_divide \
-           bench_recycler >/dev/null
+           bench_recycler bench_txn >/dev/null
 
 mkdir -p "${out_dir}"
 
@@ -110,6 +115,10 @@ run_bench_threads bench_spill "${par_threads}" "${out_dir}/.spill_raw.json"
 
 # Artifact recycler: recycling-off vs warm-hit vs cold-publish per workload.
 run_bench_threads bench_recycler "${par_threads}" "${out_dir}/.recycler_raw.json"
+
+# Transactions: commit machinery, validate+publish, conflict abort, and
+# dirty-overlay reads against the cached snapshot-read baseline.
+run_bench_threads bench_txn "${par_threads}" "${out_dir}/BENCH_txn.json"
 
 run_bench_threads bench_division_algorithms 1 "${out_dir}/.div_par1.json"
 run_bench_threads bench_division_algorithms "${par_threads}" "${out_dir}/.div_parN.json"
@@ -323,5 +332,5 @@ rm -f "${out_dir}"/.law1[03]_*.json "${out_dir}"/.div_par*.json "${out_dir}"/.co
 
 echo "Wrote ${out_dir}/BENCH_division.json, BENCH_division_tuple.json," \
      "BENCH_key_codec.json, BENCH_batched.json, BENCH_parallel.json," \
-     "BENCH_sql.json, BENCH_concurrency.json, BENCH_robustness.json" \
-     "and BENCH_recycler.json"
+     "BENCH_sql.json, BENCH_concurrency.json, BENCH_robustness.json," \
+     "BENCH_recycler.json and BENCH_txn.json"

@@ -23,6 +23,13 @@ size_t RecyclerBudget(size_t configured) {
   return static_cast<size_t>(std::strtoull(env, nullptr, 10));
 }
 
+std::vector<std::string> TablesOf(const std::vector<WriteSetEntry>& writes) {
+  std::vector<std::string> tables;
+  tables.reserve(writes.size());
+  for (const WriteSetEntry& write : writes) tables.push_back(write.table);
+  return tables;
+}
+
 }  // namespace
 
 Database::Database(DatabaseOptions options) : options_(options) {
@@ -41,6 +48,11 @@ SnapshotPtr Database::snapshot() const {
 Status Database::Ddl(const std::vector<std::string>& touched,
                      const std::function<void(Catalog&)>& mutate) {
   std::lock_guard<std::mutex> ddl(ddl_mutex_);
+  return PublishLocked(touched, mutate);
+}
+
+Status Database::PublishLocked(const std::vector<std::string>& touched,
+                               const std::function<void(Catalog&)>& mutate) {
   auto next = std::make_shared<CatalogSnapshot>();
   try {
     SnapshotPtr current = snapshot();
@@ -87,6 +99,64 @@ Status Database::Ddl(const std::vector<std::string>& touched,
   std::lock_guard<std::mutex> state(state_mutex_);
   snapshot_ = std::move(next);
   return Status::Ok();
+}
+
+Status Database::CommitWriteSet(const std::vector<WriteSetEntry>& writes) {
+  if (writes.empty()) {
+    // An empty write set has nothing to validate or publish: a read-only
+    // transaction always commits.
+    txn_committed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  std::lock_guard<std::mutex> ddl(ddl_mutex_);
+  try {
+    // Fault site: a trip here models losing the commit before validation —
+    // nothing published, nothing counted as a conflict.
+    GovernorFaultPoint("txn.validate");
+    // First-committer-wins validation under the writer mutex: the pinned
+    // data version of every written table must still be the live one.
+    SnapshotPtr current = snapshot();
+    for (const WriteSetEntry& write : writes) {
+      uint64_t live = current->catalog().DataVersion(write.table);
+      if (live != write.base_version) {
+        txn_conflicts_.fetch_add(1, std::memory_order_relaxed);
+        return Status::Conflict(
+            "write-write conflict on table '" + write.table +
+            "': committed by another transaction after this one began "
+            "(pinned data version " + std::to_string(write.base_version) +
+            ", live " + std::to_string(live) + ")");
+      }
+    }
+    // Fault site: a trip here models losing the commit after validation
+    // won but before publication — still atomic, still nothing published.
+    GovernorFaultPoint("txn.publish");
+  } catch (const QueryAbort& e) {
+    return e.status();
+  }
+  Status status = PublishLocked(TablesOf(writes), [&](Catalog& catalog) {
+    for (const WriteSetEntry& write : writes) catalog.Put(write.table, write.rows);
+  });
+  if (status.ok()) txn_committed_.fetch_add(1, std::memory_order_relaxed);
+  return status;
+}
+
+TransactionStats Database::transaction_stats() const {
+  TransactionStats stats;
+  stats.begun = txn_begun_.load(std::memory_order_relaxed);
+  stats.committed = txn_committed_.load(std::memory_order_relaxed);
+  stats.conflicts = txn_conflicts_.load(std::memory_order_relaxed);
+  stats.rolled_back = txn_rolled_back_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+DatabaseStats Database::Stats() const {
+  DatabaseStats stats;
+  stats.snapshot_version = version();
+  stats.plan_cache = plan_cache_stats();
+  stats.admission = admission_stats();
+  stats.recycler = recycler_stats();
+  stats.transactions = transaction_stats();
+  return stats;
 }
 
 Status Database::CreateTable(const std::string& name, Relation rows) {

@@ -81,6 +81,14 @@ struct DatabaseOptions {
   size_t recycler_memory_bytes = 64ull << 20;
 };
 
+/// Counters of the transaction subsystem (docs/transactions.md).
+struct TransactionStats {
+  uint64_t begun = 0;        // BEGINs (Session::Begin / SQL BEGIN)
+  uint64_t committed = 0;    // write sets published (autocommit DML included)
+  uint64_t conflicts = 0;    // commits lost to first-committer-wins
+  uint64_t rolled_back = 0;  // explicit ROLLBACKs
+};
+
 /// Counters of the database-wide admission controller.
 struct AdmissionStats {
   size_t admitted = 0;      // grants handed out (immediate or after a wait)
@@ -142,6 +150,28 @@ struct PlanCacheStats {
   size_t contended = 0;    // shard-lock acquisitions that had to block
 };
 
+/// One aggregate observability call (Database::Stats()): every subsystem's
+/// counters in one consistent-enough snapshot (each group is internally
+/// consistent; groups are read one after another without a global lock).
+struct DatabaseStats {
+  uint64_t snapshot_version = 0;  // current published catalog version
+  PlanCacheStats plan_cache;
+  AdmissionStats admission;
+  RecyclerStats recycler;         // all zero when recycling is disabled
+  TransactionStats transactions;
+};
+
+/// One table's worth of a transaction's private write set, as handed to
+/// Database::CommitWriteSet: the table's full new contents plus the data
+/// version (Catalog::DataVersion) the transaction's pinned snapshot held
+/// for it. Commit publishes `rows` only if the live catalog still agrees
+/// with `base_version` — first committer wins.
+struct WriteSetEntry {
+  std::string table;
+  uint64_t base_version = 0;
+  std::shared_ptr<const Relation> rows;
+};
+
 class Database {
  public:
   explicit Database(DatabaseOptions options = {});
@@ -170,6 +200,29 @@ class Database {
   SnapshotPtr snapshot() const;
   /// Version of the current snapshot (0 = freshly constructed, empty).
   uint64_t version() const { return snapshot()->version(); }
+
+  // ---- transactions (api/txn.hpp drives this; docs/transactions.md) ----
+  /// Validates and publishes a transaction's write set under the DDL writer
+  /// mutex, first-committer-wins: if any entry's table has a newer data
+  /// version than `base_version` (another commit or DDL landed after the
+  /// transaction pinned its snapshot), nothing publishes and the call
+  /// returns StatusCode::kConflict. On success the write set publishes
+  /// through the same atomic snapshot path as DDL — per-table versions
+  /// bump, stale plan-cache entries sweep, and recycler artifacts over the
+  /// written tables invalidate. Fault sites: "txn.validate" before the
+  /// version check, "txn.publish" after it (plus the shared
+  /// "snapshot.publish" inside publication).
+  Status CommitWriteSet(const std::vector<WriteSetEntry>& writes);
+  /// Transaction lifecycle tallies for Stats(); Sessions report BEGIN and
+  /// explicit ROLLBACK, CommitWriteSet counts commits and conflicts itself.
+  void NoteTransactionBegin() { txn_begun_.fetch_add(1, std::memory_order_relaxed); }
+  void NoteTransactionRollback() {
+    txn_rolled_back_.fetch_add(1, std::memory_order_relaxed);
+  }
+  TransactionStats transaction_stats() const;
+
+  /// Every subsystem's counters in one call (docs/api.md example).
+  DatabaseStats Stats() const;
 
   // ---- shared plan cache ----
   /// Returns the cached entry for `key` as seen from a statement pinned at
@@ -244,6 +297,10 @@ class Database {
   /// plans referencing `touched`.
   Status Ddl(const std::vector<std::string>& touched,
              const std::function<void(Catalog&)>& mutate);
+  /// The shared publish tail of Ddl and CommitWriteSet: copy-mutate-publish
+  /// with cache/recycler invalidation. Caller must hold ddl_mutex_.
+  Status PublishLocked(const std::vector<std::string>& touched,
+                       const std::function<void(Catalog&)>& mutate);
   /// True when a referenced table changed after the slot was compiled.
   /// Takes versions_mutex_ internally; callers may hold a shard mutex
   /// (lock order: shard before versions, never the reverse).
@@ -274,6 +331,13 @@ class Database {
   std::unordered_map<std::string, uint64_t> table_versions_;
 
   std::shared_ptr<ArtifactRecycler> recycler_;  // null = disabled
+
+  // Transaction tallies (TransactionStats). Plain counters: hot paths touch
+  // them once per transaction, not per row.
+  std::atomic<uint64_t> txn_begun_{0};
+  std::atomic<uint64_t> txn_committed_{0};
+  std::atomic<uint64_t> txn_conflicts_{0};
+  std::atomic<uint64_t> txn_rolled_back_{0};
 
   mutable std::mutex admission_mutex_;  // guards everything below
   std::condition_variable admission_cv_;

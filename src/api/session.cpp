@@ -7,6 +7,7 @@
 #include <set>
 #include <string_view>
 
+#include "api/txn.hpp"
 #include "exec/exec_basic.hpp"
 #include "exec/pipeline.hpp"
 #include "sql/interp.hpp"
@@ -106,13 +107,16 @@ void AppendBlock(const std::string& text, const std::string& indent,
 
 ResultCursor::ResultCursor(IterPtr root, std::shared_ptr<const Relation> owned,
                            CompileInfo compile, SnapshotPtr snapshot,
-                           std::shared_ptr<QueryContext> context)
+                           std::shared_ptr<QueryContext> context,
+                           std::shared_ptr<const Catalog> overlay, int64_t limit)
     : root_(std::move(root)),
       owned_(std::move(owned)),
       compile_(std::move(compile)),
       snapshot_(std::move(snapshot)),
+      overlay_(std::move(overlay)),
       ctx_(std::move(context)),
-      schema_(root_->schema()) {}
+      schema_(root_->schema()),
+      remaining_limit_(limit) {}
 
 ResultCursor::~ResultCursor() { Close(); }
 
@@ -137,6 +141,7 @@ void ResultCursor::Close() {
     root_.reset();
     owned_.reset();
     snapshot_.reset();
+    overlay_.reset();
     // Drop the governor too: its destructor closes the spill file and
     // returns the statement's admission grant, so a closed cursor stops
     // counting against the database-wide memory budget.
@@ -154,6 +159,12 @@ void ResultCursor::Fail(Status status) {
 
 bool ResultCursor::PullBatch() {
   if (exhausted_ || root_ == nullptr) return false;
+  if (remaining_limit_ == 0) {
+    // LIMIT satisfied: end the stream without pulling (LIMIT 0 never even
+    // opens the plan).
+    Close();
+    return false;
+  }
   ScopedQueryContext scope(ctx_.get());  // pulls may run on any user thread
   try {
     GovernorPoll();
@@ -164,6 +175,19 @@ bool ResultCursor::PullBatch() {
     }
     batch_valid_ = root_->NextBatch(&batch_);
     next_active_ = 0;
+    if (batch_valid_ && remaining_limit_ > 0 &&
+        static_cast<int64_t>(batch_.ActiveRows()) > remaining_limit_) {
+      // Cursor-side LIMIT cut: narrow the selection to the rows still owed.
+      std::vector<uint32_t> keep;
+      keep.reserve(static_cast<size_t>(remaining_limit_));
+      for (int64_t i = 0; i < remaining_limit_; ++i) {
+        keep.push_back(batch_.RowAt(static_cast<size_t>(i)));
+      }
+      batch_.SetSelection(std::move(keep));
+    }
+    if (batch_valid_ && remaining_limit_ > 0) {
+      remaining_limit_ -= static_cast<int64_t>(batch_.ActiveRows());
+    }
     if (!batch_valid_) Close();
     return batch_valid_;
   } catch (const QueryAbort& e) {
@@ -292,6 +316,15 @@ Session::Session(std::shared_ptr<Database> database, SessionOptions options)
   options_.optimizer.planner.recycler = database_->recycler();
 }
 
+// Out of line: Transaction is incomplete in the header.
+Session::Session(Session&&) noexcept = default;
+Session& Session::operator=(Session&&) noexcept = default;
+Session::~Session() = default;
+
+const Catalog& Session::catalog() const {
+  return txn_ != nullptr ? txn_->catalog() : snapshot_->catalog();
+}
+
 std::shared_ptr<QueryContext> Session::MakeContext() {
   std::chrono::steady_clock::time_point deadline{};
   if (options_.deadline.count() > 0) {
@@ -334,37 +367,56 @@ void Session::Cancel() {
   }
 }
 
+namespace {
+/// DDL publishes immediately and database-wide; inside a transaction that
+/// would leak around the isolation contract, so it is rejected outright
+/// (docs/transactions.md).
+Status NoDdlInTxn() {
+  return Status::Error("DDL is not allowed inside a transaction (COMMIT or ROLLBACK first)");
+}
+}  // namespace
+
 Status Session::CreateTable(const std::string& name, Relation rows) {
+  if (txn_ != nullptr) return NoDdlInTxn();
   Status status = database_->CreateTable(name, std::move(rows));
   Pin();
   return status;
 }
 
 Status Session::CreateTable(const std::string& name, const std::string& schema_spec) {
+  if (txn_ != nullptr) return NoDdlInTxn();
   Status status = database_->CreateTable(name, schema_spec);
   Pin();
   return status;
 }
 
 Status Session::InsertRows(const std::string& name, const std::vector<Tuple>& rows) {
+  if (txn_ != nullptr) {
+    // Buffer into the open transaction — identical to SQL INSERT.
+    Result<size_t> added = txn_->Insert(name, rows);
+    return added.ok() ? Status::Ok() : added.status();
+  }
   Status status = database_->InsertRows(name, rows);
   Pin();
   return status;
 }
 
 Status Session::LoadCsv(const std::string& name, const std::string& csv_text) {
+  if (txn_ != nullptr) return NoDdlInTxn();
   Status status = database_->LoadCsv(name, csv_text);
   Pin();
   return status;
 }
 
 Status Session::LoadCsvFile(const std::string& name, const std::string& path) {
+  if (txn_ != nullptr) return NoDdlInTxn();
   Status status = database_->LoadCsvFile(name, path);
   Pin();
   return status;
 }
 
 Status Session::DeclareKey(const std::string& table, const std::vector<std::string>& attrs) {
+  if (txn_ != nullptr) return NoDdlInTxn();
   Status status = database_->DeclareKey(table, attrs);
   Pin();
   return status;
@@ -373,6 +425,7 @@ Status Session::DeclareKey(const std::string& table, const std::vector<std::stri
 Status Session::DeclareForeignKey(const std::string& from_table,
                                   const std::vector<std::string>& attrs,
                                   const std::string& to_table) {
+  if (txn_ != nullptr) return NoDdlInTxn();
   Status status = database_->DeclareForeignKey(from_table, attrs, to_table);
   Pin();
   return status;
@@ -380,6 +433,7 @@ Status Session::DeclareForeignKey(const std::string& from_table,
 
 Status Session::DeclareDisjoint(const std::string& table1, const std::string& table2,
                                 const std::vector<std::string>& attrs) {
+  if (txn_ != nullptr) return NoDdlInTxn();
   Status status = database_->DeclareDisjoint(table1, table2, attrs);
   Pin();
   return status;
@@ -396,21 +450,46 @@ Result<Session::Statement> Session::ParseStatement(const std::string& sql) const
   Result<std::vector<sql::Token>> tokens = sql::Tokenize(std::string(rest));
   if (!tokens.ok()) return Result<Statement>::Error(tokens.error());
   statement.normalized = NormalizeSql(tokens.value());
+  // Transaction control and DML route around the SELECT compile pipeline.
+  if (!tokens.value().empty()) {
+    const sql::Token& first = tokens.value().front();
+    if (first.IsKeyword("BEGIN") || first.IsKeyword("COMMIT") || first.IsKeyword("ROLLBACK") ||
+        first.IsKeyword("INSERT") || first.IsKeyword("DELETE")) {
+      if (statement.explain) {
+        return Result<Statement>::Error("EXPLAIN supports SELECT statements only");
+      }
+      Result<std::shared_ptr<sql::SqlStatement>> command =
+          sql::ParseStatementTokens(std::move(tokens).value());
+      if (!command.ok()) return Result<Statement>::Error(command.error());
+      statement.command = command.value();
+      return statement;
+    }
+  }
   Result<std::shared_ptr<sql::SqlQuery>> parsed = sql::ParseTokens(std::move(tokens).value());
   if (!parsed.ok()) return Result<Statement>::Error(parsed.error());
   statement.ast = parsed.value();
   return statement;
 }
 
-Result<Session::CompiledRef> Session::Compile(const CatalogSnapshot& snapshot,
+Session::ReadView Session::PinView() {
+  if (txn_ != nullptr) {
+    // A transaction's statements all read its pinned snapshot; once it has
+    // buffered writes they read the private overlay instead (their own
+    // uncommitted rows, invisible to every other session).
+    return ReadView{txn_->snapshot(), txn_->dirty() ? txn_->read_catalog() : nullptr};
+  }
+  return ReadView{Pin(), nullptr};
+}
+
+Result<Session::CompiledRef> Session::Compile(const Catalog& catalog, uint64_t version,
+                                              bool allow_cache,
                                               std::shared_ptr<const sql::SqlQuery> ast,
                                               const std::string& normalized,
                                               size_t param_count) {
-  const bool use_cache = options_.plan_cache_capacity > 0;
+  const bool use_cache = allow_cache && options_.plan_cache_capacity > 0;
   std::string key = cache_key_prefix_ + normalized;
   if (use_cache) {
-    if (std::shared_ptr<const CompiledStatement> entry =
-            database_->CacheLookup(key, snapshot.version())) {
+    if (std::shared_ptr<const CompiledStatement> entry = database_->CacheLookup(key, version)) {
       return CompiledRef{std::move(entry), /*cache_hit=*/true};
     }
   }
@@ -420,7 +499,7 @@ Result<Session::CompiledRef> Session::Compile(const CatalogSnapshot& snapshot,
   compiled->param_count = param_count;
   compiled->info.normalized_sql = normalized;
   std::set<std::string> tables;
-  Result<PlanPtr> lowered = sql::LowerQuery(*compiled->ast, snapshot.catalog());
+  Result<PlanPtr> lowered = sql::LowerQuery(*compiled->ast, catalog);
   if (lowered.ok()) {
     compiled->info.compiled = true;
     compiled->info.lowered = lowered.value();
@@ -429,7 +508,7 @@ Result<Session::CompiledRef> Session::Compile(const CatalogSnapshot& snapshot,
     // predicates still carry '?' slots; compile parameterized statements
     // with the cheap declared-metadata preconditions only.
     if (param_count > 0) optimizer_options.allow_runtime_checks = false;
-    Optimizer optimizer(snapshot.catalog(), optimizer_options);
+    Optimizer optimizer(catalog, optimizer_options);
     OptimizationReport report = optimizer.Optimize(compiled->info.lowered);
     compiled->info.optimized = report.chosen;
     compiled->info.rewrites = std::move(report.steps);
@@ -448,25 +527,30 @@ Result<Session::CompiledRef> Session::Compile(const CatalogSnapshot& snapshot,
   }
 
   if (use_cache) {
-    database_->CacheInsert(key, compiled, snapshot.version(),
+    database_->CacheInsert(key, compiled, version,
                            std::vector<std::string>(tables.begin(), tables.end()));
   }
   return CompiledRef{std::move(compiled), /*cache_hit=*/false};
 }
 
-Result<Session::BoundStatement> Session::ParseAndCompile(const std::string& sql) {
-  Result<Statement> statement = ParseStatement(sql);
-  if (!statement.ok()) return Result<BoundStatement>::Error(statement.error());
-  if (sql::CountParameters(*statement.value().ast) > 0) {
+Result<Session::BoundStatement> Session::CompileStatement(Statement statement) {
+  if (sql::CountParameters(*statement.ast) > 0) {
     return Result<BoundStatement>::Error(
         "statement has unbound '?' parameters; use Session::Prepare");
   }
   BoundStatement bound;
-  bound.snapshot = Pin();
+  ReadView view = PinView();
+  bound.snapshot = std::move(view.snapshot);
+  bound.overlay = std::move(view.overlay);
+  // Dirty-transaction statements compile against private data: both the
+  // shared plan cache and the artifact recycler are off-limits for them
+  // (a plan or divisor built over uncommitted rows must never be visible
+  // at a committed catalog version).
   Result<CompiledRef> compiled =
-      Compile(*bound.snapshot, statement.value().ast, statement.value().normalized, 0);
+      Compile(bound.exec_catalog(), bound.snapshot->version(),
+              /*allow_cache=*/bound.overlay == nullptr, statement.ast, statement.normalized, 0);
   if (!compiled.ok()) return Result<BoundStatement>::Error(compiled.error());
-  bound.statement = std::move(statement).value();
+  bound.statement = std::move(statement);
   bound.compiled = std::move(compiled).value();
   bound.plan = bound.compiled.entry->info.optimized;
   bound.ast = bound.compiled.entry->ast;
@@ -481,13 +565,18 @@ Result<Session::BoundStatement> Session::BindPrepared(const PreparedStatement& p
         std::to_string(params.size()));
   }
   BoundStatement bound;
-  bound.snapshot = Pin();
+  ReadView view = PinView();
+  bound.snapshot = std::move(view.snapshot);
+  bound.overlay = std::move(view.overlay);
   // Compile-or-hit on the UNBOUND statement: one cache entry per prepared
   // statement, every binding a hit. (After DDL on a referenced table the
   // entry is stale and this recompiles against the new snapshot — prepared
-  // statements survive DDL.)
+  // statements survive DDL. Inside a dirty transaction the cache is
+  // bypassed; see CompileStatement.)
   Result<CompiledRef> compiled =
-      Compile(*bound.snapshot, prepared.ast_, prepared.normalized_, prepared.param_count_);
+      Compile(bound.exec_catalog(), bound.snapshot->version(),
+              /*allow_cache=*/bound.overlay == nullptr, prepared.ast_, prepared.normalized_,
+              prepared.param_count_);
   if (!compiled.ok()) return Result<BoundStatement>::Error(compiled.error());
   bound.statement =
       Statement{prepared.explain_, prepared.analyze_, prepared.ast_, prepared.normalized_};
@@ -512,7 +601,12 @@ Result<Session::BoundStatement> Session::BindPrepared(const PreparedStatement& p
 
 Result<QueryResult> Session::Run(const BoundStatement& bound) {
   const CompiledStatement& entry = *bound.compiled.entry;
-  const Catalog& catalog = bound.snapshot->catalog();
+  const Catalog& catalog = bound.exec_catalog();
+  // Recycled artifacts are keyed on committed data versions; an overlay's
+  // private versions can collide with them while holding different rows, so
+  // dirty-transaction statements run with recycling off.
+  PlannerOptions planner = options_.optimizer.planner;
+  if (bound.overlay != nullptr) planner.recycler = nullptr;
   QueryResult out;
   out.compile = entry.info;
   out.compile.cache_hit = bound.compiled.cache_hit;
@@ -525,9 +619,7 @@ Result<QueryResult> Session::Run(const BoundStatement& bound) {
     std::shared_ptr<QueryContext> context = MakeContext();
     try {
       if (entry.info.compiled) {
-        out.rows =
-            ExecutePlan(bound.plan, catalog, options_.optimizer.planner, &out.profile,
-                        context.get());
+        out.rows = ExecutePlan(bound.plan, catalog, planner, &out.profile, context.get());
       } else {
         ScopedQueryContext scope(context.get());
         out.rows = sql::ExecuteQueryOracle(*bound.ast, catalog);
@@ -544,6 +636,14 @@ Result<QueryResult> Session::Run(const BoundStatement& bound) {
     } catch (const QueryAbort& e) {
       return Result<QueryResult>::Error(e.status());
     }
+    // ORDER BY / LIMIT are statement-level result shaping: the plan computes
+    // the full (canonical, duplicate-free) result, then this post-pass sorts
+    // and truncates it deterministically.
+    if (sql::HasOrderLimit(*entry.ast)) {
+      Result<Relation> shaped = sql::ApplyOrderLimit(*entry.ast, std::move(out.rows));
+      if (!shaped.ok()) return Result<QueryResult>::Error(shaped.error());
+      out.rows = std::move(shaped).value();
+    }
     result_rows = out.rows.size();
   }
   out.profile.rewrite_steps = entry.info.rewrites.size();
@@ -556,33 +656,37 @@ Result<QueryResult> Session::Run(const BoundStatement& bound) {
 }
 
 Result<ResultCursor> Session::Open(const BoundStatement& bound) {
-  if (bound.statement.explain) {
-    // EXPLAIN output is tiny; materialize through Run and stream the rows.
+  const CompiledStatement& entry = *bound.compiled.entry;
+  // EXPLAIN output is tiny, and an ORDER BY needs the full result before
+  // the first row can stream; both materialize through Run. (LIMIT alone
+  // keeps the streaming path: the cursor cuts the stream after N rows.)
+  if (bound.statement.explain || !entry.ast->order_by.empty() ||
+      (!entry.info.compiled && sql::HasOrderLimit(*entry.ast))) {
     Result<QueryResult> result = Run(bound);
     if (!result.ok()) return Result<ResultCursor>::Error(result.status());
     CompileInfo info = result.value().compile;
     auto owned = std::make_shared<const Relation>(std::move(result.value().rows));
     return ResultCursor(std::make_unique<RelationScan>(owned), owned, std::move(info),
-                        bound.snapshot, MakeContext());
+                        bound.snapshot, MakeContext(), bound.overlay);
   }
-  const CompiledStatement& entry = *bound.compiled.entry;
   CompileInfo info = entry.info;
   info.cache_hit = bound.compiled.cache_hit;
   // The cursor shares the governor: Cancel() reaches it for as long as the
   // cursor is alive, and every pull polls it.
   std::shared_ptr<QueryContext> context = MakeContext();
+  PlannerOptions planner = options_.optimizer.planner;
+  if (bound.overlay != nullptr) planner.recycler = nullptr;  // see Run
   if (entry.info.compiled) {
-    IterPtr root =
-        BuildPhysicalPlan(bound.plan, bound.snapshot->catalog(), options_.optimizer.planner);
+    IterPtr root = BuildPhysicalPlan(bound.plan, bound.exec_catalog(), planner);
     return ResultCursor(std::move(root), nullptr, std::move(info), bound.snapshot,
-                        std::move(context));
+                        std::move(context), bound.overlay, entry.ast->limit);
   }
   // The oracle path materializes during Open; govern that burst too.
   ScopedQueryContext scope(context.get());
   auto owned = std::make_shared<const Relation>(
-      sql::ExecuteQueryOracle(*bound.ast, bound.snapshot->catalog()));
+      sql::ExecuteQueryOracle(*bound.ast, bound.exec_catalog()));
   return ResultCursor(std::make_unique<RelationScan>(owned), owned, std::move(info),
-                      bound.snapshot, std::move(context));
+                      bound.snapshot, std::move(context), bound.overlay);
 }
 
 Relation Session::RenderExplain(const CompileInfo& info, bool analyze,
@@ -638,9 +742,185 @@ Relation Session::RenderExplain(const CompileInfo& info, bool analyze,
   return Relation(Schema::Parse("line:int, detail:string"), std::move(rows));
 }
 
+// ------------------------------------------------- transaction control + DML
+
+namespace {
+
+/// One-row acknowledgement relation for BEGIN/COMMIT/ROLLBACK.
+QueryResult ControlResult(const char* name) {
+  QueryResult out;
+  out.rows = Relation(Schema::Parse("status:string"), {{Value::Str(name)}});
+  out.profile.total_rows = 1;
+  return out;
+}
+
+/// One-row rows_affected relation for INSERT/DELETE.
+QueryResult DmlResult(size_t rows_affected) {
+  QueryResult out;
+  out.rows = Relation(Schema::Parse("rows_affected:int"),
+                      {{Value::Int(static_cast<int64_t>(rows_affected))}});
+  out.profile.total_rows = 1;
+  return out;
+}
+
+/// Attempts after which an autocommit DML statement stops retrying lost
+/// first-committer-wins races and surfaces kConflict to the caller.
+constexpr int kAutocommitAttempts = 8;
+
+}  // namespace
+
+Status Session::Begin() {
+  if (txn_ != nullptr) {
+    return Status::Error("already in a transaction (COMMIT or ROLLBACK first)");
+  }
+  txn_ = std::make_unique<Transaction>(Pin());
+  database_->NoteTransactionBegin();
+  return Status::Ok();
+}
+
+Status Session::Commit() {
+  if (txn_ == nullptr) return Status::Error("no transaction in progress (BEGIN first)");
+  // The transaction ends NOW, succeed or fail: a lost validation race rolls
+  // back cleanly and the session is immediately usable (typically a retry).
+  std::unique_ptr<Transaction> txn = std::move(txn_);
+  Status status;
+  try {
+    // Governed commit: the session's fault injector and deadline reach the
+    // txn.validate / txn.publish sites inside CommitWriteSet.
+    std::shared_ptr<QueryContext> context = MakeContext();
+    ScopedQueryContext scope(context.get());
+    status = database_->CommitWriteSet(txn->WriteSet());
+  } catch (const QueryAbort& e) {
+    status = e.status();
+  } catch (const std::exception& e) {
+    status = Status::Error(e.what());
+  }
+  if (!status.ok()) database_->NoteTransactionRollback();
+  Pin();  // observe the commit (or whatever state the failed attempt left)
+  return status;
+}
+
+Status Session::Rollback() {
+  if (txn_ == nullptr) return Status::Error("no transaction in progress (BEGIN first)");
+  txn_.reset();
+  database_->NoteTransactionRollback();
+  Pin();
+  return Status::Ok();
+}
+
+Result<size_t> Session::RunInsert(const sql::SqlInsert& insert) {
+  if (txn_ != nullptr) {
+    Result<std::vector<Tuple>> rows = sql::LowerInsert(insert, txn_->catalog());
+    if (!rows.ok()) return Result<size_t>::Error(rows.status());
+    return txn_->Insert(insert.table, std::move(rows).value());
+  }
+  // Autocommit: a single-statement transaction with a bounded
+  // first-committer-wins retry loop — each attempt re-reads the newest
+  // snapshot, so only a sustained stream of competing committers exhausts it.
+  Status last;
+  for (int attempt = 0; attempt < kAutocommitAttempts; ++attempt) {
+    Transaction txn(database_->snapshot());
+    Result<std::vector<Tuple>> rows = sql::LowerInsert(insert, txn.catalog());
+    if (!rows.ok()) return Result<size_t>::Error(rows.status());
+    Result<size_t> added = txn.Insert(insert.table, std::move(rows).value());
+    if (!added.ok()) return added;
+    Status committed = database_->CommitWriteSet(txn.WriteSet());
+    if (committed.ok()) {
+      Pin();
+      return added;
+    }
+    if (committed.code() != StatusCode::kConflict) {
+      return Result<size_t>::Error(std::move(committed));
+    }
+    last = std::move(committed);
+  }
+  return Result<size_t>::Error(std::move(last));
+}
+
+Result<size_t> Session::RunDelete(const sql::SqlDelete& del) {
+  // Deletion is "replace the table with the survivors": evaluate
+  // SELECT * FROM t WHERE NOT(pred) against the statement's read view.
+  auto survivors_of = [&](const Catalog& catalog) -> Result<Relation> {
+    if (!catalog.Has(del.table)) {
+      return Result<Relation>::Error("unknown table '" + del.table + "' (CreateTable first)");
+    }
+    if (del.where == nullptr) {  // unconditional DELETE empties the table
+      return Relation(catalog.Get(del.table).schema());
+    }
+    try {
+      return sql::ExecuteQueryOracle(*sql::DeleteSurvivorQuery(del), catalog);
+    } catch (const std::exception& e) {
+      return Result<Relation>::Error(e.what());
+    }
+  };
+  if (txn_ != nullptr) {
+    Result<Relation> survivors = survivors_of(txn_->catalog());
+    if (!survivors.ok()) return Result<size_t>::Error(survivors.status());
+    return txn_->Replace(del.table, std::move(survivors).value());
+  }
+  Status last;
+  for (int attempt = 0; attempt < kAutocommitAttempts; ++attempt) {
+    Transaction txn(database_->snapshot());
+    Result<Relation> survivors = survivors_of(txn.catalog());
+    if (!survivors.ok()) return Result<size_t>::Error(survivors.status());
+    Result<size_t> removed = txn.Replace(del.table, std::move(survivors).value());
+    if (!removed.ok()) return removed;
+    Status committed = database_->CommitWriteSet(txn.WriteSet());
+    if (committed.ok()) {
+      Pin();
+      return removed;
+    }
+    if (committed.code() != StatusCode::kConflict) {
+      return Result<size_t>::Error(std::move(committed));
+    }
+    last = std::move(committed);
+  }
+  return Result<size_t>::Error(std::move(last));
+}
+
+Result<QueryResult> Session::RunCommand(const sql::SqlStatement& command) {
+  using Kind = sql::SqlStatement::Kind;
+  switch (command.kind) {
+    case Kind::kBegin: {
+      Status status = Begin();
+      if (!status.ok()) return Result<QueryResult>::Error(std::move(status));
+      return ControlResult("BEGIN");
+    }
+    case Kind::kCommit: {
+      Status status = Commit();
+      if (!status.ok()) return Result<QueryResult>::Error(std::move(status));
+      return ControlResult("COMMIT");
+    }
+    case Kind::kRollback: {
+      Status status = Rollback();
+      if (!status.ok()) return Result<QueryResult>::Error(std::move(status));
+      return ControlResult("ROLLBACK");
+    }
+    case Kind::kInsert: {
+      Result<size_t> added = RunInsert(command.insert);
+      if (!added.ok()) return Result<QueryResult>::Error(added.status());
+      return DmlResult(added.value());
+    }
+    case Kind::kDelete: {
+      Result<size_t> removed = RunDelete(command.del);
+      if (!removed.ok()) return Result<QueryResult>::Error(removed.status());
+      return DmlResult(removed.value());
+    }
+    case Kind::kSelect: break;  // never parsed into a command
+  }
+  return Result<QueryResult>::Error("unsupported statement");
+}
+
+// ------------------------------------------------------------- entry points
+
 Result<QueryResult> Session::Execute(const std::string& sql) {
   try {
-    Result<BoundStatement> bound = ParseAndCompile(sql);
+    Result<Statement> statement = ParseStatement(sql);
+    if (!statement.ok()) return Result<QueryResult>::Error(statement.error());
+    if (statement.value().command != nullptr) {
+      return RunCommand(*statement.value().command);
+    }
+    Result<BoundStatement> bound = CompileStatement(std::move(statement).value());
     if (!bound.ok()) return Result<QueryResult>::Error(bound.error());
     return Run(bound.value());
   } catch (const QueryAbort& e) {
@@ -652,7 +932,18 @@ Result<QueryResult> Session::Execute(const std::string& sql) {
 
 Result<ResultCursor> Session::Query(const std::string& sql) {
   try {
-    Result<BoundStatement> bound = ParseAndCompile(sql);
+    Result<Statement> statement = ParseStatement(sql);
+    if (!statement.ok()) return Result<ResultCursor>::Error(statement.error());
+    if (statement.value().command != nullptr) {
+      // Control/DML through the cursor API: run it, stream the one-row ack.
+      Result<QueryResult> result = RunCommand(*statement.value().command);
+      if (!result.ok()) return Result<ResultCursor>::Error(result.status());
+      CompileInfo info = result.value().compile;
+      auto owned = std::make_shared<const Relation>(std::move(result.value().rows));
+      return ResultCursor(std::make_unique<RelationScan>(owned), owned, std::move(info),
+                          snapshot_, nullptr);
+    }
+    Result<BoundStatement> bound = CompileStatement(std::move(statement).value());
     if (!bound.ok()) return Result<ResultCursor>::Error(bound.error());
     return Open(bound.value());
   } catch (const QueryAbort& e) {
@@ -666,6 +957,10 @@ Result<PreparedStatement> Session::Prepare(const std::string& sql) {
   try {
     Result<Statement> statement = ParseStatement(sql);
     if (!statement.ok()) return Result<PreparedStatement>::Error(statement.error());
+    if (statement.value().command != nullptr) {
+      return Result<PreparedStatement>::Error(
+          "cannot prepare transaction control or DML statements");
+    }
     PreparedStatement prepared;
     prepared.session_ = this;
     prepared.ast_ = statement.value().ast;
@@ -678,9 +973,13 @@ Result<PreparedStatement> Session::Prepare(const std::string& sql) {
     // Compile errors (possible only with the oracle fallback disabled) are
     // surfaced by Execute/Query, preserving the Prepare-never-compiles
     // error contract. With caching disabled the result could not be kept,
-    // so don't compile a throwaway.
-    if (options_.plan_cache_capacity > 0) {
-      (void)Compile(*Pin(), prepared.ast_, prepared.normalized_, prepared.param_count_);
+    // so don't compile a throwaway — and inside a transaction the warm-up
+    // is skipped too (dirty overlays never publish to the shared cache;
+    // BindPrepared compiles against the txn view on first use).
+    if (options_.plan_cache_capacity > 0 && txn_ == nullptr) {
+      const SnapshotPtr& pinned = Pin();
+      (void)Compile(pinned->catalog(), pinned->version(), /*allow_cache=*/true, prepared.ast_,
+                    prepared.normalized_, prepared.param_count_);
     }
     return prepared;
   } catch (const std::exception& e) {

@@ -43,6 +43,8 @@
 
 namespace quotient {
 
+class Transaction;
+
 struct SessionOptions {
   /// Rule set, cost guard, and physical-algorithm choices. Part of the plan
   /// cache key: sessions with different optimizer options never share
@@ -132,7 +134,8 @@ class ResultCursor {
  private:
   friend class Session;
   ResultCursor(IterPtr root, std::shared_ptr<const Relation> owned, CompileInfo compile,
-               SnapshotPtr snapshot, std::shared_ptr<QueryContext> context);
+               SnapshotPtr snapshot, std::shared_ptr<QueryContext> context,
+               std::shared_ptr<const Catalog> overlay = nullptr, int64_t limit = -1);
   bool PullBatch();
   /// Records the first error, invalidates the current batch, and closes.
   void Fail(Status status);
@@ -141,11 +144,13 @@ class ResultCursor {
   std::shared_ptr<const Relation> owned_;  // backing rows for oracle results
   CompileInfo compile_;
   SnapshotPtr snapshot_;  // pinned catalog state backing the plan
+  std::shared_ptr<const Catalog> overlay_;  // txn overlay backing the plan, if any
   std::shared_ptr<QueryContext> ctx_;  // governor shared with Session::Cancel
   Schema schema_;         // cached: survives teardown of root_
   ExecProfile final_profile_;  // captured at close, served once root_ is gone
   Batch batch_;
   size_t next_active_ = 0;  // batch_ rows already served through Next()
+  int64_t remaining_limit_ = -1;  // LIMIT rows still to serve (-1 = no limit)
   bool batch_valid_ = false;
   bool opened_ = false;
   bool exhausted_ = false;
@@ -187,9 +192,11 @@ class Session {
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
   // Movable; outstanding PreparedStatements/cursors point at the old
-  // address, so move only before handing any out.
-  Session(Session&&) = default;
-  Session& operator=(Session&&) = default;
+  // address, so move only before handing any out. (Defined in session.cpp
+  // where Transaction is complete.)
+  Session(Session&&) noexcept;
+  Session& operator=(Session&&) noexcept;
+  ~Session();
 
   // ---- catalog management ----
   // DDL forwards to the Database: it publishes a new catalog snapshot
@@ -213,7 +220,9 @@ class Session {
                          const std::vector<std::string>& attrs);
   /// The catalog as of this session's last statement or DDL (a pinned
   /// snapshot; other sessions' later DDL shows up at the next statement).
-  const Catalog& catalog() const { return snapshot_->catalog(); }
+  /// Inside a transaction: the transaction's read view, including its own
+  /// buffered writes.
+  const Catalog& catalog() const;
   /// The shared database this session serves.
   const std::shared_ptr<Database>& database() const { return database_; }
 
@@ -225,8 +234,26 @@ class Session {
   /// Like Execute but returns a pull-based cursor over the result.
   Result<ResultCursor> Query(const std::string& sql);
   /// Parses and compiles once; execute many times with different '?'
-  /// bindings without recompiling.
+  /// bindings without recompiling. SELECT / EXPLAIN only — transaction
+  /// control and DML do not prepare.
   Result<PreparedStatement> Prepare(const std::string& sql);
+
+  // ---- transactions (docs/transactions.md) ----
+  // Also reachable through Execute("BEGIN"/"COMMIT"/"ROLLBACK"). A
+  // transaction pins ONE snapshot for all its statements and buffers
+  // INSERT/DELETE privately; COMMIT validates first-committer-wins and
+  // fails with StatusCode::kConflict if any written table was committed
+  // past the pinned version by another session. Statements outside a
+  // transaction autocommit exactly as before.
+  /// Starts a transaction; errors if one is already open.
+  Status Begin();
+  /// Validates and publishes the write set; the transaction ends whether
+  /// this succeeds (one atomic snapshot publish) or fails (clean rollback,
+  /// kConflict on a lost first-committer-wins race).
+  Status Commit();
+  /// Discards the write set; errors if no transaction is open.
+  Status Rollback();
+  bool in_transaction() const { return txn_ != nullptr; }
 
   /// Cancels every statement of this session currently in flight —
   /// materializing Execute()s on other threads and open cursors alike.
@@ -250,6 +277,10 @@ class Session {
     bool analyze = false;
     std::shared_ptr<const sql::SqlQuery> ast;
     std::string normalized;  // of the SELECT, without the EXPLAIN prefix
+    // Non-SELECT statement (BEGIN/COMMIT/ROLLBACK/INSERT/DELETE); when set,
+    // `ast` is null and the statement runs through RunCommand, not the
+    // compile pipeline.
+    std::shared_ptr<const sql::SqlStatement> command;
   };
   /// A cache lookup/compile outcome: the shared immutable entry plus
   /// whether it came from the cache (entries are shared, not copied, on
@@ -262,23 +293,41 @@ class Session {
   /// shared compiled entry, and the parameter-bound plan/AST to run.
   struct BoundStatement {
     SnapshotPtr snapshot;
+    // Transaction read view when the statement runs inside a dirty
+    // transaction: the txn's private catalog overlay (snapshot data plus
+    // the txn's own buffered writes). Null outside transactions and for
+    // clean (read-only-so-far) transactions.
+    std::shared_ptr<const Catalog> overlay;
     Statement statement;
     CompiledRef compiled;
     PlanPtr plan;  // param-bound optimized plan (compiled path)
     std::shared_ptr<const sql::SqlQuery> ast;  // param-bound AST (oracle path)
+
+    const Catalog& exec_catalog() const {
+      return overlay != nullptr ? *overlay : snapshot->catalog();
+    }
+  };
+  /// The catalog state a statement pins: the txn's snapshot (+overlay when
+  /// dirty) inside a transaction, the database's newest snapshot outside.
+  struct ReadView {
+    SnapshotPtr snapshot;
+    std::shared_ptr<const Catalog> overlay;  // non-null = dirty transaction
   };
 
   /// Pins the database's current snapshot as this session's view.
   const SnapshotPtr& Pin() { return snapshot_ = database_->snapshot(); }
+  ReadView PinView();
   Result<Statement> ParseStatement(const std::string& sql) const;
   /// Shared-cache lookup, or a full lower → rewrite → cost compile against
-  /// `snapshot` published back to the cache.
-  Result<CompiledRef> Compile(const CatalogSnapshot& snapshot,
+  /// `catalog` published back to the cache under `version`. `allow_cache`
+  /// is off for dirty-transaction statements: their overlay data is private,
+  /// so neither cached plans nor data-dependent compiles may be shared.
+  Result<CompiledRef> Compile(const Catalog& catalog, uint64_t version, bool allow_cache,
                               std::shared_ptr<const sql::SqlQuery> ast,
                               const std::string& normalized, size_t param_count);
-  /// Shared parse → unbound-'?' check → compile front half of
-  /// Execute/Query.
-  Result<BoundStatement> ParseAndCompile(const std::string& sql);
+  /// Shared unbound-'?' check → compile back half of Execute/Query (after
+  /// ParseStatement routed commands to RunCommand).
+  Result<BoundStatement> CompileStatement(Statement statement);
   /// Shared '?'-binding front half of PreparedStatement::Execute/Query:
   /// compile-or-hit, then bind the values into the cached plan (or the AST
   /// on the oracle path).
@@ -288,6 +337,17 @@ class Session {
   Result<ResultCursor> Open(const BoundStatement& bound);
   Relation RenderExplain(const CompileInfo& info, bool analyze, const ExecProfile& profile,
                          size_t result_rows) const;
+
+  // ---- transaction control + DML (src/api/txn.hpp) ----
+  /// Dispatches a non-SELECT statement (the `Statement::command` path).
+  Result<QueryResult> RunCommand(const sql::SqlStatement& command);
+  /// INSERT: buffered into the open transaction, or autocommitted through a
+  /// bounded first-committer-wins retry loop. Returns rows actually added
+  /// (set semantics).
+  Result<size_t> RunInsert(const sql::SqlInsert& insert);
+  /// DELETE FROM t [WHERE ...]: evaluates the survivor query against the
+  /// statement's read view and replaces the table. Returns rows removed.
+  Result<size_t> RunDelete(const sql::SqlDelete& del);
 
   /// Creates this statement's governor from the session options and
   /// registers it with the cancel registry (weak: a finished statement's
@@ -307,6 +367,7 @@ class Session {
   std::string cache_key_prefix_;  // options fingerprint (see session.cpp)
   SnapshotPtr snapshot_;          // this session's pinned catalog view
   std::unique_ptr<CancelRegistry> cancels_;
+  std::unique_ptr<Transaction> txn_;  // open transaction, if any
 };
 
 }  // namespace quotient

@@ -1,0 +1,84 @@
+#include "api/txn.hpp"
+
+#include <utility>
+
+namespace quotient {
+
+Transaction::Transaction(SnapshotPtr snapshot) : snapshot_(std::move(snapshot)) {}
+
+std::shared_ptr<const Catalog> Transaction::read_catalog() const {
+  if (overlay_ != nullptr) return overlay_;
+  // Aliasing handle: points at the snapshot's catalog, owns the snapshot.
+  return std::shared_ptr<const Catalog>(snapshot_, &snapshot_->catalog());
+}
+
+const Catalog& Transaction::catalog() const {
+  return overlay_ != nullptr ? *overlay_ : snapshot_->catalog();
+}
+
+Status Transaction::TouchTable(const std::string& table) {
+  if (!snapshot_->catalog().Has(table)) {
+    return Status::Error("unknown table '" + table + "' (CreateTable first)");
+  }
+  if (overlay_ == nullptr) {
+    // O(#tables): relations and cached encodings stay shared until a Put
+    // replaces them table by table.
+    overlay_ = std::make_shared<Catalog>(snapshot_->catalog());
+  }
+  base_versions_.emplace(table, snapshot_->catalog().DataVersion(table));
+  return Status::Ok();
+}
+
+Result<size_t> Transaction::Insert(const std::string& table, std::vector<Tuple> rows) {
+  if (!snapshot_->catalog().Has(table)) {
+    return Result<size_t>::Error("unknown table '" + table + "' (CreateTable first)");
+  }
+  const Relation& current = catalog().Get(table);
+  // Bulk merge through the canonicalizing constructor (sort once) instead
+  // of O(n) sorted inserts per row; it also type-checks the new rows.
+  std::vector<Tuple> merged = current.tuples();
+  merged.reserve(merged.size() + rows.size());
+  for (Tuple& row : rows) merged.push_back(std::move(row));
+  Relation updated;
+  try {
+    updated = Relation(current.schema(), std::move(merged));
+  } catch (const std::exception& e) {
+    return Result<size_t>::Error(e.what());
+  }
+  size_t added = updated.size() - current.size();
+  Status touched = TouchTable(table);
+  if (!touched.ok()) return Result<size_t>::Error(touched);
+  overlay_->Put(table, std::move(updated));
+  return added;
+}
+
+Result<size_t> Transaction::Replace(const std::string& table, Relation survivors) {
+  if (!snapshot_->catalog().Has(table)) {
+    return Result<size_t>::Error("unknown table '" + table + "' (CreateTable first)");
+  }
+  const Relation& current = catalog().Get(table);
+  if (!(survivors.schema() == current.schema())) {
+    try {
+      survivors = survivors.Reorder(current.schema().Names());
+    } catch (const std::exception& e) {
+      return Result<size_t>::Error(std::string("DELETE survivors do not match table '") +
+                                   table + "': " + e.what());
+    }
+  }
+  size_t removed = current.size() - survivors.size();
+  Status touched = TouchTable(table);
+  if (!touched.ok()) return Result<size_t>::Error(touched);
+  overlay_->Put(table, std::move(survivors));
+  return removed;
+}
+
+std::vector<WriteSetEntry> Transaction::WriteSet() const {
+  std::vector<WriteSetEntry> writes;
+  writes.reserve(base_versions_.size());
+  for (const auto& [table, base_version] : base_versions_) {
+    writes.push_back(WriteSetEntry{table, base_version, overlay_->GetShared(table)});
+  }
+  return writes;
+}
+
+}  // namespace quotient

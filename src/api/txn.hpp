@@ -1,0 +1,83 @@
+#pragma once
+
+// Multi-statement transactions over versioned snapshots
+// (docs/transactions.md).
+//
+// A Transaction pins ONE catalog snapshot for its whole lifetime — every
+// statement inside it reads the database as of BEGIN, regardless of what
+// other sessions commit meanwhile — and buffers its own writes (INSERT,
+// DELETE) in a private copy-on-write catalog overlay. Statements inside the
+// transaction read through the overlay, so they see their own uncommitted
+// writes; no other session ever sees them. COMMIT hands the write set to
+// Database::CommitWriteSet, which validates first-committer-wins under the
+// DDL writer mutex: if any written table's live data version moved past the
+// pinned one, the commit fails with StatusCode::kConflict and the write set
+// is discarded — a clean rollback, nothing published.
+//
+// The overlay is a Catalog copy (O(#tables), storage shared with the
+// snapshot) created lazily at the first write; unwritten tables keep
+// sharing the snapshot's relations and cached encodings. Like a Session, a
+// Transaction is a single-threaded handle — concurrency comes from many
+// sessions, each with at most one open transaction.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/database.hpp"
+#include "plan/catalog.hpp"
+#include "util/status.hpp"
+
+namespace quotient {
+
+class Transaction {
+ public:
+  /// Pins `snapshot` as this transaction's read view.
+  explicit Transaction(SnapshotPtr snapshot);
+
+  /// The pinned snapshot (never null; immutable for the txn's lifetime).
+  const SnapshotPtr& snapshot() const { return snapshot_; }
+  /// True once any write is buffered.
+  bool dirty() const { return !base_versions_.empty(); }
+  /// Tables written so far.
+  size_t tables_written() const { return base_versions_.size(); }
+
+  /// The catalog this transaction's statements read: the private overlay
+  /// when dirty, otherwise the pinned snapshot's catalog. The returned
+  /// pointer co-owns the backing state, so cursors opened inside the
+  /// transaction stay valid after it ends.
+  std::shared_ptr<const Catalog> read_catalog() const;
+  /// Reference form of read_catalog() (the object is owned by this
+  /// transaction / its snapshot, not by the returned handle).
+  const Catalog& catalog() const;
+
+  /// Buffers an INSERT of `rows` into `table`. Set semantics (duplicates
+  /// merge, matching Database::InsertRows); returns the number of rows
+  /// actually added. Errors on unknown tables and arity/type mismatches;
+  /// a failed insert leaves the write set untouched.
+  Result<size_t> Insert(const std::string& table, std::vector<Tuple> rows);
+
+  /// Replaces `table`'s contents with `survivors` (the DELETE path: the
+  /// caller evaluates the survivor query against read_catalog()). Returns
+  /// the number of rows removed. `survivors` must have the table's
+  /// attribute set (reordered here if needed).
+  Result<size_t> Replace(const std::string& table, Relation survivors);
+
+  /// The write set for Database::CommitWriteSet: every written table's full
+  /// new contents plus the data version the pinned snapshot held for it.
+  std::vector<WriteSetEntry> WriteSet() const;
+
+ private:
+  /// Creates the overlay on first write and records `table`'s pinned data
+  /// version; errors if the table is unknown at the pinned snapshot.
+  Status TouchTable(const std::string& table);
+
+  SnapshotPtr snapshot_;
+  std::shared_ptr<Catalog> overlay_;  // null until the first write
+  // Pinned Catalog::DataVersion per written table, captured from the
+  // snapshot at first touch — the commit-time validation baseline.
+  std::map<std::string, uint64_t> base_versions_;
+};
+
+}  // namespace quotient

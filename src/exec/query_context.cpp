@@ -34,6 +34,8 @@ const std::vector<std::string> kKnownSites = {
     "spill.read",           // each spilled-run read (exec/spill.cpp)
     "recycler.lookup",      // artifact-recycler lookups (exec/recycler.cpp)
     "recycler.publish",     // artifact publication after a build (exec/recycler.cpp)
+    "txn.validate",         // commit-time first-committer-wins check (api/database.cpp)
+    "txn.publish",          // commit snapshot publication (api/database.cpp)
 };
 
 }  // namespace

@@ -48,7 +48,11 @@ Catalog& Catalog::operator=(Catalog&& other) noexcept {
 }
 
 void Catalog::Put(const std::string& name, Relation relation) {
-  relations_.insert_or_assign(name, std::make_shared<const Relation>(std::move(relation)));
+  Put(name, std::make_shared<const Relation>(std::move(relation)));
+}
+
+void Catalog::Put(const std::string& name, std::shared_ptr<const Relation> relation) {
+  relations_.insert_or_assign(name, std::move(relation));
   ++data_versions_[name];
   std::lock_guard<std::mutex> lock(encodings_mutex_);
   encodings_.erase(name);  // replaced data invalidates the cached encoding

@@ -49,6 +49,10 @@ class Catalog {
 
   /// Registers (or replaces) a base relation.
   void Put(const std::string& name, Relation relation);
+  /// Same, adopting shared ownership instead of copying — the transaction
+  /// overlay and commit publication (api/txn.hpp) hand the same immutable
+  /// rows to several catalogs without duplicating storage.
+  void Put(const std::string& name, std::shared_ptr<const Relation> relation);
 
   /// Monotonic per-table data version: bumped by every Put() of the table.
   /// Copies carry versions over, and the Database serializes DDL, so within

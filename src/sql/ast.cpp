@@ -61,6 +61,15 @@ std::string SqlQuery::ToString() const {
     }
   }
   if (having != nullptr) out += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].expr->ToString();
+      if (order_by[i].descending) out += " DESC";
+    }
+  }
+  if (limit >= 0) out += " LIMIT " + std::to_string(limit);
   return out;
 }
 
@@ -90,6 +99,7 @@ void CountQueryParams(const SqlQuery& query, size_t* count) {
   if (query.where != nullptr) CountExprParams(*query.where, count);
   for (const SqlExprPtr& g : query.group_by) CountExprParams(*g, count);
   if (query.having != nullptr) CountExprParams(*query.having, count);
+  for (const OrderItem& item : query.order_by) CountExprParams(*item.expr, count);
 }
 
 std::shared_ptr<SqlQuery> BindQueryParams(const SqlQuery& query,
@@ -130,6 +140,7 @@ std::shared_ptr<SqlQuery> BindQueryParams(const SqlQuery& query,
   out->group_by.clear();
   for (const SqlExprPtr& g : query.group_by) out->group_by.push_back(BindExprParams(*g, params));
   if (query.having != nullptr) out->having = BindExprParams(*query.having, params);
+  for (OrderItem& item : out->order_by) item.expr = BindExprParams(*item.expr, params);
   return out;
 }
 
@@ -165,6 +176,7 @@ void CollectTables(const SqlQuery& query, std::set<std::string>* out) {
   if (query.where != nullptr) CollectExprTables(*query.where, out);
   for (const SqlExprPtr& g : query.group_by) CollectExprTables(*g, out);
   if (query.having != nullptr) CollectExprTables(*query.having, out);
+  for (const OrderItem& item : query.order_by) CollectExprTables(*item.expr, out);
 }
 
 Result<std::shared_ptr<SqlQuery>> BindParameters(const SqlQuery& query,

@@ -63,6 +63,14 @@ struct SelectItem {
   std::string alias;  // output column name (defaults to the column name)
 };
 
+/// One ORDER BY key: a result-schema column, ascending by default. Results
+/// are canonical relations (sets), so ordering alone does not change the
+/// output; its job is deciding which rows a LIMIT keeps.
+struct OrderItem {
+  SqlExprPtr expr;  // must resolve to a result column
+  bool descending = false;
+};
+
 /// A parsed SELECT query.
 struct SqlQuery {
   bool distinct = false;
@@ -71,8 +79,37 @@ struct SqlQuery {
   SqlExprPtr where;
   std::vector<SqlExprPtr> group_by;  // column expressions
   SqlExprPtr having;
+  // Top-statement-level result shaping (rejected in subqueries): sort the
+  // result by `order_by`, then keep the first `limit` rows (-1 = no limit).
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;
 
   std::string ToString() const;
+};
+
+/// One INSERT statement: literal rows buffered into `table`.
+struct SqlInsert {
+  std::string table;
+  std::vector<std::vector<Value>> rows;  // literal VALUES tuples
+};
+
+/// One DELETE statement: remove the rows of `table` matching `where`
+/// (all rows when `where` is null).
+struct SqlDelete {
+  std::string table;
+  SqlExprPtr where;
+};
+
+/// A top-level SQL statement: a query, a DML statement, or transaction
+/// control. Only kSelect statements flow through the plan cache and the
+/// rewrite engine; the rest are handled by the Session's control path.
+struct SqlStatement {
+  enum class Kind { kSelect, kInsert, kDelete, kBegin, kCommit, kRollback };
+
+  Kind kind = Kind::kSelect;
+  std::shared_ptr<SqlQuery> select;  // kSelect
+  SqlInsert insert;                  // kInsert
+  SqlDelete del;                     // kDelete
 };
 
 /// Number of '?' placeholders in the query (subqueries included). Parameter

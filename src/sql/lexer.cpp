@@ -14,7 +14,10 @@ const std::unordered_set<std::string>& Keywords() {
   static const std::unordered_set<std::string> kKeywords = {
       "SELECT", "DISTINCT", "FROM",  "WHERE", "GROUP", "BY",    "HAVING", "AS",
       "DIVIDE", "ON",       "AND",   "OR",    "NOT",   "EXISTS", "IN",    "ORDER",
-      "COUNT",  "SUM",      "MIN",   "MAX",   "AVG",   "UNION",  "ALL"};
+      "COUNT",  "SUM",      "MIN",   "MAX",   "AVG",   "UNION",  "ALL",
+      // Statement-level keywords (transactions + DML + result shaping).
+      "BEGIN",  "COMMIT",   "ROLLBACK", "TRANSACTION", "WORK", "INSERT",
+      "INTO",   "VALUES",   "DELETE",   "LIMIT", "ASC", "DESC"};
   return kKeywords;
 }
 

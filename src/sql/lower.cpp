@@ -1,5 +1,6 @@
 #include "sql/lower.hpp"
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <optional>
@@ -528,6 +529,96 @@ Result<PlanPtr> LowerSql(const std::string& text, const Catalog& catalog) {
   Result<std::shared_ptr<SqlQuery>> parsed = ParseQuery(text);
   if (!parsed.ok()) return Result<PlanPtr>::Error(parsed.error());
   return LowerQuery(*parsed.value(), catalog);
+}
+
+Result<std::vector<Tuple>> LowerInsert(const SqlInsert& insert, const Catalog& catalog) {
+  using R = Result<std::vector<Tuple>>;
+  if (!catalog.Has(insert.table)) {
+    return R::Error("unknown table '" + insert.table + "' (CreateTable first)");
+  }
+  const Schema& schema = catalog.Get(insert.table).schema();
+  std::vector<Tuple> tuples;
+  tuples.reserve(insert.rows.size());
+  for (size_t r = 0; r < insert.rows.size(); ++r) {
+    const std::vector<Value>& row = insert.rows[r];
+    if (row.size() != schema.size()) {
+      return R::Error("INSERT row " + std::to_string(r + 1) + " has " +
+                      std::to_string(row.size()) + " value(s); table '" + insert.table +
+                      "' has " + std::to_string(schema.size()) + " column(s)");
+    }
+    Tuple tuple;
+    tuple.reserve(row.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+      const Attribute& attr = schema.attribute(c);
+      Value value = row[c];
+      if (attr.type == ValueType::kReal && value.type() == ValueType::kInt) {
+        value = Value::Real(static_cast<double>(value.as_int()));
+      }
+      if (value.type() != attr.type) {
+        return R::Error("INSERT row " + std::to_string(r + 1) + ", column '" + attr.name +
+                        "': expected " + ValueTypeName(attr.type) + ", got " +
+                        ValueTypeName(value.type()));
+      }
+      tuple.push_back(std::move(value));
+    }
+    tuples.push_back(std::move(tuple));
+  }
+  return tuples;
+}
+
+std::shared_ptr<SqlQuery> DeleteSurvivorQuery(const SqlDelete& del) {
+  auto query = std::make_shared<SqlQuery>();
+  SelectItem star;
+  star.star = true;
+  query->items.push_back(std::move(star));
+  TableRef ref;
+  ref.table = del.table;
+  ref.alias = del.table;
+  query->from.push_back(std::move(ref));
+  if (del.where != nullptr) {
+    auto negated = std::make_shared<SqlExpr>();
+    negated->kind = SqlExpr::Kind::kNot;
+    negated->left = del.where;
+    query->where = std::move(negated);
+  }
+  return query;
+}
+
+Result<Relation> ApplyOrderLimit(const SqlQuery& query, Relation rows) {
+  if (!HasOrderLimit(query)) return rows;
+  // Resolve each ORDER BY key against the result schema (output names:
+  // aliases or bare column names).
+  std::vector<std::pair<size_t, bool>> keys;  // (column index, descending)
+  for (const OrderItem& item : query.order_by) {
+    if (item.expr == nullptr || item.expr->kind != SqlExpr::Kind::kColumn) {
+      return Result<Relation>::Error("ORDER BY supports result columns only");
+    }
+    std::optional<size_t> index = rows.schema().IndexOf(item.expr->name);
+    if (!index.has_value() && !item.expr->qualifier.empty()) {
+      index = rows.schema().IndexOf(item.expr->qualifier + "." + item.expr->name);
+    }
+    if (!index.has_value()) {
+      return Result<Relation>::Error("ORDER BY column '" + item.expr->ToString() +
+                                     "' is not in the result");
+    }
+    keys.emplace_back(*index, item.descending);
+  }
+  std::vector<Tuple> tuples = rows.tuples();
+  if (!keys.empty()) {
+    std::stable_sort(tuples.begin(), tuples.end(), [&](const Tuple& a, const Tuple& b) {
+      for (const auto& [column, descending] : keys) {
+        int cmp = a[column].Compare(b[column]);
+        if (cmp != 0) return descending ? cmp > 0 : cmp < 0;
+      }
+      // Deterministic tie-break: full-tuple canonical order, so LIMIT keeps
+      // the same rows at every thread count.
+      return CompareTuples(a, b) < 0;
+    });
+  }
+  if (query.limit >= 0 && tuples.size() > static_cast<size_t>(query.limit)) {
+    tuples.resize(static_cast<size_t>(query.limit));
+  }
+  return Relation(rows.schema(), std::move(tuples));
 }
 
 }  // namespace sql

@@ -19,8 +19,38 @@ class Parser {
 
   std::shared_ptr<SqlQuery> ParseQueryToEnd() {
     auto query = ParseSelect();
+    ParseOrderLimitTail(query.get());
     Expect(TokenKind::kEnd, "end of input");
     return query;
+  }
+
+  std::shared_ptr<SqlStatement> ParseStatementToEnd() {
+    auto statement = std::make_shared<SqlStatement>();
+    if (Peek().IsKeyword("BEGIN")) {
+      Advance();
+      AcceptTransactionNoise();
+      statement->kind = SqlStatement::Kind::kBegin;
+    } else if (Peek().IsKeyword("COMMIT")) {
+      Advance();
+      AcceptTransactionNoise();
+      statement->kind = SqlStatement::Kind::kCommit;
+    } else if (Peek().IsKeyword("ROLLBACK")) {
+      Advance();
+      AcceptTransactionNoise();
+      statement->kind = SqlStatement::Kind::kRollback;
+    } else if (Peek().IsKeyword("INSERT")) {
+      statement->kind = SqlStatement::Kind::kInsert;
+      statement->insert = ParseInsert();
+    } else if (Peek().IsKeyword("DELETE")) {
+      statement->kind = SqlStatement::Kind::kDelete;
+      statement->del = ParseDelete();
+    } else {
+      statement->kind = SqlStatement::Kind::kSelect;
+      statement->select = ParseSelect();
+      ParseOrderLimitTail(statement->select.get());
+    }
+    Expect(TokenKind::kEnd, "end of input");
+    return statement;
   }
 
  private:
@@ -97,6 +127,83 @@ class Parser {
       if (AcceptKeyword("HAVING")) query->having = ParseCondition();
     }
     return query;
+  }
+
+  /// The optional TRANSACTION/WORK noise word after BEGIN/COMMIT/ROLLBACK.
+  void AcceptTransactionNoise() {
+    if (!AcceptKeyword("TRANSACTION")) AcceptKeyword("WORK");
+  }
+
+  /// INSERT INTO table VALUES (literal, ...) [, (literal, ...)]*
+  /// Values must be literals (optionally sign-prefixed numbers): DML does
+  /// not flow through the plan cache, so '?' slots are not supported.
+  SqlInsert ParseInsert() {
+    ExpectKeyword("INSERT");
+    ExpectKeyword("INTO");
+    SqlInsert insert;
+    insert.table = ExpectIdent();
+    ExpectKeyword("VALUES");
+    do {
+      ExpectSymbol("(");
+      std::vector<Value> row;
+      do {
+        row.push_back(ParseLiteralValue());
+      } while (AcceptSymbol(","));
+      ExpectSymbol(")");
+      insert.rows.push_back(std::move(row));
+    } while (AcceptSymbol(","));
+    return insert;
+  }
+
+  /// DELETE FROM table [WHERE condition]
+  SqlDelete ParseDelete() {
+    ExpectKeyword("DELETE");
+    ExpectKeyword("FROM");
+    SqlDelete del;
+    del.table = ExpectIdent();
+    if (AcceptKeyword("WHERE")) del.where = ParseCondition();
+    return del;
+  }
+
+  Value ParseLiteralValue() {
+    bool negative = AcceptSymbol("-");
+    const Token& token = Peek();
+    if (token.kind == TokenKind::kNumber) {
+      Advance();
+      if (token.text.find('.') == std::string::npos) {
+        int64_t v = std::stoll(token.text);
+        return Value::Int(negative ? -v : v);
+      }
+      double v = std::stod(token.text);
+      return Value::Real(negative ? -v : v);
+    }
+    if (token.kind == TokenKind::kString && !negative) {
+      Advance();
+      return Value::Str(token.text);
+    }
+    Fail("expected literal value");
+  }
+
+  /// [ORDER BY expr [ASC|DESC] (',' ...)*] [LIMIT n] — top statement level
+  /// only; subqueries reject both (their callers expect ')' next).
+  void ParseOrderLimitTail(SqlQuery* query) {
+    if (AcceptKeyword("ORDER")) {
+      ExpectKeyword("BY");
+      do {
+        OrderItem item;
+        item.expr = ParseExpr();
+        if (!AcceptKeyword("ASC")) item.descending = AcceptKeyword("DESC");
+        query->order_by.push_back(std::move(item));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      const Token& token = Peek();
+      if (token.kind != TokenKind::kNumber || token.text.find('.') != std::string::npos) {
+        Fail("expected row count after LIMIT");
+      }
+      Advance();
+      query->limit = std::stoll(token.text);
+    }
   }
 
   TableRef ParseTableFactor() {
@@ -316,6 +423,21 @@ Result<std::shared_ptr<SqlQuery>> ParseTokens(std::vector<Token> tokens) {
     return parser.ParseQueryToEnd();
   } catch (const ParseError& error) {
     return Result<std::shared_ptr<SqlQuery>>::Error(error.message);
+  }
+}
+
+Result<std::shared_ptr<SqlStatement>> ParseStatement(const std::string& text) {
+  Result<std::vector<Token>> tokens = Tokenize(text);
+  if (!tokens.ok()) return Result<std::shared_ptr<SqlStatement>>::Error(tokens.error());
+  return ParseStatementTokens(std::move(tokens).value());
+}
+
+Result<std::shared_ptr<SqlStatement>> ParseStatementTokens(std::vector<Token> tokens) {
+  try {
+    Parser parser(std::move(tokens));
+    return parser.ParseStatementToEnd();
+  } catch (const ParseError& error) {
+    return Result<std::shared_ptr<SqlStatement>>::Error(error.message);
   }
 }
 

@@ -31,5 +31,11 @@ Result<std::shared_ptr<SqlQuery>> ParseQuery(const std::string& text);
 /// stream — e.g. the Session's SQL normalization — lex only once.
 Result<std::shared_ptr<SqlQuery>> ParseTokens(std::vector<Token> tokens);
 
+/// Parses one top-level statement: a SELECT (with the statement-level
+/// ORDER BY / LIMIT tail), INSERT INTO ... VALUES, DELETE FROM ... [WHERE],
+/// or transaction control (BEGIN/COMMIT/ROLLBACK [TRANSACTION|WORK]).
+Result<std::shared_ptr<SqlStatement>> ParseStatement(const std::string& text);
+Result<std::shared_ptr<SqlStatement>> ParseStatementTokens(std::vector<Token> tokens);
+
 }  // namespace sql
 }  // namespace quotient

@@ -24,6 +24,7 @@ enum class StatusCode {
   kCancelled,          // Session::Cancel() (or QueryContext::Cancel) fired
   kDeadlineExceeded,   // SessionOptions::deadline elapsed mid-execution
   kResourceExhausted,  // SessionOptions::memory_budget_bytes exceeded
+  kConflict,           // first-committer-wins transaction validation lost
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -33,6 +34,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kCancelled: return "cancelled";
     case StatusCode::kDeadlineExceeded: return "deadline exceeded";
     case StatusCode::kResourceExhausted: return "resource exhausted";
+    case StatusCode::kConflict: return "conflict";
   }
   return "?";
 }
@@ -56,6 +58,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string message) {
     return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Conflict(std::string message) {
+    return Status(StatusCode::kConflict, std::move(message));
   }
   static Status Make(StatusCode code, std::string message) {
     if (code == StatusCode::kOk) return Status();
