@@ -37,6 +37,12 @@
 #                                write-set validate+publish, autocommit DML,
 #                                the conflict-abort path, and dirty-overlay
 #                                reads vs cached snapshot reads
+#     BENCH_optimizer.json       cost-guided rewrite search (docs/
+#                                optimizer.md): compile-time cost of the
+#                                memoized exploration vs the greedy
+#                                fixpoint, and execution of the plan each
+#                                mode picks for a union-divisor query Law 1
+#                                makes searchable but greedy cannot reach
 #   Compare runs with benchmark's own tools/compare.py, or just diff the
 #   real_time fields. QUOTIENT_BENCH_THREADS overrides the parallel A/B's
 #   high thread count (default: nproc, min 2).
@@ -51,7 +57,7 @@ cmake --build "${build_dir}" -j "$(nproc)" \
   --target bench_division_algorithms bench_key_codec bench_sql_e2e \
            bench_concurrent_sessions bench_cancellation bench_spill \
            bench_law10_semijoin bench_law13_partitioned_great_divide \
-           bench_recycler bench_txn >/dev/null
+           bench_recycler bench_txn bench_optimizer >/dev/null
 
 mkdir -p "${out_dir}"
 
@@ -119,6 +125,11 @@ run_bench_threads bench_recycler "${par_threads}" "${out_dir}/.recycler_raw.json
 # Transactions: commit machinery, validate+publish, conflict abort, and
 # dirty-overlay reads against the cached snapshot-read baseline.
 run_bench_threads bench_txn "${par_threads}" "${out_dir}/BENCH_txn.json"
+
+# Cost-guided rewrite search: Optimize() greedy vs search on a law-rich
+# plan (compile-time overhead), and execution of each mode's chosen plan on
+# a union-divisor workload only the search rule set can rewrite (Law 1).
+run_bench bench_optimizer batch "${out_dir}/BENCH_optimizer.json"
 
 run_bench_threads bench_division_algorithms 1 "${out_dir}/.div_par1.json"
 run_bench_threads bench_division_algorithms "${par_threads}" "${out_dir}/.div_parN.json"

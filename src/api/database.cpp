@@ -149,6 +149,28 @@ TransactionStats Database::transaction_stats() const {
   return stats;
 }
 
+void Database::NoteCompile(const CompileInfo& info) {
+  std::lock_guard<std::mutex> lock(optimizer_mutex_);
+  for (const RewriteStep& step : info.rewrites) {
+    // Trace markers (e.g. the budget-exhausted sentinel) are parenthesized
+    // so they are distinguishable from rule names here.
+    if (!step.rule.empty() && step.rule.front() == '(') continue;
+    ++optimizer_stats_.law_fires[step.rule];
+  }
+  if (info.search_candidates > 0) ++optimizer_stats_.searched_compiles;
+  if (info.rewrite_budget_exhausted) ++optimizer_stats_.budget_exhausted;
+}
+
+void Database::NoteFallbackExecution(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(optimizer_mutex_);
+  ++optimizer_stats_.fallback_reasons[reason.empty() ? "(unspecified)" : reason];
+}
+
+OptimizerStats Database::optimizer_stats() const {
+  std::lock_guard<std::mutex> lock(optimizer_mutex_);
+  return optimizer_stats_;
+}
+
 DatabaseStats Database::Stats() const {
   DatabaseStats stats;
   stats.snapshot_version = version();
@@ -156,6 +178,7 @@ DatabaseStats Database::Stats() const {
   stats.admission = admission_stats();
   stats.recycler = recycler_stats();
   stats.transactions = transaction_stats();
+  stats.optimizer = optimizer_stats();
   return stats;
 }
 

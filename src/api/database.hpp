@@ -42,6 +42,7 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -51,6 +52,7 @@
 
 #include "core/engine.hpp"
 #include "exec/recycler.hpp"
+#include "opt/stats.hpp"
 #include "plan/catalog.hpp"
 #include "plan/logical.hpp"
 #include "sql/ast.hpp"
@@ -111,6 +113,14 @@ struct CompileInfo {
   std::vector<RewriteStep> rewrites;  // applied laws, in order
   double lowered_cost = 0;
   double optimized_cost = 0;
+  /// Cost of the greedy fixpoint plan, the search's A/B reference
+  /// (== lowered_cost when no rule fired).
+  double greedy_cost = 0;
+  /// Cost-guided search accounting (opt/memo.hpp); zero when search is off.
+  size_t search_candidates = 0;
+  size_t memo_hits = 0;
+  /// A rewrite or candidate budget truncated exploration.
+  bool rewrite_budget_exhausted = false;
 };
 
 /// A compiled statement as the shared plan cache stores it: either a
@@ -131,11 +141,17 @@ class CatalogSnapshot {
  public:
   const Catalog& catalog() const { return catalog_; }
   uint64_t version() const { return version_; }
+  /// Lazily-harvested per-table statistics feeding the optimizer's cost
+  /// model (opt/stats.hpp), shared by every compile pinned to this
+  /// snapshot. Versions with the data: DDL publishes a new snapshot with
+  /// a fresh, empty cache, so estimates never reflect replaced contents.
+  const StatsCache& stats() const { return *stats_; }
 
  private:
   friend class Database;
   Catalog catalog_;
   uint64_t version_ = 0;
+  std::shared_ptr<StatsCache> stats_ = std::make_shared<StatsCache>();
 };
 
 using SnapshotPtr = std::shared_ptr<const CatalogSnapshot>;
@@ -150,6 +166,18 @@ struct PlanCacheStats {
   size_t contended = 0;    // shard-lock acquisitions that had to block
 };
 
+/// Counters of the cost-guided optimizer (docs/optimizer.md), aggregated
+/// over cache-miss compiles and oracle-fallback executions.
+struct OptimizerStats {
+  /// Rewrite applications per rule name, over every compiled statement
+  /// (budget markers are not rules and are not counted here).
+  std::map<std::string, uint64_t> law_fires;
+  /// Oracle-interpreter executions per lowering refusal reason.
+  std::map<std::string, uint64_t> fallback_reasons;
+  uint64_t searched_compiles = 0;  // compiles that ran the memo search
+  uint64_t budget_exhausted = 0;   // compiles a budget truncated
+};
+
 /// One aggregate observability call (Database::Stats()): every subsystem's
 /// counters in one consistent-enough snapshot (each group is internally
 /// consistent; groups are read one after another without a global lock).
@@ -159,6 +187,7 @@ struct DatabaseStats {
   AdmissionStats admission;
   RecyclerStats recycler;         // all zero when recycling is disabled
   TransactionStats transactions;
+  OptimizerStats optimizer;
 };
 
 /// One table's worth of a transaction's private write set, as handed to
@@ -220,6 +249,17 @@ class Database {
     txn_rolled_back_.fetch_add(1, std::memory_order_relaxed);
   }
   TransactionStats transaction_stats() const;
+
+  // ---- optimizer observability (docs/optimizer.md) ----
+  /// Tallies one cache-miss compile: per-law fire counts from the applied
+  /// rewrite trace, search participation, and budget truncation. Cache
+  /// hits do not re-count — the tallies measure optimizer work performed,
+  /// not statement executions.
+  void NoteCompile(const CompileInfo& info);
+  /// Tallies one execution the oracle interpreter ran instead of the
+  /// compiled engine, keyed by the lowering's refusal reason.
+  void NoteFallbackExecution(const std::string& reason);
+  OptimizerStats optimizer_stats() const;
 
   /// Every subsystem's counters in one call (docs/api.md example).
   DatabaseStats Stats() const;
@@ -338,6 +378,9 @@ class Database {
   std::atomic<uint64_t> txn_committed_{0};
   std::atomic<uint64_t> txn_conflicts_{0};
   std::atomic<uint64_t> txn_rolled_back_{0};
+
+  mutable std::mutex optimizer_mutex_;  // guards optimizer_stats_
+  OptimizerStats optimizer_stats_;
 
   mutable std::mutex admission_mutex_;  // guards everything below
   std::condition_variable admission_cv_;

@@ -73,6 +73,9 @@ std::string OptionsFingerprint(const SessionOptions& options) {
   fp += std::to_string(static_cast<int>(opt.planner.great_divide));
   fp += ':';
   fp += std::to_string(opt.max_rewrite_steps);
+  fp += opt.search ? 'S' : 's';
+  fp += ':';
+  fp += std::to_string(opt.max_search_candidates);
   fp += '\n';
   return fp;
 }
@@ -258,6 +261,10 @@ ExecProfile ResultCursor::Profile() const {
   profile.rewrite_steps = compile_.rewrites.size();
   profile.plan_cache_hit = compile_.cache_hit;
   profile.fallback_reason = compile_.fallback_reason;
+  if (!compile_.cache_hit) {
+    profile.search_candidates = compile_.search_candidates;
+    profile.memo_hits = compile_.memo_hits;
+  }
   if (ctx_ != nullptr) {
     profile.rows_charged_bytes = ctx_->charged_bytes();
     profile.cancelled = ctx_->cancelled();
@@ -485,7 +492,7 @@ Result<Session::CompiledRef> Session::Compile(const Catalog& catalog, uint64_t v
                                               bool allow_cache,
                                               std::shared_ptr<const sql::SqlQuery> ast,
                                               const std::string& normalized,
-                                              size_t param_count) {
+                                              size_t param_count, const StatsCache* stats) {
   const bool use_cache = allow_cache && options_.plan_cache_capacity > 0;
   std::string key = cache_key_prefix_ + normalized;
   if (use_cache) {
@@ -508,12 +515,17 @@ Result<Session::CompiledRef> Session::Compile(const Catalog& catalog, uint64_t v
     // predicates still carry '?' slots; compile parameterized statements
     // with the cheap declared-metadata preconditions only.
     if (param_count > 0) optimizer_options.allow_runtime_checks = false;
-    Optimizer optimizer(catalog, optimizer_options);
+    Optimizer optimizer(catalog, optimizer_options, stats);
     OptimizationReport report = optimizer.Optimize(compiled->info.lowered);
     compiled->info.optimized = report.chosen;
     compiled->info.rewrites = std::move(report.steps);
     compiled->info.lowered_cost = report.original_cost;
     compiled->info.optimized_cost = report.chosen_cost;
+    compiled->info.greedy_cost = report.greedy_cost;
+    compiled->info.search_candidates = report.search_candidates;
+    compiled->info.memo_hits = report.memo_hits;
+    compiled->info.rewrite_budget_exhausted = report.budget_exhausted;
+    database_->NoteCompile(compiled->info);
     CollectScanTables(compiled->info.optimized, &tables);
     CollectScanTables(compiled->info.lowered, &tables);
   } else if (options_.allow_oracle_fallback) {
@@ -548,7 +560,8 @@ Result<Session::BoundStatement> Session::CompileStatement(Statement statement) {
   // at a committed catalog version).
   Result<CompiledRef> compiled =
       Compile(bound.exec_catalog(), bound.snapshot->version(),
-              /*allow_cache=*/bound.overlay == nullptr, statement.ast, statement.normalized, 0);
+              /*allow_cache=*/bound.overlay == nullptr, statement.ast, statement.normalized, 0,
+              bound.overlay == nullptr ? &bound.snapshot->stats() : nullptr);
   if (!compiled.ok()) return Result<BoundStatement>::Error(compiled.error());
   bound.statement = std::move(statement);
   bound.compiled = std::move(compiled).value();
@@ -576,7 +589,8 @@ Result<Session::BoundStatement> Session::BindPrepared(const PreparedStatement& p
   Result<CompiledRef> compiled =
       Compile(bound.exec_catalog(), bound.snapshot->version(),
               /*allow_cache=*/bound.overlay == nullptr, prepared.ast_, prepared.normalized_,
-              prepared.param_count_);
+              prepared.param_count_,
+              bound.overlay == nullptr ? &bound.snapshot->stats() : nullptr);
   if (!compiled.ok()) return Result<BoundStatement>::Error(compiled.error());
   bound.statement =
       Statement{prepared.explain_, prepared.analyze_, prepared.ast_, prepared.normalized_};
@@ -619,8 +633,10 @@ Result<QueryResult> Session::Run(const BoundStatement& bound) {
     std::shared_ptr<QueryContext> context = MakeContext();
     try {
       if (entry.info.compiled) {
-        out.rows = ExecutePlan(bound.plan, catalog, planner, &out.profile, context.get());
+        out.rows = ExecutePlan(bound.plan, catalog, planner, &out.profile, context.get(),
+                               bound.overlay == nullptr ? &bound.snapshot->stats() : nullptr);
       } else {
+        database_->NoteFallbackExecution(entry.info.fallback_reason);
         ScopedQueryContext scope(context.get());
         out.rows = sql::ExecuteQueryOracle(*bound.ast, catalog);
         out.profile.explain =
@@ -649,6 +665,12 @@ Result<QueryResult> Session::Run(const BoundStatement& bound) {
   out.profile.rewrite_steps = entry.info.rewrites.size();
   out.profile.plan_cache_hit = bound.compiled.cache_hit;
   out.profile.fallback_reason = entry.info.fallback_reason;
+  // Search accounting reports optimizer work THIS statement paid for; a
+  // cache hit reused the searched plan without searching again.
+  if (!bound.compiled.cache_hit) {
+    out.profile.search_candidates = entry.info.search_candidates;
+    out.profile.memo_hits = entry.info.memo_hits;
+  }
   if (bound.statement.explain) {
     out.rows = RenderExplain(out.compile, bound.statement.analyze, out.profile, result_rows);
   }
@@ -677,7 +699,9 @@ Result<ResultCursor> Session::Open(const BoundStatement& bound) {
   PlannerOptions planner = options_.optimizer.planner;
   if (bound.overlay != nullptr) planner.recycler = nullptr;  // see Run
   if (entry.info.compiled) {
-    IterPtr root = BuildPhysicalPlan(bound.plan, bound.exec_catalog(), planner);
+    IterPtr root = BuildPhysicalPlan(bound.plan, bound.exec_catalog(), planner,
+                                     bound.overlay == nullptr ? &bound.snapshot->stats()
+                                                              : nullptr);
     return ResultCursor(std::move(root), nullptr, std::move(info), bound.snapshot,
                         std::move(context), bound.overlay, entry.ast->limit);
   }
@@ -698,10 +722,21 @@ Relation Session::RenderExplain(const CompileInfo& info, bool analyze,
     lines.push_back("path: compiled (lower -> rewrite laws -> parallel pipeline executor)");
     lines.push_back("rewrites applied: " + std::to_string(info.rewrites.size()));
     AppendBlock(SummarizeRewrites(info.rewrites), "", &lines);
-    char cost[96];
-    std::snprintf(cost, sizeof(cost), "estimated cost: %.1f -> %.1f", info.lowered_cost,
-                  info.optimized_cost);
+    char cost[160];
+    std::snprintf(cost, sizeof(cost),
+                  "estimated cost: %.1f -> %.1f (greedy fixpoint: %.1f)", info.lowered_cost,
+                  info.optimized_cost, info.greedy_cost);
     lines.push_back(cost);
+    if (info.search_candidates > 0) {
+      std::string search = "search: " + std::to_string(info.search_candidates) +
+                           " candidates, " + std::to_string(info.memo_hits) + " memo hits";
+      if (info.rewrite_budget_exhausted) search += " (budget exhausted)";
+      lines.push_back(std::move(search));
+    } else {
+      std::string search = "search: off (greedy fixpoint)";
+      if (info.rewrite_budget_exhausted) search += " (budget exhausted)";
+      lines.push_back(std::move(search));
+    }
     lines.push_back("logical plan (lowered):");
     AppendBlock(info.lowered->ToString(), "  ", &lines);
     if (!info.rewrites.empty()) {
@@ -979,7 +1014,7 @@ Result<PreparedStatement> Session::Prepare(const std::string& sql) {
     if (options_.plan_cache_capacity > 0 && txn_ == nullptr) {
       const SnapshotPtr& pinned = Pin();
       (void)Compile(pinned->catalog(), pinned->version(), /*allow_cache=*/true, prepared.ast_,
-                    prepared.normalized_, prepared.param_count_);
+                    prepared.normalized_, prepared.param_count_, &pinned->stats());
     }
     return prepared;
   } catch (const std::exception& e) {

@@ -322,9 +322,13 @@ class Session {
   /// `catalog` published back to the cache under `version`. `allow_cache`
   /// is off for dirty-transaction statements: their overlay data is private,
   /// so neither cached plans nor data-dependent compiles may be shared.
+  /// `stats` is the pinned snapshot's harvest cache feeding the cost model,
+  /// or null for dirty-transaction compiles (the optimizer then owns a
+  /// transient cache over the overlay catalog).
   Result<CompiledRef> Compile(const Catalog& catalog, uint64_t version, bool allow_cache,
                               std::shared_ptr<const sql::SqlQuery> ast,
-                              const std::string& normalized, size_t param_count);
+                              const std::string& normalized, size_t param_count,
+                              const StatsCache* stats);
   /// Shared unbound-'?' check → compile back half of Execute/Query (after
   /// ParseStatement routed commands to RunCommand).
   Result<BoundStatement> CompileStatement(Statement statement);

@@ -12,11 +12,27 @@ struct RewriteStep {
   std::string rule;
   std::string before;  // rendering of the rewritten subtree
   std::string after;
+  /// Estimated cost of the whole plan after this step, when the driver
+  /// costs candidates (opt/optimizer.cpp fills it; 0 = not costed). Plain
+  /// data — the engine itself never computes costs.
+  double cost_after = 0;
 };
+
+/// Marker step recorded in the trace when Rewrite() stops with a rewrite
+/// still available: the caller asked for fewer steps than the fixpoint
+/// needs. Parenthesized so consumers that tally law fires can skip it.
+inline constexpr const char* kRewriteBudgetExhausted = "(rewrite budget exhausted)";
 
 /// One line per applied rule ("  1. law3-selection-pushdown"), for EXPLAIN
 /// output; "  (none)" when the trace is empty.
 std::string SummarizeRewrites(const std::vector<RewriteStep>& trace);
+
+/// One alternative rewrite of a whole plan: the rewritten root plus the
+/// step describing the single rule application that produced it.
+struct RewriteAlternative {
+  PlanPtr plan;
+  RewriteStep step;
+};
 
 /// A rule-based rewriting driver in the spirit of Starburst/Cascades rule
 /// engines (§1.1): applies its rules to a plan top-down until no rule fires
@@ -38,9 +54,21 @@ class RewriteEngine {
                       RewriteStep* step = nullptr) const;
 
   /// Applies rules to a fixpoint (bounded by `max_steps`); records each
-  /// applied rewrite in `trace` when provided.
+  /// applied rewrite in `trace` when provided. When the budget runs out
+  /// with another rewrite still available, sets `*budget_exhausted` (when
+  /// given) and appends a kRewriteBudgetExhausted marker to the trace —
+  /// silent truncation used to be indistinguishable from convergence.
   PlanPtr Rewrite(const PlanPtr& plan, const RewriteContext& context,
-                  std::vector<RewriteStep>* trace = nullptr, size_t max_steps = 64) const;
+                  std::vector<RewriteStep>* trace = nullptr, size_t max_steps = 64,
+                  bool* budget_exhausted = nullptr) const;
+
+  /// Enumerates EVERY applicable (rule, node) pair — not just the first
+  /// match — returning one alternative per application: the full rewritten
+  /// root plan plus the step that produced it. This is what turns the rule
+  /// set from a fixed pipeline into a search space (opt/memo.hpp); the
+  /// order is deterministic (pre-order by node, rule-set order per node).
+  std::vector<RewriteAlternative> Enumerate(const PlanPtr& plan,
+                                            const RewriteContext& context) const;
 
  private:
   PlanPtr TryNode(const PlanPtr& node, const RewriteContext& context,

@@ -69,23 +69,23 @@ bool ProvablyNonEmpty(const PlanPtr& plan, const RewriteContext& context) {
   return r && !r->empty();
 }
 
-/// A rule defined by a name and a match/build function.
+/// A rule defined by a declarative descriptor and a match/build function.
 class LambdaRule : public RewriteRule {
  public:
   using Fn = PlanPtr (*)(const PlanPtr&, const RewriteContext&);
-  LambdaRule(const char* name, Fn fn) : name_(name), fn_(fn) {}
-  const char* name() const override { return name_; }
+  LambdaRule(const RuleInfo& info, Fn fn) : info_(info), fn_(fn) {}
+  const RuleInfo& info() const override { return info_; }
   PlanPtr Apply(const PlanPtr& node, const RewriteContext& context) const override {
     return fn_(node, context);
   }
 
  private:
-  const char* name_;
+  RuleInfo info_;
   Fn fn_;
 };
 
-RulePtr Rule(const char* name, LambdaRule::Fn fn) {
-  return std::make_unique<LambdaRule>(name, fn);
+RulePtr Rule(const RuleInfo& info, LambdaRule::Fn fn) {
+  return std::make_unique<LambdaRule>(info, fn);
 }
 
 // ---------------------------------------------------------------- Law 1 ----
@@ -408,35 +408,125 @@ PlanPtr ApplyHealyExpansion(const PlanPtr& node, const RewriteContext&) {
 
 }  // namespace
 
-RulePtr MakeLaw1DivisorUnionRule() { return Rule("law1-divisor-union", ApplyLaw1); }
-RulePtr MakeLaw2DividendUnionRule() { return Rule("law2-dividend-union", ApplyLaw2); }
-RulePtr MakeLaw3SelectionPushdownRule() { return Rule("law3-selection-pushdown", ApplyLaw3); }
-RulePtr MakeLaw4ReplicateSelectionRule() { return Rule("law4-replicate-selection", ApplyLaw4); }
-RulePtr MakeExample1DividendSelectionRule() {
-  return Rule("example1-dividend-selection", ApplyExample1);
+RulePtr MakeLaw1DivisorUnionRule() {
+  static constexpr RuleInfo kInfo{
+      "law1-divisor-union", 1, "r1 \u00f7 (s \u222a t)",
+      "pipeline the quotient of one divide into the next instead of dividing by the union"};
+  return Rule(kInfo, ApplyLaw1);
 }
-RulePtr MakeLaw5IntersectRule() { return Rule("law5-intersect", ApplyLaw5); }
-RulePtr MakeLaw6DifferenceRule() { return Rule("law6-difference", ApplyLaw6); }
-RulePtr MakeLaw7DifferencePruneRule() { return Rule("law7-difference-prune", ApplyLaw7); }
-RulePtr MakeLaw8ProductRule() { return Rule("law8-product", ApplyLaw8); }
-RulePtr MakeLaw9ProductRule() { return Rule("law9-product", ApplyLaw9); }
-RulePtr MakeLaw10SemiJoinRule() { return Rule("law10-semijoin", ApplyLaw10); }
-RulePtr MakeLaw11GroupedDividendRule() { return Rule("law11-grouped-dividend", ApplyLaw11); }
-RulePtr MakeLaw12GroupedDividendRule() { return Rule("law12-grouped-dividend", ApplyLaw12); }
+RulePtr MakeLaw2DividendUnionRule() {
+  static constexpr RuleInfo kInfo{
+      "law2-dividend-union", 2, "(s \u222a t) \u00f7 r2 with c1/c2",
+      "divide the branches independently and union the quotients"};
+  return Rule(kInfo, ApplyLaw2);
+}
+RulePtr MakeLaw3SelectionPushdownRule() {
+  static constexpr RuleInfo kInfo{
+      "law3-selection-pushdown", 3, "\u03c3p(A)(r1 \u00f7 r2)",
+      "filter the dividend before dividing: the divide sees only surviving groups"};
+  return Rule(kInfo, ApplyLaw3);
+}
+RulePtr MakeLaw4ReplicateSelectionRule() {
+  static constexpr RuleInfo kInfo{
+      "law4-replicate-selection", 4, "r1 \u00f7 \u03c3p(B)(r2)",
+      "replicate the divisor's B-selection onto the dividend to shrink both inputs"};
+  return Rule(kInfo, ApplyLaw4);
+}
+RulePtr MakeExample1DividendSelectionRule() {
+  static constexpr RuleInfo kInfo{
+      "example1-dividend-selection", 0, "\u03c3p(B)(r1) \u00f7 r2",
+      "reshape a dividend B-selection into a divisor-side form (Example 1's extreme case)"};
+  return Rule(kInfo, ApplyExample1);
+}
+RulePtr MakeLaw5IntersectRule() {
+  static constexpr RuleInfo kInfo{
+      "law5-intersect", 5, "(s \u2229 t) \u00f7 r2",
+      "divide the smaller operand and semi-join the other instead of materializing the intersection"};
+  return Rule(kInfo, ApplyLaw5);
+}
+RulePtr MakeLaw6DifferenceRule() {
+  static constexpr RuleInfo kInfo{
+      "law6-difference", 6, "(s \u2212 t) \u00f7 r2 with \u03c3' \u2287 \u03c3''",
+      "divide s and prune with t's quotient instead of materializing the difference"};
+  return Rule(kInfo, ApplyLaw6);
+}
+RulePtr MakeLaw7DifferencePruneRule() {
+  static constexpr RuleInfo kInfo{
+      "law7-difference-prune", 7, "(s \u2212 t) \u00f7 r2 with disjoint projections",
+      "drop the subtrahend divide entirely: disjointness makes it empty"};
+  return Rule(kInfo, ApplyLaw7);
+}
+RulePtr MakeLaw8ProductRule() {
+  static constexpr RuleInfo kInfo{
+      "law8-product", 8, "(s \u00d7 t) \u00f7 r2, divisor-free factor",
+      "divide only the factor that shares attributes with the divisor"};
+  return Rule(kInfo, ApplyLaw8);
+}
+RulePtr MakeLaw9ProductRule() {
+  static constexpr RuleInfo kInfo{
+      "law9-product", 9, "(s \u00d7 t) \u00f7 r2, divisor-covered factor",
+      "the covered factor divides to its A-projection when the divisor is contained"};
+  return Rule(kInfo, ApplyLaw9);
+}
+RulePtr MakeLaw10SemiJoinRule() {
+  static constexpr RuleInfo kInfo{
+      "law10-semijoin", 10, "(r1 \u00f7 r2) \u22c9 s",
+      "semi-join the dividend first so the divide only groups surviving candidates"};
+  return Rule(kInfo, ApplyLaw10);
+}
+RulePtr MakeLaw11GroupedDividendRule() {
+  static constexpr RuleInfo kInfo{
+      "law11-grouped-dividend", 11, "r1 \u00f7 r2 with A a key of r1",
+      "one-tuple groups make the divide a guarded semi-join"};
+  return Rule(kInfo, ApplyLaw11);
+}
+RulePtr MakeLaw12GroupedDividendRule() {
+  static constexpr RuleInfo kInfo{
+      "law12-grouped-dividend", 12, "r1 \u00f7 r2 with B a key + FK",
+      "the foreign key guarantees containment: the divide becomes a guarded semi-join"};
+  return Rule(kInfo, ApplyLaw12);
+}
 RulePtr MakeLaw13GreatDivisorUnionRule() {
-  return Rule("law13-great-divisor-union", ApplyLaw13);
+  static constexpr RuleInfo kInfo{
+      "law13-great-divisor-union", 13, "r1 \u00f7* (s \u222a t), C-disjoint",
+      "partition the great divide by divisor branch and union the results"};
+  return Rule(kInfo, ApplyLaw13);
 }
 RulePtr MakeLaw14SelectionPushdownRule() {
-  return Rule("law14-selection-pushdown", ApplyLaw14);
+  static constexpr RuleInfo kInfo{
+      "law14-selection-pushdown", 14, "\u03c3p(A)(r1 \u00f7* r2)",
+      "filter the dividend before the great divide sees it"};
+  return Rule(kInfo, ApplyLaw14);
 }
-RulePtr MakeLaw15DivisorSelectionRule() { return Rule("law15-divisor-selection", ApplyLaw15); }
+RulePtr MakeLaw15DivisorSelectionRule() {
+  static constexpr RuleInfo kInfo{
+      "law15-divisor-selection", 15, "\u03c3p(C)(r1 \u00f7* r2)",
+      "filter the divisor's C-groups before the great divide builds them"};
+  return Rule(kInfo, ApplyLaw15);
+}
 RulePtr MakeLaw16ReplicateSelectionRule() {
-  return Rule("law16-replicate-selection", ApplyLaw16);
+  static constexpr RuleInfo kInfo{
+      "law16-replicate-selection", 16, "r1 \u00f7* \u03c3p(B)(r2)",
+      "replicate the divisor's B-selection onto the dividend to shrink both inputs"};
+  return Rule(kInfo, ApplyLaw16);
 }
-RulePtr MakeLaw17ProductRule() { return Rule("law17-product", ApplyLaw17); }
-RulePtr MakeExample4JoinPushRule() { return Rule("example4-join-push", ApplyExample4); }
+RulePtr MakeLaw17ProductRule() {
+  static constexpr RuleInfo kInfo{
+      "law17-product", 17, "(s \u00d7 t) \u00f7* r2",
+      "divide only the factor sharing attributes with the divisor"};
+  return Rule(kInfo, ApplyLaw17);
+}
+RulePtr MakeExample4JoinPushRule() {
+  static constexpr RuleInfo kInfo{
+      "example4-join-push", 0, "(r1 \u00f7* r2) \u22c8 s on A",
+      "push an equi-join below the great divide to shrink the dividend (Example 4)"};
+  return Rule(kInfo, ApplyExample4);
+}
 RulePtr MakeDivideToHealyExpansionRule() {
-  return Rule("divide-to-healy-expansion", ApplyHealyExpansion);
+  static constexpr RuleInfo kInfo{
+      "divide-to-healy-expansion", 0, "r1 \u00f7 r2",
+      "baseline: expand into Healy's basic-algebra form (demonstrates why first-class division wins)"};
+  return Rule(kInfo, ApplyHealyExpansion);
 }
 
 std::vector<RulePtr> DefaultRuleSet() {
@@ -461,6 +551,16 @@ std::vector<RulePtr> DefaultRuleSet() {
   // Grouped-dividend special cases (Laws 11/12) replace ÷ by semi-joins.
   rules.push_back(MakeLaw11GroupedDividendRule());
   rules.push_back(MakeLaw12GroupedDividendRule());
+  return rules;
+}
+
+std::vector<RulePtr> SearchRuleSet() {
+  std::vector<RulePtr> rules = DefaultRuleSet();
+  // Reshaping laws: excluded from the greedy fixpoint (they trade one shape
+  // for another), admitted under cost-guided search where an unprofitable
+  // reshape simply never becomes the cheapest candidate.
+  rules.push_back(MakeLaw1DivisorUnionRule());
+  rules.push_back(MakeExample1DividendSelectionRule());
   return rules;
 }
 

@@ -22,13 +22,27 @@ struct RewriteContext {
   bool allow_runtime_checks = false;
 };
 
+/// Declarative descriptor of one rewrite rule: its identity plus what it
+/// matches and what applying it promises. The descriptor is data, not
+/// behavior — EXPLAIN, the search report, and Database::Stats() key on
+/// `name`, and docs/optimizer.md renders the match/promise columns — so new
+/// laws declare themselves instead of hand-fusing their story into the
+/// driver ("An Extensible and Verifiable Language for Query Rewrite Rules").
+struct RuleInfo {
+  const char* name;     // stable identifier ("law3-selection-pushdown")
+  int law;              // paper law number; 0 for examples and baselines
+  const char* match;    // plan shape the rule fires on
+  const char* promise;  // why applying it should pay off
+};
+
 /// A transformation rule implementing one of the paper's laws on plan trees.
 /// Apply() returns the rewritten node, or nullptr when the rule does not
 /// match (or its precondition cannot be established).
 class RewriteRule {
  public:
   virtual ~RewriteRule() = default;
-  virtual const char* name() const = 0;
+  virtual const RuleInfo& info() const = 0;
+  const char* name() const { return info().name; }
   virtual PlanPtr Apply(const PlanPtr& node, const RewriteContext& context) const = 0;
 };
 
@@ -66,5 +80,15 @@ RulePtr MakeDivideToHealyExpansionRule();
 /// deliberately excluded — they reshape rather than shrink work — but are
 /// available above for targeted use.
 std::vector<RulePtr> DefaultRuleSet();
+
+/// The rule set for cost-guided search (opt/memo.hpp): DefaultRuleSet()
+/// plus the reshaping laws a greedy fixpoint must exclude — Law 1
+/// (pipelining the divisor union) and Example 1 (the paper's "extreme
+/// case" dividend selection), which trade one shape for another rather
+/// than strictly shrinking work. Under search they are safe: a candidate
+/// that reshapes unprofitably simply never becomes the cheapest plan. The
+/// Healy expansion stays excluded — it is the demoted baseline, not an
+/// optimization.
+std::vector<RulePtr> SearchRuleSet();
 
 }  // namespace quotient

@@ -93,19 +93,56 @@ void SetSerialRowThreshold(size_t rows) {
   SerialThresholdFlag().store(rows, std::memory_order_relaxed);
 }
 
-bool UseTupleDrain(const Iterator& child) {
+PipelineChoice ChoosePipeline(const Iterator& child) {
+  PipelineChoice choice;
   ExecMode mode = GetExecMode();
-  if (mode == ExecMode::kTuple) return true;
-  if (mode != ExecMode::kParallel) return false;
-  size_t estimated = child.EstimatedRows();  // 0 = unknown: stay batched
-  return estimated > 0 && estimated <= GetSerialRowThreshold();
+  if (mode == ExecMode::kTuple) {
+    choice.tuple = true;
+    return choice;
+  }
+  if (mode != ExecMode::kParallel) return choice;
+  size_t threshold = GetSerialRowThreshold();
+  // Threshold 0 disables every estimate-driven choice, not just the tuple
+  // cutoff: tests set it to force the full parallel machinery on fixtures
+  // far smaller than any sane worker cap would allow.
+  if (threshold == 0) return choice;
+  size_t estimated = child.EstimatedRows();
+  double hint = child.cost_rows_hint();
+  // The cost-model estimate accounts for selectivity and division/join
+  // shrinkage; EstimatedRows() is only a structural upper bound. Prefer
+  // the model when the planner supplied it.
+  double rows = hint > 0 ? hint : static_cast<double>(estimated);
+  if (rows <= 0) return choice;  // unknown: batched, uncapped
+  if (rows <= static_cast<double>(threshold)) {
+    choice.tuple = true;
+    return choice;
+  }
+  // Cap workers so each gets at least ~two morsels of estimated work —
+  // fan-out past that points pays scheduling and merge cost for nothing.
+  size_t threads = GetExecThreads();
+  size_t morsel = std::max<size_t>(1, std::max(GetMorselRows(), GetBatchRows()));
+  size_t useful = std::max<size_t>(1, static_cast<size_t>(rows) / (2 * morsel));
+  choice.workers = std::min(threads == 0 ? size_t{1} : threads, useful);
+  // Spread the estimated rows over at most ~4 chunks per capped worker;
+  // when the estimate overshoots the actual row count this only makes
+  // chunks larger (fewer, bigger morsels), never changes results.
+  if (choice.workers > 0) {
+    choice.morsel_rows =
+        std::max(morsel, static_cast<size_t>(rows) / (choice.workers * 4));
+  }
+  return choice;
 }
+
+bool UseTupleDrain(const Iterator& child) { return ChoosePipeline(child).tuple; }
 
 PipelineStats RunPipeline(Iterator& child, PipelineSink& sink) {
   bool parallel = GetExecMode() == ExecMode::kParallel && GetExecThreads() > 1 &&
                   !OnWorkerThread() && sink.AllowParallel();
   if (!parallel) return DrainSerial(child, sink);
+  PipelineChoice choice = ChoosePipeline(child);
   size_t threads = GetExecThreads();
+  if (choice.workers > 0) threads = std::min(threads, choice.workers);
+  if (threads <= 1) return DrainSerial(child, sink);
 
   SplitSource source = FindSplittableSource(child);
   if (source.scan != nullptr) {
@@ -113,7 +150,7 @@ PipelineStats RunPipeline(Iterator& child, PipelineSink& sink) {
     // storage (TableEncoding id columns / relation rows are immutable), one
     // partial sink state per chunk.
     size_t rows = source.scan->TotalRows();
-    size_t chunk_rows = ChunkRowsFor(rows, threads);
+    size_t chunk_rows = std::max(choice.morsel_rows, ChunkRowsFor(rows, threads));
     size_t chunks = (rows + chunk_rows - 1) / chunk_rows;
     if (chunks <= 1) return DrainSerial(child, sink);
 
@@ -178,7 +215,7 @@ PipelineStats RunPipeline(Iterator& child, PipelineSink& sink) {
   stats.rows = total;
   if (total == 0) return stats;
 
-  size_t chunk_rows = ChunkRowsFor(total, threads);
+  size_t chunk_rows = std::max(choice.morsel_rows, ChunkRowsFor(total, threads));
   std::vector<std::pair<size_t, size_t>> groups;  // [first, last) batch index
   size_t group_begin = 0;
   size_t group_rows = 0;

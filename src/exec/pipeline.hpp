@@ -71,11 +71,31 @@ struct ScopedSerialRowThreshold {
   size_t saved;
 };
 
+/// Costed per-pipeline execution choice (the cost-driven physical choices
+/// from the ROADMAP): drain discipline, worker cap, and morsel-size floor,
+/// derived from the pipeline source's cost-model cardinality
+/// (Iterator::cost_rows_hint, set by the planner from opt/cost.hpp) with
+/// EstimatedRows() as the structural fallback. Defaults reproduce the
+/// legacy behavior exactly — and are always returned when the serial row
+/// threshold is 0, the setting tests use to force the parallel path on
+/// small fixtures regardless of estimates.
+struct PipelineChoice {
+  /// Drain tuple-at-a-time (estimate at or under the serial threshold).
+  bool tuple = false;
+  /// Cap on workers for this pipeline; 0 = no cap (use GetExecThreads()).
+  /// Realized by growing chunks, so results stay bit-identical.
+  size_t workers = 0;
+  /// Extra floor on rows per chunk; 0 = the global GetMorselRows() floor.
+  size_t morsel_rows = 0;
+};
+
+/// Decided once per pipeline drain, so one operator may drain a tiny
+/// divisor tuple-wise while morsel-parallelizing a large dividend.
+PipelineChoice ChoosePipeline(const Iterator& child);
+
 /// True when a blocking operator should drain `child` with its
 /// tuple-at-a-time reference path: always in ExecMode::kTuple, and in
-/// ExecMode::kParallel when the input is estimated under the serial row
-/// threshold. Decided per pipeline, so one operator may drain a tiny
-/// divisor tuple-wise while morsel-parallelizing a large dividend.
+/// ExecMode::kParallel when ChoosePipeline picks the tuple discipline.
 bool UseTupleDrain(const Iterator& child);
 
 /// Partial state of one chunk of a parallel pipeline. Chunks are created

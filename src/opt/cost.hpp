@@ -1,25 +1,35 @@
 #pragma once
 
+#include "opt/stats.hpp"
 #include "plan/logical.hpp"
 
 namespace quotient {
 
 /// Cardinality and cost estimates for logical plans. The model is the
-/// classic textbook one: base cardinalities come from the catalog,
-/// selections apply a default selectivity per conjunct, joins divide by the
-/// larger distinct count, and divisions estimate |A-groups| scaled by a
-/// containment probability. Costs count tuples touched (CPU-bound,
-/// in-memory engine), with the division operators priced per their
-/// algorithm family.
+/// classic textbook one, fed by harvested statistics (opt/stats.hpp):
+/// base cardinalities are table row counts, equality selectivities are
+/// 1/distinct(column), joins divide by the distinct count of the shared
+/// key, semi/anti joins compare the two sides' key domains, and divisions
+/// estimate |A-groups| from the dividend's A-distinct count scaled by a
+/// per-divisor-value containment probability. Costs count tuples touched
+/// (CPU-bound, in-memory engine), with the division operators priced per
+/// their algorithm family.
 struct Estimate {
   double cardinality = 0;  // output rows
   double cost = 0;         // cumulative work, in touched-tuple units
 };
 
-/// Estimates `plan` bottom-up against `catalog`.
+/// Estimates `plan` bottom-up against `catalog`, reading per-table
+/// statistics through `stats` (shared across estimates of rewrite
+/// candidates over one snapshot; see CatalogSnapshot in api/database.hpp).
+Estimate EstimatePlan(const PlanPtr& plan, const Catalog& catalog, const StatsCache& stats);
+
+/// Convenience overload owning a transient StatsCache. Same numbers — the
+/// cache only memoizes the harvest.
 Estimate EstimatePlan(const PlanPtr& plan, const Catalog& catalog);
 
 /// Convenience: just the cost.
+double EstimateCost(const PlanPtr& plan, const Catalog& catalog, const StatsCache& stats);
 double EstimateCost(const PlanPtr& plan, const Catalog& catalog);
 
 }  // namespace quotient

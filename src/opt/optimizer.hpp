@@ -3,18 +3,25 @@
 #include "core/engine.hpp"
 #include "opt/cost.hpp"
 #include "opt/planner.hpp"
+#include "opt/stats.hpp"
 
 namespace quotient {
 
 /// End-to-end optimizer configuration.
 struct OptimizerOptions {
   PlannerOptions planner;
-  /// Apply the default law-based rule set before lowering.
+  /// Apply the law-based rule set before lowering.
   bool use_rules = true;
   /// Permit rules to evaluate subplans for data-dependent preconditions
   /// (the expensive-c1 trade-off of §5.1.1).
   bool allow_runtime_checks = false;
   size_t max_rewrite_steps = 64;
+  /// Explore alternative law applications best-first under the cost model
+  /// (opt/memo.hpp) instead of committing to the greedy fixpoint. Off
+  /// restores the pre-search greedy behavior, kept for A/B comparison.
+  bool search = true;
+  /// Candidate-plan budget for the search (plans costed; memo hits free).
+  size_t max_search_candidates = 256;
 };
 
 /// What the optimizer did to a query, for EXPLAIN output.
@@ -23,19 +30,38 @@ struct OptimizationReport {
   PlanPtr chosen;
   double original_cost = 0;
   double chosen_cost = 0;
+  /// Cost of the greedy fixpoint plan — the search's A/B reference. Equals
+  /// original_cost when no rule fired (or rules are off).
+  double greedy_cost = 0;
   std::vector<RewriteStep> steps;  // applied law rewrites, in order
+  /// Candidate plans costed by the search (0 when search is off).
+  size_t search_candidates = 0;
+  /// Duplicate states the memo pruned by fingerprint.
+  size_t memo_hits = 0;
+  /// A rewrite or search budget ran out before the space was exhausted.
+  bool budget_exhausted = false;
 
-  /// Human-readable summary: costs, applied laws, final plan.
+  /// Human-readable summary: costs, search totals, applied laws with
+  /// per-step cost deltas, final plan.
   std::string Explain() const;
 };
 
-/// The optimizer: law-based rewriting (src/core) guarded by the cost model,
-/// then lowering to the Volcano engine. If the rewritten plan estimates
-/// worse than the original (the model is deliberately simple), the original
-/// is kept — rewrites are never blindly trusted.
+/// The optimizer: law-based rewriting (src/core) driven by the cost model,
+/// then lowering to the execution engine. With search on (the default) the
+/// memoized best-first search picks the cheapest of every explored
+/// alternative — never worse than the original OR the greedy fixpoint.
+/// With search off, the greedy fixpoint's trace is kept only when the
+/// model does not consider it a regression — rewrites are never blindly
+/// trusted.
 class Optimizer {
  public:
-  explicit Optimizer(const Catalog& catalog, OptimizerOptions options = {});
+  /// `stats` feeds the cost model; pass the snapshot's cache
+  /// (CatalogSnapshot::stats() in api/database.hpp) so harvests are shared
+  /// across compiles. When null the optimizer owns a transient cache (used
+  /// for transaction overlay catalogs, whose dirty contents have no
+  /// published snapshot).
+  explicit Optimizer(const Catalog& catalog, OptimizerOptions options = {},
+                     const StatsCache* stats = nullptr);
 
   /// Rewrites and costs `plan` without executing it.
   OptimizationReport Optimize(const PlanPtr& plan) const;
@@ -45,9 +71,14 @@ class Optimizer {
                OptimizationReport* report = nullptr) const;
 
  private:
+  const StatsCache& stats() const { return stats_ != nullptr ? *stats_ : owned_stats_; }
+
   const Catalog& catalog_;
   OptimizerOptions options_;
-  RewriteEngine engine_;
+  RewriteEngine engine_;         // greedy fixpoint: DefaultRuleSet()
+  RewriteEngine search_engine_;  // search space: SearchRuleSet()
+  const StatsCache* stats_;
+  StatsCache owned_stats_;
 };
 
 }  // namespace quotient

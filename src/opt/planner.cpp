@@ -1,5 +1,7 @@
 #include "opt/planner.hpp"
 
+#include "opt/fingerprint.hpp"
+
 #include <algorithm>
 #include <cstdio>
 #include <set>
@@ -9,6 +11,7 @@
 #include "exec/exec_join.hpp"
 #include "exec/pipeline.hpp"
 #include "exec/query_context.hpp"
+#include "opt/cost.hpp"
 #include "util/status.hpp"
 
 namespace quotient {
@@ -55,169 +58,9 @@ PlanPtr HealyExpansion(const PlanPtr& dividend, const PlanPtr& divisor) {
   return LogicalOp::Difference(pa, spoilers);
 }
 
-// ---------------------------------------------------------------------------
-// Plan-fragment fingerprints for the artifact recycler (exec/recycler.hpp).
-//
-// A fingerprint is a type-tagged serialization of the logical subtree that
-// feeds a blocking sink. It must be INJECTIVE over recyclable fragments: two
-// fragments share a fingerprint only if they build identical state against
-// identical catalogs. ToString() renderings are NOT injective (Int(1) and
-// Str("1") both print "1"), so literals carry a type tag and strings a
-// length prefix. Fragments containing VALUES leaves or unbound '?' slots
-// are not fingerprintable — their content is invisible to the key.
-// ---------------------------------------------------------------------------
-
-void FingerprintValue(const Value& v, std::string* out) {
-  switch (v.type()) {
-    case ValueType::kNull: *out += 'n'; return;
-    case ValueType::kInt:
-      *out += 'i';
-      *out += std::to_string(v.as_int());
-      return;
-    case ValueType::kReal: {
-      char buf[40];
-      std::snprintf(buf, sizeof(buf), "r%.17g", v.as_real());
-      *out += buf;
-      return;
-    }
-    case ValueType::kString:
-      *out += 's';
-      *out += std::to_string(v.as_str().size());
-      *out += ':';
-      *out += v.as_str();
-      return;
-    case ValueType::kSet: {
-      *out += "{";
-      for (const Value& e : v.as_set()) {
-        FingerprintValue(e, out);
-        *out += ',';
-      }
-      *out += '}';
-      return;
-    }
-  }
-  *out += '?';
-}
-
-/// Returns false when the expression contains a '?' parameter slot.
-bool FingerprintExpr(const ExprPtr& e, std::string* out) {
-  if (e == nullptr) {
-    *out += '_';
-    return true;
-  }
-  switch (e->kind()) {
-    case Expr::Kind::kColumn:
-      *out += 'c';
-      *out += std::to_string(e->column_name().size());
-      *out += ':';
-      *out += e->column_name();
-      return true;
-    case Expr::Kind::kLiteral:
-      FingerprintValue(e->literal(), out);
-      return true;
-    case Expr::Kind::kParam: return false;
-    case Expr::Kind::kCompare:
-      *out += '(';
-      if (!FingerprintExpr(e->left(), out)) return false;
-      *out += CmpOpName(e->cmp_op());
-      if (!FingerprintExpr(e->right(), out)) return false;
-      *out += ')';
-      return true;
-    case Expr::Kind::kAnd:
-    case Expr::Kind::kOr:
-    case Expr::Kind::kNot:
-    case Expr::Kind::kAdd:
-    case Expr::Kind::kSub:
-    case Expr::Kind::kMul:
-    case Expr::Kind::kDiv: {
-      *out += '(';
-      *out += std::to_string(static_cast<int>(e->kind()));
-      *out += ':';
-      if (!FingerprintExpr(e->left(), out)) return false;
-      if (e->right() != nullptr) {
-        *out += ',';
-        if (!FingerprintExpr(e->right(), out)) return false;
-      }
-      *out += ')';
-      return true;
-    }
-  }
-  return false;
-}
-
-void FingerprintNames(const std::vector<std::string>& names, std::string* out) {
-  for (const std::string& name : names) {
-    *out += std::to_string(name.size());
-    *out += ':';
-    *out += name;
-    *out += ',';
-  }
-}
-
-/// Returns false when the subtree contains a VALUES leaf or a '?' slot.
-bool FingerprintPlan(const PlanPtr& plan, std::string* out) {
-  const LogicalOp& op = *plan;
-  switch (op.kind()) {
-    case LogicalOp::Kind::kScan:
-      *out += "scan[";
-      *out += op.table();
-      *out += ']';
-      return true;
-    case LogicalOp::Kind::kValues: return false;
-    default: break;
-  }
-  *out += std::to_string(static_cast<int>(op.kind()));
-  *out += '[';
-  if (op.predicate() != nullptr && !FingerprintExpr(op.predicate(), out)) return false;
-  switch (op.kind()) {
-    case LogicalOp::Kind::kProject: FingerprintNames(op.columns(), out); break;
-    case LogicalOp::Kind::kRename:
-      for (const auto& [from, to] : op.renames()) {
-        FingerprintNames({from, to}, out);
-        *out += ';';
-      }
-      break;
-    case LogicalOp::Kind::kGroupBy:
-      FingerprintNames(op.group_names(), out);
-      *out += '/';
-      for (const AggSpec& agg : op.aggs()) {
-        *out += std::to_string(static_cast<int>(agg.fn));
-        *out += ':';
-        FingerprintNames({agg.arg, agg.out}, out);
-        *out += ';';
-      }
-      break;
-    default: break;
-  }
-  for (const PlanPtr& child : op.children()) {
-    *out += '(';
-    if (!FingerprintPlan(child, out)) return false;
-    *out += ')';
-  }
-  *out += ']';
-  return true;
-}
-
-/// Fingerprints `plan` and appends the per-table data version of every base
-/// table it scans (from the pinned snapshot catalog), making stale artifacts
-/// unaddressable after DDL. Returns "" when the subtree is not recyclable;
-/// otherwise also merges the scanned tables into `tables` (the cache entry's
-/// invalidation domain).
-std::string VersionedFingerprint(const PlanPtr& plan, const Catalog& catalog,
-                                 std::vector<std::string>* tables) {
-  std::string fp;
-  if (!FingerprintPlan(plan, &fp)) return "";
-  std::set<std::string> scans;
-  CollectScanTables(plan, &scans);
-  for (const std::string& t : scans) {
-    fp += '|';
-    fp += t;
-    fp += '=';
-    fp += std::to_string(catalog.DataVersion(t));
-    if (std::find(tables->begin(), tables->end(), t) == tables->end()) tables->push_back(t);
-  }
-  return fp;
-}
+// Plan-fragment fingerprints (FingerprintPlan / VersionedFingerprint) live
+// in opt/fingerprint.{hpp,cpp}, shared between the artifact recycler's
+// cache keys and the rewrite memo's subtree deduplication.
 
 /// Composes the divisions' RecycleSpec: build_key addresses the divisor-side
 /// artifact, probe_key the full probe state that additionally captures the
@@ -271,6 +114,9 @@ std::string SchemaNamesContext(const Schema& schema) {
 struct BuildContext {
   std::unordered_map<const LogicalOp*, int> use_counts;
   std::unordered_map<const LogicalOp*, std::shared_ptr<const Relation>> materialized;
+  /// Feeds per-node cost hints (Iterator::cost_rows_hint) for the
+  /// executor's per-pipeline costed choices; never null inside a build.
+  const StatsCache* stats = nullptr;
 };
 
 void CountUses(const PlanPtr& plan, std::unordered_map<const LogicalOp*, int>* counts) {
@@ -299,8 +145,8 @@ IterPtr BuildShared(const PlanPtr& plan, const Catalog& catalog,
   return Build(plan, catalog, options, context);
 }
 
-IterPtr Build(const PlanPtr& plan, const Catalog& catalog, const PlannerOptions& options,
-              BuildContext* context) {
+IterPtr BuildNode(const PlanPtr& plan, const Catalog& catalog, const PlannerOptions& options,
+                  BuildContext* context) {
   auto child = [&](size_t i) { return BuildShared(plan->child(i), catalog, options, context); };
   (void)child;
   const LogicalOp& op = *plan;
@@ -419,19 +265,38 @@ IterPtr Build(const PlanPtr& plan, const Catalog& catalog, const PlannerOptions&
   throw SchemaError("planner: bad logical operator kind");
 }
 
+IterPtr Build(const PlanPtr& plan, const Catalog& catalog, const PlannerOptions& options,
+              BuildContext* context) {
+  IterPtr built = BuildNode(plan, catalog, options, context);
+  // Tag the operator with its cost-model cardinality so the executor's
+  // per-pipeline choices (ChoosePipeline, exec/pipeline.hpp) see through
+  // filters and divisions instead of trusting structural upper bounds.
+  // Only the parallel executor consults the hints, so the other modes skip
+  // the estimation pass. Harvests stay cheap: a scan's BuildNode above just
+  // warmed the catalog's encoding cache, so the stats layer reads dictionary
+  // sizes instead of rescanning data (opt/stats.hpp).
+  if (context != nullptr && context->stats != nullptr &&
+      GetExecMode() == ExecMode::kParallel) {
+    built->set_cost_rows_hint(EstimatePlan(plan, catalog, *context->stats).cardinality);
+  }
+  return built;
+}
+
 }  // namespace
 
 IterPtr BuildPhysicalPlan(const PlanPtr& plan, const Catalog& catalog,
-                          const PlannerOptions& options) {
+                          const PlannerOptions& options, const StatsCache* stats) {
   BuildContext context;
   CountUses(plan, &context.use_counts);
+  StatsCache transient;
+  context.stats = stats != nullptr ? stats : &transient;
   return Build(plan, catalog, options, &context);
 }
 
 Relation ExecutePlan(const PlanPtr& plan, const Catalog& catalog, const PlannerOptions& options,
-                     ExecProfile* profile, QueryContext* context) {
+                     ExecProfile* profile, QueryContext* context, const StatsCache* stats) {
   ScopedQueryContext scope(context != nullptr ? context : CurrentQueryContext());
-  IterPtr root = BuildPhysicalPlan(plan, catalog, options);
+  IterPtr root = BuildPhysicalPlan(plan, catalog, options, stats);
   Relation result = ExecuteToRelation(*root);
   if (profile != nullptr) {
     profile->total_rows = TotalRowsProduced(*root);

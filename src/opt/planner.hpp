@@ -12,6 +12,8 @@
 
 namespace quotient {
 
+class StatsCache;  // opt/stats.hpp
+
 /// How the planner lowers logical division nodes.
 struct PlannerOptions {
   /// Physical algorithm for ÷ nodes.
@@ -33,9 +35,14 @@ struct PlannerOptions {
 /// Lowers a logical plan to a Volcano iterator tree over `catalog`.
 /// ThetaJoins whose condition is a conjunction of cross-side column
 /// equalities become hash equi-joins; other conditions fall back to a
-/// nested-loop join.
+/// nested-loop join. In parallel mode every operator also gets a
+/// cost-model cardinality hint (Iterator::cost_rows_hint) driving the
+/// executor's per-pipeline choices; `stats` feeds those estimates (pass
+/// the snapshot's cache to share harvests across queries — a transient
+/// one is used when null).
 IterPtr BuildPhysicalPlan(const PlanPtr& plan, const Catalog& catalog,
-                          const PlannerOptions& options = {});
+                          const PlannerOptions& options = {},
+                          const StatsCache* stats = nullptr);
 
 /// Execution profile: per-operator row counts rolled up, plus the pipeline
 /// structure the parallel executor ran (exec/pipeline.hpp). The compile-side
@@ -49,6 +56,11 @@ struct ExecProfile {
   std::string explain;        // EXPLAIN ANALYZE style tree (rows + dop)
   std::string pipelines;      // pipeline decomposition with per-pipeline dop
   size_t rewrite_steps = 0;   // law rewrites applied during compilation
+  // Cost-guided search accounting (opt/memo.hpp), filled by the optimizer
+  // driver: candidate plans costed and duplicate states the memo pruned.
+  // Both zero when OptimizerOptions::search is off or the plan was cached.
+  size_t search_candidates = 0;
+  size_t memo_hits = 0;
   bool plan_cache_hit = false;    // compiled plan served from the LRU cache
   std::string fallback_reason;    // nonempty when the oracle interpreter ran
   // Governor accounting (exec/query_context.hpp), filled by the Session:
@@ -75,6 +87,6 @@ class QueryContext;
 /// to a Status. Governor accounting fields of `profile` are filled from it.
 Relation ExecutePlan(const PlanPtr& plan, const Catalog& catalog,
                      const PlannerOptions& options = {}, ExecProfile* profile = nullptr,
-                     QueryContext* context = nullptr);
+                     QueryContext* context = nullptr, const StatsCache* stats = nullptr);
 
 }  // namespace quotient

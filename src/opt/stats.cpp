@@ -1,0 +1,51 @@
+#include "opt/stats.hpp"
+
+#include <unordered_set>
+
+#include "algebra/value.hpp"
+
+namespace quotient {
+
+size_t TableStats::DistinctOf(const std::string& column) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == column) return distinct[i];
+  }
+  return 0;
+}
+
+TableStats HarvestTableStats(const Relation& relation, const TableEncoding* encoding) {
+  TableStats stats;
+  stats.rows = relation.size();
+  stats.columns = relation.schema().Names();
+  stats.distinct.resize(stats.columns.size(), 0);
+  if (encoding != nullptr && encoding->columns.size() == stats.columns.size()) {
+    for (size_t c = 0; c < encoding->columns.size(); ++c) {
+      stats.distinct[c] = encoding->columns[c].dict.size();
+    }
+    return stats;
+  }
+  for (size_t c = 0; c < stats.columns.size(); ++c) {
+    std::unordered_set<Value, ValueHash> seen;
+    for (const Tuple& tuple : relation.tuples()) seen.insert(tuple[c]);
+    stats.distinct[c] = seen.size();
+  }
+  return stats;
+}
+
+TableStatsPtr StatsCache::Get(const Catalog& catalog, const std::string& table) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(table);
+    if (it != cache_.end()) return it->second;
+  }
+  if (!catalog.Has(table)) return nullptr;
+  // Harvest outside the mutex; EncodingIfCached never triggers a build.
+  TableEncodingPtr encoding = catalog.EncodingIfCached(table);
+  auto stats = std::make_shared<const TableStats>(
+      HarvestTableStats(catalog.Get(table), encoding.get()));
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_[table] = stats;
+  return stats;
+}
+
+}  // namespace quotient

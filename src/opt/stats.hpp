@@ -1,0 +1,71 @@
+#pragma once
+
+// Per-table statistics feeding the cost model (opt/cost.hpp).
+//
+// TableStats carries exactly what the estimation rules consume: the row
+// count and the per-column distinct-value counts. Distinct counts are the
+// sizes of the per-column dictionaries — when the catalog's cached
+// TableEncoding is already built (the steady state for any table that has
+// been scanned in batch/parallel mode) they are read straight off the
+// dictionary, and otherwise they are computed by a direct scan of the
+// stored relation. Both paths yield identical numbers, so plan choice
+// never depends on cache temperature.
+//
+// The harvest deliberately never calls Catalog::Encoding(): that would
+// trigger a governed dictionary build at compile time — charging build
+// memory outside any query's governor, consuming the catalog.encoding
+// fault site before execution reaches it, and warming a cache the
+// execution-time tests expect to warm themselves.
+//
+// A StatsCache lives on each CatalogSnapshot (api/database.hpp), so stats
+// version with the data: DDL or a committed transaction publishes a new
+// snapshot with a fresh, empty cache, and compiles against older pinned
+// snapshots keep seeing the statistics of the data they actually read.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "plan/catalog.hpp"
+
+namespace quotient {
+
+/// Statistics of one base table, harvested once per (cache, table).
+struct TableStats {
+  size_t rows = 0;
+  /// Distinct-value count per column, parallel to the schema's attribute
+  /// order. Always >= 1 when rows > 0.
+  std::vector<size_t> distinct;
+  /// Attribute names, parallel to `distinct` (schema order).
+  std::vector<std::string> columns;
+
+  /// Distinct count of `column`, or 0 when the column is absent.
+  size_t DistinctOf(const std::string& column) const;
+};
+
+using TableStatsPtr = std::shared_ptr<const TableStats>;
+
+/// Computes TableStats for `relation`, preferring the pre-built dictionary
+/// sizes in `encoding` (pass nullptr to force the direct scan).
+TableStats HarvestTableStats(const Relation& relation, const TableEncoding* encoding);
+
+/// Thread-safe lazy per-table statistics cache. One instance hangs off each
+/// CatalogSnapshot; the Optimizer owns a transient one when compiling
+/// against a non-snapshot catalog (a transaction's dirty overlay).
+class StatsCache {
+ public:
+  /// Stats for `table` in `catalog`, harvesting on first request. Returns
+  /// nullptr for unknown tables. Thread-safe; the harvest runs outside the
+  /// cache mutex, so concurrent misses on different tables do not serialize
+  /// (racing misses on one table may both harvest; last write wins and both
+  /// results are identical).
+  TableStatsPtr Get(const Catalog& catalog, const std::string& table) const;
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::map<std::string, TableStatsPtr> cache_;
+};
+
+}  // namespace quotient

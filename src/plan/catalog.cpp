@@ -1,6 +1,7 @@
 #include "plan/catalog.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_set>
 
 #include "algebra/ops.hpp"
@@ -115,6 +116,19 @@ TableEncodingPtr Catalog::Encoding(const std::string& name) const {
     }
   }
   return future.get();
+}
+
+TableEncodingPtr Catalog::EncodingIfCached(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(encodings_mutex_);
+  auto it = encodings_.find(name);
+  if (it == encodings_.end()) return nullptr;
+  if (it->second.wait_for(std::chrono::seconds(0)) != std::future_status::ready) return nullptr;
+  // A failed build parks an exception in the future; treat it as absent.
+  try {
+    return it->second.get();
+  } catch (...) {
+    return nullptr;
+  }
 }
 
 std::vector<std::string> Catalog::Names() const {

@@ -80,6 +80,13 @@ class Catalog {
   /// immutable and outlives later invalidation (callers hold a shared_ptr).
   TableEncodingPtr Encoding(const std::string& name) const;
 
+  /// Non-blocking peek at the encoding cache: the cached encoding when a
+  /// finished build is present, nullptr otherwise. Never triggers (or waits
+  /// on) a build, so callers off the execution path — the optimizer's
+  /// statistics harvest (opt/stats.hpp) — can reuse dictionaries without
+  /// consuming governed build work that belongs to query execution.
+  TableEncodingPtr EncodingIfCached(const std::string& name) const;
+
   /// Declares `attrs` a key of `table`.
   void DeclareKey(const std::string& table, const std::vector<std::string>& attrs);
   /// True iff a declared key of `table` is a subset of `attrs`.

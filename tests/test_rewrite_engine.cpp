@@ -265,8 +265,26 @@ TEST_F(RewriteTest, EngineRespectsStepBudget) {
   RewriteEngine engine = RewriteEngine::Default();
   RewriteContext context{&catalog_, false};
   std::vector<RewriteStep> trace;
-  engine.Rewrite(plan, context, &trace, /*max_steps=*/0);
-  EXPECT_TRUE(trace.empty());
+  bool exhausted = false;
+  PlanPtr rewritten = engine.Rewrite(plan, context, &trace, /*max_steps=*/0, &exhausted);
+  // No law applied, and the truncation is surfaced: the flag is set and the
+  // trace carries the marker instead of silently reading as "converged".
+  EXPECT_EQ(rewritten->ToString(), plan->ToString());
+  EXPECT_TRUE(exhausted);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].rule, kRewriteBudgetExhausted);
+}
+
+TEST_F(RewriteTest, ConvergedRewriteDoesNotReportExhaustion) {
+  PlanPtr plan = LogicalOp::Select(LogicalOp::Divide(Scan("r1"), Scan("r2")),
+                                   Expr::ColCmp("a", CmpOp::kGe, V(2)));
+  RewriteEngine engine = RewriteEngine::Default();
+  RewriteContext context{&catalog_, false};
+  std::vector<RewriteStep> trace;
+  bool exhausted = false;
+  engine.Rewrite(plan, context, &trace, /*max_steps=*/64, &exhausted);
+  EXPECT_FALSE(exhausted);
+  for (const RewriteStep& step : trace) EXPECT_NE(step.rule, kRewriteBudgetExhausted);
 }
 
 TEST_F(RewriteTest, OptimizerKeepsCheaperPlanAndRuns) {
